@@ -1,0 +1,101 @@
+//! Index construction and decode throughput on the synthetic corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use teraphim_corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim_index::skips::SkipTable;
+use teraphim_index::IndexBuilder;
+use teraphim_text::Analyzer;
+
+fn build_sample() -> (SyntheticCorpus, teraphim_index::InvertedIndex) {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(5));
+    let analyzer = Analyzer::default();
+    let mut builder = IndexBuilder::new();
+    for sub in corpus.subcollections() {
+        for doc in &sub.docs {
+            builder.add_document(&analyzer.analyze(&doc.text));
+        }
+    }
+    let index = builder.build();
+    (corpus, index)
+}
+
+fn bench_build(c: &mut Criterion) {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(5));
+    let analyzer = Analyzer::default();
+    let analyzed: Vec<Vec<String>> = corpus
+        .subcollections()
+        .iter()
+        .flat_map(|s| s.docs.iter().map(|d| analyzer.analyze(&d.text)))
+        .collect();
+    let tokens: usize = analyzed.iter().map(Vec::len).sum();
+    let mut group = c.benchmark_group("index_build");
+    group.throughput(Throughput::Elements(tokens as u64));
+    group.sample_size(20);
+    group.bench_function("build_360_docs", |b| {
+        b.iter(|| {
+            let mut builder = IndexBuilder::new();
+            for terms in &analyzed {
+                builder.add_document(terms);
+            }
+            black_box(builder.build())
+        })
+    });
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let (_corpus, index) = build_sample();
+    // Pick the longest list.
+    let term = index
+        .vocab()
+        .iter()
+        .map(|(id, _)| id)
+        .max_by_key(|&id| index.postings(id).len())
+        .expect("non-empty vocab");
+    let list = index.postings(term).clone();
+    let mut group = c.benchmark_group("postings");
+    group.throughput(Throughput::Elements(u64::from(list.len())));
+    group.bench_function("decode_longest_list", |b| {
+        b.iter(|| {
+            let mut count = 0u32;
+            for p in list.iter() {
+                count += p.expect("valid list").f_dt;
+            }
+            black_box(count)
+        })
+    });
+
+    let table = SkipTable::build(&list, 32).expect("skip table");
+    let probes: Vec<u32> = (0..list.last_doc())
+        .step_by(37.max(list.last_doc() as usize / 20))
+        .collect();
+    group.bench_function("skip_seek_sparse_probes", |b| {
+        b.iter(|| {
+            let mut cursor = table.cursor(&list);
+            let mut found = 0u32;
+            for &p in &probes {
+                if cursor.seek(p).expect("valid list").is_some() {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        })
+    });
+    group.finish();
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let (_corpus, index) = build_sample();
+    let bytes = index.to_bytes();
+    let mut group = c.benchmark_group("index_serde");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("to_bytes", |b| b.iter(|| black_box(index.to_bytes())));
+    group.bench_function("from_bytes", |b| {
+        b.iter(|| black_box(teraphim_index::InvertedIndex::from_bytes(&bytes).expect("valid")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_decode, bench_serialize);
+criterion_main!(benches);

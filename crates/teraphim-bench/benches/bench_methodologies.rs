@@ -1,0 +1,71 @@
+//! End-to-end distributed query latency per methodology over in-process
+//! transports — the real-execution counterpart of Tables 3/4's
+//! simulation (absolute values reflect this machine, not 1997 SPARCs;
+//! the *relative* CN/CV/CI costs are the point).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teraphim_bench::corpus_parts;
+use teraphim_core::{CiParams, DistributedCollection, Methodology};
+use teraphim_corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim_text::Analyzer;
+
+fn bench_methodologies(c: &mut Criterion) {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(5));
+    let parts = corpus_parts(&corpus);
+    let system = DistributedCollection::build_with(
+        &parts,
+        Analyzer::default(),
+        CiParams {
+            group_size: 10,
+            k_prime: 10,
+        },
+    )
+    .expect("build");
+    let query = corpus.short_queries()[0].text.clone();
+
+    let mut group = c.benchmark_group("distributed_query_k20");
+    for methodology in Methodology::ALL {
+        group.bench_function(methodology.to_string(), |b| {
+            b.iter(|| black_box(system.query(methodology, &query, 20).expect("query")))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("distributed_query_plus_fetch");
+    for methodology in Methodology::ALL {
+        group.bench_function(methodology.to_string(), |b| {
+            b.iter(|| {
+                let hits = system.query(methodology, &query, 20).expect("query");
+                black_box(system.fetch(&hits, false).expect("fetch"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_setup_costs(c: &mut Criterion) {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(5));
+    let parts = corpus_parts(&corpus);
+    let mut group = c.benchmark_group("system_setup");
+    group.sample_size(10);
+    group.bench_function("build_with_cv_and_ci", |b| {
+        b.iter(|| {
+            black_box(
+                DistributedCollection::build_with(
+                    &parts,
+                    Analyzer::default(),
+                    CiParams {
+                        group_size: 10,
+                        k_prime: 10,
+                    },
+                )
+                .expect("build"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_methodologies, bench_setup_costs);
+criterion_main!(benches);

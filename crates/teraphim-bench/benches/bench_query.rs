@@ -1,0 +1,70 @@
+//! Mono-server ranked query latency (the MS baseline's real cost), for
+//! short and long queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teraphim_corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim_engine::Collection;
+use teraphim_text::sgml::TrecDoc;
+use teraphim_text::Analyzer;
+
+fn setup() -> (SyntheticCorpus, Collection) {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(5));
+    let all: Vec<TrecDoc> = corpus
+        .subcollections()
+        .iter()
+        .flat_map(|s| s.docs.iter().cloned())
+        .collect();
+    let collection = Collection::build("MS", Analyzer::default(), &all);
+    (corpus, collection)
+}
+
+fn bench_ranked_queries(c: &mut Criterion) {
+    let (corpus, collection) = setup();
+    let short = corpus.short_queries()[0].text.clone();
+    let long = corpus.long_queries()[0].text.clone();
+
+    let mut group = c.benchmark_group("ms_ranked_query");
+    group.bench_function("short_k20", |b| {
+        b.iter(|| black_box(collection.ranked_query(&short, 20)))
+    });
+    group.bench_function("short_k1000", |b| {
+        b.iter(|| black_box(collection.ranked_query(&short, 1000)))
+    });
+    group.bench_function("long_k20", |b| {
+        b.iter(|| black_box(collection.ranked_query(&long, 20)))
+    });
+    group.finish();
+}
+
+fn bench_boolean_queries(c: &mut Criterion) {
+    let (_corpus, collection) = setup();
+    // Use two terms that actually occur.
+    let vocab = collection.index().vocab();
+    let (t1, t2) = {
+        let mut terms = vocab.iter().map(|(_, t)| t.to_owned());
+        (
+            terms.next().expect("vocab non-empty"),
+            terms.next().expect("vocab has two terms"),
+        )
+    };
+    let query = format!("{t1} AND ({t2} OR {t1})");
+    c.bench_function("boolean_query", |b| {
+        b.iter(|| black_box(collection.boolean_query(&query).expect("parses")))
+    });
+}
+
+fn bench_fetch(c: &mut Criterion) {
+    let (_corpus, collection) = setup();
+    c.bench_function("fetch_decompress_doc", |b| {
+        b.iter(|| black_box(collection.fetch(0).expect("doc exists")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_ranked_queries,
+    bench_boolean_queries,
+    bench_fetch
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Candidate scoring with and without self-indexing skips — the real
+//! CPU-time counterpart of the `skipping` table binary's decode counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teraphim_corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim_engine::ranking::local_weights;
+use teraphim_engine::{candidates, Collection};
+use teraphim_index::DocId;
+use teraphim_text::sgml::TrecDoc;
+use teraphim_text::Analyzer;
+
+fn bench_candidate_scoring(c: &mut Criterion) {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(5));
+    let all: Vec<TrecDoc> = corpus
+        .subcollections()
+        .iter()
+        .flat_map(|s| s.docs.iter().cloned())
+        .collect();
+    let mut collection = Collection::build("MS", Analyzer::default(), &all);
+    let query = &corpus.short_queries()[0].text;
+    let pairs = collection.analyze_query(query);
+    let weighted = local_weights(collection.index(), &pairs);
+    let n = collection.num_docs() as DocId;
+
+    // Pre-build skip tables outside the timed region.
+    collection.index_mut().build_skips(32);
+
+    for (label, stride) in [
+        ("sparse_20_candidates", (n / 20).max(1)),
+        ("dense_all_docs", 1),
+    ] {
+        let cands: Vec<DocId> = (0..n).step_by(stride as usize).collect();
+        let mut group = c.benchmark_group(format!("candidate_scoring/{label}"));
+        group.bench_function("full_scan", |b| {
+            b.iter(|| {
+                black_box(
+                    candidates::score_candidates_full_scan(collection.index(), &weighted, &cands)
+                        .expect("scoring"),
+                )
+            })
+        });
+        group.bench_function("skipping", |b| {
+            b.iter(|| {
+                black_box(
+                    candidates::score_candidates(collection.index_mut(), &weighted, &cands)
+                        .expect("scoring"),
+                )
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_candidate_scoring);
+criterion_main!(benches);

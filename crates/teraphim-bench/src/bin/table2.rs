@@ -1,0 +1,47 @@
+//! Reproduces **Table 2**: WAN connectivity — network hops and average
+//! round-trip ping time per remote site, plus the simulated ping of the
+//! WAN topology preset (which must match, since the preset is built from
+//! the paper's measurements).
+//!
+//! ```sh
+//! cargo run --release -p teraphim-bench --bin table2
+//! ```
+
+use teraphim_bench::TextTable;
+use teraphim_simnet::{CostModel, SimNetwork, Topology};
+
+fn main() {
+    let topo = Topology::wan_table2_order();
+    let net = SimNetwork::new(&topo, CostModel::default());
+
+    println!("Table 2 reproduction — network communication costs\n");
+    let mut table = TextTable::new([
+        "Location",
+        "Hops from Melbourne",
+        "Paper ping (s)",
+        "Simulated ping (s)",
+    ]);
+    for (i, (site, hops, ping)) in Topology::table2_sites().iter().enumerate() {
+        table.row([
+            (*site).to_string(),
+            hops.to_string(),
+            format!("{ping:.2}"),
+            format!("{:.2}", net.ping(i)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "The WAN preset drives the Table 3/4 simulations; its per-site RTTs \
+         are taken directly from the paper's measurements, so the simulated \
+         ping column must equal the paper column exactly."
+    );
+
+    // Sanity: the paper's observation that Israel (28 hops, transiting
+    // the US) is the costliest link.
+    let worst = Topology::table2_sites()
+        .iter()
+        .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
+        .expect("non-empty")
+        .0;
+    println!("\nslowest site: {worst} (dominates WAN response, as in §4)");
+}

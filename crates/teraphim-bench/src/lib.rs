@@ -1,0 +1,190 @@
+//! Shared harness code for the table-reproduction binaries and
+//! criterion benches.
+//!
+//! Every table and in-text figure of the paper's evaluation has a binary
+//! in `src/bin/` (see DESIGN.md §4 for the index):
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `table1` | Table 1 — retrieval effectiveness |
+//! | `table2` | Table 2 — WAN connectivity / ping times |
+//! | `table3` | Table 3 — elapsed time, index processing only |
+//! | `table4` | Table 4 — elapsed time including document fetch |
+//! | `split43` | §4 in-text — the 43-subcollection experiment |
+//! | `index_sizes` | §4/§5 in-text — vocabulary/index sizes, group-size sweep |
+//! | `skipping` | §4 in-text — skipping's ≥2× CPU reduction |
+//! | `compression_report` | §2 in-text — compressed index ≤ ~10% of text |
+//!
+//! Binaries accept `--small` (fast corpus, for smoke runs) and
+//! `--seed N`. The full corpus is [`CorpusSpec::trec_like`].
+
+use teraphim_corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim_text::sgml::TrecDoc;
+
+/// Command-line options shared by the table binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOptions {
+    /// Use the small corpus preset (fast; for smoke testing).
+    pub small: bool,
+    /// Generation seed.
+    pub seed: u64,
+    /// Extra flags not consumed by the shared parser.
+    pub rest: Vec<String>,
+}
+
+impl HarnessOptions {
+    /// Parses `std::env::args`, accepting `--small` and `--seed N`.
+    pub fn from_args() -> HarnessOptions {
+        let mut small = false;
+        let mut seed = 1998; // the paper's year, for determinism with character
+        let mut rest = Vec::new();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--small" => small = true,
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| panic!("--seed requires an integer"));
+                }
+                other => rest.push(other.to_owned()),
+            }
+        }
+        HarnessOptions { small, seed, rest }
+    }
+
+    /// True if `flag` appeared among the unparsed arguments.
+    pub fn has_flag(&self, flag: &str) -> bool {
+        self.rest.iter().any(|a| a == flag)
+    }
+
+    /// The corpus specification these options select.
+    pub fn spec(&self) -> CorpusSpec {
+        if self.small {
+            CorpusSpec::small(self.seed)
+        } else {
+            CorpusSpec::trec_like(self.seed)
+        }
+    }
+
+    /// Generates the corpus.
+    pub fn corpus(&self) -> SyntheticCorpus {
+        SyntheticCorpus::generate(&self.spec())
+    }
+}
+
+/// Borrowed `(name, docs)` views over a corpus's subcollections.
+pub fn corpus_parts(corpus: &SyntheticCorpus) -> Vec<(&str, &[TrecDoc])> {
+    corpus
+        .subcollections()
+        .iter()
+        .map(|s| (s.name.as_str(), s.docs.as_slice()))
+        .collect()
+}
+
+/// A fixed-width text table with a markdown-ish rendering, for printing
+/// reproduction results next to the paper's numbers.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Right-align all but the first column.
+                if i == 0 {
+                    line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                } else {
+                    line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(["mode", "value"]);
+        t.row(["CN", "1.11"]);
+        t.row(["CV-long-name", "0.9"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("mode"));
+        assert!(lines[2].starts_with("CN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn wrong_arity_panics() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn corpus_parts_match_subcollections() {
+        let corpus = SyntheticCorpus::generate(&CorpusSpec::small(1));
+        let parts = corpus_parts(&corpus);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0].0, "AP");
+        assert_eq!(parts[0].1.len(), corpus.subcollections()[0].docs.len());
+    }
+
+    #[test]
+    fn options_default_to_full_corpus() {
+        let opts = HarnessOptions {
+            small: false,
+            seed: 3,
+            rest: vec!["--bundle-all".into()],
+        };
+        assert!(!opts.spec().subcollections.is_empty());
+        assert!(opts.has_flag("--bundle-all"));
+        assert!(!opts.has_flag("--other"));
+    }
+}

@@ -1,0 +1,51 @@
+//! `teraphim add` — append documents to an existing collection file.
+//!
+//! The update path the paper motivates: librarians are updated locally
+//! and independently; no receptionist or global rebuild is involved.
+
+use crate::args::Args;
+use crate::commands::{load_collection, outln};
+use teraphim_text::sgml::parse_trec;
+
+const HELP: &str = "\
+usage: teraphim add --index FILE.tcol --input DELTA.sgml
+
+indexes the documents in DELTA.sgml into the existing collection (delta
+index merge; old documents are not touched) and rewrites the file";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad arguments, parse or I/O failure.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["help"])?;
+    if args.flag("help") {
+        outln!("{HELP}");
+        return Ok(());
+    }
+    let index_path = args.require("index")?;
+    let input = args.require("input")?;
+    let mut collection = load_collection(index_path)?;
+    let before = collection.num_docs();
+
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let docs = parse_trec(&text).map_err(|e| format!("cannot parse {input}: {e}"))?;
+    if docs.is_empty() {
+        return Err(format!("{input} contains no <DOC> elements"));
+    }
+    collection
+        .append_documents(&docs)
+        .map_err(|e| format!("append failed: {e}"))?;
+    collection
+        .save(std::path::Path::new(index_path))
+        .map_err(|e| format!("cannot rewrite {index_path}: {e}"))?;
+    outln!(
+        "appended {} documents ({} -> {}); index now {} KB",
+        docs.len(),
+        before,
+        collection.num_docs(),
+        collection.index().index_bytes() / 1024
+    );
+    Ok(())
+}

@@ -1,0 +1,116 @@
+//! `teraphim eval` — retrieval-effectiveness evaluation against live
+//! librarian servers (or a single collection file).
+
+use crate::args::Args;
+use crate::commands::{load_collection, outln};
+use teraphim_core::{CiParams, Methodology, Receptionist};
+use teraphim_eval::{Judgments, QueryEval, SetEval};
+use teraphim_net::tcp::TcpTransport;
+use teraphim_text::Analyzer;
+
+const HELP: &str = "\
+usage: teraphim eval --queries FILE.tsv --qrels FILE
+                     (--servers ADDR[,ADDR...] [--methodology cn|cv|ci]
+                      | --index FILE.tcol)
+                     [--k N]
+
+FILE.tsv holds one `id<TAB>query text` per line (the gen-corpus output);
+qrels is TREC format. Prints 11-pt average, relevant-in-top-20 and MAP.
+With --servers this is a distributed evaluation through a receptionist;
+with --index it evaluates the mono-server baseline";
+
+fn parse_queries(path: &str) -> Result<Vec<(u32, String)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut queries = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (id, q) = line
+            .split_once('\t')
+            .ok_or_else(|| format!("{path}:{}: expected `id<TAB>query`", lineno + 1))?;
+        let id = id
+            .trim()
+            .parse()
+            .map_err(|_| format!("{path}:{}: bad query id {id:?}", lineno + 1))?;
+        queries.push((id, q.to_owned()));
+    }
+    if queries.is_empty() {
+        return Err(format!("{path} contains no queries"));
+    }
+    Ok(queries)
+}
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad arguments or I/O failure.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["help"])?;
+    if args.flag("help") {
+        outln!("{HELP}");
+        return Ok(());
+    }
+    let queries = parse_queries(args.require("queries")?)?;
+    let qrels_path = args.require("qrels")?;
+    let qrels = std::fs::read_to_string(qrels_path)
+        .map_err(|e| format!("cannot read {qrels_path}: {e}"))?;
+    let judgments = Judgments::from_qrels(&qrels);
+    let k = args.get_parsed("k", 1000usize)?;
+
+    let evals: Vec<QueryEval> = if let Some(servers) = args.get("servers") {
+        let methodology = match args.get("methodology").unwrap_or("cv") {
+            "cn" => Methodology::CentralNothing,
+            "cv" => Methodology::CentralVocabulary,
+            "ci" => Methodology::CentralIndex,
+            other => return Err(format!("unknown methodology {other:?}")),
+        };
+        let transports = servers
+            .split(',')
+            .map(|addr| {
+                TcpTransport::connect(addr.trim())
+                    .map_err(|e| format!("cannot connect {addr}: {e}"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let mut receptionist = Receptionist::new(transports, Analyzer::default());
+        match methodology {
+            Methodology::CentralNothing => {}
+            Methodology::CentralVocabulary => receptionist
+                .enable_cv()
+                .map_err(|e| format!("CV preprocessing failed: {e}"))?,
+            Methodology::CentralIndex => receptionist
+                .enable_ci(CiParams::default())
+                .map_err(|e| format!("CI preprocessing failed: {e}"))?,
+        }
+        queries
+            .iter()
+            .map(|(id, q)| {
+                let ranking = receptionist
+                    .ranked_docnos(methodology, q, k)
+                    .map_err(|e| format!("query {id} failed: {e}"))?;
+                Ok(QueryEval::evaluate(&judgments, *id, &ranking))
+            })
+            .collect::<Result<Vec<_>, String>>()?
+    } else {
+        let collection = load_collection(args.require("index")?)?;
+        queries
+            .iter()
+            .map(|(id, q)| {
+                let hits = collection.ranked_query(q, k);
+                let docnos: Vec<String> = hits
+                    .iter()
+                    .map(|h| collection.docno(h.doc).to_owned())
+                    .collect();
+                QueryEval::evaluate(&judgments, *id, &docnos)
+            })
+            .collect()
+    };
+
+    let set = SetEval::from_evals(&evals);
+    outln!("queries evaluated: {} (of {} supplied)", set.queries, queries.len());
+    outln!("11-pt average:     {:.2}%", set.eleven_point_pct);
+    outln!("relevant in top 20: {:.2}", set.relevant_in_top_20);
+    outln!("MAP:               {:.4}", set.map);
+    Ok(())
+}

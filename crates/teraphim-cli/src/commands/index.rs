@@ -1,0 +1,50 @@
+//! `teraphim index` — build a `.tcol` collection file from TREC SGML.
+
+use crate::args::Args;
+use teraphim_engine::Collection;
+use teraphim_text::sgml::parse_trec;
+use teraphim_text::Analyzer;
+
+const HELP: &str = "\
+usage: teraphim index --name NAME --input FILE.sgml --output FILE.tcol
+                      [--no-stop] [--no-stem]
+
+parses a TREC-format SGML file, builds the compressed inverted index and
+document store, and writes a self-contained collection file";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad arguments, parse or I/O failure.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["no-stop", "no-stem", "help"])?;
+    if args.flag("help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let name = args.require("name")?;
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let docs = parse_trec(&text).map_err(|e| format!("cannot parse {input}: {e}"))?;
+    if docs.is_empty() {
+        return Err(format!("{input} contains no <DOC> elements"));
+    }
+    let analyzer = Analyzer::new()
+        .with_stopping(!args.flag("no-stop"))
+        .with_stemming(!args.flag("no-stem"));
+    let collection = Collection::build(name, analyzer, &docs);
+    collection
+        .save(std::path::Path::new(output))
+        .map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!(
+        "indexed {} documents into {output}: {} KB index, {} KB documents (from {} KB of text)",
+        collection.num_docs(),
+        collection.index().index_bytes() / 1024,
+        collection.store().compressed_bytes_total() / 1024,
+        collection.store().raw_bytes_total() / 1024,
+    );
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! CLI subcommands.
+
+pub mod add;
+pub mod boolean;
+pub mod eval;
+pub mod fetch;
+pub mod gen_corpus;
+pub mod index;
+pub mod query;
+pub mod search;
+pub mod serve;
+
+use std::io::Write;
+use teraphim_engine::Collection;
+
+/// Loads a `.tcol` collection file or produces a helpful error.
+pub(crate) fn load_collection(path: &str) -> Result<Collection, String> {
+    Collection::load(std::path::Path::new(path))
+        .map_err(|e| format!("cannot load collection {path}: {e}"))
+}
+
+/// Prints a line to stdout, treating a closed pipe (`teraphim ... | head`)
+/// as success and other I/O errors as failures.
+pub(crate) fn emit(line: std::fmt::Arguments<'_>) -> Result<(), String> {
+    let mut out = std::io::stdout().lock();
+    match writeln!(out, "{line}") {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => std::process::exit(0),
+        Err(e) => Err(format!("cannot write to stdout: {e}")),
+    }
+}
+
+/// `println!` that survives closed pipes.
+macro_rules! outln {
+    ($($arg:tt)*) => {
+        crate::commands::emit(format_args!($($arg)*))?
+    };
+}
+pub(crate) use outln;

@@ -1,0 +1,93 @@
+//! `teraphim search` — a receptionist over TCP librarian servers.
+
+use crate::args::Args;
+use teraphim_core::{CiParams, Methodology, Receptionist};
+use teraphim_net::tcp::TcpTransport;
+use teraphim_text::Analyzer;
+
+const HELP: &str = "\
+usage: teraphim search --servers ADDR[,ADDR...] --query TEXT
+                       [--methodology cn|cv|ci] [--k N]
+                       [--group-size G] [--k-prime N] [--fetch]
+
+connects to the given librarian servers and evaluates TEXT under the
+chosen methodology (default cv). --fetch also retrieves the documents";
+
+/// Runs the subcommand.
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad arguments or connection failure.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["fetch", "help"])?;
+    if args.flag("help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let servers = args.require("servers")?;
+    let query = args.require("query")?;
+    let k = args.get_parsed("k", 10usize)?;
+    let methodology = match args.get("methodology").unwrap_or("cv") {
+        "cn" => Methodology::CentralNothing,
+        "cv" => Methodology::CentralVocabulary,
+        "ci" => Methodology::CentralIndex,
+        other => return Err(format!("unknown methodology {other:?} (use cn, cv or ci)")),
+    };
+
+    let transports = servers
+        .split(',')
+        .map(|addr| {
+            TcpTransport::connect(addr.trim()).map_err(|e| format!("cannot connect {addr}: {e}"))
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let mut receptionist = Receptionist::new(transports, Analyzer::default());
+
+    match methodology {
+        Methodology::CentralNothing => {}
+        Methodology::CentralVocabulary => receptionist
+            .enable_cv()
+            .map_err(|e| format!("CV preprocessing failed: {e}"))?,
+        Methodology::CentralIndex => receptionist
+            .enable_ci(CiParams {
+                group_size: args.get_parsed("group-size", 10u32)?,
+                k_prime: args.get_parsed("k-prime", 100usize)?,
+            })
+            .map_err(|e| format!("CI preprocessing failed: {e}"))?,
+    }
+
+    let start = std::time::Instant::now();
+    let hits = receptionist
+        .query(methodology, query, k)
+        .map_err(|e| format!("query failed: {e}"))?;
+    let docnos = receptionist
+        .headers(&hits)
+        .map_err(|e| format!("header fetch failed: {e}"))?;
+    let elapsed = start.elapsed();
+
+    println!("{methodology}: {} hits in {elapsed:?}", hits.len());
+    for (rank, (hit, docno)) in hits.iter().zip(&docnos).enumerate() {
+        println!(
+            "{:>3}  {:<20} {:.6}  (librarian {})",
+            rank + 1,
+            docno,
+            hit.score,
+            hit.librarian
+        );
+    }
+    if args.flag("fetch") {
+        let docs = receptionist
+            .fetch(&hits, true)
+            .map_err(|e| format!("document fetch failed: {e}"))?;
+        for doc in &docs {
+            println!("\n--- {} ---", doc.docno);
+            println!("{}", doc.text.as_deref().unwrap_or(""));
+        }
+    }
+    let traffic = receptionist.traffic();
+    println!(
+        "\nwire traffic: {} round trips, {} bytes",
+        traffic.round_trips,
+        traffic.total_bytes()
+    );
+    Ok(())
+}

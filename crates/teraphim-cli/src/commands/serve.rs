@@ -1,0 +1,43 @@
+//! `teraphim serve` — expose a collection as a librarian over TCP.
+
+use crate::args::Args;
+use teraphim_core::Librarian;
+use teraphim_engine::Collection;
+use teraphim_net::tcp::TcpServer;
+
+const HELP: &str = "\
+usage: teraphim serve --index FILE.tcol [--addr 127.0.0.1:7070]
+
+serves the collection as a TERAPHIM librarian; receptionists connect
+with `teraphim search --servers ...`. Runs until interrupted";
+
+/// Runs the subcommand (blocks until the process is interrupted).
+///
+/// # Errors
+///
+/// Returns a user-facing message on bad arguments, load or bind failure.
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &["help"])?;
+    if args.flag("help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let path = args.require("index")?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7070");
+    let collection = Collection::load(std::path::Path::new(path))
+        .map_err(|e| format!("cannot load collection {path}: {e}"))?;
+    let name = collection.name().to_owned();
+    let num_docs = collection.num_docs();
+    let librarian = Librarian::from_collection(collection);
+    let server =
+        TcpServer::spawn(librarian, addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "librarian {name} ({num_docs} documents) listening on {}",
+        server.addr()
+    );
+    println!("press Ctrl-C to stop");
+    // Block forever; the accept loop runs in its own thread.
+    loop {
+        std::thread::park();
+    }
+}

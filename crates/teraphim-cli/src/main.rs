@@ -1,0 +1,69 @@
+//! `teraphim` — the TERAPHIM command line.
+//!
+//! ```text
+//! teraphim gen-corpus --outdir corpus/ [--small] [--seed N]
+//! teraphim index --name AP --input corpus/AP.sgml --output ap.tcol
+//! teraphim query --index ap.tcol --query "distributed retrieval" [-k 10]
+//! teraphim boolean --index ap.tcol --expr "cat AND (dog OR bird)"
+//! teraphim fetch --index ap.tcol --docno AP-000001
+//! teraphim serve --index ap.tcol --addr 127.0.0.1:7070
+//! teraphim search --servers 127.0.0.1:7070,127.0.0.1:7071 \
+//!                 --methodology cv --query "..." [-k 10]
+//! ```
+//!
+//! `index` builds a self-contained `.tcol` collection file (compressed
+//! inverted index + compressed document store); `serve` exposes it as a
+//! librarian over TCP; `search` is a receptionist over any set of
+//! librarian servers, supporting the paper's CN/CV/CI methodologies.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: teraphim <command> [options]
+
+commands:
+  gen-corpus   generate the synthetic TREC-like corpus as SGML files
+  index        build a collection file from a TREC SGML file
+  add          append documents to an existing collection file
+  query        run a ranked query against a collection file
+  boolean      run a Boolean query against a collection file
+  fetch        fetch one document by its identifier
+  eval         evaluate effectiveness against queries and qrels
+  serve        serve a collection as a librarian over TCP
+  search       distributed search across librarian servers
+
+run `teraphim <command> --help` for per-command options";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "gen-corpus" => commands::gen_corpus::run(rest),
+        "index" => commands::index::run(rest),
+        "add" => commands::add::run(rest),
+        "query" => commands::query::run(rest),
+        "boolean" => commands::boolean::run(rest),
+        "fetch" => commands::fetch::run(rest),
+        "eval" => commands::eval::run(rest),
+        "serve" => commands::serve::run(rest),
+        "search" => commands::search::run(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The librarian: an independent mono-server engine that answers the
+//! TERAPHIM protocol.
+//!
+//! "Each is responsible for some component of the collection, for which
+//! it maintains an index, evaluates queries, and fetches documents"
+//! (§3). A librarian never consults central information: rank requests
+//! either carry explicit weights (CV/CI) or are answered with purely
+//! local statistics (CN). This is the transparency property the paper
+//! requires — any subcollection can serve several receptionists at once.
+
+use teraphim_engine::{ranking, Collection};
+use teraphim_net::{Message, Service};
+use teraphim_text::sgml::TrecDoc;
+use teraphim_text::Analyzer;
+
+/// A librarian serving one subcollection.
+#[derive(Debug)]
+pub struct Librarian {
+    collection: Collection,
+}
+
+impl Librarian {
+    /// Builds a librarian over parsed documents.
+    pub fn build(name: &str, analyzer: Analyzer, docs: &[TrecDoc]) -> Self {
+        Librarian {
+            collection: Collection::build(name, analyzer, docs),
+        }
+    }
+
+    /// Builds a librarian from `(docno, text)` pairs with the default
+    /// analyzer.
+    pub fn from_texts(name: &str, docs: &[(&str, &str)]) -> Self {
+        Librarian {
+            collection: Collection::from_texts(name, docs),
+        }
+    }
+
+    /// Wraps an existing collection (e.g. one loaded from disk).
+    pub fn from_collection(collection: Collection) -> Self {
+        Librarian { collection }
+    }
+
+    /// The underlying collection.
+    pub fn collection(&self) -> &Collection {
+        &self.collection
+    }
+
+    /// Mutable access (e.g. to pre-build skip tables).
+    pub fn collection_mut(&mut self) -> &mut Collection {
+        &mut self.collection
+    }
+
+    /// Collection name.
+    pub fn name(&self) -> &str {
+        self.collection.name()
+    }
+
+    /// Number of documents managed.
+    pub fn num_docs(&self) -> u64 {
+        self.collection.num_docs()
+    }
+
+    fn handle_inner(&mut self, request: Message) -> Message {
+        match request {
+            Message::StatsRequest => {
+                let index = self.collection.index();
+                let term_freqs = index
+                    .vocab()
+                    .iter()
+                    .map(|(id, term)| (term.to_owned(), index.stats().doc_freq(id)))
+                    .collect();
+                Message::StatsResponse {
+                    num_docs: index.stats().num_docs(),
+                    term_freqs,
+                }
+            }
+            Message::IndexRequest => Message::IndexResponse {
+                index_bytes: self.collection.index().to_bytes(),
+            },
+            Message::RankRequest { query_id, k, terms } => {
+                // Central Nothing: local statistics. Query terms arrive as
+                // strings with their f_qt; unknown terms contribute
+                // nothing.
+                let index = self.collection.index();
+                let pairs: Vec<(teraphim_index::TermId, u32)> = terms
+                    .iter()
+                    .filter_map(|(t, f)| index.vocab().term_id(t).map(|id| (id, *f)))
+                    .collect();
+                let weighted = ranking::local_weights(index, &pairs);
+                let hits = ranking::rank(index, &weighted, k as usize);
+                Message::RankResponse {
+                    query_id,
+                    entries: hits.into_iter().map(|h| (h.doc, h.score)).collect(),
+                }
+            }
+            Message::RankWeightedRequest { query_id, k, terms } => {
+                // Central Vocabulary: the receptionist supplies global
+                // weights, so scores are identical to a mono-server run.
+                let hits = self.collection.ranked_query_weighted(&terms, k as usize);
+                Message::RankResponse {
+                    query_id,
+                    entries: hits.into_iter().map(|h| (h.doc, h.score)).collect(),
+                }
+            }
+            Message::ScoreCandidatesRequest {
+                query_id,
+                terms,
+                candidates,
+            } => match self.collection.score_candidates(&terms, &candidates) {
+                Ok((scores, postings_decoded)) => Message::ScoreResponse {
+                    query_id,
+                    entries: scores.into_iter().map(|s| (s.doc, s.score)).collect(),
+                    postings_decoded,
+                },
+                Err(e) => Message::Error {
+                    message: format!("candidate scoring failed: {e}"),
+                },
+            },
+            Message::FetchDocsRequest {
+                query_id,
+                docs,
+                plain,
+            } => {
+                let mut out = Vec::with_capacity(docs.len());
+                for doc in docs {
+                    let docno = match self.collection.store().docno_checked(doc) {
+                        Some(d) => d.to_owned(),
+                        None => {
+                            return Message::Error {
+                                message: format!("unknown document id {doc}"),
+                            }
+                        }
+                    };
+                    let bytes = if plain {
+                        match self.collection.fetch(doc) {
+                            Ok(text) => text.into_bytes(),
+                            Err(e) => {
+                                return Message::Error {
+                                    message: format!("fetch failed: {e}"),
+                                }
+                            }
+                        }
+                    } else {
+                        match self.collection.store().compressed_bytes(doc) {
+                            Ok(b) => b.to_vec(),
+                            Err(e) => {
+                                return Message::Error {
+                                    message: format!("fetch failed: {e}"),
+                                }
+                            }
+                        }
+                    };
+                    out.push((doc, docno, bytes));
+                }
+                Message::DocsResponse {
+                    query_id,
+                    docs: out,
+                }
+            }
+            Message::FetchHeadersRequest { query_id, docs } => {
+                let mut headers = Vec::with_capacity(docs.len());
+                for doc in docs {
+                    match self.collection.store().docno_checked(doc) {
+                        Some(d) => headers.push((doc, d.to_owned())),
+                        None => {
+                            return Message::Error {
+                                message: format!("unknown document id {doc}"),
+                            }
+                        }
+                    }
+                }
+                Message::HeadersResponse { query_id, headers }
+            }
+            Message::BooleanRequest { query_id, expr } => {
+                match self.collection.boolean_query(&expr) {
+                    Ok(docs) => Message::BooleanResponse { query_id, docs },
+                    Err(e) => Message::Error {
+                        message: format!("boolean query failed: {e}"),
+                    },
+                }
+            }
+            // Requests only a receptionist should ever receive.
+            Message::StatsResponse { .. }
+            | Message::IndexResponse { .. }
+            | Message::RankResponse { .. }
+            | Message::ScoreResponse { .. }
+            | Message::DocsResponse { .. }
+            | Message::HeadersResponse { .. }
+            | Message::BooleanResponse { .. }
+            | Message::Error { .. } => Message::Error {
+                message: "librarian received a response message".into(),
+            },
+        }
+    }
+}
+
+impl Service for Librarian {
+    fn handle(&mut self, request: Message) -> Message {
+        self.handle_inner(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teraphim_net::{InProcTransport, Transport};
+
+    fn librarian() -> Librarian {
+        Librarian::from_texts(
+            "TEST",
+            &[
+                ("T-1", "the cat sat on the mat"),
+                ("T-2", "dogs and cats and birds"),
+                ("T-3", "compression of inverted files"),
+            ],
+        )
+    }
+
+    #[test]
+    fn stats_request_returns_vocabulary() {
+        let mut lib = librarian();
+        let resp = lib.handle(Message::StatsRequest);
+        match resp {
+            Message::StatsResponse {
+                num_docs,
+                term_freqs,
+            } => {
+                assert_eq!(num_docs, 3);
+                let cat = term_freqs.iter().find(|(t, _)| t == "cat").unwrap();
+                assert_eq!(cat.1, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_request_roundtrips_through_serialization() {
+        let mut lib = librarian();
+        let resp = lib.handle(Message::IndexRequest);
+        match resp {
+            Message::IndexResponse { index_bytes } => {
+                let index = teraphim_index::InvertedIndex::from_bytes(&index_bytes).unwrap();
+                assert_eq!(index.num_docs(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rank_request_uses_local_statistics() {
+        let mut lib = librarian();
+        let resp = lib.handle(Message::RankRequest {
+            query_id: 1,
+            k: 10,
+            terms: vec![("cat".into(), 1)],
+        });
+        match resp {
+            Message::RankResponse { query_id, entries } => {
+                assert_eq!(query_id, 1);
+                assert_eq!(entries.len(), 2);
+                // Scores strictly ordered.
+                assert!(entries[0].1 >= entries[1].1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn weighted_rank_matches_engine() {
+        let mut lib = librarian();
+        let expected = lib
+            .collection()
+            .ranked_query_weighted(&[("compression".into(), 2.0)], 5);
+        let resp = lib.handle(Message::RankWeightedRequest {
+            query_id: 2,
+            k: 5,
+            terms: vec![("compression".into(), 2.0)],
+        });
+        match resp {
+            Message::RankResponse { entries, .. } => {
+                assert_eq!(entries.len(), expected.len());
+                for (e, x) in entries.iter().zip(&expected) {
+                    assert_eq!(e.0, x.doc);
+                    assert!((e.1 - x.score).abs() < 1e-12);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fetch_docs_plain_and_compressed() {
+        let mut lib = librarian();
+        let plain = lib.handle(Message::FetchDocsRequest {
+            query_id: 3,
+            docs: vec![0],
+            plain: true,
+        });
+        let Message::DocsResponse {
+            docs: plain_docs, ..
+        } = plain
+        else {
+            panic!("bad response");
+        };
+        assert_eq!(plain_docs[0].1, "T-1");
+        assert_eq!(
+            String::from_utf8(plain_docs[0].2.clone()).unwrap(),
+            "the cat sat on the mat"
+        );
+        let compressed = lib.handle(Message::FetchDocsRequest {
+            query_id: 3,
+            docs: vec![0],
+            plain: false,
+        });
+        let Message::DocsResponse {
+            docs: comp_docs, ..
+        } = compressed
+        else {
+            panic!("bad response");
+        };
+        assert!(comp_docs[0].2.len() < plain_docs[0].2.len());
+    }
+
+    #[test]
+    fn fetch_headers() {
+        let mut lib = librarian();
+        let resp = lib.handle(Message::FetchHeadersRequest {
+            query_id: 4,
+            docs: vec![2, 0],
+        });
+        assert_eq!(
+            resp,
+            Message::HeadersResponse {
+                query_id: 4,
+                headers: vec![(2, "T-3".into()), (0, "T-1".into())],
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_documents_are_errors() {
+        let mut lib = librarian();
+        let resp = lib.handle(Message::FetchDocsRequest {
+            query_id: 5,
+            docs: vec![99],
+            plain: true,
+        });
+        assert!(matches!(resp, Message::Error { .. }));
+    }
+
+    #[test]
+    fn response_messages_are_rejected() {
+        let mut lib = librarian();
+        let resp = lib.handle(Message::RankResponse {
+            query_id: 1,
+            entries: vec![],
+        });
+        assert!(matches!(resp, Message::Error { .. }));
+    }
+
+    #[test]
+    fn works_through_a_transport() {
+        let mut t = InProcTransport::new(librarian());
+        let resp = t
+            .request(&Message::RankRequest {
+                query_id: 7,
+                k: 1,
+                terms: vec![("cat".into(), 1)],
+            })
+            .unwrap();
+        assert!(matches!(resp, Message::RankResponse { .. }));
+        assert!(t.stats().total_bytes() > 0);
+    }
+
+    #[test]
+    fn score_candidates_round_trip() {
+        let mut lib = librarian();
+        let resp = lib.handle(Message::ScoreCandidatesRequest {
+            query_id: 8,
+            terms: vec![("cat".into(), 1.0)],
+            candidates: vec![0, 1, 2],
+        });
+        match resp {
+            Message::ScoreResponse { entries, .. } => {
+                assert_eq!(entries.len(), 3);
+                assert!(entries[0].1 > 0.0); // T-1 contains cat
+                assert_eq!(entries[2].1, 0.0); // T-3 does not
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

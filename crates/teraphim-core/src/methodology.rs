@@ -1,0 +1,101 @@
+//! Methodology selection and parameters.
+
+use std::fmt;
+
+/// Parameters of the Central Index methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CiParams {
+    /// Group size `G` (the paper uses 10, from its earlier grouping
+    /// study).
+    pub group_size: u32,
+    /// Number of groups `k'` expanded into candidates. The paper
+    /// requires `k' ≥ k / G`; its experiments use 100 and 1000.
+    pub k_prime: usize,
+}
+
+impl Default for CiParams {
+    fn default() -> Self {
+        CiParams {
+            group_size: 10,
+            k_prime: 100,
+        }
+    }
+}
+
+impl CiParams {
+    /// Validates `k' ≥ k / G` for a requested ranking depth `k`.
+    pub fn valid_for(&self, k: usize) -> bool {
+        self.k_prime * self.group_size as usize >= k
+    }
+}
+
+/// The three federated methodologies of §3 (the mono-server baseline is
+/// `teraphim_engine::Collection` used directly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Methodology {
+    /// The receptionist holds only a list of librarians; librarians rank
+    /// with local statistics and the receptionist merges at face value.
+    CentralNothing,
+    /// The receptionist holds the merged vocabularies and ships global
+    /// term weights; librarian scores are identical to a mono-server
+    /// system.
+    CentralVocabulary,
+    /// The receptionist holds a grouped central index, ranks groups,
+    /// and asks librarians to score only the expanded candidates.
+    CentralIndex,
+}
+
+impl fmt::Display for Methodology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Methodology::CentralNothing => "CN",
+            Methodology::CentralVocabulary => "CV",
+            Methodology::CentralIndex => "CI",
+        };
+        write!(f, "{name}")
+    }
+}
+
+impl Methodology {
+    /// All three methodologies, in the paper's presentation order.
+    pub const ALL: [Methodology; 3] = [
+        Methodology::CentralNothing,
+        Methodology::CentralVocabulary,
+        Methodology::CentralIndex,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_abbreviations() {
+        assert_eq!(Methodology::CentralNothing.to_string(), "CN");
+        assert_eq!(Methodology::CentralVocabulary.to_string(), "CV");
+        assert_eq!(Methodology::CentralIndex.to_string(), "CI");
+    }
+
+    #[test]
+    fn default_ci_params_match_the_paper() {
+        let p = CiParams::default();
+        assert_eq!(p.group_size, 10);
+        assert_eq!(p.k_prime, 100);
+    }
+
+    #[test]
+    fn k_prime_validity() {
+        let p = CiParams {
+            group_size: 10,
+            k_prime: 100,
+        };
+        assert!(p.valid_for(20));
+        assert!(p.valid_for(1000));
+        assert!(!p.valid_for(1001));
+    }
+
+    #[test]
+    fn all_contains_three() {
+        assert_eq!(Methodology::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,850 @@
+//! The receptionist: the broker between users and librarians.
+//!
+//! Query evaluation follows the four steps of §3: (1) the user lodges a
+//! query and the receptionist passes it — with global information as the
+//! methodology allows — to the librarians; (2) each librarian determines
+//! a local ranking; (3) the receptionist waits for all responses and
+//! merges them into a collection-wide top `k`; (4) the librarians return
+//! the text of the chosen documents.
+//!
+//! The receptionist is generic over the transport, so the same logic
+//! drives in-process librarians, TCP librarians on a LAN, and the
+//! byte-accounted runs that feed the WAN simulation.
+
+use crate::methodology::{CiParams, Methodology};
+use crate::TeraphimError;
+use std::collections::HashMap;
+
+use teraphim_engine::ranking::{self, ScoredDoc};
+use teraphim_index::similarity;
+use teraphim_index::{CollectionStats, DocId, GroupedIndex, InvertedIndex, Vocabulary};
+use teraphim_net::{Message, TrafficStats, Transport};
+use teraphim_text::Analyzer;
+
+/// A merged ranking entry: which librarian owns the document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalHit {
+    /// Index of the owning librarian.
+    pub librarian: usize,
+    /// Local document id at that librarian.
+    pub doc: DocId,
+    /// Similarity score as merged.
+    pub score: f64,
+}
+
+/// A fetched answer document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FetchedDoc {
+    /// Index of the owning librarian.
+    pub librarian: usize,
+    /// Local document id.
+    pub doc: DocId,
+    /// External identifier.
+    pub docno: String,
+    /// Decompressed text when fetched `plain`; `None` when the document
+    /// travelled compressed (TERAPHIM's preferred mode — decompression
+    /// then happens at display time with the collection's model).
+    pub text: Option<String>,
+    /// Bytes that crossed the wire for this document's body.
+    pub body_bytes: usize,
+}
+
+/// Global state for the Central Vocabulary methodology.
+#[derive(Debug)]
+struct CvState {
+    vocab: Vocabulary,
+    stats: CollectionStats,
+    /// Per-librarian statistics (aligned to `vocab`) for collection
+    /// selection.
+    selection: crate::selection::SelectionState,
+}
+
+/// Global state for the Central Index methodology.
+#[derive(Debug)]
+struct CiState {
+    grouped: GroupedIndex,
+    params: CiParams,
+}
+
+/// The receptionist over a set of librarian transports.
+///
+/// # Examples
+///
+/// ```
+/// use teraphim_core::{Librarian, Methodology, Receptionist};
+/// use teraphim_net::InProcTransport;
+/// use teraphim_text::Analyzer;
+///
+/// # fn main() -> Result<(), teraphim_core::TeraphimError> {
+/// let librarians = vec![
+///     Librarian::from_texts("A", &[("A-1", "cats sleep all day")]),
+///     Librarian::from_texts("B", &[("B-1", "dogs fetch sticks")]),
+/// ];
+/// let transports = librarians.into_iter().map(InProcTransport::new).collect();
+/// let mut receptionist = Receptionist::new(transports, Analyzer::default());
+/// receptionist.enable_cv()?; // Central Vocabulary preprocessing
+/// let hits = receptionist.query(Methodology::CentralVocabulary, "cats", 5)?;
+/// assert_eq!(hits.len(), 1);
+/// assert_eq!(receptionist.headers(&hits)?, vec!["A-1".to_string()]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Receptionist<T: Transport> {
+    transports: Vec<T>,
+    analyzer: Analyzer,
+    cv: Option<CvState>,
+    ci: Option<CiState>,
+    next_query_id: u32,
+}
+
+impl<T: Transport> Receptionist<T> {
+    /// Creates a Central-Nothing-capable receptionist: all it knows is
+    /// the librarian list.
+    pub fn new(transports: Vec<T>, analyzer: Analyzer) -> Self {
+        Receptionist {
+            transports,
+            analyzer,
+            cv: None,
+            ci: None,
+            next_query_id: 0,
+        }
+    }
+
+    /// Number of librarians.
+    pub fn num_librarians(&self) -> usize {
+        self.transports.len()
+    }
+
+    /// Fetches and merges every librarian's vocabulary and statistics —
+    /// the Central Vocabulary preprocessing step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn enable_cv(&mut self) -> Result<(), TeraphimError> {
+        let mut vocab = Vocabulary::new();
+        let mut stats = CollectionStats::new();
+        let mut selection = crate::selection::SelectionState::new();
+        let mut total_docs = 0u64;
+        for transport in &mut self.transports {
+            match transport.request(&Message::StatsRequest)? {
+                Message::StatsResponse {
+                    num_docs,
+                    term_freqs,
+                } => {
+                    total_docs += num_docs;
+                    let mut local = CollectionStats::new();
+                    local.set_num_docs(num_docs);
+                    for (term, f_t) in term_freqs {
+                        let id = vocab.intern(&term);
+                        stats.add_doc_freq(id, f_t);
+                        local.add_doc_freq(id, f_t);
+                    }
+                    selection.push_librarian(local);
+                }
+                other => {
+                    return Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
+                        "unexpected response to StatsRequest: {other:?}"
+                    ))))
+                }
+            }
+        }
+        stats.set_num_docs(total_docs);
+        self.cv = Some(CvState {
+            vocab,
+            stats,
+            selection,
+        });
+        Ok(())
+    }
+
+    /// Fetches every librarian's index and builds the grouped central
+    /// index — the Central Index preprocessing step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and index-decoding failures.
+    pub fn enable_ci(&mut self, params: CiParams) -> Result<(), TeraphimError> {
+        let mut indexes = Vec::with_capacity(self.transports.len());
+        for transport in &mut self.transports {
+            match transport.request(&Message::IndexRequest)? {
+                Message::IndexResponse { index_bytes } => {
+                    indexes.push(InvertedIndex::from_bytes(&index_bytes)?);
+                }
+                other => {
+                    return Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
+                        "unexpected response to IndexRequest: {other:?}"
+                    ))))
+                }
+            }
+        }
+        let refs: Vec<&InvertedIndex> = indexes.iter().collect();
+        let grouped = GroupedIndex::build(&refs, params.group_size)?;
+        self.ci = Some(CiState { grouped, params });
+        Ok(())
+    }
+
+    /// True if Central Vocabulary state is present.
+    pub fn has_cv(&self) -> bool {
+        self.cv.is_some()
+    }
+
+    /// True if Central Index state is present.
+    pub fn has_ci(&self) -> bool {
+        self.ci.is_some()
+    }
+
+    /// Size of the merged central vocabulary in bytes (the paper's
+    /// "less than 10 Mb" figure), if CV is enabled.
+    pub fn cv_vocabulary_bytes(&self) -> Option<usize> {
+        self.cv
+            .as_ref()
+            .map(|cv| cv.vocab.serialized_len() + cv.stats.to_bytes().len())
+    }
+
+    /// Size of the grouped central index in bytes (the paper's "around
+    /// 40 Mb" figure), if CI is enabled.
+    pub fn ci_index_bytes(&self) -> Option<usize> {
+        self.ci.as_ref().map(|ci| ci.grouped.index_bytes())
+    }
+
+    /// The grouped central index, if CI is enabled.
+    pub fn ci_grouped_index(&self) -> Option<&GroupedIndex> {
+        self.ci.as_ref().map(|ci| &ci.grouped)
+    }
+
+    /// Aggregate traffic across all librarian transports.
+    pub fn traffic(&self) -> TrafficStats {
+        let mut total = TrafficStats::default();
+        for t in &self.transports {
+            total.absorb(&t.stats());
+        }
+        total
+    }
+
+    /// Analyzes query text into `(term, f_qt)` string pairs.
+    pub fn analyze_query(&self, query: &str) -> Vec<(String, u32)> {
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for term in self.analyzer.analyze(query) {
+            *counts.entry(term).or_insert(0) += 1;
+        }
+        let mut entries: Vec<(String, u32)> = counts.into_iter().collect();
+        entries.sort_unstable();
+        entries
+    }
+
+    /// Evaluates a ranked query under `methodology`, returning the
+    /// merged global top `k` (steps 1–3 of the paper's model).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeraphimError::MissingGlobalState`] if the methodology's
+    /// preprocessing step has not run, [`TeraphimError::BadParameters`]
+    /// for invalid `k`/`k'` combinations, and transport failures
+    /// otherwise.
+    pub fn query(
+        &mut self,
+        methodology: Methodology,
+        query: &str,
+        k: usize,
+    ) -> Result<Vec<GlobalHit>, TeraphimError> {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        let terms = self.analyze_query(query);
+        match methodology {
+            Methodology::CentralNothing => self.query_cn(query_id, &terms, k),
+            Methodology::CentralVocabulary => self.query_cv(query_id, &terms, k),
+            Methodology::CentralIndex => self.query_ci(query_id, &terms, k),
+        }
+    }
+
+    fn query_cn(
+        &mut self,
+        query_id: u32,
+        terms: &[(String, u32)],
+        k: usize,
+    ) -> Result<Vec<GlobalHit>, TeraphimError> {
+        let request = Message::RankRequest {
+            query_id,
+            k: k as u32,
+            terms: terms.to_vec(),
+        };
+        let mut lists = Vec::with_capacity(self.transports.len());
+        for (lib, transport) in self.transports.iter_mut().enumerate() {
+            let response = transport.request(&request)?;
+            lists.push(ranking_entries(response, query_id, lib)?);
+        }
+        Ok(merge_top_k(&lists, k))
+    }
+
+    fn query_cv(
+        &mut self,
+        query_id: u32,
+        terms: &[(String, u32)],
+        k: usize,
+    ) -> Result<Vec<GlobalHit>, TeraphimError> {
+        let cv = self
+            .cv
+            .as_ref()
+            .ok_or(TeraphimError::MissingGlobalState("central vocabulary"))?;
+        let weighted = global_weights(&cv.vocab, &cv.stats, terms);
+        let request = Message::RankWeightedRequest {
+            query_id,
+            k: k as u32,
+            terms: weighted,
+        };
+        let mut lists = Vec::with_capacity(self.transports.len());
+        for (lib, transport) in self.transports.iter_mut().enumerate() {
+            let response = transport.request(&request)?;
+            lists.push(ranking_entries(response, query_id, lib)?);
+        }
+        Ok(merge_top_k(&lists, k))
+    }
+
+    fn query_ci(
+        &mut self,
+        query_id: u32,
+        terms: &[(String, u32)],
+        k: usize,
+    ) -> Result<Vec<GlobalHit>, TeraphimError> {
+        let ci = self
+            .ci
+            .as_ref()
+            .ok_or(TeraphimError::MissingGlobalState("central index"))?;
+        if !ci.params.valid_for(k) {
+            return Err(TeraphimError::BadParameters(format!(
+                "k' = {} with G = {} cannot produce k = {k} documents",
+                ci.params.k_prime, ci.params.group_size
+            )));
+        }
+        // Rank groups on the central grouped index, treating groups as
+        // documents (group-level statistics for the group ranking).
+        let group_index = ci.grouped.group_index();
+        let group_terms: Vec<(teraphim_index::TermId, u32)> = terms
+            .iter()
+            .filter_map(|(t, f)| ci.grouped.vocab().term_id(t).map(|id| (id, *f)))
+            .collect();
+        let group_weights = ranking::local_weights(group_index, &group_terms);
+        let top_groups = ranking::rank(group_index, &group_weights, ci.params.k_prime);
+        let group_ids: Vec<u32> = top_groups.iter().map(|g| g.doc).collect();
+
+        // Expand groups into per-librarian candidate lists.
+        let expanded = ci.grouped.expand_groups(&group_ids);
+
+        // Document-level global weights accompany the scoring request so
+        // librarian scores are globally comparable (as in CV).
+        let doc_weights = global_weights_from_grouped(&ci.grouped, terms);
+
+        let mut lists = Vec::with_capacity(expanded.len());
+        for (part, candidates) in expanded {
+            let request = Message::ScoreCandidatesRequest {
+                query_id,
+                terms: doc_weights.clone(),
+                candidates,
+            };
+            let response = self.transports[part as usize].request(&request)?;
+            match response {
+                Message::ScoreResponse {
+                    query_id: qid,
+                    entries,
+                    ..
+                } if qid == query_id => {
+                    lists.push(
+                        entries
+                            .into_iter()
+                            .map(|(doc, score)| (ScoredDoc { doc, score }, part as usize))
+                            .collect::<Vec<_>>(),
+                    );
+                }
+                other => {
+                    return Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
+                        "unexpected response to ScoreCandidatesRequest: {other:?}"
+                    ))))
+                }
+            }
+        }
+        Ok(merge_top_k(&lists, k))
+    }
+
+    /// Ranks librarians by GlOSS-style goodness for a query (requires CV
+    /// state). Best first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeraphimError::MissingGlobalState`] without CV state.
+    pub fn rank_librarians(&self, query: &str) -> Result<Vec<(usize, f64)>, TeraphimError> {
+        let cv = self
+            .cv
+            .as_ref()
+            .ok_or(TeraphimError::MissingGlobalState("central vocabulary"))?;
+        let terms = self.analyze_query(query);
+        Ok(cv.selection.rank_librarians(&cv.vocab, &cv.stats, &terms))
+    }
+
+    /// Central Vocabulary evaluation restricted to the `n_libs` best
+    /// librarians for this query — the collection-selection refinement
+    /// the paper's conclusion calls for ("net savings are possible only
+    /// if ... many of the subcollections can be neglected").
+    ///
+    /// Returns the merged ranking plus the librarian indices queried.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeraphimError::MissingGlobalState`] without CV state,
+    /// and transport failures otherwise.
+    pub fn query_selected(
+        &mut self,
+        query: &str,
+        k: usize,
+        n_libs: usize,
+    ) -> Result<(Vec<GlobalHit>, Vec<usize>), TeraphimError> {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        let terms = self.analyze_query(query);
+        let (weighted, selected) = {
+            let cv = self
+                .cv
+                .as_ref()
+                .ok_or(TeraphimError::MissingGlobalState("central vocabulary"))?;
+            (
+                global_weights(&cv.vocab, &cv.stats, &terms),
+                cv.selection.select(&cv.vocab, &cv.stats, &terms, n_libs),
+            )
+        };
+        let request = Message::RankWeightedRequest {
+            query_id,
+            k: k as u32,
+            terms: weighted,
+        };
+        let mut lists = Vec::with_capacity(selected.len());
+        for &lib in &selected {
+            let response = self.transports[lib].request(&request)?;
+            lists.push(ranking_entries(response, query_id, lib)?);
+        }
+        Ok((merge_top_k(&lists, k), selected))
+    }
+
+    /// Evaluates a Boolean query at every librarian; "the overall result
+    /// set is simply the union of the individual result sets" (§1), so
+    /// no global information or score merging is needed.
+    ///
+    /// Returns `(librarian, doc)` pairs in librarian-then-document
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures and per-librarian syntax errors.
+    pub fn boolean_query(&mut self, expr: &str) -> Result<Vec<(usize, DocId)>, TeraphimError> {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        let request = Message::BooleanRequest {
+            query_id,
+            expr: expr.to_owned(),
+        };
+        let mut result = Vec::new();
+        for (lib, transport) in self.transports.iter_mut().enumerate() {
+            match transport.request(&request)? {
+                Message::BooleanResponse {
+                    query_id: qid,
+                    docs,
+                } if qid == query_id => {
+                    result.extend(docs.into_iter().map(|d| (lib, d)));
+                }
+                other => {
+                    return Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
+                        "unexpected response to BooleanRequest: {other:?}"
+                    ))))
+                }
+            }
+        }
+        Ok(result)
+    }
+
+    /// Fetches the documents of `hits` (step 4). Documents travel
+    /// compressed unless `plain` is set.
+    ///
+    /// Results preserve the order of `hits`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn fetch(
+        &mut self,
+        hits: &[GlobalHit],
+        plain: bool,
+    ) -> Result<Vec<FetchedDoc>, TeraphimError> {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        // Group per librarian, preserving hit order positions.
+        let mut per_lib: HashMap<usize, Vec<u32>> = HashMap::new();
+        for hit in hits {
+            per_lib.entry(hit.librarian).or_default().push(hit.doc);
+        }
+        let mut fetched: HashMap<(usize, u32), (String, Vec<u8>)> = HashMap::new();
+        let mut libs: Vec<usize> = per_lib.keys().copied().collect();
+        libs.sort_unstable();
+        for lib in libs {
+            let docs = per_lib.remove(&lib).expect("key exists");
+            let response = self.transports[lib].request(&Message::FetchDocsRequest {
+                query_id,
+                docs,
+                plain,
+            })?;
+            match response {
+                Message::DocsResponse { docs, .. } => {
+                    for (doc, docno, bytes) in docs {
+                        fetched.insert((lib, doc), (docno, bytes));
+                    }
+                }
+                other => {
+                    return Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
+                        "unexpected response to FetchDocsRequest: {other:?}"
+                    ))))
+                }
+            }
+        }
+        hits.iter()
+            .map(|hit| {
+                let (docno, bytes) = fetched
+                    .get(&(hit.librarian, hit.doc))
+                    .cloned()
+                    .ok_or(TeraphimError::MissingGlobalState("document not returned"))?;
+                let body_bytes = bytes.len();
+                let text = if plain {
+                    Some(String::from_utf8(bytes).map_err(|_| {
+                        TeraphimError::Net(teraphim_net::NetError::Corrupt("document not UTF-8"))
+                    })?)
+                } else {
+                    None
+                };
+                Ok(FetchedDoc {
+                    librarian: hit.librarian,
+                    doc: hit.doc,
+                    docno,
+                    text,
+                    body_bytes,
+                })
+            })
+            .collect()
+    }
+
+    /// Resolves the external identifiers of `hits` via header requests
+    /// (what an answer screen of 20 title lines needs, and what
+    /// effectiveness evaluation uses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn headers(&mut self, hits: &[GlobalHit]) -> Result<Vec<String>, TeraphimError> {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        let mut per_lib: HashMap<usize, Vec<u32>> = HashMap::new();
+        for hit in hits {
+            per_lib.entry(hit.librarian).or_default().push(hit.doc);
+        }
+        let mut resolved: HashMap<(usize, u32), String> = HashMap::new();
+        let mut libs: Vec<usize> = per_lib.keys().copied().collect();
+        libs.sort_unstable();
+        for lib in libs {
+            let docs = per_lib.remove(&lib).expect("key exists");
+            let response =
+                self.transports[lib].request(&Message::FetchHeadersRequest { query_id, docs })?;
+            match response {
+                Message::HeadersResponse { headers, .. } => {
+                    for (doc, docno) in headers {
+                        resolved.insert((lib, doc), docno);
+                    }
+                }
+                other => {
+                    return Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
+                        "unexpected response to FetchHeadersRequest: {other:?}"
+                    ))))
+                }
+            }
+        }
+        hits.iter()
+            .map(|hit| {
+                resolved
+                    .get(&(hit.librarian, hit.doc))
+                    .cloned()
+                    .ok_or(TeraphimError::MissingGlobalState("header not returned"))
+            })
+            .collect()
+    }
+
+    /// Convenience for evaluation: query then resolve docnos.
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures from [`Receptionist::query`] and
+    /// [`Receptionist::headers`].
+    pub fn ranked_docnos(
+        &mut self,
+        methodology: Methodology,
+        query: &str,
+        k: usize,
+    ) -> Result<Vec<String>, TeraphimError> {
+        let hits = self.query(methodology, query, k)?;
+        self.headers(&hits)
+    }
+}
+
+/// Computes global query weights from a merged vocabulary/statistics
+/// pair, dropping terms with global `f_t == 0`.
+pub(crate) fn global_weights(
+    vocab: &Vocabulary,
+    stats: &CollectionStats,
+    terms: &[(String, u32)],
+) -> Vec<(String, f64)> {
+    terms
+        .iter()
+        .filter_map(|(term, f_qt)| {
+            let id = vocab.term_id(term)?;
+            let w = similarity::w_qt(u64::from(*f_qt), stats.num_docs(), stats.doc_freq(id));
+            (w > 0.0).then(|| (term.clone(), w))
+        })
+        .collect()
+}
+
+/// Same, from a grouped index's document-level statistics.
+pub(crate) fn global_weights_from_grouped(
+    grouped: &GroupedIndex,
+    terms: &[(String, u32)],
+) -> Vec<(String, f64)> {
+    terms
+        .iter()
+        .filter_map(|(term, f_qt)| {
+            let id = grouped.vocab().term_id(term)?;
+            let w = similarity::w_qt(
+                u64::from(*f_qt),
+                grouped.total_docs(),
+                grouped.doc_stats().doc_freq(id),
+            );
+            (w > 0.0).then(|| (term.clone(), w))
+        })
+        .collect()
+}
+
+/// Extracts ranking entries from a response, tagging each with the
+/// librarian.
+fn ranking_entries(
+    response: Message,
+    query_id: u32,
+    lib: usize,
+) -> Result<Vec<(ScoredDoc, usize)>, TeraphimError> {
+    match response {
+        Message::RankResponse {
+            query_id: qid,
+            entries,
+        } if qid == query_id => Ok(entries
+            .into_iter()
+            .map(|(doc, score)| (ScoredDoc { doc, score }, lib))
+            .collect()),
+        other => Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
+            "unexpected ranking response: {other:?}"
+        )))),
+    }
+}
+
+/// Merges per-librarian scored lists "accepting at face value all
+/// supplied similarity values" and keeps the global top `k`.
+fn merge_top_k(lists: &[Vec<(ScoredDoc, usize)>], k: usize) -> Vec<GlobalHit> {
+    ranking::merge_rankings(lists, k)
+        .into_iter()
+        .map(|(scored, lib)| GlobalHit {
+            librarian: lib,
+            doc: scored.doc,
+            score: scored.score,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::librarian::Librarian;
+    use teraphim_net::InProcTransport;
+
+    fn receptionist() -> Receptionist<InProcTransport<Librarian>> {
+        let libs = vec![
+            Librarian::from_texts(
+                "A",
+                &[
+                    ("A-1", "the cat sat on the mat"),
+                    ("A-2", "cats and dogs in the rain"),
+                    ("A-3", "compression of inverted files and indexes"),
+                ],
+            ),
+            Librarian::from_texts(
+                "B",
+                &[
+                    ("B-1", "dogs chase cats up trees"),
+                    ("B-2", "distributed information retrieval systems"),
+                    ("B-3", "the dog slept"),
+                ],
+            ),
+        ];
+        let transports = libs.into_iter().map(InProcTransport::new).collect();
+        Receptionist::new(transports, Analyzer::default())
+    }
+
+    #[test]
+    fn cn_queries_need_no_setup() {
+        let mut r = receptionist();
+        let hits = r.query(Methodology::CentralNothing, "cat dog", 4).unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits.len() <= 4);
+        // Scores non-increasing.
+        for pair in hits.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn cv_requires_enable() {
+        let mut r = receptionist();
+        let err = r
+            .query(Methodology::CentralVocabulary, "cat", 3)
+            .unwrap_err();
+        assert!(matches!(err, TeraphimError::MissingGlobalState(_)));
+        r.enable_cv().unwrap();
+        let hits = r.query(Methodology::CentralVocabulary, "cat", 3).unwrap();
+        assert!(!hits.is_empty());
+        assert!(r.cv_vocabulary_bytes().unwrap() > 0);
+    }
+
+    #[test]
+    fn ci_requires_enable_and_valid_params() {
+        let mut r = receptionist();
+        let err = r.query(Methodology::CentralIndex, "cat", 3).unwrap_err();
+        assert!(matches!(err, TeraphimError::MissingGlobalState(_)));
+        r.enable_ci(CiParams {
+            group_size: 2,
+            k_prime: 1,
+        })
+        .unwrap();
+        // k=3 > k'*G=2 is invalid.
+        let err = r.query(Methodology::CentralIndex, "cat", 3).unwrap_err();
+        assert!(matches!(err, TeraphimError::BadParameters(_)));
+        let hits = r.query(Methodology::CentralIndex, "cat", 2).unwrap();
+        assert!(hits.len() <= 2);
+    }
+
+    #[test]
+    fn ci_with_ample_k_prime_finds_matches() {
+        let mut r = receptionist();
+        r.enable_ci(CiParams {
+            group_size: 2,
+            k_prime: 10,
+        })
+        .unwrap();
+        let hits = r.query(Methodology::CentralIndex, "cat", 6).unwrap();
+        assert!(!hits.is_empty());
+        assert!(hits[0].score > 0.0);
+        assert!(r.ci_index_bytes().unwrap() > 0);
+    }
+
+    #[test]
+    fn headers_resolve_docnos() {
+        let mut r = receptionist();
+        let hits = r
+            .query(Methodology::CentralNothing, "compression", 2)
+            .unwrap();
+        let docnos = r.headers(&hits).unwrap();
+        assert_eq!(docnos.len(), hits.len());
+        assert_eq!(docnos[0], "A-3");
+    }
+
+    #[test]
+    fn fetch_plain_returns_text() {
+        let mut r = receptionist();
+        let hits = r
+            .query(Methodology::CentralNothing, "retrieval", 1)
+            .unwrap();
+        let docs = r.fetch(&hits, true).unwrap();
+        assert_eq!(docs.len(), 1);
+        assert_eq!(docs[0].docno, "B-2");
+        assert_eq!(
+            docs[0].text.as_deref(),
+            Some("distributed information retrieval systems")
+        );
+    }
+
+    #[test]
+    fn fetch_compressed_is_smaller() {
+        let mut r = receptionist();
+        let hits = r.query(Methodology::CentralNothing, "cat mat", 1).unwrap();
+        let plain = r.fetch(&hits, true).unwrap();
+        let compressed = r.fetch(&hits, false).unwrap();
+        assert!(compressed[0].text.is_none());
+        assert!(compressed[0].body_bytes < plain[0].body_bytes);
+    }
+
+    #[test]
+    fn traffic_accumulates() {
+        let mut r = receptionist();
+        assert_eq!(r.traffic().round_trips, 0);
+        r.query(Methodology::CentralNothing, "cat", 2).unwrap();
+        // One round trip per librarian.
+        assert_eq!(r.traffic().round_trips, 2);
+        assert!(r.traffic().total_bytes() > 0);
+    }
+
+    #[test]
+    fn unknown_query_terms_give_empty_ranking() {
+        let mut r = receptionist();
+        let hits = r.query(Methodology::CentralNothing, "zyzzyva", 5).unwrap();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn selection_requires_cv_and_restricts_librarians() {
+        let mut r = receptionist();
+        assert!(r.rank_librarians("compression").is_err());
+        r.enable_cv().unwrap();
+        // "compression inverted" lives only at librarian 0 (A-3).
+        let ranked = r.rank_librarians("compression inverted").unwrap();
+        assert_eq!(ranked[0].0, 0);
+        assert!(ranked[0].1 > ranked[1].1);
+
+        let (hits, used) = r.query_selected("compression inverted", 5, 1).unwrap();
+        assert_eq!(used, vec![0]);
+        assert!(hits.iter().all(|h| h.librarian == 0));
+        // Selecting all librarians reproduces full CV.
+        let (all_hits, used) = r.query_selected("compression inverted", 5, 2).unwrap();
+        let full = r
+            .query(Methodology::CentralVocabulary, "compression inverted", 5)
+            .unwrap();
+        assert_eq!(used.len(), 2);
+        assert_eq!(all_hits.len(), full.len());
+        for (a, b) in all_hits.iter().zip(&full) {
+            assert_eq!((a.librarian, a.doc), (b.librarian, b.doc));
+            assert!((a.score - b.score).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn boolean_queries_union_across_librarians() {
+        let mut r = receptionist();
+        let hits = r.boolean_query("cat AND dog").unwrap();
+        // A-2 ("cats and dogs...") and B-1 ("dogs chase cats...").
+        assert_eq!(hits, vec![(0, 1), (1, 0)]);
+        let none = r.boolean_query("cat AND compress AND retriev").unwrap();
+        assert!(none.is_empty());
+        assert!(r.boolean_query("cat AND (dog").is_err());
+    }
+
+    #[test]
+    fn ranked_docnos_convenience() {
+        let mut r = receptionist();
+        r.enable_cv().unwrap();
+        let docnos = r
+            .ranked_docnos(Methodology::CentralVocabulary, "dog", 3)
+            .unwrap();
+        assert!(!docnos.is_empty());
+        assert!(docnos
+            .iter()
+            .all(|d| d.starts_with('A') || d.starts_with('B')));
+    }
+}

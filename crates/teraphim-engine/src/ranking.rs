@@ -1,0 +1,370 @@
+//! Accumulator-based ranked query evaluation.
+//!
+//! For each query term the inverted list is decoded and each posting
+//! contributes `w_qt · w_dt` to the document's accumulator; final scores
+//! divide by the document weight `W_d` and the query norm, yielding the
+//! cosine measure of §2. The top `k` are selected with a bounded heap.
+//!
+//! Query-term weights can come from two places:
+//!
+//! * [`local_weights`] — computed from the collection's own `N` and
+//!   `f_t` (mono-server and Central Nothing);
+//! * any externally supplied weights (Central Vocabulary / Central
+//!   Index), in which case two librarians holding different
+//!   subcollections produce *directly comparable* scores.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use teraphim_index::similarity::{query_norm, w_dt, w_qt};
+use teraphim_index::{DocId, InvertedIndex, TermId};
+
+/// A query term with its (possibly global) weight `w_qt`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedTerm {
+    /// Term id in the *target collection's* vocabulary.
+    pub term: TermId,
+    /// The query weight to apply.
+    pub w_qt: f64,
+}
+
+/// A scored document. Ordered by descending score with ascending-id tie
+/// break so that rankings are total and deterministic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredDoc {
+    /// Local document id.
+    pub doc: DocId,
+    /// Cosine similarity with the query.
+    pub score: f64,
+}
+
+impl ScoredDoc {
+    /// Ranking order: higher score first; ties broken by smaller doc id.
+    pub fn ranking_cmp(&self, other: &Self) -> Ordering {
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then(self.doc.cmp(&other.doc))
+    }
+}
+
+/// Computes local query weights `w_qt = ln(f_qt + 1) · ln(N/f_t + 1)`
+/// from the collection's own statistics.
+pub fn local_weights(index: &InvertedIndex, terms: &[(TermId, u32)]) -> Vec<WeightedTerm> {
+    let n = index.stats().num_docs();
+    terms
+        .iter()
+        .filter_map(|&(term, f_qt)| {
+            let f_t = index.stats().doc_freq(term);
+            let w = w_qt(u64::from(f_qt), n, f_t);
+            (w > 0.0).then_some(WeightedTerm { term, w_qt: w })
+        })
+        .collect()
+}
+
+/// Evaluates the cosine measure over the whole collection and returns the
+/// top `k` documents in ranking order. The query norm is computed from
+/// the supplied terms.
+pub fn rank(index: &InvertedIndex, terms: &[WeightedTerm], k: usize) -> Vec<ScoredDoc> {
+    let qnorm = query_norm(&terms.iter().map(|t| t.w_qt).collect::<Vec<_>>());
+    rank_with_norm(index, terms, qnorm, k)
+}
+
+/// [`rank`] with an explicit query norm.
+///
+/// In distributed evaluation the norm must cover *every* weighted query
+/// term — including terms absent from this particular subcollection's
+/// vocabulary — or librarians would normalize by different denominators
+/// and their scores would stop being comparable. The receptionist
+/// therefore computes the norm once, globally, and supplies it.
+pub fn rank_with_norm(
+    index: &InvertedIndex,
+    terms: &[WeightedTerm],
+    qnorm: f64,
+    k: usize,
+) -> Vec<ScoredDoc> {
+    let accumulators = accumulate(index, terms);
+    top_k(normalize(index, accumulators, qnorm), k)
+}
+
+/// Evaluates the cosine measure and returns *all* matching documents in
+/// ranking order (used when the caller needs the complete ranking, e.g.
+/// effectiveness evaluation at 1000 retrieved).
+pub fn rank_all(index: &InvertedIndex, terms: &[WeightedTerm]) -> Vec<ScoredDoc> {
+    rank(index, terms, usize::MAX)
+}
+
+/// Phase 1: decode lists and fill accumulators with `Σ w_qt · w_dt`.
+fn accumulate(index: &InvertedIndex, terms: &[WeightedTerm]) -> HashMap<DocId, f64> {
+    let mut acc: HashMap<DocId, f64> = HashMap::new();
+    for wt in terms {
+        if wt.w_qt == 0.0 {
+            continue;
+        }
+        for posting in index.postings(wt.term).iter().flatten() {
+            *acc.entry(posting.doc).or_insert(0.0) += wt.w_qt * w_dt(u64::from(posting.f_dt));
+        }
+    }
+    acc
+}
+
+/// Phase 2: divide by `W_d` and the query norm.
+fn normalize(
+    index: &InvertedIndex,
+    accumulators: HashMap<DocId, f64>,
+    qnorm: f64,
+) -> impl Iterator<Item = ScoredDoc> + '_ {
+    accumulators.into_iter().filter_map(move |(doc, sum)| {
+        let wd = index.weights().weight(doc);
+        (wd > 0.0 && qnorm > 0.0).then(|| ScoredDoc {
+            doc,
+            score: sum / (wd * qnorm),
+        })
+    })
+}
+
+/// Selects the top `k` by bounded max-heap (on the inverted ordering), in
+/// final ranking order.
+fn top_k(scored: impl Iterator<Item = ScoredDoc>, k: usize) -> Vec<ScoredDoc> {
+    if k == 0 {
+        return Vec::new();
+    }
+    // Wrapper ordering the heap as a max-heap on "worst first".
+    struct Worst(ScoredDoc);
+    impl PartialEq for Worst {
+        fn eq(&self, other: &Self) -> bool {
+            self.0.ranking_cmp(&other.0) == Ordering::Equal
+        }
+    }
+    impl Eq for Worst {}
+    impl PartialOrd for Worst {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Worst {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // ranking_cmp orders best-first (Less = ranks better), so the
+            // max-heap's greatest element — what peek()/pop() return — is
+            // the worst-ranked entry, which is the one to evict.
+            self.0.ranking_cmp(&other.0)
+        }
+    }
+
+    let mut heap: BinaryHeap<Worst> = BinaryHeap::new();
+    for s in scored {
+        if heap.len() < k {
+            heap.push(Worst(s));
+        } else if let Some(worst) = heap.peek() {
+            if s.ranking_cmp(&worst.0) == Ordering::Less {
+                heap.pop();
+                heap.push(Worst(s));
+            }
+        }
+    }
+    let mut result: Vec<ScoredDoc> = heap.into_iter().map(|w| w.0).collect();
+    result.sort_by(ScoredDoc::ranking_cmp);
+    result
+}
+
+/// Merges several already-ranked lists into a single ranking of length at
+/// most `k`, comparing scores at face value — exactly what a Central
+/// Nothing / Central Vocabulary receptionist does with librarian
+/// rankings. Entries carry an arbitrary payload (e.g. librarian id).
+pub fn merge_rankings<T: Copy>(lists: &[Vec<(ScoredDoc, T)>], k: usize) -> Vec<(ScoredDoc, T)> {
+    let mut all: Vec<(ScoredDoc, T)> = lists.iter().flatten().copied().collect();
+    all.sort_by(|a, b| a.0.ranking_cmp(&b.0));
+    all.truncate(k);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teraphim_index::IndexBuilder;
+
+    fn index_of(docs: &[&[&str]]) -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        for d in docs {
+            let terms: Vec<String> = d.iter().map(|s| (*s).to_owned()).collect();
+            b.add_document(&terms);
+        }
+        b.build()
+    }
+
+    fn tid(ix: &InvertedIndex, t: &str) -> TermId {
+        ix.vocab().term_id(t).unwrap()
+    }
+
+    #[test]
+    fn single_term_ranking_orders_by_frequency_over_length() {
+        let ix = index_of(&[
+            &["cat"],                      // short, f=1
+            &["cat", "cat", "cat", "cat"], // f=4 but longer
+            &["cat", "dog", "emu", "fox"], // f=1, long
+        ]);
+        let terms = vec![(tid(&ix, "cat"), 1u32)];
+        let ranking = rank(&ix, &local_weights(&ix, &terms), 10);
+        assert_eq!(ranking.len(), 3);
+        // Doc 0 (pure "cat") and doc 1 (all cats) both have cosine 1.0;
+        // tie-break puts doc 0 first; doc 2 is diluted.
+        assert_eq!(ranking[0].doc, 0);
+        assert_eq!(ranking[1].doc, 1);
+        assert_eq!(ranking[2].doc, 2);
+        assert!((ranking[0].score - 1.0).abs() < 1e-9);
+        assert!((ranking[1].score - 1.0).abs() < 1e-9);
+        assert!(ranking[2].score < 1.0);
+    }
+
+    #[test]
+    fn multi_term_queries_reward_coverage() {
+        let ix = index_of(&[&["cat", "dog"], &["cat", "cat"], &["dog", "dog"]]);
+        let terms = vec![(tid(&ix, "cat"), 1u32), (tid(&ix, "dog"), 1u32)];
+        let ranking = rank(&ix, &local_weights(&ix, &terms), 10);
+        assert_eq!(ranking[0].doc, 0, "doc containing both terms wins");
+    }
+
+    #[test]
+    fn rank_k_zero_is_empty() {
+        let ix = index_of(&[&["a"]]);
+        let terms = vec![(tid(&ix, "a"), 1u32)];
+        assert!(rank(&ix, &local_weights(&ix, &terms), 0).is_empty());
+    }
+
+    #[test]
+    fn rank_respects_k() {
+        let docs: Vec<Vec<&str>> = (0..20).map(|_| vec!["x"]).collect();
+        let refs: Vec<&[&str]> = docs.iter().map(Vec::as_slice).collect();
+        let ix = index_of(&refs);
+        let terms = vec![(tid(&ix, "x"), 1u32)];
+        let w = local_weights(&ix, &terms);
+        assert_eq!(rank(&ix, &w, 5).len(), 5);
+        assert_eq!(rank_all(&ix, &w).len(), 20);
+    }
+
+    #[test]
+    fn top_k_matches_full_sort() {
+        let ix = index_of(&[
+            &["a", "b"],
+            &["a"],
+            &["a", "a", "b"],
+            &["b"],
+            &["a", "c"],
+            &["c", "b", "a"],
+        ]);
+        let terms = vec![(tid(&ix, "a"), 1u32), (tid(&ix, "b"), 2u32)];
+        let w = local_weights(&ix, &terms);
+        let full = rank_all(&ix, &w);
+        for k in 0..=full.len() {
+            let partial = rank(&ix, &w, k);
+            assert_eq!(&full[..k.min(full.len())], partial.as_slice(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn scores_are_cosine_bounded() {
+        let ix = index_of(&[&["a", "b", "c"], &["a", "a"], &["b"]]);
+        let terms = vec![(tid(&ix, "a"), 3u32), (tid(&ix, "b"), 1u32)];
+        for s in rank_all(&ix, &local_weights(&ix, &terms)) {
+            assert!(s.score > 0.0 && s.score <= 1.0 + 1e-9, "score {}", s.score);
+        }
+    }
+
+    #[test]
+    fn unmatched_terms_contribute_nothing() {
+        let ix = index_of(&[&["a"]]);
+        // Term "a" plus a zero-weight entry.
+        let weighted = vec![
+            WeightedTerm {
+                term: tid(&ix, "a"),
+                w_qt: 1.0,
+            },
+            WeightedTerm {
+                term: tid(&ix, "a"),
+                w_qt: 0.0,
+            },
+        ];
+        let ranking = rank(&ix, &weighted, 10);
+        assert_eq!(ranking.len(), 1);
+    }
+
+    #[test]
+    fn local_weights_drop_absent_terms() {
+        let ix = index_of(&[&["a"]]);
+        // Seeded vocabulary quirk: ask about a term with f_t = 0 by using
+        // an id beyond any postings.
+        let w = local_weights(&ix, &[(0, 1), (999, 1)]);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn ranking_cmp_is_total_and_deterministic() {
+        let a = ScoredDoc { doc: 1, score: 0.5 };
+        let b = ScoredDoc { doc: 2, score: 0.5 };
+        let c = ScoredDoc { doc: 3, score: 0.9 };
+        assert_eq!(a.ranking_cmp(&b), Ordering::Less);
+        assert_eq!(b.ranking_cmp(&a), Ordering::Greater);
+        assert_eq!(c.ranking_cmp(&a), Ordering::Less);
+        assert_eq!(a.ranking_cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn merge_rankings_interleaves_by_score() {
+        let l1 = vec![
+            (ScoredDoc { doc: 0, score: 0.9 }, 0u32),
+            (ScoredDoc { doc: 1, score: 0.3 }, 0u32),
+        ];
+        let l2 = vec![
+            (ScoredDoc { doc: 0, score: 0.7 }, 1u32),
+            (ScoredDoc { doc: 1, score: 0.1 }, 1u32),
+        ];
+        let merged = merge_rankings(&[l1, l2], 3);
+        assert_eq!(merged.len(), 3);
+        assert_eq!((merged[0].0.doc, merged[0].1), (0, 0));
+        assert_eq!((merged[1].0.doc, merged[1].1), (0, 1));
+        assert_eq!((merged[2].0.doc, merged[2].1), (1, 0));
+    }
+
+    #[test]
+    fn merge_rankings_empty_inputs() {
+        let merged: Vec<(ScoredDoc, u32)> = merge_rankings(&[], 5);
+        assert!(merged.is_empty());
+        let merged: Vec<(ScoredDoc, u32)> = merge_rankings(&[vec![], vec![]], 5);
+        assert!(merged.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use teraphim_index::IndexBuilder;
+
+    proptest! {
+        #[test]
+        fn top_k_agrees_with_exhaustive_sort(
+            docs in proptest::collection::vec(
+                proptest::collection::vec("[a-d]", 1..8),
+                1..30,
+            ),
+            k in 0usize..40,
+        ) {
+            let mut b = IndexBuilder::new();
+            for d in &docs {
+                b.add_document(d);
+            }
+            let ix = b.build();
+            let terms: Vec<(teraphim_index::TermId, u32)> = ix
+                .vocab()
+                .iter()
+                .map(|(id, _)| (id, 1u32))
+                .collect();
+            let w = local_weights(&ix, &terms);
+            let full = rank_all(&ix, &w);
+            let partial = rank(&ix, &w, k);
+            prop_assert_eq!(&full[..k.min(full.len())], partial.as_slice());
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Collection-wide statistics.
+//!
+//! The similarity heuristic needs two collection-dependent parameters:
+//! the number of documents `N` and, per term, the number of documents
+//! `f_t` containing it. The distributed methodologies differ precisely in
+//! *which* collection these are measured over:
+//!
+//! * **CN** — each librarian uses its own local `N` and `f_t`;
+//! * **CV** — the receptionist merges per-subcollection statistics with
+//!   [`merge_stats`] and ships global query weights;
+//! * **CI** — the receptionist's grouped central index carries the global
+//!   statistics directly.
+
+use crate::vocab::{read_u32, read_u64, Vocabulary};
+use crate::{IndexError, TermId};
+
+/// Document count and per-term document frequencies for one collection.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CollectionStats {
+    num_docs: u64,
+    /// Indexed by [`TermId`]; `doc_freq[t]` = `f_t`.
+    doc_freq: Vec<u64>,
+}
+
+impl CollectionStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates statistics from raw parts.
+    pub fn from_parts(num_docs: u64, doc_freq: Vec<u64>) -> Self {
+        CollectionStats { num_docs, doc_freq }
+    }
+
+    /// Number of documents `N`.
+    pub fn num_docs(&self) -> u64 {
+        self.num_docs
+    }
+
+    /// Sets the document count.
+    pub fn set_num_docs(&mut self, n: u64) {
+        self.num_docs = n;
+    }
+
+    /// Document frequency `f_t` of `term` (0 if unknown).
+    pub fn doc_freq(&self, term: TermId) -> u64 {
+        self.doc_freq.get(term as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of terms with recorded frequencies.
+    pub fn num_terms(&self) -> usize {
+        self.doc_freq.len()
+    }
+
+    /// Increments `f_t` for `term`, growing the table as needed.
+    pub fn bump_doc_freq(&mut self, term: TermId) {
+        let idx = term as usize;
+        if idx >= self.doc_freq.len() {
+            self.doc_freq.resize(idx + 1, 0);
+        }
+        self.doc_freq[idx] += 1;
+    }
+
+    /// Adds `count` to `f_t` for `term`, growing the table as needed.
+    pub fn add_doc_freq(&mut self, term: TermId, count: u64) {
+        let idx = term as usize;
+        if idx >= self.doc_freq.len() {
+            self.doc_freq.resize(idx + 1, 0);
+        }
+        self.doc_freq[idx] += count;
+    }
+
+    /// Serializes to bytes (u64 counts; the vocabulary is serialized
+    /// separately).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.doc_freq.len() * 8);
+        out.extend_from_slice(&self.num_docs.to_le_bytes());
+        out.extend_from_slice(&(self.doc_freq.len() as u32).to_le_bytes());
+        for &f in &self.doc_freq {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserializes the form produced by [`CollectionStats::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::Corrupt`] on truncation.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, IndexError> {
+        let mut pos = 0usize;
+        let num_docs = read_u64(bytes, &mut pos)?;
+        let count = read_u32(bytes, &mut pos)? as usize;
+        let mut doc_freq = Vec::with_capacity(count);
+        for _ in 0..count {
+            doc_freq.push(read_u64(bytes, &mut pos)?);
+        }
+        Ok(CollectionStats { num_docs, doc_freq })
+    }
+}
+
+/// Merges per-subcollection vocabularies and statistics into a global
+/// vocabulary and global statistics — the preprocessing step of the
+/// Central Vocabulary methodology.
+///
+/// Returns the merged vocabulary and, for each input part, a mapping from
+/// its local term ids to global term ids.
+pub fn merge_stats(
+    parts: &[(&Vocabulary, &CollectionStats)],
+) -> (Vocabulary, CollectionStats, Vec<Vec<TermId>>) {
+    let mut global_vocab = Vocabulary::new();
+    let mut global = CollectionStats::new();
+    let mut mappings = Vec::with_capacity(parts.len());
+    let mut total_docs = 0u64;
+    for (vocab, stats) in parts {
+        total_docs += stats.num_docs();
+        let mut mapping = Vec::with_capacity(vocab.len());
+        for (local_id, term) in vocab.iter() {
+            let global_id = global_vocab.intern(term);
+            mapping.push(global_id);
+            global.add_doc_freq(global_id, stats.doc_freq(local_id));
+        }
+        mappings.push(mapping);
+    }
+    global.set_num_docs(total_docs);
+    (global_vocab, global, mappings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab_of(terms: &[&str]) -> Vocabulary {
+        let mut v = Vocabulary::new();
+        for t in terms {
+            v.intern(t);
+        }
+        v
+    }
+
+    #[test]
+    fn bump_and_query() {
+        let mut s = CollectionStats::new();
+        s.bump_doc_freq(3);
+        s.bump_doc_freq(3);
+        s.bump_doc_freq(0);
+        assert_eq!(s.doc_freq(3), 2);
+        assert_eq!(s.doc_freq(0), 1);
+        assert_eq!(s.doc_freq(1), 0);
+        assert_eq!(s.doc_freq(99), 0);
+        assert_eq!(s.num_terms(), 4);
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let mut s = CollectionStats::from_parts(42, vec![1, 0, 7, 3]);
+        s.set_num_docs(43);
+        let rt = CollectionStats::from_bytes(&s.to_bytes()).unwrap();
+        assert_eq!(rt, s);
+    }
+
+    #[test]
+    fn truncated_stats_error() {
+        let s = CollectionStats::from_parts(1, vec![5, 5]);
+        let bytes = s.to_bytes();
+        assert!(CollectionStats::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(CollectionStats::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn merge_combines_frequencies_of_shared_terms() {
+        let va = vocab_of(&["alpha", "beta"]);
+        let sa = CollectionStats::from_parts(10, vec![4, 2]);
+        let vb = vocab_of(&["beta", "gamma"]);
+        let sb = CollectionStats::from_parts(20, vec![5, 1]);
+
+        let (gv, gs, mappings) = merge_stats(&[(&va, &sa), (&vb, &sb)]);
+        assert_eq!(gs.num_docs(), 30);
+        assert_eq!(gv.len(), 3);
+        let beta = gv.term_id("beta").unwrap();
+        assert_eq!(gs.doc_freq(beta), 7);
+        let alpha = gv.term_id("alpha").unwrap();
+        assert_eq!(gs.doc_freq(alpha), 4);
+        let gamma = gv.term_id("gamma").unwrap();
+        assert_eq!(gs.doc_freq(gamma), 1);
+        // Mappings translate local ids to global ids.
+        assert_eq!(mappings[0][va.term_id("beta").unwrap() as usize], beta);
+        assert_eq!(mappings[1][vb.term_id("beta").unwrap() as usize], beta);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let (gv, gs, mappings) = merge_stats(&[]);
+        assert!(gv.is_empty());
+        assert_eq!(gs.num_docs(), 0);
+        assert!(mappings.is_empty());
+    }
+
+    #[test]
+    fn merge_single_part_is_identity() {
+        let v = vocab_of(&["x", "y", "z"]);
+        let s = CollectionStats::from_parts(5, vec![1, 2, 3]);
+        let (gv, gs, mappings) = merge_stats(&[(&v, &s)]);
+        assert_eq!(gv.len(), 3);
+        assert_eq!(gs.num_docs(), 5);
+        for (id, term) in v.iter() {
+            assert_eq!(gs.doc_freq(mappings[0][id as usize]), s.doc_freq(id));
+            assert_eq!(gv.term(mappings[0][id as usize]), term);
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The vocabulary: a bidirectional mapping between term strings and dense
+//! term identifiers, plus per-term document frequencies.
+//!
+//! A Central Vocabulary receptionist holds the *merged* vocabularies of
+//! all subcollections (see [`crate::stats::merge_stats`]); the
+//! serialized form here is what gets measured against the paper's
+//! "less than 10 Mb for the gigabyte of text".
+
+use crate::IndexError;
+use std::collections::HashMap;
+
+/// Dense term identifier within one vocabulary.
+pub type TermId = u32;
+
+/// A term dictionary assigning dense ids in first-seen order.
+#[derive(Debug, Clone, Default)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    lookup: HashMap<String, TermId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if no terms have been added.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Returns the id of `term`, inserting it if new.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.lookup.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as TermId;
+        self.terms.push(term.to_owned());
+        self.lookup.insert(term.to_owned(), id);
+        id
+    }
+
+    /// Returns the id of `term` if present.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.lookup.get(term).copied()
+    }
+
+    /// Returns the term string for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id as usize]
+    }
+
+    /// Iterates over `(id, term)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TermId, t.as_str()))
+    }
+
+    /// Serialized size in bytes (length-prefixed UTF-8 strings), used for
+    /// the paper's central-vocabulary storage accounting.
+    pub fn serialized_len(&self) -> usize {
+        self.terms.iter().map(|t| t.len() + 2).sum()
+    }
+
+    /// Serializes to a compact byte form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len() + 8);
+        out.extend_from_slice(&(self.terms.len() as u32).to_le_bytes());
+        for term in &self.terms {
+            let bytes = term.as_bytes();
+            out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+        out
+    }
+
+    /// Deserializes the form produced by [`Vocabulary::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IndexError::Corrupt`] on truncation or invalid UTF-8.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, IndexError> {
+        let mut pos = 0usize;
+        let count = read_u32(bytes, &mut pos)? as usize;
+        let mut vocab = Vocabulary::new();
+        for _ in 0..count {
+            let len = read_u16(bytes, &mut pos)? as usize;
+            let slice = bytes
+                .get(pos..pos + len)
+                .ok_or(IndexError::Corrupt("vocabulary truncated"))?;
+            pos += len;
+            let term = std::str::from_utf8(slice)
+                .map_err(|_| IndexError::Corrupt("vocabulary term not UTF-8"))?;
+            vocab.intern(term);
+        }
+        Ok(vocab)
+    }
+}
+
+pub(crate) fn read_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, IndexError> {
+    let slice = bytes
+        .get(*pos..*pos + 4)
+        .ok_or(IndexError::Corrupt("truncated u32"))?;
+    *pos += 4;
+    Ok(u32::from_le_bytes(slice.try_into().expect("4 bytes")))
+}
+
+pub(crate) fn read_u16(bytes: &[u8], pos: &mut usize) -> Result<u16, IndexError> {
+    let slice = bytes
+        .get(*pos..*pos + 2)
+        .ok_or(IndexError::Corrupt("truncated u16"))?;
+    *pos += 2;
+    Ok(u16::from_le_bytes(slice.try_into().expect("2 bytes")))
+}
+
+pub(crate) fn read_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, IndexError> {
+    let slice = bytes
+        .get(*pos..*pos + 8)
+        .ok_or(IndexError::Corrupt("truncated u64"))?;
+    *pos += 8;
+    Ok(u64::from_le_bytes(slice.try_into().expect("8 bytes")))
+}
+
+pub(crate) fn read_f64(bytes: &[u8], pos: &mut usize) -> Result<f64, IndexError> {
+    Ok(f64::from_bits(read_u64(bytes, pos)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids_in_order() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.intern("alpha"), 0);
+        assert_eq!(v.intern("beta"), 1);
+        assert_eq!(v.intern("alpha"), 0);
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn term_id_and_term_are_inverses() {
+        let mut v = Vocabulary::new();
+        for t in ["a", "b", "c"] {
+            v.intern(t);
+        }
+        for (id, term) in v.iter() {
+            assert_eq!(v.term_id(term), Some(id));
+            assert_eq!(v.term(id), term);
+        }
+        assert_eq!(v.term_id("missing"), None);
+    }
+
+    #[test]
+    fn empty_vocabulary() {
+        let v = Vocabulary::new();
+        assert!(v.is_empty());
+        assert_eq!(v.len(), 0);
+        let rt = Vocabulary::from_bytes(&v.to_bytes()).unwrap();
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let mut v = Vocabulary::new();
+        for t in ["retrieval", "distributed", "naïve", "x"] {
+            v.intern(t);
+        }
+        let rt = Vocabulary::from_bytes(&v.to_bytes()).unwrap();
+        assert_eq!(rt.len(), v.len());
+        for (id, term) in v.iter() {
+            assert_eq!(rt.term(id), term);
+        }
+    }
+
+    #[test]
+    fn truncated_bytes_error() {
+        let mut v = Vocabulary::new();
+        v.intern("hello");
+        let bytes = v.to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(Vocabulary::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn serialized_len_approximates_to_bytes() {
+        let mut v = Vocabulary::new();
+        for t in ["one", "two", "three"] {
+            v.intern(t);
+        }
+        assert_eq!(v.to_bytes().len(), v.serialized_len() + 4);
+    }
+}

@@ -1,0 +1,94 @@
+//! Wire protocol and transports for TERAPHIM.
+//!
+//! The paper's analysis hinges on *what actually crosses the network*:
+//! message counts (handshaking "should be kept to an absolute minimum"),
+//! message sizes (document identifiers "are only a few bytes each, but
+//! documents are much larger") and bundling ("documents should be bundled
+//! into blocks by the librarians rather than transferred individually").
+//! To make those costs first-class, this crate hand-rolls a compact
+//! binary codec — every byte on the wire is visible and accounted — and
+//! provides three interchangeable transports over the same
+//! [`Message`]/[`Service`] abstraction:
+//!
+//! * [`transport::InProcTransport`] — direct calls through the codec
+//!   (mono-disk / multi-disk configurations, and the simulation driver);
+//! * [`tcp`] — real TCP with length-prefixed frames (the LAN
+//!   configuration, runnable on loopback);
+//! * traffic accounting ([`transport::TrafficStats`]) that the
+//!   simulation driver feeds into `teraphim-simnet` to cost the WAN.
+//!
+//! # Examples
+//!
+//! ```
+//! use teraphim_net::message::Message;
+//!
+//! let msg = Message::RankRequest {
+//!     query_id: 202,
+//!     k: 20,
+//!     terms: vec![("cat".into(), 1), ("dog".into(), 2)],
+//! };
+//! let bytes = msg.encode();
+//! assert_eq!(Message::decode(&bytes)?, msg);
+//! # Ok::<(), teraphim_net::NetError>(())
+//! ```
+
+pub mod message;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+
+pub use message::Message;
+pub use transport::{InProcTransport, Service, TrafficStats, Transport};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from encoding, decoding or transporting messages.
+#[derive(Debug)]
+pub enum NetError {
+    /// The byte stream is truncated or structurally invalid.
+    Corrupt(&'static str),
+    /// An I/O failure on a real transport.
+    Io(std::io::Error),
+    /// The peer answered with a protocol-level error message.
+    Remote(String),
+    /// The connection was closed before a response arrived.
+    Disconnected,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Corrupt(what) => write!(f, "corrupt message: {what}"),
+            NetError::Io(e) => write!(f, "transport I/O error: {e}"),
+            NetError::Remote(msg) => write!(f, "remote error: {msg}"),
+            NetError::Disconnected => write!(f, "connection closed unexpectedly"),
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl PartialEq for NetError {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (NetError::Corrupt(a), NetError::Corrupt(b)) => a == b,
+            (NetError::Remote(a), NetError::Remote(b)) => a == b,
+            (NetError::Disconnected, NetError::Disconnected) => true,
+            _ => false,
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! TCP transport: length-prefixed frames over real sockets.
+//!
+//! This is the deployment transport — a librarian process listens on a
+//! socket, a receptionist connects. Frames are `u32` little-endian
+//! length + encoded [`Message`]. One connection carries many sequential
+//! request/response exchanges, matching the paper's "librarian-to-
+//! receptionist session" model (an MG process per session).
+
+use crate::message::Message;
+use crate::transport::{Service, TrafficStats, Transport};
+use crate::NetError;
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Maximum accepted frame, guarding against corrupt length prefixes.
+const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// Writes one length-prefixed frame.
+fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), NetError> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary.
+fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, NetError> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(NetError::Corrupt("frame too large"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A client connection to one librarian server.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    stats: TrafficStats,
+    last: (u64, u64),
+}
+
+impl TcpTransport {
+    /// Connects to a librarian server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] if the connection fails.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpTransport {
+            stream,
+            stats: TrafficStats::default(),
+            last: (0, 0),
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn request(&mut self, request: &Message) -> Result<Message, NetError> {
+        let encoded = request.encode();
+        write_frame(&mut self.stream, &encoded)?;
+        let response_bytes = read_frame(&mut self.stream)?.ok_or(NetError::Disconnected)?;
+        self.stats.round_trips += 1;
+        self.stats.bytes_sent += encoded.len() as u64;
+        self.stats.bytes_received += response_bytes.len() as u64;
+        self.last = (encoded.len() as u64, response_bytes.len() as u64);
+        let response = Message::decode(&response_bytes)?;
+        if let Message::Error { message } = response {
+            return Err(NetError::Remote(message));
+        }
+        Ok(response)
+    }
+
+    fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    fn last_exchange(&self) -> (u64, u64) {
+        self.last
+    }
+}
+
+/// A running librarian server.
+///
+/// Dropping the handle signals shutdown and joins the accept thread.
+#[derive(Debug)]
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Serves `service` on `addr` (use port 0 for an ephemeral port).
+    /// Each connection is handled on its own thread; requests on one
+    /// connection are sequential.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] if the listener cannot be bound.
+    pub fn spawn<S, A>(service: S, addr: A) -> Result<TcpServer, NetError>
+    where
+        S: Service + 'static,
+        A: ToSocketAddrs,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let service = Arc::new(Mutex::new(service));
+        let shutdown_flag = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if shutdown_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = Arc::clone(&service);
+                let conn_shutdown = Arc::clone(&shutdown_flag);
+                // Connection threads are detached: they exit when their
+                // client hangs up (EOF at a frame boundary) or shutdown
+                // is signalled. Joining them here would deadlock shutdown
+                // while any client is still connected.
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &service, &conn_shutdown);
+                });
+            }
+        });
+        Ok(TcpServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals shutdown and joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            self.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn serve_connection<S: Service>(
+    mut stream: TcpStream,
+    service: &Arc<Mutex<S>>,
+    shutdown: &AtomicBool,
+) -> Result<(), NetError> {
+    stream.set_nodelay(true)?;
+    while let Some(frame) = read_frame(&mut stream)? {
+        // A shut-down server stops serving even on live connections; the
+        // client observes EOF on its next exchange.
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let response = match Message::decode(&frame) {
+            Ok(request) => service.lock().handle(request),
+            Err(e) => Message::Error {
+                message: format!("bad request: {e}"),
+            },
+        };
+        write_frame(&mut stream, &response.encode())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Doubler;
+
+    impl Service for Doubler {
+        fn handle(&mut self, request: Message) -> Message {
+            match request {
+                Message::RankRequest { query_id, k, .. } => Message::RankResponse {
+                    query_id: query_id * 2,
+                    entries: vec![(k, 0.5)],
+                },
+                _ => Message::Error {
+                    message: "nope".into(),
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_roundtrip_on_loopback() {
+        let server = TcpServer::spawn(Doubler, "127.0.0.1:0").unwrap();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        let resp = client
+            .request(&Message::RankRequest {
+                query_id: 21,
+                k: 5,
+                terms: vec![("a".into(), 1)],
+            })
+            .unwrap();
+        assert_eq!(
+            resp,
+            Message::RankResponse {
+                query_id: 42,
+                entries: vec![(5, 0.5)],
+            }
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_sequential_requests_share_a_connection() {
+        let server = TcpServer::spawn(Doubler, "127.0.0.1:0").unwrap();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        for i in 0..10 {
+            let resp = client
+                .request(&Message::RankRequest {
+                    query_id: i,
+                    k: 1,
+                    terms: vec![],
+                })
+                .unwrap();
+            assert!(matches!(resp, Message::RankResponse { query_id, .. } if query_id == i * 2));
+        }
+        assert_eq!(client.stats().round_trips, 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served() {
+        let server = TcpServer::spawn(Doubler, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = TcpTransport::connect(addr).unwrap();
+                    for j in 0..5 {
+                        let resp = client
+                            .request(&Message::RankRequest {
+                                query_id: i * 100 + j,
+                                k: 1,
+                                terms: vec![],
+                            })
+                            .unwrap();
+                        assert!(matches!(
+                            resp,
+                            Message::RankResponse { query_id, .. } if query_id == (i * 100 + j) * 2
+                        ));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn remote_error_surfaces_as_neterror() {
+        let server = TcpServer::spawn(Doubler, "127.0.0.1:0").unwrap();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        let err = client.request(&Message::StatsRequest).unwrap_err();
+        assert_eq!(err, NetError::Remote("nope".into()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_track_wire_bytes() {
+        let server = TcpServer::spawn(Doubler, "127.0.0.1:0").unwrap();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        let req = Message::RankRequest {
+            query_id: 1,
+            k: 1,
+            terms: vec![("term".into(), 2)],
+        };
+        client.request(&req).unwrap();
+        assert_eq!(client.stats().bytes_sent, req.wire_len() as u64);
+        assert!(client.stats().bytes_received > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn frame_helpers_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(NetError::Corrupt("frame too large"))
+        ));
+    }
+}

@@ -1,0 +1,244 @@
+//! The transport abstraction and the in-process implementation.
+//!
+//! A [`Service`] is the server side of the protocol (a librarian); a
+//! [`Transport`] is a receptionist's handle to one librarian. All
+//! transports run requests through the binary codec so that
+//! [`TrafficStats`] reflect true wire costs even in-process — the
+//! simulation driver charges exactly these byte counts to the modelled
+//! network.
+
+use crate::message::Message;
+use crate::NetError;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The server side of the protocol: anything that can answer a request.
+pub trait Service: Send {
+    /// Handles one request, producing a response ([`Message::Error`] for
+    /// failures).
+    fn handle(&mut self, request: Message) -> Message;
+}
+
+impl<F: FnMut(Message) -> Message + Send> Service for F {
+    fn handle(&mut self, request: Message) -> Message {
+        self(request)
+    }
+}
+
+/// Cumulative traffic counters for one transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Requests issued (== round trips; the protocol is synchronous).
+    pub round_trips: u64,
+    /// Bytes sent (encoded requests).
+    pub bytes_sent: u64,
+    /// Bytes received (encoded responses).
+    pub bytes_received: u64,
+}
+
+impl TrafficStats {
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent + self.bytes_received
+    }
+
+    /// Adds another transport's counters into this one.
+    pub fn absorb(&mut self, other: &TrafficStats) {
+        self.round_trips += other.round_trips;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+    }
+}
+
+/// A synchronous request/response channel to one librarian.
+pub trait Transport {
+    /// Sends `request` and waits for the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NetError`] on transport failure or when the peer
+    /// answers [`Message::Error`].
+    fn request(&mut self, request: &Message) -> Result<Message, NetError>;
+
+    /// Traffic counters accumulated so far.
+    fn stats(&self) -> TrafficStats;
+
+    /// The byte counts of the most recent request/response pair
+    /// `(sent, received)`; (0, 0) before any request.
+    fn last_exchange(&self) -> (u64, u64);
+}
+
+/// An in-process transport: requests are encoded, decoded by the service,
+/// and the response encoded back — byte-faithful but without sockets.
+///
+/// Cloning shares the underlying service but *not* the statistics: each
+/// clone counts its own traffic.
+#[derive(Debug)]
+pub struct InProcTransport<S: Service> {
+    service: Arc<Mutex<S>>,
+    stats: TrafficStats,
+    last: (u64, u64),
+}
+
+impl<S: Service> InProcTransport<S> {
+    /// Wraps a service.
+    pub fn new(service: S) -> Self {
+        InProcTransport {
+            service: Arc::new(Mutex::new(service)),
+            stats: TrafficStats::default(),
+            last: (0, 0),
+        }
+    }
+
+    /// Wraps an already-shared service (several receptionists talking to
+    /// one librarian).
+    pub fn from_shared(service: Arc<Mutex<S>>) -> Self {
+        InProcTransport {
+            service,
+            stats: TrafficStats::default(),
+            last: (0, 0),
+        }
+    }
+
+    /// The shared service handle.
+    pub fn service(&self) -> Arc<Mutex<S>> {
+        Arc::clone(&self.service)
+    }
+}
+
+impl<S: Service> Transport for InProcTransport<S> {
+    fn request(&mut self, request: &Message) -> Result<Message, NetError> {
+        let encoded = request.encode();
+        // Decode on the "server side" to prove the codec carries
+        // everything the service needs.
+        let decoded = Message::decode(&encoded)?;
+        let response = self.service.lock().handle(decoded);
+        let response_bytes = response.encode();
+        self.stats.round_trips += 1;
+        self.stats.bytes_sent += encoded.len() as u64;
+        self.stats.bytes_received += response_bytes.len() as u64;
+        self.last = (encoded.len() as u64, response_bytes.len() as u64);
+        let response = Message::decode(&response_bytes)?;
+        if let Message::Error { message } = response {
+            return Err(NetError::Remote(message));
+        }
+        Ok(response)
+    }
+
+    fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    fn last_exchange(&self) -> (u64, u64) {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A service that answers rank requests with a fixed ranking.
+    struct Echo;
+
+    impl Service for Echo {
+        fn handle(&mut self, request: Message) -> Message {
+            match request {
+                Message::RankRequest { query_id, k, .. } => Message::RankResponse {
+                    query_id,
+                    entries: (0..k.min(3)).map(|d| (d, 1.0 / f64::from(d + 1))).collect(),
+                },
+                Message::StatsRequest => Message::StatsResponse {
+                    num_docs: 42,
+                    term_freqs: vec![],
+                },
+                _ => Message::Error {
+                    message: "unsupported".into(),
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let mut t = InProcTransport::new(Echo);
+        let resp = t
+            .request(&Message::RankRequest {
+                query_id: 7,
+                k: 3,
+                terms: vec![("x".into(), 1)],
+            })
+            .unwrap();
+        match resp {
+            Message::RankResponse { query_id, entries } => {
+                assert_eq!(query_id, 7);
+                assert_eq!(entries.len(), 3);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_count_bytes_and_round_trips() {
+        let mut t = InProcTransport::new(Echo);
+        let req = Message::StatsRequest;
+        let req_len = req.wire_len() as u64;
+        t.request(&req).unwrap();
+        t.request(&req).unwrap();
+        let stats = t.stats();
+        assert_eq!(stats.round_trips, 2);
+        assert_eq!(stats.bytes_sent, 2 * req_len);
+        assert!(stats.bytes_received > 0);
+        assert_eq!(stats.total_bytes(), stats.bytes_sent + stats.bytes_received);
+        let (sent, received) = t.last_exchange();
+        assert_eq!(sent, req_len);
+        assert!(received > 0);
+    }
+
+    #[test]
+    fn remote_errors_become_neterror() {
+        let mut t = InProcTransport::new(Echo);
+        let err = t.request(&Message::IndexRequest).unwrap_err();
+        assert_eq!(err, NetError::Remote("unsupported".into()));
+        // The failed exchange is still counted (bytes did travel).
+        assert_eq!(t.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn closure_services_work() {
+        let mut t = InProcTransport::new(|_req: Message| Message::StatsResponse {
+            num_docs: 1,
+            term_freqs: vec![],
+        });
+        let resp = t.request(&Message::StatsRequest).unwrap();
+        assert!(matches!(resp, Message::StatsResponse { num_docs: 1, .. }));
+    }
+
+    #[test]
+    fn shared_service_multiple_transports() {
+        let t1 = InProcTransport::new(Echo);
+        let mut t2 = InProcTransport::from_shared(t1.service());
+        t2.request(&Message::StatsRequest).unwrap();
+        // t1's stats are untouched; t2 counted its own.
+        assert_eq!(t1.stats().round_trips, 0);
+        assert_eq!(t2.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn absorb_combines_counters() {
+        let mut a = TrafficStats {
+            round_trips: 1,
+            bytes_sent: 10,
+            bytes_received: 20,
+        };
+        let b = TrafficStats {
+            round_trips: 2,
+            bytes_sent: 5,
+            bytes_received: 1,
+        };
+        a.absorb(&b);
+        assert_eq!(a.round_trips, 3);
+        assert_eq!(a.bytes_sent, 15);
+        assert_eq!(a.bytes_received, 21);
+    }
+}

@@ -1,0 +1,150 @@
+//! Primitive wire encodings: little-endian integers, v-byte lengths,
+//! length-prefixed byte strings.
+//!
+//! Variable-length integers use the v-byte code from
+//! `teraphim-compress`, so small values (doc ids, list lengths, k) cost
+//! one byte — the protocol's sizes faithfully reflect "document
+//! identifiers are only a few bytes each".
+
+use crate::NetError;
+use teraphim_compress::codes::{read_vbyte, write_vbyte};
+
+/// Appends a variable-length unsigned integer.
+pub fn put_uint(out: &mut Vec<u8>, v: u64) {
+    write_vbyte(out, v);
+}
+
+/// Reads a variable-length unsigned integer.
+///
+/// # Errors
+///
+/// Returns [`NetError::Corrupt`] on truncation or overflow.
+pub fn get_uint(buf: &[u8], pos: &mut usize) -> Result<u64, NetError> {
+    read_vbyte(buf, pos).map_err(|_| NetError::Corrupt("varint"))
+}
+
+/// Appends an `f64` as its little-endian bit pattern.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Reads an `f64`.
+///
+/// # Errors
+///
+/// Returns [`NetError::Corrupt`] on truncation.
+pub fn get_f64(buf: &[u8], pos: &mut usize) -> Result<f64, NetError> {
+    let slice = buf
+        .get(*pos..*pos + 8)
+        .ok_or(NetError::Corrupt("f64 truncated"))?;
+    *pos += 8;
+    Ok(f64::from_bits(u64::from_le_bytes(
+        slice.try_into().expect("8 bytes"),
+    )))
+}
+
+/// Appends a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_uint(out, v.len() as u64);
+    out.extend_from_slice(v);
+}
+
+/// Reads a length-prefixed byte string.
+///
+/// # Errors
+///
+/// Returns [`NetError::Corrupt`] on truncation or an absurd length.
+pub fn get_bytes<'a>(buf: &'a [u8], pos: &mut usize) -> Result<&'a [u8], NetError> {
+    let len = get_uint(buf, pos)? as usize;
+    let slice = buf
+        .get(*pos..*pos + len)
+        .ok_or(NetError::Corrupt("bytes truncated"))?;
+    *pos += len;
+    Ok(slice)
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, v: &str) {
+    put_bytes(out, v.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+///
+/// # Errors
+///
+/// Returns [`NetError::Corrupt`] on truncation or invalid UTF-8.
+pub fn get_str(buf: &[u8], pos: &mut usize) -> Result<String, NetError> {
+    let bytes = get_bytes(buf, pos)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| NetError::Corrupt("string not UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_roundtrip() {
+        let mut out = Vec::new();
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            put_uint(&mut out, v);
+        }
+        let mut pos = 0;
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            assert_eq!(get_uint(&out, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, out.len());
+    }
+
+    #[test]
+    fn small_uints_are_one_byte() {
+        let mut out = Vec::new();
+        put_uint(&mut out, 42);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn f64_roundtrip_bit_exact() {
+        let mut out = Vec::new();
+        for v in [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, f64::NAN] {
+            put_f64(&mut out, v);
+        }
+        let mut pos = 0;
+        for v in [0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, f64::NAN] {
+            let got = get_f64(&out, &mut pos).unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn bytes_and_strings_roundtrip() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, b"hello");
+        put_str(&mut out, "wörld");
+        put_bytes(&mut out, b"");
+        let mut pos = 0;
+        assert_eq!(get_bytes(&out, &mut pos).unwrap(), b"hello");
+        assert_eq!(get_str(&out, &mut pos).unwrap(), "wörld");
+        assert_eq!(get_bytes(&out, &mut pos).unwrap(), b"");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut out = Vec::new();
+        put_str(&mut out, "hello world");
+        for cut in 0..out.len() {
+            let mut pos = 0;
+            assert!(get_str(&out[..cut], &mut pos).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut out = Vec::new();
+        put_bytes(&mut out, &[0xFF, 0xFE]);
+        let mut pos = 0;
+        assert_eq!(
+            get_str(&out, &mut pos),
+            Err(NetError::Corrupt("string not UTF-8"))
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! The calibrated cost model.
+//!
+//! Constants approximate the paper's 1997-era testbed (SPARC 10/20
+//! workstations, 10 Mbit ethernet, commodity SCSI disks, trans-Pacific
+//! Internet). Absolute values only set the scale of Tables 3/4; the
+//! *orderings and ratios* the reproduction targets come from the resource
+//! structure in [`crate::topology`]. Every constant lives here so that
+//! ablation sweeps can vary them.
+
+/// Cost constants for the simulated environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Average disk seek + rotational delay, seconds.
+    pub disk_seek: f64,
+    /// Sustained disk transfer rate, bytes/second.
+    pub disk_bandwidth: f64,
+    /// CPU time to decode and score one compressed posting, seconds.
+    pub cpu_per_posting: f64,
+    /// CPU time per candidate in sort/merge operations, seconds.
+    pub cpu_per_merge_item: f64,
+    /// Fixed per-query CPU overhead (parsing, vocabulary lookup), seconds.
+    pub cpu_query_overhead: f64,
+    /// CPU time to decompress one byte of document text, seconds.
+    pub cpu_per_doc_byte: f64,
+    /// Protocol overhead added to every message, bytes (headers,
+    /// framing, TCP/IP).
+    pub msg_overhead_bytes: usize,
+    /// Latency of a same-machine (IPC) message, seconds.
+    pub ipc_latency: f64,
+    /// Bandwidth of a same-machine transfer, bytes/second.
+    pub ipc_bandwidth: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            disk_seek: 0.010,        // 10 ms average seek, 1997 SCSI
+            disk_bandwidth: 2.0e6,   // 2 MB/s sustained
+            cpu_per_posting: 2.0e-6, // ~0.5 M postings/s on a SPARC 10
+            cpu_per_merge_item: 1.0e-6,
+            cpu_query_overhead: 0.050, // vocabulary lookups, setup
+            cpu_per_doc_byte: 0.2e-6,  // ~5 MB/s decompression
+            msg_overhead_bytes: 64,
+            ipc_latency: 50.0e-6,
+            ipc_bandwidth: 50.0e6,
+        }
+    }
+}
+
+impl CostModel {
+    /// The cost model used by the table reproductions.
+    ///
+    /// The synthetic corpus is ~50× smaller than TREC disk 2, so a
+    /// hardware-faithful CPU constant would make every configuration
+    /// complete in milliseconds and the disk/network structure would
+    /// drown in fixed overheads. Scaling `cpu_per_posting` by the corpus
+    /// ratio (2 µs → 100 µs) restores the paper's balance between CPU,
+    /// disk and network — equivalently, it simulates the original corpus
+    /// on the original SPARC at 1/50 scale. Orderings and ratios, which
+    /// are what the reproduction targets, are preserved; absolute
+    /// seconds land near the paper's Tables 3/4.
+    pub fn paper_scale() -> CostModel {
+        CostModel {
+            cpu_per_posting: 100.0e-6,
+            cpu_per_merge_item: 50.0e-6,
+            cpu_per_doc_byte: 10.0e-6,
+            ..CostModel::default()
+        }
+    }
+
+    /// CPU seconds to decode and score `postings` postings.
+    pub fn postings_cpu(&self, postings: u64) -> f64 {
+        self.cpu_query_overhead + postings as f64 * self.cpu_per_posting
+    }
+
+    /// CPU seconds to sort/merge `items` scored entries.
+    pub fn merge_cpu(&self, items: u64) -> f64 {
+        items as f64 * self.cpu_per_merge_item
+    }
+
+    /// CPU seconds to decompress `bytes` of document text.
+    pub fn decompress_cpu(&self, bytes: usize) -> f64 {
+        bytes as f64 * self.cpu_per_doc_byte
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive_and_sane() {
+        let c = CostModel::default();
+        assert!(c.disk_seek > 0.0 && c.disk_seek < 0.1);
+        assert!(c.disk_bandwidth > 1e5);
+        assert!(c.cpu_per_posting > 0.0 && c.cpu_per_posting < 1e-3);
+        assert!(c.ipc_latency < 1e-3);
+    }
+
+    #[test]
+    fn postings_cpu_is_affine() {
+        let c = CostModel::default();
+        let base = c.postings_cpu(0);
+        let thousand = c.postings_cpu(1000);
+        assert!((thousand - base - 1000.0 * c.cpu_per_posting).abs() < 1e-12);
+    }
+
+    #[test]
+    fn helper_costs_scale_linearly() {
+        let c = CostModel::default();
+        assert_eq!(c.merge_cpu(0), 0.0);
+        assert!((c.merge_cpu(2000) - 2.0 * c.merge_cpu(1000)).abs() < 1e-15);
+        assert!((c.decompress_cpu(4096) - 2.0 * c.decompress_cpu(2048)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn a_seek_dominates_small_transfers() {
+        // Reading a short inverted list is seek-bound: that is why the
+        // paper notes "one of the major costs ... is accessing the
+        // vocabulary and fetching the inverted lists ... repeated at each
+        // librarian".
+        let c = CostModel::default();
+        let small_transfer = 4096.0 / c.disk_bandwidth;
+        assert!(c.disk_seek > small_transfer);
+    }
+}

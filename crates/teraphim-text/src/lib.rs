@@ -1,0 +1,157 @@
+//! Text processing for TERAPHIM: tokenization, stopping, stemming and
+//! TREC-style SGML document parsing.
+//!
+//! The paper's query pipeline applies "simple transformations such as
+//! removal of stop-words" before evaluation; MG additionally case-folds
+//! and stems terms. This crate implements that pipeline:
+//!
+//! * [`tokenize`] — case-folded alphanumeric tokenization.
+//! * [`stopwords`] — the classic short English stop list.
+//! * [`stem`] — the Porter stemming algorithm.
+//! * [`sgml`] — parsing of TREC-format `<DOC>` collections.
+//! * [`Analyzer`] — the composed pipeline used by indexing and querying.
+//!
+//! # Examples
+//!
+//! ```
+//! use teraphim_text::Analyzer;
+//!
+//! let analyzer = Analyzer::default();
+//! let terms = analyzer.analyze("The Libraries' distributed RETRIEVAL systems!");
+//! assert_eq!(terms, vec!["librari", "distribut", "retriev", "system"]);
+//! ```
+
+pub mod sgml;
+pub mod stem;
+pub mod stopwords;
+pub mod tokenize;
+
+use std::fmt;
+
+/// The composed text-analysis pipeline: tokenize → stop → stem.
+///
+/// The same analyzer instance must be used for indexing and querying a
+/// collection; TERAPHIM requires all librarians and receptionists to share
+/// it (the paper's "librarians and receptionist are similar enough to
+/// share information such as vocabulary").
+#[derive(Debug, Clone)]
+pub struct Analyzer {
+    stop: bool,
+    stem: bool,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl Default for Analyzer {
+    fn default() -> Self {
+        Analyzer {
+            stop: true,
+            stem: true,
+            min_len: 1,
+            max_len: 64,
+        }
+    }
+}
+
+impl fmt::Display for Analyzer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "analyzer(stop={}, stem={}, len={}..={})",
+            self.stop, self.stem, self.min_len, self.max_len
+        )
+    }
+}
+
+impl Analyzer {
+    /// Creates the default pipeline (stopping and stemming enabled).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An analyzer that neither stops nor stems (raw case-folded tokens).
+    pub fn raw() -> Self {
+        Analyzer {
+            stop: false,
+            stem: false,
+            ..Self::default()
+        }
+    }
+
+    /// Enables or disables stop-word removal.
+    pub fn with_stopping(mut self, stop: bool) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Enables or disables Porter stemming.
+    pub fn with_stemming(mut self, stem: bool) -> Self {
+        self.stem = stem;
+        self
+    }
+
+    /// True if stop-word removal is enabled.
+    pub fn stopping(&self) -> bool {
+        self.stop
+    }
+
+    /// True if Porter stemming is enabled.
+    pub fn stemming(&self) -> bool {
+        self.stem
+    }
+
+    /// Runs the full pipeline over `text`, returning index terms in
+    /// occurrence order (duplicates preserved).
+    pub fn analyze(&self, text: &str) -> Vec<String> {
+        tokenize::tokenize(text)
+            .filter(|tok| tok.len() >= self.min_len && tok.len() <= self.max_len)
+            .filter(|tok| !self.stop || !stopwords::is_stopword(tok))
+            .map(|tok| if self.stem { stem::stem(&tok) } else { tok })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_pipeline_stops_and_stems() {
+        let a = Analyzer::default();
+        assert_eq!(a.analyze("the running of THE dogs"), vec!["run", "dog"]);
+    }
+
+    #[test]
+    fn raw_pipeline_preserves_tokens() {
+        let a = Analyzer::raw();
+        assert_eq!(
+            a.analyze("The Running of the Dogs"),
+            vec!["the", "running", "of", "the", "dogs"]
+        );
+    }
+
+    #[test]
+    fn builder_toggles_compose() {
+        let a = Analyzer::new().with_stopping(false).with_stemming(true);
+        assert_eq!(a.analyze("the cats"), vec!["the", "cat"]);
+        let a = Analyzer::new().with_stopping(true).with_stemming(false);
+        assert_eq!(a.analyze("the cats"), vec!["cats"]);
+    }
+
+    #[test]
+    fn duplicates_are_preserved_in_order() {
+        let a = Analyzer::raw();
+        assert_eq!(a.analyze("b a b"), vec!["b", "a", "b"]);
+    }
+
+    #[test]
+    fn empty_text_gives_no_terms() {
+        assert!(Analyzer::default().analyze("").is_empty());
+        assert!(Analyzer::default().analyze("  ,,, !!!").is_empty());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Analyzer::default()).is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Case-folded alphanumeric tokenization.
+//!
+//! A token is a maximal run of alphanumeric characters, lower-cased.
+//! Apostrophes inside a word (`libraries'`, `don't`) are dropped rather
+//! than splitting the word, matching the behaviour of classic IR
+//! tokenizers.
+
+/// Iterator over the tokens of a text. Produced by [`tokenize`].
+#[derive(Debug, Clone)]
+pub struct Tokens<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Iterator for Tokens<'a> {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        // Skip separators.
+        let start = self
+            .rest
+            .char_indices()
+            .find(|(_, c)| c.is_alphanumeric())
+            .map(|(i, _)| i)?;
+        self.rest = &self.rest[start..];
+        // Take the maximal word run, permitting embedded apostrophes when
+        // followed by another alphanumeric character.
+        let mut end = 0;
+        let mut chars = self.rest.char_indices().peekable();
+        while let Some((i, c)) = chars.next() {
+            if c.is_alphanumeric() {
+                end = i + c.len_utf8();
+            } else if c == '\'' {
+                match chars.peek() {
+                    Some(&(_, d)) if d.is_alphanumeric() => continue,
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        let word = &self.rest[..end];
+        self.rest = &self.rest[end..];
+        let token: String = word
+            .chars()
+            .filter(|c| *c != '\'')
+            .flat_map(char::to_lowercase)
+            .collect();
+        Some(token)
+    }
+}
+
+/// Tokenizes `text` into lower-cased alphanumeric tokens.
+///
+/// # Examples
+///
+/// ```
+/// use teraphim_text::tokenize::tokenize;
+///
+/// let tokens: Vec<String> = tokenize("Don't panic, TREC-2!").collect();
+/// assert_eq!(tokens, vec!["dont", "panic", "trec", "2"]);
+/// ```
+pub fn tokenize(text: &str) -> Tokens<'_> {
+    Tokens { rest: text }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(text: &str) -> Vec<String> {
+        tokenize(text).collect()
+    }
+
+    #[test]
+    fn splits_on_punctuation_and_whitespace() {
+        assert_eq!(
+            toks("alpha, beta;gamma.delta"),
+            vec!["alpha", "beta", "gamma", "delta"]
+        );
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(toks("ALPHA Beta"), vec!["alpha", "beta"]);
+    }
+
+    #[test]
+    fn keeps_digits() {
+        assert_eq!(toks("trec2 1998 b52"), vec!["trec2", "1998", "b52"]);
+    }
+
+    #[test]
+    fn internal_apostrophes_fold_into_the_word() {
+        assert_eq!(
+            toks("don't libraries' o'clock"),
+            vec!["dont", "libraries", "oclock"]
+        );
+    }
+
+    #[test]
+    fn trailing_apostrophe_terminates_the_word() {
+        assert_eq!(toks("cats' "), vec!["cats"]);
+    }
+
+    #[test]
+    fn unicode_letters_are_tokens() {
+        assert_eq!(toks("café naïve"), vec!["café", "naïve"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_inputs() {
+        assert!(toks("").is_empty());
+        assert!(toks("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn hyphenated_words_split() {
+        assert_eq!(toks("mono-server"), vec!["mono", "server"]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn tokens_are_lowercase_alphanumeric(text in ".{0,300}") {
+            for tok in tokenize(&text) {
+                prop_assert!(!tok.is_empty());
+                prop_assert!(tok.chars().all(|c| c.is_alphanumeric()));
+                // Fully folded: some characters (e.g. 𝑨) have no lowercase
+                // mapping, so compare against to_lowercase instead of
+                // asserting absence of uppercase.
+                prop_assert_eq!(tok.to_lowercase(), tok);
+            }
+        }
+
+        #[test]
+        fn tokenize_never_panics(text in "\\PC{0,500}") {
+            let _ = tokenize(&text).count();
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Effectiveness evaluation: run the generated query sets through every
+//! methodology and report 11-point average recall-precision and relevant
+//! documents in the top 20 (the Table 1 measures).
+//!
+//! ```sh
+//! cargo run --release --example effectiveness_eval
+//! ```
+
+use teraphim::core::{DistributedCollection, Methodology};
+use teraphim::corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim::eval::{Judgments, QueryEval, SetEval};
+use teraphim::text::sgml::TrecDoc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(42));
+    let judgments = Judgments::from_qrels(&corpus.qrels());
+    let parts: Vec<(&str, &[TrecDoc])> = corpus
+        .subcollections()
+        .iter()
+        .map(|s| (s.name.as_str(), s.docs.as_slice()))
+        .collect();
+    let system = DistributedCollection::build(&parts)?;
+
+    for (label, queries) in [
+        ("long queries", corpus.long_queries()),
+        ("short queries", corpus.short_queries()),
+    ] {
+        println!("{label} ({} queries):", queries.len());
+        for methodology in Methodology::ALL {
+            let mut evals = Vec::new();
+            for query in queries {
+                // The paper evaluates 11-pt precision over the top 1000.
+                let ranking = system.ranked_docnos(methodology, &query.text, 1000)?;
+                evals.push(QueryEval::evaluate(&judgments, query.id, &ranking));
+            }
+            let set = SetEval::from_evals(&evals);
+            println!("  {methodology}: {set}");
+        }
+        println!();
+    }
+    Ok(())
+}

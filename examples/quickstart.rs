@@ -1,0 +1,68 @@
+//! Quickstart: generate a corpus, build a distributed collection, and
+//! run the same query under all three methodologies.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use teraphim::core::{DistributedCollection, Methodology};
+use teraphim::corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim::text::sgml::TrecDoc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small deterministic corpus: four subcollections (AP, FR, WSJ,
+    // ZIFF), topics, queries and relevance judgments all derived from
+    // seed 42.
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(42));
+    println!(
+        "corpus: {} subcollections, {} documents, {} KB of text",
+        corpus.subcollections().len(),
+        corpus.spec().total_docs(),
+        corpus.text_bytes() / 1024
+    );
+
+    // One librarian per subcollection, plus the CV/CI preprocessing.
+    let parts: Vec<(&str, &[TrecDoc])> = corpus
+        .subcollections()
+        .iter()
+        .map(|s| (s.name.as_str(), s.docs.as_slice()))
+        .collect();
+    let system = DistributedCollection::build(&parts)?;
+    println!(
+        "receptionist state: central vocabulary {} KB, central index {} KB",
+        system.cv_vocabulary_bytes() / 1024,
+        system.ci_index_bytes() / 1024
+    );
+
+    // Ask the first short query under each methodology.
+    let query = &corpus.short_queries()[0].text;
+    println!("\nquery: {query}\n");
+    for methodology in Methodology::ALL {
+        let hits = system.query(methodology, query, 5)?;
+        let docs = system.fetch(&hits, true)?;
+        println!("{methodology} top {}:", hits.len());
+        for (hit, doc) in hits.iter().zip(&docs) {
+            println!(
+                "  {:<12} score {:.4}  (librarian {}) {}…",
+                doc.docno,
+                hit.score,
+                hit.librarian,
+                doc.text
+                    .as_deref()
+                    .unwrap_or("")
+                    .chars()
+                    .take(40)
+                    .collect::<String>()
+            );
+        }
+        println!();
+    }
+
+    let traffic = system.traffic();
+    println!(
+        "total wire traffic: {} round trips, {} KB",
+        traffic.round_trips,
+        traffic.total_bytes() / 1024
+    );
+    Ok(())
+}

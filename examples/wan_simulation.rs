@@ -1,0 +1,80 @@
+//! WAN simulation: replay a query under every methodology on the paper's
+//! four hardware configurations and print the per-phase latency
+//! breakdown (the machinery behind Tables 3 and 4).
+//!
+//! ```sh
+//! cargo run --example wan_simulation
+//! ```
+
+use teraphim::core::sim::{SimDriver, SimMode};
+use teraphim::core::{CiParams, Methodology};
+use teraphim::corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim::simnet::{CostModel, Topology};
+use teraphim::text::sgml::TrecDoc;
+use teraphim::text::Analyzer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(13));
+    let parts: Vec<(&str, &[TrecDoc])> = corpus
+        .subcollections()
+        .iter()
+        .map(|s| (s.name.as_str(), s.docs.as_slice()))
+        .collect();
+    let mut driver = SimDriver::new(&parts, Analyzer::default(), CiParams::default())?;
+
+    let query = &corpus.short_queries()[0].text;
+    let k = 20;
+    let cost = CostModel::default();
+    let topologies = [
+        Topology::mono_disk(parts.len()),
+        Topology::multi_disk(parts.len()),
+        Topology::lan(),
+        Topology::wan(),
+    ];
+    let modes = [
+        SimMode::MonoServer,
+        SimMode::Distributed(Methodology::CentralNothing),
+        SimMode::Distributed(Methodology::CentralVocabulary),
+        SimMode::Distributed(Methodology::CentralIndex),
+    ];
+
+    println!("query: {query}\nk = {k}, G = 10, k' = 100\n");
+    println!(
+        "{:<6} {:<12} {:>12} {:>12} {:>12} {:>10}",
+        "mode", "config", "index (s)", "total (s)", "fetch (s)", "wire KB"
+    );
+    for topo in &topologies {
+        for mode in modes {
+            // MS only makes sense on a single machine.
+            if mode == SimMode::MonoServer && topo.name != "mono-disk" {
+                continue;
+            }
+            let c = driver.time_query(topo, &cost, mode, query, k)?;
+            println!(
+                "{:<6} {:<12} {:>12.4} {:>12.4} {:>12.4} {:>10.1}",
+                mode.to_string(),
+                topo.name,
+                c.index_time,
+                c.total_time,
+                c.total_time - c.index_time,
+                c.bytes_on_wire as f64 / 1024.0
+            );
+        }
+        println!();
+    }
+
+    // The Table 2 connectivity check: simulated pings.
+    println!("WAN site round-trip times (paper Table 2):");
+    let wan = Topology::wan_table2_order();
+    let net = teraphim::simnet::SimNetwork::new(&wan, CostModel::default());
+    for (i, (site, hops, ping)) in Topology::table2_sites().iter().enumerate() {
+        println!(
+            "  {:<10} {:>2} hops  measured {:.2} s  simulated {:.2} s",
+            site,
+            hops,
+            ping,
+            net.ping(i)
+        );
+    }
+    Ok(())
+}

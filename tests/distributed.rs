@@ -1,0 +1,243 @@
+//! Cross-crate integration tests: corpus → librarians → receptionist →
+//! evaluation, for every methodology and transport.
+
+use teraphim::core::{CiParams, DistributedCollection, Librarian, Methodology, Receptionist};
+use teraphim::corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim::engine::Collection;
+use teraphim::net::InProcTransport;
+use teraphim::text::sgml::TrecDoc;
+use teraphim::text::Analyzer;
+
+fn corpus() -> SyntheticCorpus {
+    SyntheticCorpus::generate(&CorpusSpec::small(21))
+}
+
+fn parts(corpus: &SyntheticCorpus) -> Vec<(&str, &[TrecDoc])> {
+    corpus
+        .subcollections()
+        .iter()
+        .map(|s| (s.name.as_str(), s.docs.as_slice()))
+        .collect()
+}
+
+/// The mono-server baseline over the concatenated collection.
+fn mono(corpus: &SyntheticCorpus) -> Collection {
+    let all: Vec<TrecDoc> = corpus
+        .subcollections()
+        .iter()
+        .flat_map(|s| s.docs.iter().cloned())
+        .collect();
+    Collection::build("MS", Analyzer::default(), &all)
+}
+
+/// §4: "with vocabularies held at the receptionist, effectiveness is
+/// identical to that of a MS system" — CV scores must equal MS scores
+/// *exactly*, not approximately.
+#[test]
+fn cv_ranking_is_bit_identical_to_mono_server() {
+    let corpus = corpus();
+    let system = DistributedCollection::build(&parts(&corpus)).unwrap();
+    let ms = mono(&corpus);
+
+    for query in corpus.short_queries().iter().take(6) {
+        let k = 30;
+        let cv_hits = system
+            .query(Methodology::CentralVocabulary, &query.text, k)
+            .unwrap();
+        let cv_docnos = system
+            .ranked_docnos(Methodology::CentralVocabulary, &query.text, k)
+            .unwrap();
+        let ms_hits = ms.ranked_query(&query.text, k);
+        assert_eq!(cv_hits.len(), ms_hits.len(), "query {}", query.id);
+        for (i, (cv, msh)) in cv_hits.iter().zip(&ms_hits).enumerate() {
+            assert!(
+                (cv.score - msh.score).abs() < 1e-12,
+                "query {} rank {i}: CV {} vs MS {}",
+                query.id,
+                cv.score,
+                msh.score
+            );
+            // Same document, identified externally.
+            assert_eq!(
+                cv_docnos[i],
+                ms.docno(msh.doc),
+                "query {} rank {i}",
+                query.id
+            );
+        }
+    }
+}
+
+/// CI with ample k' must agree with CV on the top k: candidate scoring
+/// uses the same global weights over the same documents.
+#[test]
+fn ci_with_large_k_prime_matches_cv_top_k() {
+    let corpus = corpus();
+    let system = DistributedCollection::build_with(
+        &parts(&corpus),
+        Analyzer::default(),
+        CiParams {
+            group_size: 10,
+            // Expand every group: candidates = whole collection.
+            k_prime: 1000,
+        },
+    )
+    .unwrap();
+    for query in corpus.short_queries().iter().take(4) {
+        let k = 15;
+        let cv: Vec<String> = system
+            .ranked_docnos(Methodology::CentralVocabulary, &query.text, k)
+            .unwrap();
+        let ci: Vec<String> = system
+            .ranked_docnos(Methodology::CentralIndex, &query.text, k)
+            .unwrap();
+        assert_eq!(cv, ci, "query {}", query.id);
+    }
+}
+
+/// CN uses local statistics, so for at least some queries its merged
+/// ranking must differ from CV's (otherwise the methodology distinction
+/// is vacuous on this corpus).
+#[test]
+fn cn_differs_from_cv_somewhere() {
+    let corpus = corpus();
+    let system = DistributedCollection::build(&parts(&corpus)).unwrap();
+    let mut any_difference = false;
+    for query in corpus.short_queries() {
+        let cn = system
+            .ranked_docnos(Methodology::CentralNothing, &query.text, 20)
+            .unwrap();
+        let cv = system
+            .ranked_docnos(Methodology::CentralVocabulary, &query.text, 20)
+            .unwrap();
+        if cn != cv {
+            any_difference = true;
+            break;
+        }
+    }
+    assert!(any_difference, "CN never differed from CV");
+}
+
+/// Every methodology returns the same documents regardless of transport:
+/// in-process librarians against a second, independently built system.
+#[test]
+fn results_are_deterministic_across_rebuilds() {
+    let corpus = corpus();
+    let a = DistributedCollection::build(&parts(&corpus)).unwrap();
+    let b = DistributedCollection::build(&parts(&corpus)).unwrap();
+    for methodology in Methodology::ALL {
+        for query in corpus.short_queries().iter().take(3) {
+            let ra = a.ranked_docnos(methodology, &query.text, 10).unwrap();
+            let rb = b.ranked_docnos(methodology, &query.text, 10).unwrap();
+            assert_eq!(ra, rb, "{methodology} query {}", query.id);
+        }
+    }
+}
+
+/// Fetched documents round-trip exactly through compressed transfer.
+#[test]
+fn fetched_documents_match_source_text() {
+    let corpus = corpus();
+    let system = DistributedCollection::build(&parts(&corpus)).unwrap();
+    let query = &corpus.short_queries()[0].text;
+    let hits = system
+        .query(Methodology::CentralVocabulary, query, 5)
+        .unwrap();
+    let docs = system.fetch(&hits, true).unwrap();
+    for doc in &docs {
+        let original = corpus
+            .subcollections()
+            .iter()
+            .flat_map(|s| &s.docs)
+            .find(|d| d.docno == doc.docno)
+            .expect("document exists in corpus");
+        assert_eq!(doc.text.as_deref(), Some(original.text.as_str()));
+    }
+}
+
+/// An empty subcollection must not break any methodology.
+#[test]
+fn empty_subcollection_is_tolerated() {
+    let corpus = corpus();
+    let mut p = parts(&corpus);
+    let empty: [TrecDoc; 0] = [];
+    p.push(("EMPTY", &empty));
+    let system = DistributedCollection::build(&p).unwrap();
+    for methodology in Methodology::ALL {
+        let hits = system
+            .query(methodology, &corpus.short_queries()[0].text, 10)
+            .unwrap();
+        assert!(!hits.is_empty(), "{methodology}");
+    }
+}
+
+/// Single-document subcollections exercise short groups and tiny
+/// vocabularies.
+#[test]
+fn single_document_subcollections_work() {
+    let docs_a = [TrecDoc {
+        docno: "A-1".into(),
+        text: "solitary document about distributed retrieval".into(),
+    }];
+    let docs_b = [TrecDoc {
+        docno: "B-1".into(),
+        text: "another lonely text about compression".into(),
+    }];
+    let system = DistributedCollection::build(&[("A", &docs_a[..]), ("B", &docs_b[..])]).unwrap();
+    for methodology in Methodology::ALL {
+        let docnos = system.ranked_docnos(methodology, "retrieval", 5).unwrap();
+        assert_eq!(docnos, vec!["A-1".to_string()], "{methodology}");
+    }
+}
+
+/// The 43-way split of §4: CN effectiveness holds up with many more,
+/// unevenly sized subcollections (here: rankings stay plausible and the
+/// system stays consistent; the effectiveness comparison itself is in
+/// the bench binary `split43`).
+#[test]
+fn many_way_split_works_end_to_end() {
+    let corpus = corpus();
+    let subs = teraphim::corpus::splits::split_into(&corpus, 17);
+    let owned: Vec<(&str, &[TrecDoc])> = subs
+        .iter()
+        .map(|s| (s.name.as_str(), s.docs.as_slice()))
+        .collect();
+    let system = DistributedCollection::build(&owned).unwrap();
+    assert_eq!(system.num_librarians(), 17);
+    let query = &corpus.short_queries()[0].text;
+    // CV on the 17-way split must equal CV on the 4-way split (both are
+    // bit-identical to MS).
+    let four_way = DistributedCollection::build(&parts(&corpus)).unwrap();
+    let a = system
+        .ranked_docnos(Methodology::CentralVocabulary, query, 20)
+        .unwrap();
+    let b = four_way
+        .ranked_docnos(Methodology::CentralVocabulary, query, 20)
+        .unwrap();
+    assert_eq!(a, b);
+}
+
+/// A receptionist without preprocessing can still run CN (its defining
+/// property), and reports missing state for CV/CI.
+#[test]
+fn cn_needs_no_global_state() {
+    let corpus = corpus();
+    let transports: Vec<InProcTransport<Librarian>> = corpus
+        .subcollections()
+        .iter()
+        .map(|s| InProcTransport::new(Librarian::build(&s.name, Analyzer::default(), &s.docs)))
+        .collect();
+    let mut r = Receptionist::new(transports, Analyzer::default());
+    assert!(!r.has_cv());
+    assert!(!r.has_ci());
+    let hits = r
+        .query(
+            Methodology::CentralNothing,
+            &corpus.short_queries()[0].text,
+            10,
+        )
+        .unwrap();
+    assert!(!hits.is_empty());
+    assert!(r.query(Methodology::CentralVocabulary, "x", 10).is_err());
+    assert!(r.query(Methodology::CentralIndex, "x", 10).is_err());
+}

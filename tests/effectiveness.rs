@@ -1,0 +1,202 @@
+//! Effectiveness-shape tests: the qualitative structure of the paper's
+//! Table 1 must hold on the synthetic corpus.
+
+use teraphim::core::{CiParams, DistributedCollection, Methodology};
+use teraphim::corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim::eval::{Judgments, QueryEval, SetEval};
+use teraphim::text::sgml::TrecDoc;
+use teraphim::text::Analyzer;
+
+fn evaluate(
+    system: &DistributedCollection,
+    corpus: &SyntheticCorpus,
+    judgments: &Judgments,
+    methodology: Methodology,
+    depth: usize,
+) -> SetEval {
+    let evals: Vec<QueryEval> = corpus
+        .short_queries()
+        .iter()
+        .map(|q| {
+            let ranking = system.ranked_docnos(methodology, &q.text, depth).unwrap();
+            QueryEval::evaluate(judgments, q.id, &ranking)
+        })
+        .collect();
+    SetEval::from_evals(&evals)
+}
+
+fn build(corpus: &SyntheticCorpus, k_prime: usize) -> DistributedCollection {
+    let parts: Vec<(&str, &[TrecDoc])> = corpus
+        .subcollections()
+        .iter()
+        .map(|s| (s.name.as_str(), s.docs.as_slice()))
+        .collect();
+    DistributedCollection::build_with(
+        &parts,
+        Analyzer::default(),
+        CiParams {
+            group_size: 10,
+            k_prime,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn retrieval_finds_relevant_documents_at_all() {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(77));
+    let judgments = Judgments::from_qrels(&corpus.qrels());
+    let system = build(&corpus, 36);
+    let cv = evaluate(
+        &system,
+        &corpus,
+        &judgments,
+        Methodology::CentralVocabulary,
+        360,
+    );
+    // The generative ground truth makes topical queries easy: effectiveness
+    // must be far above chance.
+    assert!(
+        cv.eleven_point_pct > 30.0,
+        "CV 11-pt only {:.2}%",
+        cv.eleven_point_pct
+    );
+    assert!(cv.relevant_in_top_20 > 1.0);
+}
+
+/// Table 1 shape: CN's local statistics change effectiveness only
+/// mildly relative to CV (the paper even saw CN slightly *better*).
+#[test]
+fn cn_is_close_to_cv() {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(77));
+    let judgments = Judgments::from_qrels(&corpus.qrels());
+    let system = build(&corpus, 36);
+    let cv = evaluate(
+        &system,
+        &corpus,
+        &judgments,
+        Methodology::CentralVocabulary,
+        360,
+    );
+    let cn = evaluate(
+        &system,
+        &corpus,
+        &judgments,
+        Methodology::CentralNothing,
+        360,
+    );
+    let ratio = cn.eleven_point_pct / cv.eleven_point_pct;
+    assert!(
+        (0.7..=1.3).contains(&ratio),
+        "CN {:.2}% vs CV {:.2}% (ratio {ratio:.2})",
+        cn.eleven_point_pct,
+        cv.eleven_point_pct
+    );
+}
+
+/// Table 1 shape: a small k' caps recall and depresses the 11-pt average
+/// (the paper: CI k'=100 scored 10.49% vs 23.07% for MS on long
+/// queries), while large k' recovers CV-level effectiveness.
+#[test]
+fn small_k_prime_hurts_eleven_point_large_recovers() {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(77));
+    let judgments = Judgments::from_qrels(&corpus.qrels());
+    // k' = 2 expands only 20 candidate documents per query.
+    let small = build(&corpus, 2);
+    let large = build(&corpus, 36); // all groups
+    let depth = 360;
+    let ci_small = evaluate(&small, &corpus, &judgments, Methodology::CentralIndex, 20);
+    let ci_large = evaluate(
+        &large,
+        &corpus,
+        &judgments,
+        Methodology::CentralIndex,
+        depth,
+    );
+    let cv = evaluate(
+        &large,
+        &corpus,
+        &judgments,
+        Methodology::CentralVocabulary,
+        depth,
+    );
+    assert!(
+        ci_small.eleven_point_pct < ci_large.eleven_point_pct,
+        "small k' {:.2}% should trail large k' {:.2}%",
+        ci_small.eleven_point_pct,
+        ci_large.eleven_point_pct
+    );
+    assert!(
+        (ci_large.eleven_point_pct - cv.eleven_point_pct).abs() < 1e-9,
+        "full expansion must equal CV exactly"
+    );
+}
+
+/// Table 1 shape: precision in the top 20 is relatively insensitive to
+/// k' ("small values of k' may be used without the usefulness of the
+/// result being substantially eroded").
+#[test]
+fn precision_at_20_is_insensitive_to_k_prime() {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(77));
+    let judgments = Judgments::from_qrels(&corpus.qrels());
+    // k' = 12 of 36 groups: deep-ranking recall is capped (the paper's
+    // "unsurprising that 11-point effectiveness is very low"), but the
+    // top-20 screen should survive nearly intact.
+    let small = build(&corpus, 12);
+    let large = build(&corpus, 36);
+    let ci_small_20 = evaluate(&small, &corpus, &judgments, Methodology::CentralIndex, 20);
+    let ci_large_20 = evaluate(&large, &corpus, &judgments, Methodology::CentralIndex, 20);
+    let ci_small_deep = evaluate(&small, &corpus, &judgments, Methodology::CentralIndex, 120);
+    let ci_large_deep = evaluate(&large, &corpus, &judgments, Methodology::CentralIndex, 360);
+
+    let rel20_retention = ci_small_20.relevant_in_top_20 / ci_large_20.relevant_in_top_20;
+    let eleven_retention = ci_small_deep.eleven_point_pct / ci_large_deep.eleven_point_pct;
+    assert!(
+        rel20_retention >= 0.85,
+        "rel@20 dropped too much: {:.2} -> {:.2}",
+        ci_large_20.relevant_in_top_20,
+        ci_small_20.relevant_in_top_20
+    );
+    assert!(
+        rel20_retention > eleven_retention,
+        "rel@20 ({rel20_retention:.2}) should be less sensitive to k' than \
+         the 11-pt average ({eleven_retention:.2})"
+    );
+}
+
+/// §4's 43-subcollection experiment: CN effectiveness on a many-way,
+/// unevenly sized split is "only marginally poorer".
+#[test]
+fn cn_survives_many_way_split() {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(77));
+    let judgments = Judgments::from_qrels(&corpus.qrels());
+    let four = build(&corpus, 36);
+    let subs = teraphim::corpus::splits::split_into(&corpus, 20);
+    let split_parts: Vec<(&str, &[TrecDoc])> = subs
+        .iter()
+        .map(|s| (s.name.as_str(), s.docs.as_slice()))
+        .collect();
+    let many = DistributedCollection::build(&split_parts).unwrap();
+
+    let eval_cn = |system: &DistributedCollection| {
+        let evals: Vec<QueryEval> = corpus
+            .short_queries()
+            .iter()
+            .map(|q| {
+                let ranking = system
+                    .ranked_docnos(Methodology::CentralNothing, &q.text, 360)
+                    .unwrap();
+                QueryEval::evaluate(&judgments, q.id, &ranking)
+            })
+            .collect();
+        SetEval::from_evals(&evals)
+    };
+    let four_way = eval_cn(&four);
+    let many_way = eval_cn(&many);
+    assert!(
+        many_way.eleven_point_pct > 0.6 * four_way.eleven_point_pct,
+        "20-way CN {:.2}% collapsed vs 4-way {:.2}%",
+        many_way.eleven_point_pct,
+        four_way.eleven_point_pct
+    );
+}

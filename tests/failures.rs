@@ -1,0 +1,188 @@
+//! Failure injection: the receptionist must surface librarian and
+//! transport failures as errors, never as silently wrong rankings.
+
+use teraphim::core::{Librarian, Methodology, Receptionist};
+use teraphim::net::{InProcTransport, Message, NetError, Service, Transport};
+use teraphim::text::Analyzer;
+
+/// A service that fails a configurable subset of requests and otherwise
+/// delegates to a real librarian.
+struct Faulty {
+    inner: Librarian,
+    fail_ranks: bool,
+    fail_fetches: bool,
+    garble_query_ids: bool,
+}
+
+impl Faulty {
+    fn wrap(inner: Librarian) -> Faulty {
+        Faulty {
+            inner,
+            fail_ranks: false,
+            fail_fetches: false,
+            garble_query_ids: false,
+        }
+    }
+}
+
+impl Service for Faulty {
+    fn handle(&mut self, request: Message) -> Message {
+        match &request {
+            Message::RankRequest { .. } | Message::RankWeightedRequest { .. }
+                if self.fail_ranks =>
+            {
+                return Message::Error {
+                    message: "injected rank failure".into(),
+                }
+            }
+            Message::FetchDocsRequest { .. } if self.fail_fetches => {
+                return Message::Error {
+                    message: "injected fetch failure".into(),
+                }
+            }
+            _ => {}
+        }
+        let response = self.inner.handle(request);
+        if self.garble_query_ids {
+            if let Message::RankResponse { query_id, entries } = response {
+                return Message::RankResponse {
+                    query_id: query_id.wrapping_add(1),
+                    entries,
+                };
+            }
+        }
+        response
+    }
+}
+
+fn faulty_receptionist(
+    configure: impl Fn(usize, &mut Faulty),
+) -> Receptionist<InProcTransport<Faulty>> {
+    let libs = [
+        Librarian::from_texts("A", &[("A-1", "cats and dogs"), ("A-2", "just cats")]),
+        Librarian::from_texts("B", &[("B-1", "dogs alone"), ("B-2", "cats dogs birds")]),
+    ];
+    let transports = libs
+        .into_iter()
+        .enumerate()
+        .map(|(i, lib)| {
+            let mut faulty = Faulty::wrap(lib);
+            configure(i, &mut faulty);
+            InProcTransport::new(faulty)
+        })
+        .collect();
+    Receptionist::new(transports, Analyzer::default())
+}
+
+#[test]
+fn healthy_baseline_works() {
+    let mut r = faulty_receptionist(|_, _| {});
+    let hits = r.query(Methodology::CentralNothing, "cats", 4).unwrap();
+    assert!(!hits.is_empty());
+}
+
+#[test]
+fn rank_failure_at_one_librarian_fails_the_query() {
+    let mut r = faulty_receptionist(|i, f| f.fail_ranks = i == 1);
+    let err = r.query(Methodology::CentralNothing, "cats", 4).unwrap_err();
+    let message = format!("{err}");
+    assert!(
+        message.contains("injected rank failure"),
+        "unexpected error: {message}"
+    );
+}
+
+#[test]
+fn fetch_failure_surfaces_after_successful_ranking() {
+    let mut r = faulty_receptionist(|i, f| f.fail_fetches = i == 0);
+    let hits = r.query(Methodology::CentralNothing, "cats", 4).unwrap();
+    assert!(!hits.is_empty());
+    let err = r.fetch(&hits, true).unwrap_err();
+    assert!(format!("{err}").contains("injected fetch failure"));
+}
+
+#[test]
+fn mismatched_query_ids_are_rejected() {
+    let mut r = faulty_receptionist(|_, f| f.garble_query_ids = true);
+    let err = r.query(Methodology::CentralNothing, "cats", 4).unwrap_err();
+    assert!(format!("{err}").contains("unexpected"));
+}
+
+#[test]
+fn cv_setup_failure_leaves_receptionist_usable_for_cn() {
+    // A librarian that rejects StatsRequest: enable_cv fails, but CN
+    // still works (its defining property — no setup needed).
+    struct NoStats(Librarian);
+    impl Service for NoStats {
+        fn handle(&mut self, request: Message) -> Message {
+            match request {
+                Message::StatsRequest => Message::Error {
+                    message: "stats unavailable".into(),
+                },
+                other => self.0.handle(other),
+            }
+        }
+    }
+    let transports = vec![InProcTransport::new(NoStats(Librarian::from_texts(
+        "A",
+        &[("A-1", "cats and dogs")],
+    )))];
+    let mut r = Receptionist::new(transports, Analyzer::default());
+    assert!(r.enable_cv().is_err());
+    assert!(!r.has_cv());
+    let hits = r.query(Methodology::CentralNothing, "cats", 2).unwrap();
+    assert_eq!(hits.len(), 1);
+}
+
+#[test]
+fn corrupt_index_bytes_fail_ci_setup() {
+    struct BadIndex(Librarian);
+    impl Service for BadIndex {
+        fn handle(&mut self, request: Message) -> Message {
+            match request {
+                Message::IndexRequest => Message::IndexResponse {
+                    index_bytes: vec![0xDE, 0xAD, 0xBE, 0xEF],
+                },
+                other => self.0.handle(other),
+            }
+        }
+    }
+    let transports = vec![InProcTransport::new(BadIndex(Librarian::from_texts(
+        "A",
+        &[("A-1", "cats")],
+    )))];
+    let mut r = Receptionist::new(transports, Analyzer::default());
+    let err = r.enable_ci(Default::default()).unwrap_err();
+    assert!(format!("{err}").contains("index") || format!("{err}").contains("corrupt"));
+}
+
+#[test]
+fn transport_disconnect_is_an_error_not_a_hang() {
+    // A TCP transport whose server dies mid-session.
+    use teraphim::net::tcp::{TcpServer, TcpTransport};
+    let server = TcpServer::spawn(
+        Librarian::from_texts("A", &[("A-1", "cats")]),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = server.addr();
+    let mut transport = TcpTransport::connect(addr).unwrap();
+    // First request succeeds.
+    let ok = transport.request(&Message::StatsRequest);
+    assert!(ok.is_ok());
+    // Kill the server, then the next request must error.
+    server.shutdown();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let result = transport.request(&Message::StatsRequest);
+    match result {
+        Err(NetError::Io(_)) | Err(NetError::Disconnected) => {}
+        other => {
+            // Depending on socket timing the first write can still be
+            // buffered; a second request must then fail.
+            if other.is_ok() {
+                let second = transport.request(&Message::StatsRequest);
+                assert!(second.is_err(), "request after shutdown succeeded twice");
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The simulation driver must be *behaviourally* identical to the real
+//! receptionist: same methodology logic, same rankings. Only the clock
+//! is virtual.
+
+use teraphim::core::sim::{SimDriver, SimMode};
+use teraphim::core::{CiParams, DistributedCollection, Methodology};
+use teraphim::corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim::simnet::{CostModel, Topology};
+use teraphim::text::sgml::TrecDoc;
+use teraphim::text::Analyzer;
+
+fn setup() -> (SyntheticCorpus, DistributedCollection, SimDriver) {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(33));
+    let parts: Vec<(&str, &[TrecDoc])> = corpus
+        .subcollections()
+        .iter()
+        .map(|s| (s.name.as_str(), s.docs.as_slice()))
+        .collect();
+    let ci = CiParams {
+        group_size: 10,
+        k_prime: 100,
+    };
+    let system = DistributedCollection::build_with(&parts, Analyzer::default(), ci).unwrap();
+    let driver = SimDriver::new(&parts, Analyzer::default(), ci).unwrap();
+    (corpus, system, driver)
+}
+
+#[test]
+fn simulated_rankings_equal_real_rankings() {
+    let (corpus, system, mut driver) = setup();
+    let topo = Topology::multi_disk(4);
+    let cost = CostModel::default();
+    for methodology in Methodology::ALL {
+        for query in corpus.short_queries().iter().take(5) {
+            let real = system.query(methodology, &query.text, 20).unwrap();
+            let sim = driver
+                .time_query(
+                    &topo,
+                    &cost,
+                    SimMode::Distributed(methodology),
+                    &query.text,
+                    20,
+                )
+                .unwrap();
+            let real_pairs: Vec<(usize, u32)> = real.iter().map(|h| (h.librarian, h.doc)).collect();
+            assert_eq!(
+                sim.hits, real_pairs,
+                "{methodology} query {} diverged",
+                query.id
+            );
+        }
+    }
+}
+
+#[test]
+fn simulated_times_are_invariant_across_repeats() {
+    let (corpus, _system, mut driver) = setup();
+    let topo = Topology::wan();
+    let cost = CostModel::default();
+    let q = &corpus.short_queries()[0].text;
+    let mode = SimMode::Distributed(Methodology::CentralVocabulary);
+    let a = driver.time_query(&topo, &cost, mode, q, 20).unwrap();
+    let b = driver.time_query(&topo, &cost, mode, q, 20).unwrap();
+    assert_eq!(a, b, "fresh resource state must make runs identical");
+}
+
+#[test]
+fn table3_orderings_hold_on_the_synthetic_corpus() {
+    let (corpus, _system, mut driver) = setup();
+    let cost = CostModel::default();
+    let queries: Vec<&str> = corpus
+        .short_queries()
+        .iter()
+        .take(6)
+        .map(|q| q.text.as_str())
+        .collect();
+    let k = 20;
+
+    let mut time_for = |topo: &Topology, mode: SimMode| {
+        driver
+            .time_query_set(topo, &cost, mode, &queries, k)
+            .unwrap()
+    };
+
+    let cn = Methodology::CentralNothing;
+    let cv = Methodology::CentralVocabulary;
+    let ci = Methodology::CentralIndex;
+
+    // Multi-disk is no slower than mono-disk for every methodology.
+    for m in [cn, cv, ci] {
+        let (mono_idx, _) = time_for(&Topology::mono_disk(4), SimMode::Distributed(m));
+        let (multi_idx, _) = time_for(&Topology::multi_disk(4), SimMode::Distributed(m));
+        assert!(
+            multi_idx <= mono_idx + 1e-9,
+            "{m}: multi {multi_idx} vs mono {mono_idx}"
+        );
+    }
+
+    // WAN is the slowest configuration for every methodology, by a wide
+    // margin (network latency dominates).
+    for m in [cn, cv, ci] {
+        let (lan_idx, lan_tot) = time_for(&Topology::lan(), SimMode::Distributed(m));
+        let (wan_idx, wan_tot) = time_for(&Topology::wan(), SimMode::Distributed(m));
+        assert!(
+            wan_idx > 2.0 * lan_idx,
+            "{m}: wan {wan_idx} vs lan {lan_idx}"
+        );
+        assert!(wan_tot > lan_tot, "{m}: totals");
+    }
+
+    // CI's index phase is slower than CV's in every configuration
+    // (sequential central-index processing), as in Table 3.
+    for topo in [
+        Topology::mono_disk(4),
+        Topology::multi_disk(4),
+        Topology::lan(),
+        Topology::wan(),
+    ] {
+        let (cv_idx, _) = time_for(&topo, SimMode::Distributed(cv));
+        let (ci_idx, _) = time_for(&topo, SimMode::Distributed(ci));
+        assert!(
+            ci_idx > cv_idx,
+            "{}: CI {ci_idx} should exceed CV {cv_idx}",
+            topo.name
+        );
+    }
+
+    // Table 4's WAN crossover: CI total time beats CN/CV total time
+    // because its document fetches are bundled.
+    let (_, cn_tot) = time_for(&Topology::wan(), SimMode::Distributed(cn));
+    let (_, cv_tot) = time_for(&Topology::wan(), SimMode::Distributed(cv));
+    let (_, ci_tot) = time_for(&Topology::wan(), SimMode::Distributed(ci));
+    assert!(ci_tot < cn_tot, "CI {ci_tot} vs CN {cn_tot}");
+    assert!(ci_tot < cv_tot, "CI {ci_tot} vs CV {cv_tot}");
+}
+
+/// The paper's conclusion as an invariant: every distributed methodology
+/// consumes more *total* CPU than the mono-server, even where its
+/// response time is lower — "distributed information retrieval systems
+/// can be fast and effective, but they are not efficient".
+#[test]
+fn distribution_is_fast_but_not_efficient() {
+    let (corpus, _system, mut driver) = setup();
+    let topo = Topology::multi_disk(4);
+    let ms_topo = Topology::mono_disk(1);
+    let cost = CostModel::default();
+    let queries: Vec<&str> = corpus
+        .short_queries()
+        .iter()
+        .take(6)
+        .map(|q| q.text.as_str())
+        .collect();
+    let mut total_cpu = |topo: &Topology, mode: SimMode| -> f64 {
+        queries
+            .iter()
+            .map(|q| {
+                driver
+                    .time_query(topo, &cost, mode, q, 20)
+                    .expect("simulation")
+                    .cpu_busy
+            })
+            .sum()
+    };
+    let ms_cpu = total_cpu(&ms_topo, SimMode::MonoServer);
+    for m in Methodology::ALL {
+        let cpu = total_cpu(&topo, SimMode::Distributed(m));
+        assert!(
+            cpu > ms_cpu,
+            "{m}: distributed CPU {cpu} should exceed MS {ms_cpu}"
+        );
+    }
+}
+
+#[test]
+fn ms_baseline_matches_mono_collection_ranking() {
+    let (corpus, _system, mut driver) = setup();
+    let topo = Topology::mono_disk(1);
+    let cost = CostModel::default();
+    let q = &corpus.short_queries()[2].text;
+    let sim = driver
+        .time_query(&topo, &cost, SimMode::MonoServer, q, 10)
+        .unwrap();
+    let ms_hits = driver.mono().ranked_query(q, 10);
+    let expected: Vec<(usize, u32)> = ms_hits.iter().map(|h| (0usize, h.doc)).collect();
+    assert_eq!(sim.hits, expected);
+}

@@ -1,0 +1,99 @@
+//! End-to-end over real TCP on loopback: the same queries must produce
+//! the same rankings as the in-process transport.
+
+use teraphim::core::{CiParams, DistributedCollection, Librarian, Methodology, Receptionist};
+use teraphim::corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim::net::tcp::{TcpServer, TcpTransport};
+use teraphim::text::sgml::TrecDoc;
+use teraphim::text::Analyzer;
+
+#[test]
+fn tcp_and_inproc_agree_on_all_methodologies() {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(55));
+    let parts: Vec<(&str, &[TrecDoc])> = corpus
+        .subcollections()
+        .iter()
+        .map(|s| (s.name.as_str(), s.docs.as_slice()))
+        .collect();
+
+    // In-process reference.
+    let reference = DistributedCollection::build_with(
+        &parts,
+        Analyzer::default(),
+        CiParams {
+            group_size: 10,
+            k_prime: 50,
+        },
+    )
+    .unwrap();
+
+    // TCP cluster.
+    let servers: Vec<TcpServer> = corpus
+        .subcollections()
+        .iter()
+        .map(|s| {
+            TcpServer::spawn(
+                Librarian::build(&s.name, Analyzer::default(), &s.docs),
+                "127.0.0.1:0",
+            )
+            .unwrap()
+        })
+        .collect();
+    let transports: Vec<TcpTransport> = servers
+        .iter()
+        .map(|s| TcpTransport::connect(s.addr()).unwrap())
+        .collect();
+    let mut tcp = Receptionist::new(transports, Analyzer::default());
+    tcp.enable_cv().unwrap();
+    tcp.enable_ci(CiParams {
+        group_size: 10,
+        k_prime: 50,
+    })
+    .unwrap();
+
+    for methodology in Methodology::ALL {
+        for query in corpus.short_queries().iter().take(3) {
+            let expected = reference
+                .ranked_docnos(methodology, &query.text, 15)
+                .unwrap();
+            let got = tcp.ranked_docnos(methodology, &query.text, 15).unwrap();
+            assert_eq!(got, expected, "{methodology} query {}", query.id);
+        }
+    }
+
+    // Compressed document fetch over TCP round-trips.
+    let hits = tcp
+        .query(
+            Methodology::CentralVocabulary,
+            &corpus.short_queries()[0].text,
+            3,
+        )
+        .unwrap();
+    let docs = tcp.fetch(&hits, true).unwrap();
+    assert_eq!(docs.len(), 3);
+    assert!(docs.iter().all(|d| d.text.is_some()));
+
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+#[test]
+fn tcp_traffic_is_counted() {
+    let docs = [TrecDoc {
+        docno: "X-1".into(),
+        text: "a single document".into(),
+    }];
+    let server = TcpServer::spawn(
+        Librarian::build("X", Analyzer::default(), &docs),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let transport = TcpTransport::connect(server.addr()).unwrap();
+    let mut r = Receptionist::new(vec![transport], Analyzer::default());
+    r.query(Methodology::CentralNothing, "document", 5).unwrap();
+    let traffic = r.traffic();
+    assert_eq!(traffic.round_trips, 1);
+    assert!(traffic.bytes_sent > 0 && traffic.bytes_received > 0);
+    server.shutdown();
+}
