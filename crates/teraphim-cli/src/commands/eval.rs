@@ -108,7 +108,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     };
 
     let set = SetEval::from_evals(&evals);
-    outln!("queries evaluated: {} (of {} supplied)", set.queries, queries.len());
+    outln!(
+        "queries evaluated: {} (of {} supplied)",
+        set.queries,
+        queries.len()
+    );
     outln!("11-pt average:     {:.2}%", set.eleven_point_pct);
     outln!("relevant in top 20: {:.2}", set.relevant_in_top_20);
     outln!("MAP:               {:.4}", set.map);

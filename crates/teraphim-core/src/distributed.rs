@@ -11,7 +11,7 @@ use crate::librarian::Librarian;
 use crate::methodology::{CiParams, Methodology};
 use crate::receptionist::{FetchedDoc, GlobalHit, Receptionist};
 use crate::TeraphimError;
-use parking_lot::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use teraphim_net::InProcTransport;
 use teraphim_text::sgml::TrecDoc;
 use teraphim_text::Analyzer;
@@ -92,6 +92,12 @@ impl DistributedCollection {
         self.num_librarians
     }
 
+    fn lock(&self) -> MutexGuard<'_, Receptionist<InProcTransport<Librarian>>> {
+        self.receptionist
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Evaluates a ranked query, returning the global top `k`.
     ///
     /// # Errors
@@ -103,7 +109,7 @@ impl DistributedCollection {
         query: &str,
         k: usize,
     ) -> Result<Vec<GlobalHit>, TeraphimError> {
-        self.receptionist.lock().query(methodology, query, k)
+        self.lock().query(methodology, query, k)
     }
 
     /// Queries and resolves external document identifiers.
@@ -117,9 +123,7 @@ impl DistributedCollection {
         query: &str,
         k: usize,
     ) -> Result<Vec<String>, TeraphimError> {
-        self.receptionist
-            .lock()
-            .ranked_docnos(methodology, query, k)
+        self.lock().ranked_docnos(methodology, query, k)
     }
 
     /// Fetches the documents of a ranking (step 4 of the model).
@@ -128,28 +132,32 @@ impl DistributedCollection {
     ///
     /// Propagates receptionist failures.
     pub fn fetch(&self, hits: &[GlobalHit], plain: bool) -> Result<Vec<FetchedDoc>, TeraphimError> {
-        self.receptionist.lock().fetch(hits, plain)
+        self.lock().fetch(hits, plain)
     }
 
     /// Central-vocabulary size in bytes.
     pub fn cv_vocabulary_bytes(&self) -> usize {
-        self.receptionist
-            .lock()
+        self.lock()
             .cv_vocabulary_bytes()
             .expect("CV enabled at build time")
     }
 
     /// Central-index size in bytes.
     pub fn ci_index_bytes(&self) -> usize {
-        self.receptionist
-            .lock()
+        self.lock()
             .ci_index_bytes()
             .expect("CI enabled at build time")
     }
 
     /// Aggregate wire traffic so far.
     pub fn traffic(&self) -> teraphim_net::TrafficStats {
-        self.receptionist.lock().traffic()
+        self.lock().traffic()
+    }
+
+    /// Switches the receptionist between concurrent and sequential
+    /// subquery fan-out (rankings are identical; elapsed time differs).
+    pub fn set_dispatch_mode(&self, mode: teraphim_net::DispatchMode) {
+        self.lock().set_dispatch_mode(mode);
     }
 }
 
@@ -219,6 +227,19 @@ mod tests {
         assert!(s.cv_vocabulary_bytes() > 0);
         assert!(s.ci_index_bytes() > 0);
         assert_eq!(s.num_librarians(), 2);
+    }
+
+    #[test]
+    fn dispatch_modes_agree() {
+        let s = system();
+        let conc = s
+            .query(Methodology::CentralVocabulary, "cat file", 3)
+            .unwrap();
+        s.set_dispatch_mode(teraphim_net::DispatchMode::Sequential);
+        let seq = s
+            .query(Methodology::CentralVocabulary, "cat file", 3)
+            .unwrap();
+        assert_eq!(conc, seq);
     }
 
     #[test]

@@ -8,36 +8,40 @@
 //! local statistics (CN). This is the transparency property the paper
 //! requires — any subcollection can serve several receptionists at once.
 
-use teraphim_engine::{ranking, Collection};
+use teraphim_engine::{ranking, Collection, RankScratch};
 use teraphim_net::{Message, Service};
 use teraphim_text::sgml::TrecDoc;
 use teraphim_text::Analyzer;
 
 /// A librarian serving one subcollection.
+///
+/// Ranking scratch buffers (accumulator map, candidate vectors) live on
+/// the librarian and are reused across the query stream, so steady-state
+/// query evaluation allocates no fresh hash tables.
 #[derive(Debug)]
 pub struct Librarian {
     collection: Collection,
+    scratch: RankScratch,
 }
 
 impl Librarian {
     /// Builds a librarian over parsed documents.
     pub fn build(name: &str, analyzer: Analyzer, docs: &[TrecDoc]) -> Self {
-        Librarian {
-            collection: Collection::build(name, analyzer, docs),
-        }
+        Self::from_collection(Collection::build(name, analyzer, docs))
     }
 
     /// Builds a librarian from `(docno, text)` pairs with the default
     /// analyzer.
     pub fn from_texts(name: &str, docs: &[(&str, &str)]) -> Self {
-        Librarian {
-            collection: Collection::from_texts(name, docs),
-        }
+        Self::from_collection(Collection::from_texts(name, docs))
     }
 
     /// Wraps an existing collection (e.g. one loaded from disk).
     pub fn from_collection(collection: Collection) -> Self {
-        Librarian { collection }
+        Librarian {
+            collection,
+            scratch: RankScratch::new(),
+        }
     }
 
     /// The underlying collection.
@@ -87,7 +91,8 @@ impl Librarian {
                     .filter_map(|(t, f)| index.vocab().term_id(t).map(|id| (id, *f)))
                     .collect();
                 let weighted = ranking::local_weights(index, &pairs);
-                let hits = ranking::rank(index, &weighted, k as usize);
+                let hits =
+                    ranking::rank_with_scratch(index, &weighted, k as usize, &mut self.scratch);
                 Message::RankResponse {
                     query_id,
                     entries: hits.into_iter().map(|h| (h.doc, h.score)).collect(),
@@ -96,7 +101,11 @@ impl Librarian {
             Message::RankWeightedRequest { query_id, k, terms } => {
                 // Central Vocabulary: the receptionist supplies global
                 // weights, so scores are identical to a mono-server run.
-                let hits = self.collection.ranked_query_weighted(&terms, k as usize);
+                let hits = self.collection.ranked_query_weighted_scratch(
+                    &terms,
+                    k as usize,
+                    &mut self.scratch,
+                );
                 Message::RankResponse {
                     query_id,
                     entries: hits.into_iter().map(|h| (h.doc, h.score)).collect(),
@@ -106,7 +115,11 @@ impl Librarian {
                 query_id,
                 terms,
                 candidates,
-            } => match self.collection.score_candidates(&terms, &candidates) {
+            } => match self.collection.score_candidates_scratch(
+                &terms,
+                &candidates,
+                &mut self.scratch,
+            ) {
                 Ok((scores, postings_decoded)) => Message::ScoreResponse {
                     query_id,
                     entries: scores.into_iter().map(|s| (s.doc, s.score)).collect(),

@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use teraphim_engine::ranking::{self, ScoredDoc};
 use teraphim_index::similarity;
 use teraphim_index::{CollectionStats, DocId, GroupedIndex, InvertedIndex, Vocabulary};
-use teraphim_net::{Message, TrafficStats, Transport};
+use teraphim_net::{dispatch, dispatch_collect, DispatchMode, Message, TrafficStats, Transport};
 use teraphim_text::Analyzer;
 
 /// A merged ranking entry: which librarian owns the document.
@@ -96,11 +96,14 @@ pub struct Receptionist<T: Transport> {
     cv: Option<CvState>,
     ci: Option<CiState>,
     next_query_id: u32,
+    dispatch: DispatchMode,
 }
 
 impl<T: Transport> Receptionist<T> {
     /// Creates a Central-Nothing-capable receptionist: all it knows is
-    /// the librarian list.
+    /// the librarian list. Subqueries fan out concurrently by default
+    /// (the paper's parallel-librarians model, where elapsed time is the
+    /// maximum of the librarians' times).
     pub fn new(transports: Vec<T>, analyzer: Analyzer) -> Self {
         Receptionist {
             transports,
@@ -108,12 +111,24 @@ impl<T: Transport> Receptionist<T> {
             cv: None,
             ci: None,
             next_query_id: 0,
+            dispatch: DispatchMode::default(),
         }
     }
 
     /// Number of librarians.
     pub fn num_librarians(&self) -> usize {
         self.transports.len()
+    }
+
+    /// How subqueries are issued to the librarians.
+    pub fn dispatch_mode(&self) -> DispatchMode {
+        self.dispatch
+    }
+
+    /// Switches between concurrent and sequential fan-out. Rankings are
+    /// identical in both modes; only elapsed time differs.
+    pub fn set_dispatch_mode(&mut self, mode: DispatchMode) {
+        self.dispatch = mode;
     }
 
     /// Fetches and merges every librarian's vocabulary and statistics —
@@ -127,8 +142,15 @@ impl<T: Transport> Receptionist<T> {
         let mut stats = CollectionStats::new();
         let mut selection = crate::selection::SelectionState::new();
         let mut total_docs = 0u64;
-        for transport in &mut self.transports {
-            match transport.request(&Message::StatsRequest)? {
+        // The exchanges overlap, but responses are *processed* in
+        // librarian order: `intern` assigns term ids in first-seen
+        // order, and the merged vocabulary must not depend on which
+        // librarian answered fastest.
+        let requests = vec![Some(Message::StatsRequest); self.transports.len()];
+        let responses =
+            dispatch_collect::<_, TeraphimError>(self.dispatch, &mut self.transports, requests)?;
+        for response in responses.into_iter().flatten() {
+            match response {
                 Message::StatsResponse {
                     num_docs,
                     term_freqs,
@@ -143,11 +165,7 @@ impl<T: Transport> Receptionist<T> {
                     }
                     selection.push_librarian(local);
                 }
-                other => {
-                    return Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
-                        "unexpected response to StatsRequest: {other:?}"
-                    ))))
-                }
+                other => return Err(unexpected("StatsRequest", &other)),
             }
         }
         stats.set_num_docs(total_docs);
@@ -167,16 +185,17 @@ impl<T: Transport> Receptionist<T> {
     /// Propagates transport and index-decoding failures.
     pub fn enable_ci(&mut self, params: CiParams) -> Result<(), TeraphimError> {
         let mut indexes = Vec::with_capacity(self.transports.len());
-        for transport in &mut self.transports {
-            match transport.request(&Message::IndexRequest)? {
+        // As with CV setup, decode in librarian order: the grouped
+        // index's layout depends on subcollection order.
+        let requests = vec![Some(Message::IndexRequest); self.transports.len()];
+        let responses =
+            dispatch_collect::<_, TeraphimError>(self.dispatch, &mut self.transports, requests)?;
+        for response in responses.into_iter().flatten() {
+            match response {
                 Message::IndexResponse { index_bytes } => {
                     indexes.push(InvertedIndex::from_bytes(&index_bytes)?);
                 }
-                other => {
-                    return Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
-                        "unexpected response to IndexRequest: {other:?}"
-                    ))))
-                }
+                other => return Err(unexpected("IndexRequest", &other)),
             }
         }
         let refs: Vec<&InvertedIndex> = indexes.iter().collect();
@@ -270,12 +289,8 @@ impl<T: Transport> Receptionist<T> {
             k: k as u32,
             terms: terms.to_vec(),
         };
-        let mut lists = Vec::with_capacity(self.transports.len());
-        for (lib, transport) in self.transports.iter_mut().enumerate() {
-            let response = transport.request(&request)?;
-            lists.push(ranking_entries(response, query_id, lib)?);
-        }
-        Ok(merge_top_k(&lists, k))
+        let requests = vec![Some(request); self.transports.len()];
+        self.rank_fanout(query_id, requests, k)
     }
 
     fn query_cv(
@@ -294,12 +309,33 @@ impl<T: Transport> Receptionist<T> {
             k: k as u32,
             terms: weighted,
         };
-        let mut lists = Vec::with_capacity(self.transports.len());
-        for (lib, transport) in self.transports.iter_mut().enumerate() {
-            let response = transport.request(&request)?;
-            lists.push(ranking_entries(response, query_id, lib)?);
-        }
-        Ok(merge_top_k(&lists, k))
+        let requests = vec![Some(request); self.transports.len()];
+        self.rank_fanout(query_id, requests, k)
+    }
+
+    /// Fans `requests` out to the librarians and folds each ranking
+    /// reply into the running merged top `k` *as it arrives* — merging
+    /// overlaps the slower librarians' work. `merge_rankings` is a total
+    /// order (score, doc, librarian), so the result is identical no
+    /// matter which librarian answers first.
+    fn rank_fanout(
+        &mut self,
+        query_id: u32,
+        requests: Vec<Option<Message>>,
+        k: usize,
+    ) -> Result<Vec<GlobalHit>, TeraphimError> {
+        let mut merged: Vec<(ScoredDoc, usize)> = Vec::new();
+        dispatch::<_, TeraphimError>(
+            self.dispatch,
+            &mut self.transports,
+            requests,
+            &mut |lib, response| {
+                let entries = ranking_entries(response, query_id, lib)?;
+                fold_ranking(&mut merged, entries, k);
+                Ok(())
+            },
+        )?;
+        Ok(into_global_hits(merged))
     }
 
     fn query_ci(
@@ -333,38 +369,41 @@ impl<T: Transport> Receptionist<T> {
         let expanded = ci.grouped.expand_groups(&group_ids);
 
         // Document-level global weights accompany the scoring request so
-        // librarian scores are globally comparable (as in CV).
+        // librarian scores are globally comparable (as in CV). Only the
+        // librarians owning expanded candidates are contacted.
         let doc_weights = global_weights_from_grouped(&ci.grouped, terms);
 
-        let mut lists = Vec::with_capacity(expanded.len());
+        let mut requests: Vec<Option<Message>> = Vec::new();
+        requests.resize_with(self.transports.len(), || None);
         for (part, candidates) in expanded {
-            let request = Message::ScoreCandidatesRequest {
+            requests[part as usize] = Some(Message::ScoreCandidatesRequest {
                 query_id,
                 terms: doc_weights.clone(),
                 candidates,
-            };
-            let response = self.transports[part as usize].request(&request)?;
-            match response {
+            });
+        }
+        let mut merged: Vec<(ScoredDoc, usize)> = Vec::new();
+        dispatch::<_, TeraphimError>(
+            self.dispatch,
+            &mut self.transports,
+            requests,
+            &mut |lib, response| match response {
                 Message::ScoreResponse {
                     query_id: qid,
                     entries,
                     ..
                 } if qid == query_id => {
-                    lists.push(
-                        entries
-                            .into_iter()
-                            .map(|(doc, score)| (ScoredDoc { doc, score }, part as usize))
-                            .collect::<Vec<_>>(),
-                    );
+                    let list: Vec<(ScoredDoc, usize)> = entries
+                        .into_iter()
+                        .map(|(doc, score)| (ScoredDoc { doc, score }, lib))
+                        .collect();
+                    fold_ranking(&mut merged, list, k);
+                    Ok(())
                 }
-                other => {
-                    return Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
-                        "unexpected response to ScoreCandidatesRequest: {other:?}"
-                    ))))
-                }
-            }
-        }
-        Ok(merge_top_k(&lists, k))
+                other => Err(unexpected("ScoreCandidatesRequest", &other)),
+            },
+        )?;
+        Ok(into_global_hits(merged))
     }
 
     /// Ranks librarians by GlOSS-style goodness for a query (requires CV
@@ -417,12 +456,12 @@ impl<T: Transport> Receptionist<T> {
             k: k as u32,
             terms: weighted,
         };
-        let mut lists = Vec::with_capacity(selected.len());
+        let mut requests: Vec<Option<Message>> = vec![None; self.transports.len()];
         for &lib in &selected {
-            let response = self.transports[lib].request(&request)?;
-            lists.push(ranking_entries(response, query_id, lib)?);
+            requests[lib] = Some(request.clone());
         }
-        Ok((merge_top_k(&lists, k), selected))
+        let hits = self.rank_fanout(query_id, requests, k)?;
+        Ok((hits, selected))
     }
 
     /// Evaluates a Boolean query at every librarian; "the overall result
@@ -442,21 +481,28 @@ impl<T: Transport> Receptionist<T> {
             query_id,
             expr: expr.to_owned(),
         };
-        let mut result = Vec::new();
-        for (lib, transport) in self.transports.iter_mut().enumerate() {
-            match transport.request(&request)? {
+        // Collect into per-librarian slots so the documented
+        // librarian-then-document order holds under concurrent arrival.
+        let mut per_lib: Vec<Vec<DocId>> = vec![Vec::new(); self.transports.len()];
+        let requests = vec![Some(request); self.transports.len()];
+        dispatch::<_, TeraphimError>(
+            self.dispatch,
+            &mut self.transports,
+            requests,
+            &mut |lib, response| match response {
                 Message::BooleanResponse {
                     query_id: qid,
                     docs,
                 } if qid == query_id => {
-                    result.extend(docs.into_iter().map(|d| (lib, d)));
+                    per_lib[lib] = docs;
+                    Ok(())
                 }
-                other => {
-                    return Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
-                        "unexpected response to BooleanRequest: {other:?}"
-                    ))))
-                }
-            }
+                other => Err(unexpected("BooleanRequest", &other)),
+            },
+        )?;
+        let mut result = Vec::new();
+        for (lib, docs) in per_lib.into_iter().enumerate() {
+            result.extend(docs.into_iter().map(|d| (lib, d)));
         }
         Ok(result)
     }
@@ -481,29 +527,31 @@ impl<T: Transport> Receptionist<T> {
         for hit in hits {
             per_lib.entry(hit.librarian).or_default().push(hit.doc);
         }
-        let mut fetched: HashMap<(usize, u32), (String, Vec<u8>)> = HashMap::new();
-        let mut libs: Vec<usize> = per_lib.keys().copied().collect();
-        libs.sort_unstable();
-        for lib in libs {
-            let docs = per_lib.remove(&lib).expect("key exists");
-            let response = self.transports[lib].request(&Message::FetchDocsRequest {
+        let mut requests: Vec<Option<Message>> = vec![None; self.transports.len()];
+        for (lib, docs) in per_lib {
+            requests[lib] = Some(Message::FetchDocsRequest {
                 query_id,
                 docs,
                 plain,
-            })?;
-            match response {
+            });
+        }
+        // Responses land in a map keyed by (librarian, doc), so arrival
+        // order is irrelevant; output order is re-imposed from `hits`.
+        let mut fetched: HashMap<(usize, u32), (String, Vec<u8>)> = HashMap::new();
+        dispatch::<_, TeraphimError>(
+            self.dispatch,
+            &mut self.transports,
+            requests,
+            &mut |lib, response| match response {
                 Message::DocsResponse { docs, .. } => {
                     for (doc, docno, bytes) in docs {
                         fetched.insert((lib, doc), (docno, bytes));
                     }
+                    Ok(())
                 }
-                other => {
-                    return Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
-                        "unexpected response to FetchDocsRequest: {other:?}"
-                    ))))
-                }
-            }
-        }
+                other => Err(unexpected("FetchDocsRequest", &other)),
+            },
+        )?;
         hits.iter()
             .map(|hit| {
                 let (docno, bytes) = fetched
@@ -543,26 +591,25 @@ impl<T: Transport> Receptionist<T> {
         for hit in hits {
             per_lib.entry(hit.librarian).or_default().push(hit.doc);
         }
+        let mut requests: Vec<Option<Message>> = vec![None; self.transports.len()];
+        for (lib, docs) in per_lib {
+            requests[lib] = Some(Message::FetchHeadersRequest { query_id, docs });
+        }
         let mut resolved: HashMap<(usize, u32), String> = HashMap::new();
-        let mut libs: Vec<usize> = per_lib.keys().copied().collect();
-        libs.sort_unstable();
-        for lib in libs {
-            let docs = per_lib.remove(&lib).expect("key exists");
-            let response =
-                self.transports[lib].request(&Message::FetchHeadersRequest { query_id, docs })?;
-            match response {
+        dispatch::<_, TeraphimError>(
+            self.dispatch,
+            &mut self.transports,
+            requests,
+            &mut |lib, response| match response {
                 Message::HeadersResponse { headers, .. } => {
                     for (doc, docno) in headers {
                         resolved.insert((lib, doc), docno);
                     }
+                    Ok(())
                 }
-                other => {
-                    return Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
-                        "unexpected response to FetchHeadersRequest: {other:?}"
-                    ))))
-                }
-            }
-        }
+                other => Err(unexpected("FetchHeadersRequest", &other)),
+            },
+        )?;
         hits.iter()
             .map(|hit| {
                 resolved
@@ -647,10 +694,19 @@ fn ranking_entries(
     }
 }
 
-/// Merges per-librarian scored lists "accepting at face value all
-/// supplied similarity values" and keeps the global top `k`.
-fn merge_top_k(lists: &[Vec<(ScoredDoc, usize)>], k: usize) -> Vec<GlobalHit> {
-    ranking::merge_rankings(lists, k)
+/// Folds one librarian's ranking into the running merged top `k`,
+/// "accepting at face value all supplied similarity values". Because
+/// `merge_rankings` imposes a total order, folding lists one at a time —
+/// in whatever order they arrive — produces the same top `k` as merging
+/// them all at once.
+fn fold_ranking(merged: &mut Vec<(ScoredDoc, usize)>, entries: Vec<(ScoredDoc, usize)>, k: usize) {
+    let prev = std::mem::take(merged);
+    *merged = ranking::merge_rankings(&[prev, entries], k);
+}
+
+/// Converts a merged `(score, librarian)` list into public hits.
+fn into_global_hits(merged: Vec<(ScoredDoc, usize)>) -> Vec<GlobalHit> {
+    merged
         .into_iter()
         .map(|(scored, lib)| GlobalHit {
             librarian: lib,
@@ -658,6 +714,13 @@ fn merge_top_k(lists: &[Vec<(ScoredDoc, usize)>], k: usize) -> Vec<GlobalHit> {
             score: scored.score,
         })
         .collect()
+}
+
+/// A response of the wrong variant for the request that was sent.
+fn unexpected(request_kind: &str, other: &Message) -> TeraphimError {
+    TeraphimError::Net(teraphim_net::NetError::Remote(format!(
+        "unexpected response to {request_kind}: {other:?}"
+    )))
 }
 
 #[cfg(test)]
@@ -846,5 +909,173 @@ mod tests {
         assert!(docnos
             .iter()
             .all(|d| d.starts_with('A') || d.starts_with('B')));
+    }
+
+    /// Runs a full tour of the API on one receptionist and returns every
+    /// observable output, for cross-mode comparison.
+    #[allow(clippy::type_complexity)]
+    fn tour(
+        r: &mut Receptionist<InProcTransport<Librarian>>,
+    ) -> (
+        Vec<Vec<GlobalHit>>,
+        Vec<(usize, DocId)>,
+        Vec<String>,
+        Vec<FetchedDoc>,
+    ) {
+        r.enable_cv().unwrap();
+        r.enable_ci(CiParams {
+            group_size: 2,
+            k_prime: 10,
+        })
+        .unwrap();
+        let mut rankings = Vec::new();
+        for methodology in [
+            Methodology::CentralNothing,
+            Methodology::CentralVocabulary,
+            Methodology::CentralIndex,
+        ] {
+            rankings.push(r.query(methodology, "cat dog compression", 6).unwrap());
+        }
+        rankings.push(r.query_selected("compression inverted", 5, 1).unwrap().0);
+        let boolean = r.boolean_query("cat AND dog").unwrap();
+        let cn = rankings[0].clone();
+        let headers = r.headers(&cn).unwrap();
+        let fetched = r.fetch(&cn, true).unwrap();
+        (rankings, boolean, headers, fetched)
+    }
+
+    #[test]
+    fn concurrent_dispatch_matches_sequential_everywhere() {
+        let mut seq = receptionist();
+        seq.set_dispatch_mode(DispatchMode::Sequential);
+        let mut conc = receptionist();
+        assert_eq!(conc.dispatch_mode(), DispatchMode::Concurrent);
+
+        let (rank_s, bool_s, head_s, fetch_s) = tour(&mut seq);
+        let (rank_c, bool_c, head_c, fetch_c) = tour(&mut conc);
+
+        assert_eq!(rank_s.len(), rank_c.len());
+        for (s, c) in rank_s.iter().zip(&rank_c) {
+            assert_eq!(s.len(), c.len());
+            for (a, b) in s.iter().zip(c) {
+                assert_eq!((a.librarian, a.doc), (b.librarian, b.doc));
+                // Identical arithmetic on both paths: bitwise equality.
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
+        assert_eq!(bool_s, bool_c);
+        assert_eq!(head_s, head_c);
+        assert_eq!(fetch_s, fetch_c);
+    }
+
+    #[test]
+    fn traffic_totals_match_across_dispatch_modes() {
+        let mut seq = receptionist();
+        seq.set_dispatch_mode(DispatchMode::Sequential);
+        let mut conc = receptionist();
+        tour(&mut seq);
+        tour(&mut conc);
+        assert_eq!(seq.traffic(), conc.traffic());
+        assert!(conc.traffic().round_trips > 0);
+    }
+
+    #[test]
+    fn shared_librarians_serve_concurrent_receptionists() {
+        // One set of librarians, three receptionists hammering them from
+        // separate threads with concurrent fan-out — every receptionist
+        // must see the reference ranking, and per-receptionist traffic
+        // must equal a lone sequential run's.
+        let base = receptionist();
+        let mut reference = receptionist();
+        reference.set_dispatch_mode(DispatchMode::Sequential);
+        let expected = reference
+            .query(Methodology::CentralNothing, "cat dog", 4)
+            .unwrap();
+        let expected_traffic = reference.traffic();
+
+        let services: Vec<_> = (0..base.num_librarians())
+            .map(|lib| base.transports[lib].service())
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let services = services.clone();
+                let expected = &expected;
+                s.spawn(move || {
+                    let transports = services.into_iter().map(InProcTransport::from_shared);
+                    let mut r = Receptionist::new(transports.collect(), Analyzer::default());
+                    let hits = r.query(Methodology::CentralNothing, "cat dog", 4).unwrap();
+                    assert_eq!(hits.len(), expected.len());
+                    for (a, b) in hits.iter().zip(expected.iter()) {
+                        assert_eq!((a.librarian, a.doc), (b.librarian, b.doc));
+                        assert_eq!(a.score.to_bits(), b.score.to_bits());
+                    }
+                    assert_eq!(r.traffic(), expected_traffic);
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::librarian::Librarian;
+    use proptest::prelude::*;
+    use teraphim_net::InProcTransport;
+
+    fn build(
+        docs: &[Vec<String>],
+        num_libs: usize,
+        mode: DispatchMode,
+    ) -> Receptionist<InProcTransport<Librarian>> {
+        // Round-robin the documents over the librarians.
+        let mut parts: Vec<Vec<(String, String)>> = vec![Vec::new(); num_libs];
+        for (i, words) in docs.iter().enumerate() {
+            parts[i % num_libs].push((format!("D-{i}"), words.join(" ")));
+        }
+        let transports = parts
+            .into_iter()
+            .enumerate()
+            .map(|(lib, part)| {
+                let pairs: Vec<(&str, &str)> = part
+                    .iter()
+                    .map(|(docno, text)| (docno.as_str(), text.as_str()))
+                    .collect();
+                InProcTransport::new(Librarian::from_texts(&format!("L{lib}"), &pairs))
+            })
+            .collect();
+        let mut r = Receptionist::new(transports, Analyzer::default());
+        r.set_dispatch_mode(mode);
+        r
+    }
+
+    proptest! {
+        /// The tentpole's correctness property: for any corpus split and
+        /// any query, the concurrent CV merge is byte-identical to the
+        /// sequential one.
+        #[test]
+        fn concurrent_cv_merge_is_byte_identical_to_sequential(
+            docs in proptest::collection::vec(
+                proptest::collection::vec("[a-f]{2,8}", 1..8),
+                2..24,
+            ),
+            num_libs in 1usize..5,
+            query_words in proptest::collection::vec("[a-f]{2,8}", 1..6),
+            k in 1usize..12,
+        ) {
+            let query = query_words.join(" ");
+            let mut seq = build(&docs, num_libs, DispatchMode::Sequential);
+            let mut conc = build(&docs, num_libs, DispatchMode::Concurrent);
+            seq.enable_cv().unwrap();
+            conc.enable_cv().unwrap();
+            let a = seq.query(Methodology::CentralVocabulary, &query, k).unwrap();
+            let b = conc.query(Methodology::CentralVocabulary, &query, k).unwrap();
+            prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                prop_assert_eq!((x.librarian, x.doc), (y.librarian, y.doc));
+                prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+            }
+            prop_assert_eq!(seq.traffic(), conc.traffic());
+        }
     }
 }

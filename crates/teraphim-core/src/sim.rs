@@ -79,6 +79,21 @@ pub struct QueryCost {
     pub hits: Vec<(usize, DocId)>,
 }
 
+/// How the simulated receptionist issues subqueries to the librarians —
+/// the virtual-time mirror of `teraphim_net::DispatchMode` on the real
+/// transports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SimDispatch {
+    /// All librarians work concurrently: elapsed time is the *maximum*
+    /// of their times (the paper's parallel-machines model).
+    #[default]
+    Parallel,
+    /// One librarian at a time, each exchange completing before the next
+    /// begins: elapsed time is the *sum* — the baseline the concurrent
+    /// fan-out is measured against.
+    Sequential,
+}
+
 /// Fetch strategies for step 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FetchPlan {
@@ -106,6 +121,9 @@ pub struct SimDriver {
     pub skipping: bool,
     /// Bundle CN/CV document fetches too (ablation; default false).
     pub bundle_all_fetches: bool,
+    /// How the librarian fan-out is scheduled (steps 1–3). Rankings are
+    /// identical either way; only elapsed time differs.
+    pub dispatch: SimDispatch,
 }
 
 impl SimDriver {
@@ -147,6 +165,7 @@ impl SimDriver {
             ci_params,
             skipping: false,
             bundle_all_fetches: false,
+            dispatch: SimDispatch::default(),
         })
     }
 
@@ -354,14 +373,11 @@ impl SimDriver {
         // lacks still belong in its denominator).
         let global_w = cv.then(|| global_weights(&self.global_vocab, &self.global_stats, &terms));
         let global_norm = global_w.as_ref().map(|w| similarity_norm(w)).unwrap_or(0.0);
-        // All query messages leave the receptionist together.
-        let req_items: Vec<(usize, SimTime, usize)> = (0..self.parts.len())
-            .map(|lib| (lib, t_parse, req_bytes))
-            .collect();
-        let arrivals = Self::transfer_batch(net, &req_items, true);
 
+        // Evaluate every librarian's ranking first (pure computation —
+        // virtual time is charged below, under the chosen schedule).
         let mut lists: Vec<Vec<(ScoredDoc, usize)>> = Vec::with_capacity(self.parts.len());
-        let mut resp_items: Vec<(usize, SimTime, usize)> = Vec::with_capacity(self.parts.len());
+        let mut jobs: Vec<(IndexWork, usize)> = Vec::with_capacity(self.parts.len());
         for (lib, col) in self.parts.iter().enumerate() {
             let (weighted, qnorm) = match &global_w {
                 Some(w) => (resolve_weights(col, w), global_norm),
@@ -384,22 +400,53 @@ impl SimDriver {
                 query_id: 0,
                 entries: hits.iter().map(|h| (h.doc, h.score)).collect(),
             };
-            let t_disk = net.disk_read(lib, arrivals[lib], work.list_bytes, work.seeks);
-            // Decode + accumulator/heap maintenance, as the MS baseline
-            // is charged — the cost repeated at every librarian.
-            let t_cpu = net.cpu(
-                lib,
-                t_disk,
-                cost.postings_cpu(work.postings) + cost.merge_cpu(work.postings),
-            );
-            resp_items.push((lib, t_cpu, response.wire_len()));
+            jobs.push((work, response.wire_len()));
             bytes_on_wire += (req_bytes + response.wire_len()) as u64;
             lists.push(hits.into_iter().map(|h| (h, lib)).collect());
         }
-        let backs = Self::transfer_batch(net, &resp_items, false);
 
-        // Step 3: the receptionist waits for all librarians and merges.
-        let ready = backs.iter().cloned().fold(t_parse, f64::max);
+        // Charge the schedule. Per-librarian CPU covers decode +
+        // accumulator/heap maintenance, as the MS baseline is charged —
+        // the cost repeated at every librarian.
+        let ready = match self.dispatch {
+            SimDispatch::Parallel => {
+                // All query messages leave the receptionist together;
+                // step 3 waits for the slowest librarian.
+                let req_items: Vec<(usize, SimTime, usize)> = (0..self.parts.len())
+                    .map(|lib| (lib, t_parse, req_bytes))
+                    .collect();
+                let arrivals = Self::transfer_batch(net, &req_items, true);
+                let mut resp_items: Vec<(usize, SimTime, usize)> = Vec::with_capacity(jobs.len());
+                for (lib, &(work, resp_len)) in jobs.iter().enumerate() {
+                    let t_disk = net.disk_read(lib, arrivals[lib], work.list_bytes, work.seeks);
+                    let t_cpu = net.cpu(
+                        lib,
+                        t_disk,
+                        cost.postings_cpu(work.postings) + cost.merge_cpu(work.postings),
+                    );
+                    resp_items.push((lib, t_cpu, resp_len));
+                }
+                let backs = Self::transfer_batch(net, &resp_items, false);
+                backs.iter().cloned().fold(t_parse, f64::max)
+            }
+            SimDispatch::Sequential => {
+                // Each exchange completes before the next begins.
+                let mut t = t_parse;
+                for (lib, &(work, resp_len)) in jobs.iter().enumerate() {
+                    let t_arrive = net.send_to_librarian(lib, t, req_bytes);
+                    let t_disk = net.disk_read(lib, t_arrive, work.list_bytes, work.seeks);
+                    let t_cpu = net.cpu(
+                        lib,
+                        t_disk,
+                        cost.postings_cpu(work.postings) + cost.merge_cpu(work.postings),
+                    );
+                    t = net.send_to_receptionist(lib, t_cpu, resp_len);
+                }
+                t
+            }
+        };
+
+        // Step 3: the receptionist merges once every reply is in.
         let merged_entries: u64 = lists.iter().map(|l| l.len() as u64).sum();
         let index_time = net.receptionist_cpu(ready, cost.merge_cpu(merged_entries));
         let merged = ranking::merge_rankings(&lists, k);
@@ -469,26 +516,14 @@ impl SimDriver {
         );
         let mut postings_total = group_work.postings;
 
-        // Candidate scoring at the owning librarians (parallel).
+        // Candidate scoring at the owning librarians. Evaluate first
+        // (pure computation), then charge the schedule below.
         let doc_weights = global_weights_from_grouped(&self.grouped, &terms);
-        // Candidate requests leave the receptionist together once the
-        // group ranking is done.
-        let req_items: Vec<(usize, SimTime, usize)> = expanded
-            .iter()
-            .map(|(part, cands)| {
-                let request = Message::ScoreCandidatesRequest {
-                    query_id: 0,
-                    terms: doc_weights.clone(),
-                    candidates: cands.clone(),
-                };
-                (*part as usize, t_grank, request.wire_len())
-            })
-            .collect();
-        let arrivals = Self::transfer_batch(net, &req_items, true);
-
         let mut lists: Vec<Vec<(ScoredDoc, usize)>> = Vec::new();
-        let mut resp_items: Vec<(usize, SimTime, usize)> = Vec::new();
-        for (i, (part, cands)) in expanded.iter().enumerate() {
+        // (part, request bytes, index work, postings decoded, candidate
+        // count, response bytes) per touched librarian.
+        let mut jobs: Vec<(usize, usize, IndexWork, u64, u64, usize)> = Vec::new();
+        for (part, cands) in &expanded {
             let part_idx = *part as usize;
             let request = Message::ScoreCandidatesRequest {
                 query_id: 0,
@@ -517,23 +552,62 @@ impl SimDriver {
                 postings_decoded: decoded,
             };
             let work = index_work(&self.parts[part_idx], &weighted);
-            // Disk: the librarian still reads the touched lists once;
-            // skipping reduces decode CPU, not the sequential transfer.
-            let t_disk = net.disk_read(part_idx, arrivals[i], work.list_bytes, work.seeks);
-            // Candidate scoring maintains one accumulator per candidate.
-            let t_cpu = net.cpu(
+            jobs.push((
                 part_idx,
-                t_disk,
-                cost.postings_cpu(decoded) + cost.merge_cpu(cands.len() as u64),
-            );
-            resp_items.push((part_idx, t_cpu, response.wire_len()));
+                request.wire_len(),
+                work,
+                decoded,
+                cands.len() as u64,
+                response.wire_len(),
+            ));
             bytes_on_wire += (request.wire_len() + response.wire_len()) as u64;
             lists.push(scores.into_iter().map(|s| (s, part_idx)).collect());
         }
-        let backs = Self::transfer_batch(net, &resp_items, false);
+
+        // Disk: the librarian still reads the touched lists once;
+        // skipping reduces decode CPU, not the sequential transfer.
+        // CPU: candidate scoring maintains one accumulator per candidate.
+        let ready = match self.dispatch {
+            SimDispatch::Parallel => {
+                // Candidate requests leave the receptionist together once
+                // the group ranking is done.
+                let req_items: Vec<(usize, SimTime, usize)> = jobs
+                    .iter()
+                    .map(|&(part_idx, req_len, ..)| (part_idx, t_grank, req_len))
+                    .collect();
+                let arrivals = Self::transfer_batch(net, &req_items, true);
+                let mut resp_items: Vec<(usize, SimTime, usize)> = Vec::with_capacity(jobs.len());
+                for (i, &(part_idx, _, work, decoded, n_cands, resp_len)) in jobs.iter().enumerate()
+                {
+                    let t_disk = net.disk_read(part_idx, arrivals[i], work.list_bytes, work.seeks);
+                    let t_cpu = net.cpu(
+                        part_idx,
+                        t_disk,
+                        cost.postings_cpu(decoded) + cost.merge_cpu(n_cands),
+                    );
+                    resp_items.push((part_idx, t_cpu, resp_len));
+                }
+                let backs = Self::transfer_batch(net, &resp_items, false);
+                backs.iter().cloned().fold(t_grank, f64::max)
+            }
+            SimDispatch::Sequential => {
+                // Each exchange completes before the next begins.
+                let mut t = t_grank;
+                for &(part_idx, req_len, work, decoded, n_cands, resp_len) in &jobs {
+                    let t_arrive = net.send_to_librarian(part_idx, t, req_len);
+                    let t_disk = net.disk_read(part_idx, t_arrive, work.list_bytes, work.seeks);
+                    let t_cpu = net.cpu(
+                        part_idx,
+                        t_disk,
+                        cost.postings_cpu(decoded) + cost.merge_cpu(n_cands),
+                    );
+                    t = net.send_to_receptionist(part_idx, t_cpu, resp_len);
+                }
+                t
+            }
+        };
 
         // Receptionist sorts the k'·G similarity values.
-        let ready = backs.iter().cloned().fold(t_grank, f64::max);
         let scored_count: u64 = lists.iter().map(|l| l.len() as u64).sum();
         let index_time = net.receptionist_cpu(ready, cost.merge_cpu(scored_count));
         let merged = ranking::merge_rankings(&lists, k);
@@ -774,6 +848,35 @@ mod tests {
             assert!(c.index_time > 0.0, "{mode}");
             assert!(c.total_time >= c.index_time, "{mode}");
             assert!(!c.hits.is_empty(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn sequential_dispatch_is_slower_than_parallel() {
+        let cost = CostModel::default();
+        let topo = Topology::multi_disk(4);
+        let q = "cats dogs retrieval compression";
+        for mode in [
+            SimMode::Distributed(Methodology::CentralNothing),
+            SimMode::Distributed(Methodology::CentralVocabulary),
+            SimMode::Distributed(Methodology::CentralIndex),
+        ] {
+            let mut d = driver();
+            let par = d.time_query(&topo, &cost, mode, q, 5).unwrap();
+            d.dispatch = SimDispatch::Sequential;
+            let seq = d.time_query(&topo, &cost, mode, q, 5).unwrap();
+            assert!(
+                seq.index_time > par.index_time,
+                "{mode}: sequential {} should exceed parallel {}",
+                seq.index_time,
+                par.index_time
+            );
+            assert_eq!(
+                seq.hits, par.hits,
+                "{mode}: dispatch must not change results"
+            );
+            assert_eq!(seq.bytes_on_wire, par.bytes_on_wire, "{mode}");
+            assert_eq!(seq.postings_decoded, par.postings_decoded, "{mode}");
         }
     }
 

@@ -8,7 +8,7 @@
 //! mechanism the paper credits with cutting librarian CPU cost "by a
 //! factor of two or more" at small `k'`.
 
-use crate::ranking::{ScoredDoc, WeightedTerm};
+use crate::ranking::{RankScratch, ScoredDoc, WeightedTerm};
 use crate::EngineError;
 use teraphim_index::similarity::{query_norm, w_dt};
 use teraphim_index::{DocId, InvertedIndex};
@@ -46,11 +46,31 @@ pub fn score_candidates_with_norm(
     qnorm: f64,
     candidates: &[DocId],
 ) -> Result<(Vec<ScoredDoc>, u64), EngineError> {
-    let mut sorted: Vec<DocId> = candidates.to_vec();
+    score_candidates_with_norm_scratch(index, terms, qnorm, candidates, &mut RankScratch::new())
+}
+
+/// [`score_candidates_with_norm`] reusing caller-owned scratch buffers
+/// (the sorted-candidate and partial-sum vectors) across calls.
+///
+/// # Errors
+///
+/// Returns [`EngineError::Corrupt`] if an inverted list fails to decode.
+pub fn score_candidates_with_norm_scratch(
+    index: &mut InvertedIndex,
+    terms: &[WeightedTerm],
+    qnorm: f64,
+    candidates: &[DocId],
+    scratch: &mut RankScratch,
+) -> Result<(Vec<ScoredDoc>, u64), EngineError> {
+    let sorted = &mut scratch.candidates;
+    sorted.clear();
+    sorted.extend_from_slice(candidates);
     sorted.sort_unstable();
     sorted.dedup();
 
-    let mut sums = vec![0.0f64; sorted.len()];
+    let sums = &mut scratch.sums;
+    sums.clear();
+    sums.resize(sorted.len(), 0.0);
     let mut decoded = 0u64;
     for wt in terms {
         if wt.w_qt == 0.0 {
@@ -70,9 +90,9 @@ pub fn score_candidates_with_norm(
     }
 
     let scores = sorted
-        .into_iter()
-        .zip(sums)
-        .map(|(doc, sum)| {
+        .iter()
+        .zip(sums.iter())
+        .map(|(&doc, &sum)| {
             let wd = index.weights().weight(doc);
             let score = if wd > 0.0 && qnorm > 0.0 {
                 sum / (wd * qnorm)

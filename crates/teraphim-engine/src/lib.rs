@@ -49,7 +49,7 @@ use teraphim_text::sgml::TrecDoc;
 use teraphim_text::Analyzer;
 
 pub use docstore::DocStore;
-pub use ranking::{ScoredDoc, WeightedTerm};
+pub use ranking::{RankScratch, ScoredDoc, WeightedTerm};
 
 /// Errors surfaced by engine operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -196,9 +196,20 @@ impl Collection {
     /// from different librarians directly comparable (and identical to a
     /// mono-server evaluation).
     pub fn ranked_query_weighted(&self, terms: &[(String, f64)], k: usize) -> Vec<ScoredDoc> {
+        self.ranked_query_weighted_scratch(terms, k, &mut RankScratch::new())
+    }
+
+    /// [`Collection::ranked_query_weighted`] reusing caller-owned scratch
+    /// buffers — the hot path for a librarian answering a query stream.
+    pub fn ranked_query_weighted_scratch(
+        &self,
+        terms: &[(String, f64)],
+        k: usize,
+        scratch: &mut RankScratch,
+    ) -> Vec<ScoredDoc> {
         let qnorm = full_query_norm(terms);
         let weighted = self.resolve_weighted(terms);
-        ranking::rank_with_norm(&self.index, &weighted, qnorm, k)
+        ranking::rank_with_norm_scratch(&self.index, &weighted, qnorm, k, scratch)
     }
 
     /// Scores exactly the given candidate documents with externally
@@ -213,9 +224,30 @@ impl Collection {
         terms: &[(String, f64)],
         candidates: &[DocId],
     ) -> Result<(Vec<ScoredDoc>, u64), EngineError> {
+        self.score_candidates_scratch(terms, candidates, &mut RankScratch::new())
+    }
+
+    /// [`Collection::score_candidates`] reusing caller-owned scratch
+    /// buffers across calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Corrupt`] if the index fails to decode.
+    pub fn score_candidates_scratch(
+        &mut self,
+        terms: &[(String, f64)],
+        candidates: &[DocId],
+        scratch: &mut RankScratch,
+    ) -> Result<(Vec<ScoredDoc>, u64), EngineError> {
         let qnorm = full_query_norm(terms);
         let weighted = self.resolve_weighted(terms);
-        candidates::score_candidates_with_norm(&mut self.index, &weighted, qnorm, candidates)
+        candidates::score_candidates_with_norm_scratch(
+            &mut self.index,
+            &weighted,
+            qnorm,
+            candidates,
+            scratch,
+        )
     }
 
     /// Evaluates a Boolean query.

@@ -41,12 +41,45 @@ pub struct ScoredDoc {
 
 impl ScoredDoc {
     /// Ranking order: higher score first; ties broken by smaller doc id.
+    /// NaN scores order strictly last (then by doc id) so the comparison
+    /// stays a total order even on pathological inputs — treating NaN as
+    /// equal to everything would make sort results depend on input order.
     pub fn ranking_cmp(&self, other: &Self) -> Ordering {
-        other
-            .score
-            .partial_cmp(&self.score)
-            .unwrap_or(Ordering::Equal)
-            .then(self.doc.cmp(&other.doc))
+        match (self.score.is_nan(), other.score.is_nan()) {
+            (false, false) => other
+                .score
+                .partial_cmp(&self.score)
+                .unwrap_or(Ordering::Equal)
+                .then(self.doc.cmp(&other.doc)),
+            (true, true) => self.doc.cmp(&other.doc),
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+        }
+    }
+}
+
+/// Reusable working memory for repeated ranking calls.
+///
+/// A librarian answers a stream of subqueries; allocating a fresh
+/// accumulator map (and, for Central Index candidate scoring, fresh
+/// candidate/sum buffers) per query churns the allocator on the hot
+/// path. One `RankScratch` owned by the librarian keeps the high-water
+/// capacity across queries. All entry points clear the buffers before
+/// use, so results never depend on what a previous query left behind.
+#[derive(Debug, Default)]
+pub struct RankScratch {
+    /// Accumulators: `doc → Σ w_qt · w_dt`.
+    pub(crate) acc: HashMap<DocId, f64>,
+    /// Sorted candidate ids (Central Index scoring).
+    pub(crate) candidates: Vec<DocId>,
+    /// Per-candidate partial sums, parallel to `candidates`.
+    pub(crate) sums: Vec<f64>,
+}
+
+impl RankScratch {
+    /// Fresh, empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -85,8 +118,30 @@ pub fn rank_with_norm(
     qnorm: f64,
     k: usize,
 ) -> Vec<ScoredDoc> {
-    let accumulators = accumulate(index, terms);
-    top_k(normalize(index, accumulators, qnorm), k)
+    rank_with_norm_scratch(index, terms, qnorm, k, &mut RankScratch::new())
+}
+
+/// [`rank`] reusing caller-owned scratch buffers across calls.
+pub fn rank_with_scratch(
+    index: &InvertedIndex,
+    terms: &[WeightedTerm],
+    k: usize,
+    scratch: &mut RankScratch,
+) -> Vec<ScoredDoc> {
+    let qnorm = query_norm(&terms.iter().map(|t| t.w_qt).collect::<Vec<_>>());
+    rank_with_norm_scratch(index, terms, qnorm, k, scratch)
+}
+
+/// [`rank_with_norm`] reusing caller-owned scratch buffers across calls.
+pub fn rank_with_norm_scratch(
+    index: &InvertedIndex,
+    terms: &[WeightedTerm],
+    qnorm: f64,
+    k: usize,
+    scratch: &mut RankScratch,
+) -> Vec<ScoredDoc> {
+    accumulate_into(index, terms, &mut scratch.acc);
+    top_k(normalize(index, &mut scratch.acc, qnorm), k)
 }
 
 /// Evaluates the cosine measure and returns *all* matching documents in
@@ -97,8 +152,20 @@ pub fn rank_all(index: &InvertedIndex, terms: &[WeightedTerm]) -> Vec<ScoredDoc>
 }
 
 /// Phase 1: decode lists and fill accumulators with `Σ w_qt · w_dt`.
-fn accumulate(index: &InvertedIndex, terms: &[WeightedTerm]) -> HashMap<DocId, f64> {
-    let mut acc: HashMap<DocId, f64> = HashMap::new();
+///
+/// The map is pre-sized to `min(Σ f_t, N)` — the number of distinct
+/// documents is bounded both by the sum of the query terms' document
+/// frequencies and by the collection size — so the table is built
+/// without rehashing even on first use.
+fn accumulate_into(index: &InvertedIndex, terms: &[WeightedTerm], acc: &mut HashMap<DocId, f64>) {
+    acc.clear();
+    let postings_bound: u64 = terms
+        .iter()
+        .filter(|wt| wt.w_qt != 0.0)
+        .map(|wt| index.stats().doc_freq(wt.term))
+        .sum();
+    let expected = postings_bound.min(index.stats().num_docs());
+    acc.reserve(usize::try_from(expected).unwrap_or(usize::MAX));
     for wt in terms {
         if wt.w_qt == 0.0 {
             continue;
@@ -107,16 +174,16 @@ fn accumulate(index: &InvertedIndex, terms: &[WeightedTerm]) -> HashMap<DocId, f
             *acc.entry(posting.doc).or_insert(0.0) += wt.w_qt * w_dt(u64::from(posting.f_dt));
         }
     }
-    acc
 }
 
-/// Phase 2: divide by `W_d` and the query norm.
-fn normalize(
-    index: &InvertedIndex,
-    accumulators: HashMap<DocId, f64>,
+/// Phase 2: divide by `W_d` and the query norm. Drains the accumulator
+/// map in place so its capacity survives for the next query.
+fn normalize<'a>(
+    index: &'a InvertedIndex,
+    accumulators: &'a mut HashMap<DocId, f64>,
     qnorm: f64,
-) -> impl Iterator<Item = ScoredDoc> + '_ {
-    accumulators.into_iter().filter_map(move |(doc, sum)| {
+) -> impl Iterator<Item = ScoredDoc> + 'a {
+    accumulators.drain().filter_map(move |(doc, sum)| {
         let wd = index.weights().weight(doc);
         (wd > 0.0 && qnorm > 0.0).then(|| ScoredDoc {
             doc,
@@ -172,10 +239,17 @@ fn top_k(scored: impl Iterator<Item = ScoredDoc>, k: usize) -> Vec<ScoredDoc> {
 /// Merges several already-ranked lists into a single ranking of length at
 /// most `k`, comparing scores at face value — exactly what a Central
 /// Nothing / Central Vocabulary receptionist does with librarian
-/// rankings. Entries carry an arbitrary payload (e.g. librarian id).
-pub fn merge_rankings<T: Copy>(lists: &[Vec<(ScoredDoc, T)>], k: usize) -> Vec<(ScoredDoc, T)> {
+/// rankings. Entries carry an ordered payload (e.g. librarian id) which
+/// serves as the final tie break, making the order *total*: the merged
+/// ranking is independent of list order, so a receptionist folding in
+/// replies as they arrive from concurrent librarians gets byte-identical
+/// results to a sequential pass.
+pub fn merge_rankings<T: Copy + Ord>(
+    lists: &[Vec<(ScoredDoc, T)>],
+    k: usize,
+) -> Vec<(ScoredDoc, T)> {
     let mut all: Vec<(ScoredDoc, T)> = lists.iter().flatten().copied().collect();
-    all.sort_by(|a, b| a.0.ranking_cmp(&b.0));
+    all.sort_by(|a, b| a.0.ranking_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
     all.truncate(k);
     all
 }
@@ -308,6 +382,59 @@ mod tests {
         assert_eq!(b.ranking_cmp(&a), Ordering::Greater);
         assert_eq!(c.ranking_cmp(&a), Ordering::Less);
         assert_eq!(a.ranking_cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn nan_scores_order_last_deterministically() {
+        let real = ScoredDoc { doc: 9, score: 0.1 };
+        let nan_a = ScoredDoc {
+            doc: 1,
+            score: f64::NAN,
+        };
+        let nan_b = ScoredDoc {
+            doc: 2,
+            score: f64::NAN,
+        };
+        assert_eq!(real.ranking_cmp(&nan_a), Ordering::Less);
+        assert_eq!(nan_a.ranking_cmp(&real), Ordering::Greater);
+        assert_eq!(nan_a.ranking_cmp(&nan_b), Ordering::Less);
+        assert_eq!(nan_b.ranking_cmp(&nan_a), Ordering::Greater);
+        assert_eq!(nan_a.ranking_cmp(&nan_a), Ordering::Equal);
+
+        // Sorting any permutation yields the same ranking: reals by
+        // score, then NaNs by doc id.
+        let mut docs = [nan_b, real, nan_a];
+        docs.sort_by(ScoredDoc::ranking_cmp);
+        assert_eq!(docs[0].doc, 9);
+        assert_eq!(docs[1].doc, 1);
+        assert_eq!(docs[2].doc, 2);
+    }
+
+    #[test]
+    fn merge_rankings_is_independent_of_list_order() {
+        // Two librarians report identical (score, doc) pairs; the
+        // librarian payload breaks the tie, so either arrival order
+        // merges to the same ranking.
+        let l1 = vec![(ScoredDoc { doc: 4, score: 0.5 }, 0u32)];
+        let l2 = vec![(ScoredDoc { doc: 4, score: 0.5 }, 1u32)];
+        let ab = merge_rankings(&[l1.clone(), l2.clone()], 2);
+        let ba = merge_rankings(&[l2, l1], 2);
+        assert_eq!(ab, ba);
+        assert_eq!(ab[0].1, 0);
+        assert_eq!(ab[1].1, 1);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_allocation() {
+        let ix = index_of(&[&["a", "b"], &["a"], &["b", "b", "c"], &["c"]]);
+        let mut scratch = RankScratch::new();
+        for query in [vec![("a", 1u32)], vec![("b", 2), ("c", 1)], vec![("a", 1)]] {
+            let terms: Vec<(TermId, u32)> = query.iter().map(|&(t, f)| (tid(&ix, t), f)).collect();
+            let w = local_weights(&ix, &terms);
+            let fresh = rank(&ix, &w, 10);
+            let reused = rank_with_scratch(&ix, &w, 10, &mut scratch);
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]

@@ -1,0 +1,261 @@
+//! Concurrent fan-out over a set of transports.
+//!
+//! A receptionist step touches up to S librarians. Issuing those
+//! subqueries one after another serializes what the paper's model treats
+//! as parallel machines — "the elapsed time is the maximum of the
+//! librarians' times, not the sum". This module supplies the batch
+//! dispatch path: one scoped worker thread per participating transport,
+//! with replies delivered to the caller *as they arrive* over a channel
+//! so that merging overlaps the slower librarians' work.
+//!
+//! Because replies arrive in completion order, callers must fold them
+//! with an order-independent rule (the engine's `merge_rankings` orders
+//! ties on the librarian payload for exactly this reason).
+
+use crate::message::Message;
+use crate::transport::Transport;
+use crate::NetError;
+use std::sync::mpsc;
+
+/// How a batch of subqueries is issued to the librarians.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// One request at a time, in librarian order — the elapsed time is
+    /// the sum of the librarians' times. Kept for benchmarking the
+    /// fan-out win and for debugging.
+    Sequential,
+    /// All requests at once, one scoped worker thread per librarian —
+    /// the elapsed time is the maximum of the librarians' times.
+    #[default]
+    Concurrent,
+}
+
+/// Sends `requests[i]` over `transports[i]` (skipping `None` slots) and
+/// feeds each reply to `on_reply`. Under [`DispatchMode::Concurrent`]
+/// replies are processed in *arrival* order; `on_reply` runs on the
+/// calling thread, so it may borrow freely from the caller's state.
+///
+/// The first failure — transport or `on_reply` — is reported, but every
+/// outstanding worker still runs to completion first, so no transport is
+/// ever abandoned mid-exchange.
+///
+/// # Panics
+///
+/// Panics if `requests.len() != transports.len()`.
+///
+/// # Errors
+///
+/// Returns the first transport failure (converted into `E`) or the
+/// first error returned by `on_reply`.
+pub fn dispatch<T, E>(
+    mode: DispatchMode,
+    transports: &mut [T],
+    requests: Vec<Option<Message>>,
+    on_reply: &mut dyn FnMut(usize, Message) -> Result<(), E>,
+) -> Result<(), E>
+where
+    T: Transport + Send,
+    E: From<NetError>,
+{
+    assert_eq!(
+        requests.len(),
+        transports.len(),
+        "one request slot per transport"
+    );
+    match mode {
+        DispatchMode::Sequential => {
+            for (lib, (transport, request)) in transports.iter_mut().zip(requests).enumerate() {
+                let Some(request) = request else { continue };
+                on_reply(lib, transport.request(&request).map_err(E::from)?)?;
+            }
+            Ok(())
+        }
+        DispatchMode::Concurrent => std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel();
+            for (lib, (transport, request)) in transports.iter_mut().zip(requests).enumerate() {
+                let Some(request) = request else { continue };
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    // A dropped receiver only means the result goes
+                    // unread; the exchange itself always completes.
+                    let _ = tx.send((lib, transport.request(&request)));
+                });
+            }
+            drop(tx);
+            let mut first_err = None;
+            for (lib, result) in rx {
+                if first_err.is_some() {
+                    continue; // drain remaining replies, keep the first error
+                }
+                match result {
+                    Ok(response) => {
+                        if let Err(e) = on_reply(lib, response) {
+                            first_err = Some(e);
+                        }
+                    }
+                    Err(e) => first_err = Some(E::from(e)),
+                }
+            }
+            first_err.map_or(Ok(()), Err)
+        }),
+    }
+}
+
+/// [`dispatch`] variant that collects raw replies into per-transport
+/// slots, for callers whose reply processing must run in librarian
+/// order even though the exchanges themselves may overlap (e.g. the
+/// CV setup's vocabulary interning, whose term-id assignment depends on
+/// processing order).
+///
+/// # Errors
+///
+/// Propagates [`dispatch`] failures.
+pub fn dispatch_collect<T, E>(
+    mode: DispatchMode,
+    transports: &mut [T],
+    requests: Vec<Option<Message>>,
+) -> Result<Vec<Option<Message>>, E>
+where
+    T: Transport + Send,
+    E: From<NetError>,
+{
+    let mut responses: Vec<Option<Message>> = Vec::new();
+    responses.resize_with(transports.len(), || None);
+    dispatch(mode, transports, requests, &mut |lib, response| {
+        responses[lib] = Some(response);
+        Ok(())
+    })?;
+    Ok(responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{InProcTransport, Service};
+    use std::time::Duration;
+
+    /// Echoes rank requests after an optional artificial delay.
+    struct SlowEcho {
+        delay: Duration,
+    }
+
+    impl Service for SlowEcho {
+        fn handle(&mut self, request: Message) -> Message {
+            std::thread::sleep(self.delay);
+            match request {
+                Message::RankRequest { query_id, .. } => Message::RankResponse {
+                    query_id,
+                    entries: vec![(query_id, 1.0)],
+                },
+                _ => Message::Error {
+                    message: "unsupported".into(),
+                },
+            }
+        }
+    }
+
+    fn transports(n: usize, delay: Duration) -> Vec<InProcTransport<SlowEcho>> {
+        (0..n)
+            .map(|_| InProcTransport::new(SlowEcho { delay }))
+            .collect()
+    }
+
+    fn rank_request(query_id: u32) -> Message {
+        Message::RankRequest {
+            query_id,
+            k: 1,
+            terms: vec![],
+        }
+    }
+
+    #[test]
+    fn both_modes_deliver_every_reply() {
+        for mode in [DispatchMode::Sequential, DispatchMode::Concurrent] {
+            let mut ts = transports(4, Duration::ZERO);
+            let requests = (0..4).map(|i| Some(rank_request(i))).collect();
+            let mut seen = Vec::new();
+            dispatch::<_, NetError>(
+                mode,
+                &mut ts,
+                requests,
+                &mut |lib, response| match response {
+                    Message::RankResponse { query_id, .. } => {
+                        seen.push((lib, query_id));
+                        Ok(())
+                    }
+                    other => panic!("unexpected {other:?}"),
+                },
+            )
+            .unwrap();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![(0, 0), (1, 1), (2, 2), (3, 3)], "{mode:?}");
+            for t in &ts {
+                assert_eq!(t.stats().round_trips, 1, "{mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn none_slots_are_skipped() {
+        let mut ts = transports(3, Duration::ZERO);
+        let requests = vec![Some(rank_request(0)), None, Some(rank_request(2))];
+        let responses =
+            dispatch_collect::<_, NetError>(DispatchMode::Concurrent, &mut ts, requests).unwrap();
+        assert!(responses[0].is_some());
+        assert!(responses[1].is_none());
+        assert!(responses[2].is_some());
+        assert_eq!(ts[1].stats().round_trips, 0);
+    }
+
+    #[test]
+    fn concurrent_fanout_overlaps_librarian_work() {
+        let delay = Duration::from_millis(30);
+        let mut ts = transports(4, delay);
+        let requests = (0..4).map(|i| Some(rank_request(i))).collect();
+        let start = std::time::Instant::now();
+        dispatch::<_, NetError>(DispatchMode::Concurrent, &mut ts, requests, &mut |_, _| {
+            Ok(())
+        })
+        .unwrap();
+        // Four 30 ms librarians in parallel must finish well under the
+        // 120 ms a sequential pass would take.
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn remote_errors_surface_and_workers_drain() {
+        let mut ts = transports(3, Duration::ZERO);
+        // StatsRequest makes SlowEcho answer Message::Error.
+        let requests = vec![
+            Some(rank_request(0)),
+            Some(Message::StatsRequest),
+            Some(rank_request(2)),
+        ];
+        let err =
+            dispatch::<_, NetError>(DispatchMode::Concurrent, &mut ts, requests, &mut |_, _| {
+                Ok(())
+            })
+            .unwrap_err();
+        assert_eq!(err, NetError::Remote("unsupported".into()));
+        // Every transport still completed its exchange.
+        for t in &ts {
+            assert_eq!(t.stats().round_trips, 1);
+        }
+    }
+
+    #[test]
+    fn on_reply_errors_stop_processing() {
+        let mut ts = transports(2, Duration::ZERO);
+        let requests = (0..2).map(|i| Some(rank_request(i))).collect();
+        let err =
+            dispatch::<_, NetError>(DispatchMode::Sequential, &mut ts, requests, &mut |_, _| {
+                Err(NetError::Disconnected)
+            })
+            .unwrap_err();
+        assert_eq!(err, NetError::Disconnected);
+    }
+}

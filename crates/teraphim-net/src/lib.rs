@@ -15,7 +15,9 @@
 //! * [`tcp`] — real TCP with length-prefixed frames (the LAN
 //!   configuration, runnable on loopback);
 //! * traffic accounting ([`transport::TrafficStats`]) that the
-//!   simulation driver feeds into `teraphim-simnet` to cost the WAN.
+//!   simulation driver feeds into `teraphim-simnet` to cost the WAN;
+//! * [`fanout`] — the receptionist's batch dispatch path: one scoped
+//!   worker thread per librarian, replies handed back as they arrive.
 //!
 //! # Examples
 //!
@@ -32,13 +34,15 @@
 //! # Ok::<(), teraphim_net::NetError>(())
 //! ```
 
+pub mod fanout;
 pub mod message;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use fanout::{dispatch, dispatch_collect, DispatchMode};
 pub use message::Message;
-pub use transport::{InProcTransport, Service, TrafficStats, Transport};
+pub use transport::{AtomicTrafficStats, InProcTransport, Service, TrafficStats, Transport};
 
 use std::error::Error;
 use std::fmt;

@@ -7,13 +7,12 @@
 //! receptionist session" model (an MG process per session).
 
 use crate::message::Message;
-use crate::transport::{Service, TrafficStats, Transport};
+use crate::transport::{AtomicTrafficStats, Service, TrafficStats, Transport};
 use crate::NetError;
-use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 /// Maximum accepted frame, guarding against corrupt length prefixes.
@@ -102,6 +101,7 @@ impl Transport for TcpTransport {
 pub struct TcpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    traffic: Arc<AtomicTrafficStats>,
     accept_thread: Option<JoinHandle<()>>,
 }
 
@@ -121,8 +121,10 @@ impl TcpServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let traffic = Arc::new(AtomicTrafficStats::new());
         let service = Arc::new(Mutex::new(service));
         let shutdown_flag = Arc::clone(&shutdown);
+        let accept_traffic = Arc::clone(&traffic);
         let accept_thread = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if shutdown_flag.load(Ordering::SeqCst) {
@@ -131,18 +133,20 @@ impl TcpServer {
                 let Ok(stream) = stream else { continue };
                 let service = Arc::clone(&service);
                 let conn_shutdown = Arc::clone(&shutdown_flag);
+                let conn_traffic = Arc::clone(&accept_traffic);
                 // Connection threads are detached: they exit when their
                 // client hangs up (EOF at a frame boundary) or shutdown
                 // is signalled. Joining them here would deadlock shutdown
                 // while any client is still connected.
                 std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &service, &conn_shutdown);
+                    let _ = serve_connection(stream, &service, &conn_shutdown, &conn_traffic);
                 });
             }
         });
         Ok(TcpServer {
             addr,
             shutdown,
+            traffic,
             accept_thread: Some(accept_thread),
         })
     }
@@ -150,6 +154,13 @@ impl TcpServer {
     /// The bound address (with the actual port when 0 was requested).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Aggregate traffic served so far, across all connection threads.
+    /// Directions are from the server's perspective: `bytes_received`
+    /// counts requests, `bytes_sent` responses.
+    pub fn traffic(&self) -> TrafficStats {
+        self.traffic.snapshot()
     }
 
     /// Signals shutdown and joins the accept thread.
@@ -177,6 +188,7 @@ fn serve_connection<S: Service>(
     mut stream: TcpStream,
     service: &Arc<Mutex<S>>,
     shutdown: &AtomicBool,
+    traffic: &AtomicTrafficStats,
 ) -> Result<(), NetError> {
     stream.set_nodelay(true)?;
     while let Some(frame) = read_frame(&mut stream)? {
@@ -186,12 +198,17 @@ fn serve_connection<S: Service>(
             break;
         }
         let response = match Message::decode(&frame) {
-            Ok(request) => service.lock().handle(request),
+            Ok(request) => service
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .handle(request),
             Err(e) => Message::Error {
                 message: format!("bad request: {e}"),
             },
         };
-        write_frame(&mut stream, &response.encode())?;
+        let encoded = response.encode();
+        traffic.record(encoded.len() as u64, frame.len() as u64);
+        write_frame(&mut stream, &encoded)?;
     }
     Ok(())
 }
@@ -282,6 +299,39 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_traffic_aggregates_across_connections() {
+        let server = TcpServer::spawn(Doubler, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut client = TcpTransport::connect(addr).unwrap();
+                    for j in 0..5 {
+                        client
+                            .request(&Message::RankRequest {
+                                query_id: j,
+                                k: 1,
+                                terms: vec![],
+                            })
+                            .unwrap();
+                    }
+                    client.stats()
+                })
+            })
+            .collect();
+        let mut client_total = TrafficStats::default();
+        for h in handles {
+            client_total.absorb(&h.join().unwrap());
+        }
+        let server_total = server.traffic();
+        // The server counts the same exchanges, directions mirrored.
+        assert_eq!(server_total.round_trips, 20);
+        assert_eq!(server_total.bytes_received, client_total.bytes_sent);
+        assert_eq!(server_total.bytes_sent, client_total.bytes_received);
         server.shutdown();
     }
 

@@ -9,8 +9,8 @@
 
 use crate::message::Message;
 use crate::NetError;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// The server side of the protocol: anything that can answer a request.
 pub trait Service: Send {
@@ -50,8 +50,55 @@ impl TrafficStats {
     }
 }
 
+/// Thread-safe traffic counters: the shared-accounting variant of
+/// [`TrafficStats`] for paths where several threads count into one place
+/// (a TCP server's connection threads, a fan-out's worker threads).
+#[derive(Debug, Default)]
+pub struct AtomicTrafficStats {
+    round_trips: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+impl AtomicTrafficStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counts one request/response exchange.
+    pub fn record(&self, sent: u64, received: u64) {
+        self.round_trips.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(sent, Ordering::Relaxed);
+        self.bytes_received.fetch_add(received, Ordering::Relaxed);
+    }
+
+    /// Merges a worker's locally accumulated counters.
+    pub fn absorb(&self, other: &TrafficStats) {
+        self.round_trips
+            .fetch_add(other.round_trips, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(other.bytes_sent, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(other.bytes_received, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> TrafficStats {
+        TrafficStats {
+            round_trips: self.round_trips.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A synchronous request/response channel to one librarian.
-pub trait Transport {
+///
+/// `Send` is a supertrait so that the fan-out path
+/// ([`crate::fanout::dispatch`]) can hand each transport to its own
+/// scoped worker thread.
+pub trait Transport: Send {
     /// Sends `request` and waits for the response.
     ///
     /// # Errors
@@ -112,7 +159,11 @@ impl<S: Service> Transport for InProcTransport<S> {
         // Decode on the "server side" to prove the codec carries
         // everything the service needs.
         let decoded = Message::decode(&encoded)?;
-        let response = self.service.lock().handle(decoded);
+        let response = self
+            .service
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .handle(decoded);
         let response_bytes = response.encode();
         self.stats.round_trips += 1;
         self.stats.bytes_sent += encoded.len() as u64;
@@ -222,6 +273,33 @@ mod tests {
         // t1's stats are untouched; t2 counted its own.
         assert_eq!(t1.stats().round_trips, 0);
         assert_eq!(t2.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn atomic_stats_are_consistent_under_contention() {
+        let shared = AtomicTrafficStats::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        shared.record(3, 7);
+                    }
+                });
+            }
+        });
+        let total = shared.snapshot();
+        assert_eq!(total.round_trips, 8_000);
+        assert_eq!(total.bytes_sent, 24_000);
+        assert_eq!(total.bytes_received, 56_000);
+
+        let extra = TrafficStats {
+            round_trips: 1,
+            bytes_sent: 2,
+            bytes_received: 3,
+        };
+        shared.absorb(&extra);
+        assert_eq!(shared.snapshot().round_trips, 8_001);
+        assert_eq!(shared.snapshot().total_bytes(), 80_005);
     }
 
     #[test]

@@ -54,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let delta: Vec<TrecDoc> = update.to_vec();
     ap_service
         .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
         .collection_mut()
         .append_documents(&delta)?;
     println!(

@@ -1,0 +1,271 @@
+//! Offline vendored subset of the `criterion` API.
+//!
+//! The build environment has no registry access, so this crate supplies
+//! a compatible benchmark harness: [`Criterion`], [`BenchmarkGroup`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`Throughput`],
+//! [`BatchSize`], [`black_box`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is honest but simple: after a warm-up call, the iteration
+//! count doubles until a batch takes at least ~100 ms of wall clock, and
+//! the mean per-iteration time of the final batch is reported. There are
+//! no statistics, plots or saved baselines; a positional CLI argument
+//! filters benchmarks by substring (other `cargo bench` flags are
+//! ignored).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration declaration used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batching hints for [`Bencher::iter_batched`] (accepted for API
+/// compatibility; all sizes are measured the same way here).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Runs one benchmark body and records its per-iteration time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    per_iter: Option<Duration>,
+}
+
+/// Doubling batches until the measured window is long enough for the
+/// clock resolution to be irrelevant.
+const MIN_WINDOW: Duration = Duration::from_millis(100);
+const MAX_ITERS: u64 = 1 << 22;
+
+impl Bencher {
+    /// Measures `routine`, timing everything it does.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_WINDOW || n >= MAX_ITERS {
+                self.per_iter = Some(elapsed / u32::try_from(n).unwrap_or(u32::MAX));
+                return;
+            }
+            n *= 2;
+        }
+    }
+
+    /// Measures `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let mut n: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_WINDOW || n >= MAX_ITERS {
+                self.per_iter = Some(elapsed / u32::try_from(n).unwrap_or(u32::MAX));
+                return;
+            }
+            n *= 2;
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn format_rate(per_iter: Duration, throughput: Throughput) -> String {
+    let secs = per_iter.as_secs_f64().max(1e-12);
+    match throughput {
+        Throughput::Bytes(b) => {
+            let rate = b as f64 / secs;
+            if rate >= 1e9 {
+                format!("{:.3} GiB/s", rate / (1u64 << 30) as f64)
+            } else {
+                format!("{:.3} MiB/s", rate / (1u64 << 20) as f64)
+            }
+        }
+        Throughput::Elements(e) => format!("{:.3} Melem/s", e as f64 / secs / 1e6),
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, mut body: F) {
+    let mut bencher = Bencher::default();
+    body(&mut bencher);
+    let per_iter = bencher
+        .per_iter
+        .expect("benchmark body never called Bencher::iter");
+    let rate = throughput
+        .map(|t| format!("  thrpt: {}", format_rate(per_iter, t)))
+        .unwrap_or_default();
+    println!("{id:<48} time: {:>12}{rate}", format_duration(per_iter));
+}
+
+/// The benchmark driver: holds the CLI filter and hands out groups.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Reads the benchmark filter from the command line (first
+    /// non-flag argument, as under `cargo bench -- <filter>`).
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion { filter }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, body: F) -> &mut Self {
+        if self.selected(id) {
+            run_one(id, None, body);
+        }
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares the work done per iteration for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        body: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        if self.criterion.selected(&full) {
+            run_one(&full, self.throughput, body);
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each target against one
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(3u64).wrapping_mul(7));
+        assert!(b.per_iter.unwrap() > Duration::ZERO);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::default();
+        b.iter_batched(
+            || vec![1u8; 16],
+            |v| v.iter().map(|&x| u64::from(x)).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.per_iter.is_some());
+    }
+
+    #[test]
+    fn filter_selects_substrings() {
+        let c = Criterion {
+            filter: Some("fan".into()),
+        };
+        assert!(c.selected("fanout/S=4"));
+        assert!(!c.selected("merge/k=10"));
+    }
+
+    #[test]
+    fn formatting_is_scaled() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(format_duration(Duration::from_micros(1500)).ends_with("ms"));
+        let rate = format_rate(Duration::from_millis(1), Throughput::Elements(1000));
+        assert!(rate.contains("Melem/s"));
+    }
+}

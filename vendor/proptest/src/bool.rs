@@ -1,0 +1,19 @@
+//! Boolean strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A fair coin, mirroring `proptest::bool::ANY`.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolStrategy;
+
+/// Generates `true` and `false` with equal probability.
+pub const ANY: BoolStrategy = BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}

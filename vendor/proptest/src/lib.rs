@@ -1,0 +1,193 @@
+//! Offline vendored subset of the `proptest` API.
+//!
+//! The build environment has no registry access, so this crate supplies
+//! the slice of `proptest` the workspace uses: the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros, the
+//! [`strategy::Strategy`] trait with `prop_map`, range and tuple
+//! strategies, regex-subset string strategies, and the
+//! [`collection::vec`] / [`collection::btree_set`] builders.
+//!
+//! Failing cases are *not* shrunk; the failure message reports the case
+//! number and seed so a run can be reproduced (generation is fully
+//! deterministic per test). Case count defaults to 64 and can be raised
+//! with `PROPTEST_CASES`.
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    ($(#[$meta:meta])* fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let cases = $crate::test_runner::case_count();
+            let mut rejected = 0u32;
+            let mut case = 0u32;
+            while case < cases {
+                let seed = $crate::test_runner::case_seed(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case + rejected,
+                );
+                let mut rng = $crate::test_runner::TestRng::new(seed);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => case += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejected += 1;
+                        if rejected > cases * 16 {
+                            panic!("proptest: too many rejected cases (prop_assume)");
+                        }
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {case} failed (seed {seed:#x}): {msg}"
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Fails the current case if the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}: {}",
+            left,
+            right,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(left != right, "assertion failed: {:?} == {:?}", left, right);
+    }};
+}
+
+/// Discards the current case (it is regenerated, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        fn ranges_and_vecs(
+            xs in crate::collection::vec(0u32..100, 0..20),
+            f in 0.0f64..1.0,
+            s in "[a-c]{2,4}",
+        ) {
+            prop_assert!(xs.len() < 20);
+            prop_assert!(xs.iter().all(|&x| x < 100));
+            prop_assert!((0.0..1.0).contains(&f));
+            prop_assert!((2..=4).contains(&s.chars().count()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        fn tuples_and_sets(
+            set in crate::collection::btree_set(0u32..50, 0..10),
+            (a, b) in (0u8..10, 1u64..5),
+        ) {
+            prop_assert!(set.len() < 10);
+            prop_assert!(a < 10);
+            prop_assert!((1..5).contains(&b));
+        }
+
+        fn assume_discards(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+
+        fn maps_apply(v in crate::collection::vec(crate::bool::ANY, 0..8).prop_map(|v| v.len())) {
+            prop_assert!(v < 8);
+        }
+
+        fn any_u8_covers_all(b in any::<u8>()) {
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn string_patterns_parse() {
+        let mut rng = crate::test_runner::TestRng::new(42);
+        for pattern in [
+            "[a-d]",
+            "[a-e]{1,3}",
+            "[a-z ]{0,80}",
+            "[A-Z]{2}-[0-9]{4}",
+            ".{0,400}",
+            "\\PC{0,500}",
+            "[a-zA-Z0-9,.;:!? éü-]{0,200}",
+        ] {
+            for _ in 0..20 {
+                let s = Strategy::generate(&pattern, &mut rng);
+                let _ = s;
+            }
+        }
+        let dash = Strategy::generate(&"[A-Z]{2}-[0-9]{4}", &mut rng);
+        assert_eq!(dash.len(), 7);
+        assert_eq!(dash.as_bytes()[2], b'-');
+    }
+}

@@ -1,0 +1,207 @@
+//! Regex-subset string generation.
+//!
+//! Supports the pattern language the workspace's tests actually use:
+//! character classes (`[a-z0-9,. ]`, including ranges, escapes and
+//! multi-byte literals), `.` (printable ASCII), `\PC` (any non-control
+//! character, weighted towards ASCII with some multi-byte samples),
+//! literal characters, and `{n}` / `{m,n}` repetition. Alternation,
+//! groups and unbounded repetition are not supported.
+
+use crate::test_runner::TestRng;
+
+/// Non-ASCII, non-control characters mixed into `.`/`\PC` output so
+/// multi-byte UTF-8 paths get exercised.
+const WIDE_CHARS: &[char] = ['é', 'ü', 'ß', 'λ', 'Ж', '中', '€', '—', '☃'].as_slice();
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    /// Explicit characters from a `[...]` class or a literal.
+    Class(Vec<char>),
+    /// `.` or `\PC`: printable ASCII plus occasional wide characters.
+    Printable,
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Class(chars) => chars[rng.index(chars.len())],
+            CharSet::Printable => {
+                if rng.index(10) == 0 {
+                    WIDE_CHARS[rng.index(WIDE_CHARS.len())]
+                } else {
+                    char::from(b' ' + rng.index(95) as u8)
+                }
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+/// Resolves a backslash escape to the character it denotes; unknown
+/// escapes (including class metacharacters like `\-` and `\]`) stand for
+/// themselves.
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut class = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let c = if chars[i] == '\\' {
+                        i += 1;
+                        unescape(chars.get(i).copied().unwrap_or('\\'))
+                    } else {
+                        chars[i]
+                    };
+                    // `a-z` range when '-' sits between two class members.
+                    if chars.get(i + 1) == Some(&'-') && i + 2 < chars.len() && chars[i + 2] != ']'
+                    {
+                        let hi = chars[i + 2];
+                        assert!(c <= hi, "bad class range in pattern {pattern:?}");
+                        class.extend(c..=hi);
+                        i += 3;
+                    } else {
+                        class.push(c);
+                        i += 1;
+                    }
+                }
+                assert!(
+                    chars.get(i) == Some(&']'),
+                    "unterminated class in pattern {pattern:?}"
+                );
+                i += 1;
+                assert!(!class.is_empty(), "empty class in pattern {pattern:?}");
+                CharSet::Class(class)
+            }
+            '.' => {
+                i += 1;
+                CharSet::Printable
+            }
+            '\\' => {
+                i += 1;
+                let esc = chars.get(i).copied().unwrap_or('\\');
+                i += 1;
+                if esc == 'P' || esc == 'p' {
+                    // `\PC` / `\pL`-style one-letter unicode category;
+                    // generated as "printable".
+                    i += 1;
+                    CharSet::Printable
+                } else {
+                    CharSet::Class(vec![unescape(esc)])
+                }
+            }
+            c => {
+                i += 1;
+                CharSet::Class(vec![c])
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            i += 1;
+            let mut bounds = String::new();
+            while i < chars.len() && chars[i] != '}' {
+                bounds.push(chars[i]);
+                i += 1;
+            }
+            assert!(
+                chars.get(i) == Some(&'}'),
+                "unterminated repetition in pattern {pattern:?}"
+            );
+            i += 1;
+            match bounds.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad repetition lower bound"),
+                    n.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = bounds.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = atom.min + rng.index(atom.max - atom.min + 1);
+        for _ in 0..count {
+            out.push(atom.set.sample(rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_ranges_and_literals() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = generate("[a-cx]{1,5}", &mut rng);
+            assert!((1..=5).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | 'x')));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = TestRng::new(2);
+        let mut saw_dash = false;
+        for _ in 0..500 {
+            let s = generate("[a-]{1}", &mut rng);
+            assert!(s == "a" || s == "-");
+            saw_dash |= s == "-";
+        }
+        assert!(saw_dash);
+    }
+
+    #[test]
+    fn printable_patterns_have_no_control_chars() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..50 {
+            let s = generate("\\PC{0,100}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+            let d = generate(".{0,100}", &mut rng);
+            assert!(d.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn fixed_counts_and_concatenation() {
+        let mut rng = TestRng::new(4);
+        let s = generate("[A-Z]{2}-[0-9]{4}", &mut rng);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 7);
+        assert!(chars[0].is_ascii_uppercase() && chars[1].is_ascii_uppercase());
+        assert_eq!(chars[2], '-');
+        assert!(chars[3..].iter().all(char::is_ascii_digit));
+    }
+}

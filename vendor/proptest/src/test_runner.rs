@@ -1,0 +1,62 @@
+//! Deterministic case generation and failure plumbing.
+
+/// Why a test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!` and is regenerated.
+    Reject,
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+/// Number of cases each property runs (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// A stable per-case seed: FNV-1a over the test path, mixed with the
+/// case number. Reruns of the same binary generate identical inputs.
+pub fn case_seed(test_path: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_path.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ (u64::from(case) << 1 | 1)
+}
+
+/// The generator handed to strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `[0, n)`. Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index over empty domain");
+        (self.next_u64() % n as u64) as usize
+    }
+}
