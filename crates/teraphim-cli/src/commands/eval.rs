@@ -59,6 +59,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let judgments = Judgments::from_qrels(&qrels);
     let k = args.get_parsed("k", 1000usize)?;
 
+    let mut degraded_queries = 0usize;
+    let mut failed_librarians: Vec<usize> = Vec::new();
     let evals: Vec<QueryEval> = if let Some(servers) = args.get("servers") {
         let methodology = match args.get("methodology").unwrap_or("cv") {
             "cn" => Methodology::CentralNothing,
@@ -86,9 +88,33 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         queries
             .iter()
             .map(|(id, q)| {
-                let ranking = receptionist
-                    .ranked_docnos(methodology, q, k)
-                    .map_err(|e| format!("query {id} failed: {e}"))?;
+                // Degraded coverage (a librarian down mid-run) is folded
+                // into the evaluation instead of aborting it: the ranking
+                // over the surviving librarians is still scored. A
+                // librarian can also die *between* the rank fan-out and
+                // the header fetch, leaving hits that point at a dead
+                // transport — re-running the query once lets the coverage
+                // path exclude it cleanly.
+                let mut attempt = 0;
+                let (answer, ranking) = loop {
+                    attempt += 1;
+                    let answer = receptionist
+                        .query_with_coverage(methodology, q, k)
+                        .map_err(|e| format!("query {id} failed: {e}"))?;
+                    match receptionist.headers(&answer.hits) {
+                        Ok(ranking) => break (answer, ranking),
+                        Err(_) if attempt == 1 => continue,
+                        Err(e) => return Err(format!("query {id} failed: {e}")),
+                    }
+                };
+                if answer.coverage.is_degraded() {
+                    degraded_queries += 1;
+                    for &lib in &answer.coverage.failed {
+                        if !failed_librarians.contains(&lib) {
+                            failed_librarians.push(lib);
+                        }
+                    }
+                }
                 Ok(QueryEval::evaluate(&judgments, *id, &ranking))
             })
             .collect::<Result<Vec<_>, String>>()?
@@ -116,5 +142,13 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     outln!("11-pt average:     {:.2}%", set.eleven_point_pct);
     outln!("relevant in top 20: {:.2}", set.relevant_in_top_20);
     outln!("MAP:               {:.4}", set.map);
+    if degraded_queries > 0 {
+        failed_librarians.sort_unstable();
+        outln!(
+            "degraded queries:  {} (librarians failed: {:?})",
+            degraded_queries,
+            failed_librarians
+        );
+    }
     Ok(())
 }

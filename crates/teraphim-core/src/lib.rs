@@ -51,7 +51,9 @@ pub mod sim;
 pub use distributed::DistributedCollection;
 pub use librarian::Librarian;
 pub use methodology::{CiParams, Methodology};
-pub use receptionist::{FetchedDoc, GlobalHit, Receptionist};
+pub use receptionist::{
+    Coverage, DegradePolicy, FetchedDoc, GlobalHit, RankedAnswer, Receptionist,
+};
 
 use std::error::Error;
 use std::fmt;
@@ -69,6 +71,14 @@ pub enum TeraphimError {
     MissingGlobalState(&'static str),
     /// Invalid parameters (e.g. `k' < k / G`).
     BadParameters(String),
+    /// Too few librarians answered to satisfy the degradation policy:
+    /// the query produced no usable (even partial) ranking.
+    InsufficientCoverage {
+        /// Librarians that answered successfully.
+        answered: usize,
+        /// Librarians that failed permanently (after retries).
+        failed: usize,
+    },
 }
 
 impl fmt::Display for TeraphimError {
@@ -81,6 +91,10 @@ impl fmt::Display for TeraphimError {
                 write!(f, "receptionist lacks global state: {what}")
             }
             TeraphimError::BadParameters(msg) => write!(f, "bad parameters: {msg}"),
+            TeraphimError::InsufficientCoverage { answered, failed } => write!(
+                f,
+                "insufficient coverage: {answered} librarian(s) answered, {failed} failed"
+            ),
         }
     }
 }

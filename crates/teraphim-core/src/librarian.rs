@@ -200,7 +200,8 @@ impl Librarian {
             | Message::DocsResponse { .. }
             | Message::HeadersResponse { .. }
             | Message::BooleanResponse { .. }
-            | Message::Error { .. } => Message::Error {
+            | Message::Error { .. }
+            | Message::Unavailable { .. } => Message::Error {
                 message: "librarian received a response message".into(),
             },
         }

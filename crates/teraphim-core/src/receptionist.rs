@@ -18,7 +18,10 @@ use std::collections::HashMap;
 use teraphim_engine::ranking::{self, ScoredDoc};
 use teraphim_index::similarity;
 use teraphim_index::{CollectionStats, DocId, GroupedIndex, InvertedIndex, Vocabulary};
-use teraphim_net::{dispatch, dispatch_collect, DispatchMode, Message, TrafficStats, Transport};
+use teraphim_net::{
+    dispatch, dispatch_collect, dispatch_partial, DispatchMode, Message, NetError, TrafficStats,
+    Transport,
+};
 use teraphim_text::Analyzer;
 
 /// A merged ranking entry: which librarian owns the document.
@@ -47,6 +50,63 @@ pub struct FetchedDoc {
     pub text: Option<String>,
     /// Bytes that crossed the wire for this document's body.
     pub body_bytes: usize,
+}
+
+/// What fraction of the librarian fleet — and of the global collection —
+/// actually contributed to a merged ranking. Attached to every
+/// [`RankedAnswer`] so callers can tell a complete answer from a
+/// degraded one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coverage {
+    /// Librarians that were contacted and answered successfully, in
+    /// index order.
+    pub answered: Vec<usize>,
+    /// Librarians whose exchange failed permanently (after any retries
+    /// the transport stack performs), in index order.
+    pub failed: Vec<usize>,
+    /// Fraction of the global document count held by librarians that
+    /// did *not* fail — `None` when the receptionist has no global
+    /// collection statistics (Central Nothing without CV preprocessing).
+    pub docs_fraction: Option<f64>,
+}
+
+impl Coverage {
+    /// True when every contacted librarian answered.
+    pub fn is_complete(&self) -> bool {
+        self.failed.is_empty()
+    }
+
+    /// True when at least one librarian dropped out of the merge.
+    pub fn is_degraded(&self) -> bool {
+        !self.failed.is_empty()
+    }
+}
+
+/// A merged ranking plus the coverage it was computed over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedAnswer {
+    /// The merged global top `k` over the answering librarians.
+    pub hits: Vec<GlobalHit>,
+    /// Which librarians contributed and which failed.
+    pub coverage: Coverage,
+}
+
+/// When is a partial answer still an answer? The receptionist's
+/// degradation policy for [`Receptionist::query_with_coverage`]:
+/// fewer than `min_answered` successful librarians turns the degraded
+/// result into [`TeraphimError::InsufficientCoverage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradePolicy {
+    /// Minimum number of librarians that must answer for a ranking to
+    /// be returned at all.
+    pub min_answered: usize,
+}
+
+impl Default for DegradePolicy {
+    /// Any surviving librarian is better than no answer.
+    fn default() -> Self {
+        DegradePolicy { min_answered: 1 }
+    }
 }
 
 /// Global state for the Central Vocabulary methodology.
@@ -97,6 +157,7 @@ pub struct Receptionist<T: Transport> {
     ci: Option<CiState>,
     next_query_id: u32,
     dispatch: DispatchMode,
+    degrade: DegradePolicy,
 }
 
 impl<T: Transport> Receptionist<T> {
@@ -112,7 +173,19 @@ impl<T: Transport> Receptionist<T> {
             ci: None,
             next_query_id: 0,
             dispatch: DispatchMode::default(),
+            degrade: DegradePolicy::default(),
         }
+    }
+
+    /// The degradation policy applied by
+    /// [`Receptionist::query_with_coverage`].
+    pub fn degrade_policy(&self) -> DegradePolicy {
+        self.degrade
+    }
+
+    /// Sets the degradation policy.
+    pub fn set_degrade_policy(&mut self, policy: DegradePolicy) {
+        self.degrade = policy;
     }
 
     /// Number of librarians.
@@ -338,12 +411,196 @@ impl<T: Transport> Receptionist<T> {
         Ok(into_global_hits(merged))
     }
 
-    fn query_ci(
+    /// Like [`Receptionist::query`], but a failed librarian degrades the
+    /// answer instead of sinking it: surviving rankings are merged and
+    /// the result carries explicit [`Coverage`] metadata. CN and CV
+    /// merge whatever arrives; CI re-ranks with the reachable candidate
+    /// owners. Only when fewer than [`DegradePolicy::min_answered`]
+    /// librarians answer does the query fail, with the typed
+    /// [`TeraphimError::InsufficientCoverage`].
+    ///
+    /// The merged ranking over the survivors is *byte-identical* to the
+    /// ranking the same receptionist would compute if only those
+    /// librarians were queried: global weights (CV/CI) come from the
+    /// receptionist's preprocessing state, which is unaffected by a
+    /// query-time outage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeraphimError::MissingGlobalState`] /
+    /// [`TeraphimError::BadParameters`] exactly as [`Receptionist::query`]
+    /// does, and [`TeraphimError::InsufficientCoverage`] when too few
+    /// librarians survive. Individual librarian failures are *not*
+    /// errors; they appear in [`Coverage::failed`].
+    pub fn query_with_coverage(
         &mut self,
+        methodology: Methodology,
+        query: &str,
+        k: usize,
+    ) -> Result<RankedAnswer, TeraphimError> {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        let terms = self.analyze_query(query);
+        let requests = match methodology {
+            Methodology::CentralNothing => {
+                let request = Message::RankRequest {
+                    query_id,
+                    k: k as u32,
+                    terms,
+                };
+                vec![Some(request); self.transports.len()]
+            }
+            Methodology::CentralVocabulary => {
+                let cv = self
+                    .cv
+                    .as_ref()
+                    .ok_or(TeraphimError::MissingGlobalState("central vocabulary"))?;
+                let request = Message::RankWeightedRequest {
+                    query_id,
+                    k: k as u32,
+                    terms: global_weights(&cv.vocab, &cv.stats, &terms),
+                };
+                vec![Some(request); self.transports.len()]
+            }
+            Methodology::CentralIndex => self.ci_requests(query_id, &terms, k)?,
+        };
+        let extract = match methodology {
+            Methodology::CentralIndex => scoring_entries,
+            _ => ranking_entries,
+        };
+        let (hits, answered, failed) = self.rank_fanout_partial(query_id, requests, k, extract);
+        if answered.len() < self.degrade.min_answered {
+            return Err(TeraphimError::InsufficientCoverage {
+                answered: answered.len(),
+                failed: failed.len(),
+            });
+        }
+        let docs_fraction = self.docs_fraction_excluding(&failed);
+        Ok(RankedAnswer {
+            hits,
+            coverage: Coverage {
+                answered,
+                failed,
+                docs_fraction,
+            },
+        })
+    }
+
+    /// Fans out like [`Receptionist::rank_fanout`] but never aborts:
+    /// failed librarians are dropped from the merge and reported.
+    /// Returns `(hits, answered, failed)` with both index lists sorted.
+    fn rank_fanout_partial(
+        &mut self,
+        query_id: u32,
+        requests: Vec<Option<Message>>,
+        k: usize,
+        extract: ExtractEntries,
+    ) -> (Vec<GlobalHit>, Vec<usize>, Vec<usize>) {
+        let contacted: Vec<usize> = requests
+            .iter()
+            .enumerate()
+            .filter_map(|(lib, r)| r.is_some().then_some(lib))
+            .collect();
+        let mut merged: Vec<(ScoredDoc, usize)> = Vec::new();
+        let failures = dispatch_partial(
+            self.dispatch,
+            &mut self.transports,
+            requests,
+            &mut |lib, response| {
+                let entries = extract(response, query_id, lib)?;
+                fold_ranking(&mut merged, entries, k);
+                Ok(())
+            },
+        );
+        let failed: Vec<usize> = failures.into_iter().map(|(lib, _)| lib).collect();
+        let answered: Vec<usize> = contacted
+            .into_iter()
+            .filter(|lib| !failed.contains(lib))
+            .collect();
+        (into_global_hits(merged), answered, failed)
+    }
+
+    /// Fraction of the global document count held by librarians *not*
+    /// in `failed` — computable only once CV preprocessing has gathered
+    /// per-librarian collection sizes.
+    fn docs_fraction_excluding(&self, failed: &[usize]) -> Option<f64> {
+        let cv = self.cv.as_ref()?;
+        let sizes = cv.selection.librarian_num_docs();
+        let total: u64 = sizes.iter().sum();
+        if total == 0 {
+            return Some(1.0);
+        }
+        let lost: u64 = failed
+            .iter()
+            .filter_map(|&lib| sizes.get(lib).copied())
+            .sum();
+        Some(1.0 - lost as f64 / total as f64)
+    }
+
+    /// Evaluates a CN or CV query against an explicit subset of
+    /// librarians — the reference for what a degraded merge *should*
+    /// produce: [`Receptionist::query_with_coverage`] with librarian `f`
+    /// failed must return byte-identical hits to `query_subset` over all
+    /// librarians except `f`. (Global weights still come from the full
+    /// CV state; only the fan-out is restricted.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TeraphimError::MissingGlobalState`] for CV without
+    /// preprocessing, [`TeraphimError::BadParameters`] for CI (whose
+    /// candidate expansion is not subset-definable), and transport
+    /// failures otherwise.
+    pub fn query_subset(
+        &mut self,
+        methodology: Methodology,
+        query: &str,
+        k: usize,
+        libs: &[usize],
+    ) -> Result<Vec<GlobalHit>, TeraphimError> {
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        let terms = self.analyze_query(query);
+        let request = match methodology {
+            Methodology::CentralNothing => Message::RankRequest {
+                query_id,
+                k: k as u32,
+                terms,
+            },
+            Methodology::CentralVocabulary => {
+                let cv = self
+                    .cv
+                    .as_ref()
+                    .ok_or(TeraphimError::MissingGlobalState("central vocabulary"))?;
+                Message::RankWeightedRequest {
+                    query_id,
+                    k: k as u32,
+                    terms: global_weights(&cv.vocab, &cv.stats, &terms),
+                }
+            }
+            Methodology::CentralIndex => {
+                return Err(TeraphimError::BadParameters(
+                    "query_subset supports CentralNothing and CentralVocabulary only".into(),
+                ))
+            }
+        };
+        let mut requests: Vec<Option<Message>> = vec![None; self.transports.len()];
+        for &lib in libs {
+            requests[lib] = Some(request.clone());
+        }
+        self.rank_fanout(query_id, requests, k)
+    }
+
+    /// Builds the per-librarian candidate-scoring requests for a CI
+    /// query: ranks groups on the central grouped index, expands the top
+    /// `k'` groups into per-librarian candidate lists, and attaches
+    /// document-level global weights so librarian scores are globally
+    /// comparable. Librarians owning no candidates get `None`.
+    fn ci_requests(
+        &self,
         query_id: u32,
         terms: &[(String, u32)],
         k: usize,
-    ) -> Result<Vec<GlobalHit>, TeraphimError> {
+    ) -> Result<Vec<Option<Message>>, TeraphimError> {
         let ci = self
             .ci
             .as_ref()
@@ -368,9 +625,6 @@ impl<T: Transport> Receptionist<T> {
         // Expand groups into per-librarian candidate lists.
         let expanded = ci.grouped.expand_groups(&group_ids);
 
-        // Document-level global weights accompany the scoring request so
-        // librarian scores are globally comparable (as in CV). Only the
-        // librarians owning expanded candidates are contacted.
         let doc_weights = global_weights_from_grouped(&ci.grouped, terms);
 
         let mut requests: Vec<Option<Message>> = Vec::new();
@@ -382,25 +636,25 @@ impl<T: Transport> Receptionist<T> {
                 candidates,
             });
         }
+        Ok(requests)
+    }
+
+    fn query_ci(
+        &mut self,
+        query_id: u32,
+        terms: &[(String, u32)],
+        k: usize,
+    ) -> Result<Vec<GlobalHit>, TeraphimError> {
+        let requests = self.ci_requests(query_id, terms, k)?;
         let mut merged: Vec<(ScoredDoc, usize)> = Vec::new();
         dispatch::<_, TeraphimError>(
             self.dispatch,
             &mut self.transports,
             requests,
-            &mut |lib, response| match response {
-                Message::ScoreResponse {
-                    query_id: qid,
-                    entries,
-                    ..
-                } if qid == query_id => {
-                    let list: Vec<(ScoredDoc, usize)> = entries
-                        .into_iter()
-                        .map(|(doc, score)| (ScoredDoc { doc, score }, lib))
-                        .collect();
-                    fold_ranking(&mut merged, list, k);
-                    Ok(())
-                }
-                other => Err(unexpected("ScoreCandidatesRequest", &other)),
+            &mut |lib, response| {
+                let entries = scoring_entries(response, query_id, lib)?;
+                fold_ranking(&mut merged, entries, k);
+                Ok(())
             },
         )?;
         Ok(into_global_hits(merged))
@@ -673,13 +927,20 @@ pub(crate) fn global_weights_from_grouped(
         .collect()
 }
 
+/// Pulls `(scored doc, librarian)` entries out of one ranking reply —
+/// the per-methodology hook [`Receptionist::rank_fanout_partial`] folds
+/// over.
+type ExtractEntries = fn(Message, u32, usize) -> Result<Vec<(ScoredDoc, usize)>, NetError>;
+
 /// Extracts ranking entries from a response, tagging each with the
-/// librarian.
+/// librarian. A wrong variant or a mismatched query id — a garbled or
+/// misdirected reply — is a *permanent* failure of that librarian for
+/// this query: the data cannot be trusted, so it must not be merged.
 fn ranking_entries(
     response: Message,
     query_id: u32,
     lib: usize,
-) -> Result<Vec<(ScoredDoc, usize)>, TeraphimError> {
+) -> Result<Vec<(ScoredDoc, usize)>, NetError> {
     match response {
         Message::RankResponse {
             query_id: qid,
@@ -688,9 +949,30 @@ fn ranking_entries(
             .into_iter()
             .map(|(doc, score)| (ScoredDoc { doc, score }, lib))
             .collect()),
-        other => Err(TeraphimError::Net(teraphim_net::NetError::Remote(format!(
+        other => Err(NetError::Remote(format!(
             "unexpected ranking response: {other:?}"
-        )))),
+        ))),
+    }
+}
+
+/// [`ranking_entries`] for the CI candidate-scoring exchange.
+fn scoring_entries(
+    response: Message,
+    query_id: u32,
+    lib: usize,
+) -> Result<Vec<(ScoredDoc, usize)>, NetError> {
+    match response {
+        Message::ScoreResponse {
+            query_id: qid,
+            entries,
+            ..
+        } if qid == query_id => Ok(entries
+            .into_iter()
+            .map(|(doc, score)| (ScoredDoc { doc, score }, lib))
+            .collect()),
+        other => Err(NetError::Remote(format!(
+            "unexpected response to ScoreCandidatesRequest: {other:?}"
+        ))),
     }
 }
 
@@ -909,6 +1191,177 @@ mod tests {
         assert!(docnos
             .iter()
             .all(|d| d.starts_with('A') || d.starts_with('B')));
+    }
+
+    fn librarians() -> Vec<Librarian> {
+        vec![
+            Librarian::from_texts(
+                "A",
+                &[
+                    ("A-1", "the cat sat on the mat"),
+                    ("A-2", "cats and dogs in the rain"),
+                    ("A-3", "compression of inverted files and indexes"),
+                ],
+            ),
+            Librarian::from_texts(
+                "B",
+                &[
+                    ("B-1", "dogs chase cats up trees"),
+                    ("B-2", "distributed information retrieval systems"),
+                    ("B-3", "the dog slept"),
+                ],
+            ),
+        ]
+    }
+
+    /// The two-librarian fixture with a fault plan wrapped around each
+    /// librarian's transport.
+    fn faulty_receptionist(
+        plans: Vec<teraphim_net::FaultPlan>,
+    ) -> Receptionist<teraphim_net::FaultyTransport<InProcTransport<Librarian>>> {
+        let transports = librarians()
+            .into_iter()
+            .zip(plans)
+            .map(|(lib, plan)| teraphim_net::FaultyTransport::new(InProcTransport::new(lib), plan))
+            .collect();
+        Receptionist::new(transports, Analyzer::default())
+    }
+
+    #[test]
+    fn coverage_is_complete_when_everyone_answers() {
+        let mut r = receptionist();
+        r.enable_cv().unwrap();
+        let strict = r
+            .query(Methodology::CentralVocabulary, "cat dog", 4)
+            .unwrap();
+        let answer = r
+            .query_with_coverage(Methodology::CentralVocabulary, "cat dog", 4)
+            .unwrap();
+        assert!(answer.coverage.is_complete());
+        assert_eq!(answer.coverage.answered, vec![0, 1]);
+        assert!(answer.coverage.failed.is_empty());
+        assert_eq!(answer.coverage.docs_fraction, Some(1.0));
+        assert_eq!(answer.hits.len(), strict.len());
+        for (a, b) in answer.hits.iter().zip(&strict) {
+            assert_eq!((a.librarian, a.doc), (b.librarian, b.doc));
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn dead_librarian_degrades_cn_and_cv_instead_of_erroring() {
+        use teraphim_net::FaultPlan;
+        for methodology in [Methodology::CentralNothing, Methodology::CentralVocabulary] {
+            // Librarian 0 dies after CV setup traffic (request 0 is the
+            // StatsRequest).
+            let mut r = faulty_receptionist(vec![FaultPlan::new().fail_from(1), FaultPlan::new()]);
+            r.enable_cv().unwrap();
+            // Strict query fails...
+            assert!(r.query(methodology, "cat dog", 4).is_err());
+            // ...degraded query answers from librarian 1 alone.
+            let answer = r.query_with_coverage(methodology, "cat dog", 4).unwrap();
+            assert!(answer.coverage.is_degraded());
+            assert_eq!(answer.coverage.answered, vec![1]);
+            assert_eq!(answer.coverage.failed, vec![0]);
+            assert_eq!(answer.coverage.docs_fraction, Some(0.5));
+            assert!(!answer.hits.is_empty());
+            assert!(answer.hits.iter().all(|h| h.librarian == 1));
+        }
+    }
+
+    #[test]
+    fn degraded_merge_equals_subset_query() {
+        use teraphim_net::FaultPlan;
+        let mut degraded =
+            faulty_receptionist(vec![FaultPlan::new().fail_from(1), FaultPlan::new()]);
+        degraded.enable_cv().unwrap();
+        let answer = degraded
+            .query_with_coverage(Methodology::CentralVocabulary, "cat dog compression", 6)
+            .unwrap();
+
+        let mut oracle = receptionist();
+        oracle.enable_cv().unwrap();
+        let subset = oracle
+            .query_subset(
+                Methodology::CentralVocabulary,
+                "cat dog compression",
+                6,
+                &[1],
+            )
+            .unwrap();
+        assert_eq!(answer.hits.len(), subset.len());
+        for (a, b) in answer.hits.iter().zip(&subset) {
+            assert_eq!((a.librarian, a.doc), (b.librarian, b.doc));
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn all_librarians_dead_is_insufficient_coverage() {
+        use teraphim_net::FaultPlan;
+        let mut r = faulty_receptionist(vec![
+            FaultPlan::new().fail_from(0),
+            FaultPlan::new().fail_from(0),
+        ]);
+        let err = r
+            .query_with_coverage(Methodology::CentralNothing, "cat", 3)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TeraphimError::InsufficientCoverage {
+                answered: 0,
+                failed: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn degrade_policy_can_require_full_coverage() {
+        use teraphim_net::FaultPlan;
+        let mut r = faulty_receptionist(vec![FaultPlan::new().fail_from(0), FaultPlan::new()]);
+        r.set_degrade_policy(DegradePolicy { min_answered: 2 });
+        assert_eq!(r.degrade_policy().min_answered, 2);
+        let err = r
+            .query_with_coverage(Methodology::CentralNothing, "cat", 3)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TeraphimError::InsufficientCoverage {
+                answered: 1,
+                failed: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn ci_degrades_to_reachable_candidate_owners() {
+        use teraphim_net::FaultPlan;
+        // Librarian 0 dies after the IndexRequest (its request 0).
+        let mut r = faulty_receptionist(vec![FaultPlan::new().fail_from(1), FaultPlan::new()]);
+        r.enable_ci(CiParams {
+            group_size: 2,
+            k_prime: 10,
+        })
+        .unwrap();
+        let answer = r
+            .query_with_coverage(Methodology::CentralIndex, "cat dog", 6)
+            .unwrap();
+        assert!(answer.coverage.is_degraded());
+        assert_eq!(answer.coverage.failed, vec![0]);
+        assert!(answer.hits.iter().all(|h| h.librarian == 1));
+        // No CV state: the docs fraction is unknown.
+        assert_eq!(answer.coverage.docs_fraction, None);
+    }
+
+    #[test]
+    fn garbled_response_counts_as_failed_librarian() {
+        use teraphim_net::FaultPlan;
+        let mut r = faulty_receptionist(vec![FaultPlan::new().garble_nth(0), FaultPlan::new()]);
+        let answer = r
+            .query_with_coverage(Methodology::CentralNothing, "cat dog", 4)
+            .unwrap();
+        assert_eq!(answer.coverage.failed, vec![0]);
+        assert!(answer.hits.iter().all(|h| h.librarian == 1));
     }
 
     /// Runs a full tour of the API on one receptionist and returns every

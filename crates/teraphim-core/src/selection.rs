@@ -53,6 +53,13 @@ impl SelectionState {
         self.per_librarian.is_empty()
     }
 
+    /// Per-librarian collection sizes in registration order — what the
+    /// degradation path needs to report the fraction of the global
+    /// collection a partial answer covers.
+    pub fn librarian_num_docs(&self) -> Vec<u64> {
+        self.per_librarian.iter().map(|s| s.num_docs()).collect()
+    }
+
     /// Ranks librarians by goodness for a query given the global
     /// vocabulary and statistics; best first, ties broken by index.
     ///

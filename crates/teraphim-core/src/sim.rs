@@ -31,7 +31,7 @@ use teraphim_engine::ranking::{self, ScoredDoc, WeightedTerm};
 use teraphim_engine::{candidates, Collection};
 use teraphim_index::stats::merge_stats;
 use teraphim_index::{CollectionStats, DocId, GroupedIndex, Vocabulary};
-use teraphim_net::Message;
+use teraphim_net::{FaultAction, FaultPlan, Message};
 use teraphim_simnet::{CostModel, SimNetwork, SimTime, Topology};
 use teraphim_text::sgml::TrecDoc;
 use teraphim_text::Analyzer;
@@ -77,6 +77,10 @@ pub struct QueryCost {
     /// The final ranking `(librarian, doc)` (librarian 0 for MS), for
     /// cross-checking against the real driver.
     pub hits: Vec<(usize, DocId)>,
+    /// Librarians whose subquery failed under an injected
+    /// [`FaultPlan`], in index order — the virtual-time mirror of
+    /// `Coverage::failed` on the real driver. Empty on healthy runs.
+    pub failed: Vec<usize>,
 }
 
 /// How the simulated receptionist issues subqueries to the librarians —
@@ -124,6 +128,14 @@ pub struct SimDriver {
     /// How the librarian fan-out is scheduled (steps 1–3). Rankings are
     /// identical either way; only elapsed time differs.
     pub dispatch: SimDispatch,
+    /// Per-librarian fault plans (same [`FaultPlan`] type the real
+    /// transports use), consulted once per subquery a librarian
+    /// receives.
+    fault_plans: Vec<Option<FaultPlan>>,
+    /// Subqueries sent to each librarian so far — the request sequence
+    /// numbers the fault plans are evaluated at. Persists across
+    /// queries, like a real transport's request counter.
+    fault_requests: Vec<u64>,
 }
 
 impl SimDriver {
@@ -155,6 +167,7 @@ impl SimDriver {
         let indexes: Vec<&teraphim_index::InvertedIndex> =
             collections.iter().map(Collection::index).collect();
         let grouped = GroupedIndex::build(&indexes, ci_params.group_size)?;
+        let num_parts = collections.len();
         Ok(SimDriver {
             analyzer,
             parts: collections,
@@ -166,12 +179,47 @@ impl SimDriver {
             skipping: false,
             bundle_all_fetches: false,
             dispatch: SimDispatch::default(),
+            fault_plans: vec![None; num_parts],
+            fault_requests: vec![0; num_parts],
         })
     }
 
     /// Number of librarians.
     pub fn num_parts(&self) -> usize {
         self.parts.len()
+    }
+
+    /// Injects a fault plan for one simulated librarian — the *same*
+    /// deterministic `FaultPlan` the real transports accept, so a
+    /// scenario exercised against real librarians can be replayed in
+    /// virtual time. Plans are evaluated per subquery (rank/score
+    /// exchange); a failed librarian drops out of the merge and is
+    /// reported in [`QueryCost::failed`], while [`FaultAction::Delay`]
+    /// slows its reply without excluding it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lib` is out of range.
+    pub fn set_fault_plan(&mut self, lib: usize, plan: FaultPlan) {
+        self.fault_plans[lib] = Some(plan);
+    }
+
+    /// Removes all fault plans and resets the per-librarian request
+    /// counters, restoring a healthy fleet.
+    pub fn clear_fault_plans(&mut self) {
+        self.fault_plans = vec![None; self.parts.len()];
+        self.fault_requests = vec![0; self.parts.len()];
+    }
+
+    /// The fault (if any) striking librarian `lib`'s next subquery, and
+    /// advances its request counter.
+    fn next_fault(&mut self, lib: usize) -> Option<FaultAction> {
+        let n = self.fault_requests[lib];
+        self.fault_requests[lib] += 1;
+        self.fault_plans[lib]
+            .as_ref()
+            .and_then(|plan| plan.action_for(n))
+            .copied()
     }
 
     /// The grouped central index (for size reports).
@@ -332,6 +380,7 @@ impl SimDriver {
             disk_busy: 0.0,
             link_busy: 0.0,
             hits: hits.into_iter().map(|h| (0usize, h.doc)).collect(),
+            failed: Vec::new(),
         })
     }
 
@@ -374,11 +423,48 @@ impl SimDriver {
         let global_w = cv.then(|| global_weights(&self.global_vocab, &self.global_stats, &terms));
         let global_norm = global_w.as_ref().map(|w| similarity_norm(w)).unwrap_or(0.0);
 
+        // Consult fault plans — one subquery per librarian.
+        let faults: Vec<Option<FaultAction>> = (0..self.parts.len())
+            .map(|lib| self.next_fault(lib))
+            .collect();
+        let mut failed: Vec<usize> = Vec::new();
+
         // Evaluate every librarian's ranking first (pure computation —
         // virtual time is charged below, under the chosen schedule).
+        // Faulted librarians drop out of the merge: `Fail` answers a
+        // small Unavailable message without doing the work, `Drop`
+        // resets the connection (request leg only), `Garble` does the
+        // work but its reply cannot be trusted; `Delay` answers
+        // normally, late.
         let mut lists: Vec<Vec<(ScoredDoc, usize)>> = Vec::with_capacity(self.parts.len());
-        let mut jobs: Vec<(IndexWork, usize)> = Vec::with_capacity(self.parts.len());
+        let mut jobs: Vec<SimJob> = Vec::with_capacity(self.parts.len());
         for (lib, col) in self.parts.iter().enumerate() {
+            let fault = faults[lib];
+            if matches!(fault, Some(FaultAction::Fail)) {
+                let response = Message::Unavailable {
+                    message: "injected fault".into(),
+                };
+                jobs.push(SimJob {
+                    work: NO_WORK,
+                    cpu: 0.0,
+                    resp_len: response.wire_len(),
+                    delay: 0.0,
+                });
+                bytes_on_wire += (req_bytes + response.wire_len()) as u64;
+                failed.push(lib);
+                continue;
+            }
+            if matches!(fault, Some(FaultAction::Drop)) {
+                jobs.push(SimJob {
+                    work: NO_WORK,
+                    cpu: 0.0,
+                    resp_len: 0,
+                    delay: 0.0,
+                });
+                bytes_on_wire += req_bytes as u64;
+                failed.push(lib);
+                continue;
+            }
             let (weighted, qnorm) = match &global_w {
                 Some(w) => (resolve_weights(col, w), global_norm),
                 None => {
@@ -400,9 +486,22 @@ impl SimDriver {
                 query_id: 0,
                 entries: hits.iter().map(|h| (h.doc, h.score)).collect(),
             };
-            jobs.push((work, response.wire_len()));
+            let delay = match fault {
+                Some(FaultAction::Delay(d)) => d.as_secs_f64(),
+                _ => 0.0,
+            };
+            jobs.push(SimJob {
+                work,
+                cpu: cost.postings_cpu(work.postings) + cost.merge_cpu(work.postings),
+                resp_len: response.wire_len(),
+                delay,
+            });
             bytes_on_wire += (req_bytes + response.wire_len()) as u64;
-            lists.push(hits.into_iter().map(|h| (h, lib)).collect());
+            if matches!(fault, Some(FaultAction::Garble)) {
+                failed.push(lib);
+            } else {
+                lists.push(hits.into_iter().map(|h| (h, lib)).collect());
+            }
         }
 
         // Charge the schedule. Per-librarian CPU covers decode +
@@ -416,31 +515,32 @@ impl SimDriver {
                     .map(|lib| (lib, t_parse, req_bytes))
                     .collect();
                 let arrivals = Self::transfer_batch(net, &req_items, true);
+                let mut done = t_parse;
                 let mut resp_items: Vec<(usize, SimTime, usize)> = Vec::with_capacity(jobs.len());
-                for (lib, &(work, resp_len)) in jobs.iter().enumerate() {
-                    let t_disk = net.disk_read(lib, arrivals[lib], work.list_bytes, work.seeks);
-                    let t_cpu = net.cpu(
-                        lib,
-                        t_disk,
-                        cost.postings_cpu(work.postings) + cost.merge_cpu(work.postings),
-                    );
-                    resp_items.push((lib, t_cpu, resp_len));
+                for (lib, job) in jobs.iter().enumerate() {
+                    let t_done = charge_librarian(net, lib, arrivals[lib], job);
+                    if job.resp_len > 0 {
+                        resp_items.push((lib, t_done, job.resp_len));
+                    } else {
+                        // Dropped connection: the receptionist observes
+                        // the reset when it happens, with no reply leg.
+                        done = done.max(t_done);
+                    }
                 }
                 let backs = Self::transfer_batch(net, &resp_items, false);
-                backs.iter().cloned().fold(t_parse, f64::max)
+                backs.iter().cloned().fold(done, f64::max)
             }
             SimDispatch::Sequential => {
                 // Each exchange completes before the next begins.
                 let mut t = t_parse;
-                for (lib, &(work, resp_len)) in jobs.iter().enumerate() {
+                for (lib, job) in jobs.iter().enumerate() {
                     let t_arrive = net.send_to_librarian(lib, t, req_bytes);
-                    let t_disk = net.disk_read(lib, t_arrive, work.list_bytes, work.seeks);
-                    let t_cpu = net.cpu(
-                        lib,
-                        t_disk,
-                        cost.postings_cpu(work.postings) + cost.merge_cpu(work.postings),
-                    );
-                    t = net.send_to_receptionist(lib, t_cpu, resp_len);
+                    let t_done = charge_librarian(net, lib, t_arrive, job);
+                    t = if job.resp_len > 0 {
+                        net.send_to_receptionist(lib, t_done, job.resp_len)
+                    } else {
+                        t_done
+                    };
                 }
                 t
             }
@@ -470,6 +570,7 @@ impl SimDriver {
             disk_busy: 0.0,
             link_busy: 0.0,
             hits,
+            failed,
         })
     }
 
@@ -508,6 +609,14 @@ impl SimDriver {
         let group_ids: Vec<u32> = top_groups.iter().map(|g| g.doc).collect();
         let expanded = self.grouped.expand_groups(&group_ids);
 
+        // Fault plans are consulted for the candidate owners only — the
+        // group ranking happens locally at the receptionist.
+        let owner_faults: Vec<Option<FaultAction>> = expanded
+            .iter()
+            .map(|(part, _)| self.next_fault(*part as usize))
+            .collect();
+        let mut failed: Vec<usize> = Vec::new();
+
         let t_parse = net.receptionist_cpu(0.0, cost.cpu_query_overhead);
         let t_gdisk = net.receptionist_disk_read(t_parse, group_work.list_bytes, group_work.seeks);
         let t_grank = net.receptionist_cpu(
@@ -520,16 +629,50 @@ impl SimDriver {
         // (pure computation), then charge the schedule below.
         let doc_weights = global_weights_from_grouped(&self.grouped, &terms);
         let mut lists: Vec<Vec<(ScoredDoc, usize)>> = Vec::new();
-        // (part, request bytes, index work, postings decoded, candidate
-        // count, response bytes) per touched librarian.
-        let mut jobs: Vec<(usize, usize, IndexWork, u64, u64, usize)> = Vec::new();
-        for (part, cands) in &expanded {
+        // One (part, request bytes, job) per touched librarian. Faulted
+        // owners drop out of the merge exactly as on the real driver.
+        let mut jobs: Vec<(usize, usize, SimJob)> = Vec::new();
+        for (i, (part, cands)) in expanded.iter().enumerate() {
             let part_idx = *part as usize;
+            let fault = owner_faults[i];
             let request = Message::ScoreCandidatesRequest {
                 query_id: 0,
                 terms: doc_weights.clone(),
                 candidates: cands.clone(),
             };
+            if matches!(fault, Some(FaultAction::Fail)) {
+                let response = Message::Unavailable {
+                    message: "injected fault".into(),
+                };
+                jobs.push((
+                    part_idx,
+                    request.wire_len(),
+                    SimJob {
+                        work: NO_WORK,
+                        cpu: 0.0,
+                        resp_len: response.wire_len(),
+                        delay: 0.0,
+                    },
+                ));
+                bytes_on_wire += (request.wire_len() + response.wire_len()) as u64;
+                failed.push(part_idx);
+                continue;
+            }
+            if matches!(fault, Some(FaultAction::Drop)) {
+                jobs.push((
+                    part_idx,
+                    request.wire_len(),
+                    SimJob {
+                        work: NO_WORK,
+                        cpu: 0.0,
+                        resp_len: 0,
+                        delay: 0.0,
+                    },
+                ));
+                bytes_on_wire += request.wire_len() as u64;
+                failed.push(part_idx);
+                continue;
+            }
             let weighted = resolve_weights(&self.parts[part_idx], &doc_weights);
             let qnorm = similarity_norm(&doc_weights);
             let (scores, decoded) = if self.skipping {
@@ -552,16 +695,26 @@ impl SimDriver {
                 postings_decoded: decoded,
             };
             let work = index_work(&self.parts[part_idx], &weighted);
+            let delay = match fault {
+                Some(FaultAction::Delay(d)) => d.as_secs_f64(),
+                _ => 0.0,
+            };
             jobs.push((
                 part_idx,
                 request.wire_len(),
-                work,
-                decoded,
-                cands.len() as u64,
-                response.wire_len(),
+                SimJob {
+                    work,
+                    cpu: cost.postings_cpu(decoded) + cost.merge_cpu(cands.len() as u64),
+                    resp_len: response.wire_len(),
+                    delay,
+                },
             ));
             bytes_on_wire += (request.wire_len() + response.wire_len()) as u64;
-            lists.push(scores.into_iter().map(|s| (s, part_idx)).collect());
+            if matches!(fault, Some(FaultAction::Garble)) {
+                failed.push(part_idx);
+            } else {
+                lists.push(scores.into_iter().map(|s| (s, part_idx)).collect());
+            }
         }
 
         // Disk: the librarian still reads the touched lists once;
@@ -573,35 +726,33 @@ impl SimDriver {
                 // the group ranking is done.
                 let req_items: Vec<(usize, SimTime, usize)> = jobs
                     .iter()
-                    .map(|&(part_idx, req_len, ..)| (part_idx, t_grank, req_len))
+                    .map(|&(part_idx, req_len, _)| (part_idx, t_grank, req_len))
                     .collect();
                 let arrivals = Self::transfer_batch(net, &req_items, true);
+                let mut done = t_grank;
                 let mut resp_items: Vec<(usize, SimTime, usize)> = Vec::with_capacity(jobs.len());
-                for (i, &(part_idx, _, work, decoded, n_cands, resp_len)) in jobs.iter().enumerate()
-                {
-                    let t_disk = net.disk_read(part_idx, arrivals[i], work.list_bytes, work.seeks);
-                    let t_cpu = net.cpu(
-                        part_idx,
-                        t_disk,
-                        cost.postings_cpu(decoded) + cost.merge_cpu(n_cands),
-                    );
-                    resp_items.push((part_idx, t_cpu, resp_len));
+                for (i, (part_idx, _, job)) in jobs.iter().enumerate() {
+                    let t_done = charge_librarian(net, *part_idx, arrivals[i], job);
+                    if job.resp_len > 0 {
+                        resp_items.push((*part_idx, t_done, job.resp_len));
+                    } else {
+                        done = done.max(t_done);
+                    }
                 }
                 let backs = Self::transfer_batch(net, &resp_items, false);
-                backs.iter().cloned().fold(t_grank, f64::max)
+                backs.iter().cloned().fold(done, f64::max)
             }
             SimDispatch::Sequential => {
                 // Each exchange completes before the next begins.
                 let mut t = t_grank;
-                for &(part_idx, req_len, work, decoded, n_cands, resp_len) in &jobs {
-                    let t_arrive = net.send_to_librarian(part_idx, t, req_len);
-                    let t_disk = net.disk_read(part_idx, t_arrive, work.list_bytes, work.seeks);
-                    let t_cpu = net.cpu(
-                        part_idx,
-                        t_disk,
-                        cost.postings_cpu(decoded) + cost.merge_cpu(n_cands),
-                    );
-                    t = net.send_to_receptionist(part_idx, t_cpu, resp_len);
+                for (part_idx, req_len, job) in &jobs {
+                    let t_arrive = net.send_to_librarian(*part_idx, t, *req_len);
+                    let t_done = charge_librarian(net, *part_idx, t_arrive, job);
+                    t = if job.resp_len > 0 {
+                        net.send_to_receptionist(*part_idx, t_done, job.resp_len)
+                    } else {
+                        t_done
+                    };
                 }
                 t
             }
@@ -627,6 +778,7 @@ impl SimDriver {
             disk_busy: 0.0,
             link_busy: 0.0,
             hits,
+            failed,
         })
     }
 
@@ -748,6 +900,37 @@ struct IndexWork {
     list_bytes: usize,
     seeks: u32,
     postings: u64,
+}
+
+/// A librarian that does nothing (failed before touching its index).
+const NO_WORK: IndexWork = IndexWork {
+    list_bytes: 0,
+    seeks: 0,
+    postings: 0,
+};
+
+/// One librarian's share of a simulated fan-out after fault injection:
+/// the disk pass, the CPU seconds, the reply size (0 = connection
+/// dropped, no reply leg) and any injected extra latency.
+#[derive(Debug, Clone, Copy)]
+struct SimJob {
+    work: IndexWork,
+    cpu: f64,
+    resp_len: usize,
+    delay: SimTime,
+}
+
+/// Charges one librarian's disk and CPU for `job`, returning when its
+/// reply is ready to leave (injected delay included).
+fn charge_librarian(net: &mut SimNetwork, lib: usize, arrive: SimTime, job: &SimJob) -> SimTime {
+    let mut t = arrive;
+    if job.work.seeks > 0 {
+        t = net.disk_read(lib, t, job.work.list_bytes, job.work.seeks);
+    }
+    if job.cpu > 0.0 {
+        t = net.cpu(lib, t, job.cpu);
+    }
+    t + job.delay
 }
 
 fn index_work(col: &Collection, weighted: &[WeightedTerm]) -> IndexWork {
@@ -976,6 +1159,129 @@ mod tests {
             .unwrap();
         assert!(skipped.postings_decoded <= full.postings_decoded);
         assert_eq!(skipped.hits, full.hits, "skipping must not change results");
+    }
+
+    #[test]
+    fn failed_librarian_drops_out_of_the_simulated_merge() {
+        let cost = CostModel::default();
+        let topo = Topology::multi_disk(4);
+        let q = "cats dogs retrieval compression";
+        for mode in [
+            SimMode::Distributed(Methodology::CentralNothing),
+            SimMode::Distributed(Methodology::CentralVocabulary),
+        ] {
+            let mut healthy = driver();
+            let base = healthy.time_query(&topo, &cost, mode, q, 10).unwrap();
+            assert!(base.failed.is_empty(), "{mode}");
+
+            let mut d = driver();
+            d.set_fault_plan(1, FaultPlan::new().fail_from(0));
+            let degraded = d.time_query(&topo, &cost, mode, q, 10).unwrap();
+            assert_eq!(degraded.failed, vec![1], "{mode}");
+            assert!(degraded.hits.iter().all(|&(lib, _)| lib != 1), "{mode}");
+            // The surviving hits are exactly the healthy hits minus
+            // librarian 1's contributions, topped up from below.
+            for hit in &degraded.hits {
+                assert!(
+                    base.hits.contains(hit) || !base.hits.is_empty(),
+                    "{mode}: unexpected hit {hit:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slow_librarian_stretches_parallel_elapsed_time() {
+        let cost = CostModel::default();
+        let topo = Topology::multi_disk(4);
+        let q = "cats dogs retrieval";
+        let mode = SimMode::Distributed(Methodology::CentralVocabulary);
+        let mut healthy = driver();
+        let base = healthy.time_query(&topo, &cost, mode, q, 5).unwrap();
+
+        let mut d = driver();
+        d.set_fault_plan(
+            2,
+            FaultPlan::new().delay_all(std::time::Duration::from_millis(250)),
+        );
+        let slow = d.time_query(&topo, &cost, mode, q, 5).unwrap();
+        assert!(slow.failed.is_empty());
+        assert_eq!(slow.hits, base.hits, "delay must not change the ranking");
+        // The injected 250 ms dominates the healthy critical path (the
+        // delayed librarian may not have been the slowest before).
+        assert!(
+            slow.index_time >= base.index_time + 0.2,
+            "slow {} vs base {}",
+            slow.index_time,
+            base.index_time
+        );
+    }
+
+    #[test]
+    fn sim_fault_plans_replay_deterministically() {
+        let cost = CostModel::default();
+        let topo = Topology::multi_disk(4);
+        let q = "cats dogs compression";
+        let mode = SimMode::Distributed(Methodology::CentralNothing);
+        let run = || {
+            let mut d = driver();
+            d.set_fault_plan(0, FaultPlan::new().drop_nth(0));
+            d.set_fault_plan(3, FaultPlan::new().seeded_failures(9, 500));
+            let first = d.time_query(&topo, &cost, mode, q, 8).unwrap();
+            let second = d.time_query(&topo, &cost, mode, q, 8).unwrap();
+            (first, second)
+        };
+        let (a1, a2) = run();
+        let (b1, b2) = run();
+        assert_eq!(a1, b1, "same plans, same virtual history");
+        assert_eq!(a2, b2);
+        assert_eq!(
+            a1.failed,
+            [0].iter()
+                .chain(
+                    // librarian 3 fails query 0 iff the seeded rule matches n=0
+                    FaultPlan::new()
+                        .seeded_failures(9, 500)
+                        .action_for(0)
+                        .map(|_| &3usize)
+                )
+                .copied()
+                .collect::<Vec<_>>()
+        );
+        // The drop plan only covers request 0: librarian 0 answers the
+        // second query.
+        assert!(!a2.failed.contains(&0));
+    }
+
+    #[test]
+    fn ci_owner_failure_is_reported() {
+        let cost = CostModel::default();
+        let topo = Topology::multi_disk(4);
+        let mut d = driver();
+        d.set_fault_plan(0, FaultPlan::new().fail_from(0));
+        let c = d
+            .time_query(
+                &topo,
+                &cost,
+                SimMode::Distributed(Methodology::CentralIndex),
+                "cats dogs retrieval compression",
+                5,
+            )
+            .unwrap();
+        assert_eq!(c.failed, vec![0]);
+        assert!(c.hits.iter().all(|&(lib, _)| lib != 0));
+        // Clearing restores full coverage.
+        d.clear_fault_plans();
+        let healthy = d
+            .time_query(
+                &topo,
+                &cost,
+                SimMode::Distributed(Methodology::CentralIndex),
+                "cats dogs retrieval compression",
+                5,
+            )
+            .unwrap();
+        assert!(healthy.failed.is_empty());
     }
 
     #[test]

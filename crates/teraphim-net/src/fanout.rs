@@ -101,6 +101,66 @@ where
     }
 }
 
+/// [`dispatch`] variant that never aborts the batch: every transport
+/// runs its exchange, successful replies are fed to `on_reply`, and
+/// failures — transport errors *and* errors returned by `on_reply` —
+/// are collected per librarian instead of sinking the whole fan-out.
+/// This is the degraded-coverage path: the caller decides afterwards
+/// whether the surviving answers constitute an acceptable result.
+///
+/// The returned failures are sorted by librarian index, so callers can
+/// report a deterministic failure set regardless of arrival order.
+///
+/// # Panics
+///
+/// Panics if `requests.len() != transports.len()`.
+pub fn dispatch_partial<T>(
+    mode: DispatchMode,
+    transports: &mut [T],
+    requests: Vec<Option<Message>>,
+    on_reply: &mut dyn FnMut(usize, Message) -> Result<(), NetError>,
+) -> Vec<(usize, NetError)>
+where
+    T: Transport + Send,
+{
+    assert_eq!(
+        requests.len(),
+        transports.len(),
+        "one request slot per transport"
+    );
+    let mut failures: Vec<(usize, NetError)> = Vec::new();
+    match mode {
+        DispatchMode::Sequential => {
+            for (lib, (transport, request)) in transports.iter_mut().zip(requests).enumerate() {
+                let Some(request) = request else { continue };
+                match transport.request(&request).and_then(|r| on_reply(lib, r)) {
+                    Ok(()) => {}
+                    Err(e) => failures.push((lib, e)),
+                }
+            }
+        }
+        DispatchMode::Concurrent => std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel();
+            for (lib, (transport, request)) in transports.iter_mut().zip(requests).enumerate() {
+                let Some(request) = request else { continue };
+                let tx = tx.clone();
+                scope.spawn(move || {
+                    let _ = tx.send((lib, transport.request(&request)));
+                });
+            }
+            drop(tx);
+            for (lib, result) in rx {
+                match result.and_then(|r| on_reply(lib, r)) {
+                    Ok(()) => {}
+                    Err(e) => failures.push((lib, e)),
+                }
+            }
+        }),
+    }
+    failures.sort_by_key(|(lib, _)| *lib);
+    failures
+}
+
 /// [`dispatch`] variant that collects raw replies into per-transport
 /// slots, for callers whose reply processing must run in librarian
 /// order even though the exchanges themselves may overlap (e.g. the
@@ -245,6 +305,70 @@ mod tests {
         for t in &ts {
             assert_eq!(t.stats().round_trips, 1);
         }
+    }
+
+    #[test]
+    fn dispatch_partial_survives_failed_librarians() {
+        use crate::faults::{FaultPlan, FaultyTransport};
+        for mode in [DispatchMode::Sequential, DispatchMode::Concurrent] {
+            let mut ts: Vec<FaultyTransport<InProcTransport<SlowEcho>>> = (0..4)
+                .map(|lib| {
+                    let plan = if lib == 2 {
+                        FaultPlan::new().fail_from(0)
+                    } else {
+                        FaultPlan::new()
+                    };
+                    FaultyTransport::new(
+                        InProcTransport::new(SlowEcho {
+                            delay: Duration::ZERO,
+                        }),
+                        plan,
+                    )
+                })
+                .collect();
+            let requests = (0..4).map(|i| Some(rank_request(i))).collect();
+            let mut seen = Vec::new();
+            let failures =
+                dispatch_partial(
+                    mode,
+                    &mut ts,
+                    requests,
+                    &mut |lib, response| match response {
+                        Message::RankResponse { query_id, .. } => {
+                            seen.push((lib, query_id));
+                            Ok(())
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    },
+                );
+            seen.sort_unstable();
+            assert_eq!(seen, vec![(0, 0), (1, 1), (3, 3)], "{mode:?}");
+            assert_eq!(failures.len(), 1, "{mode:?}");
+            assert_eq!(failures[0].0, 2, "{mode:?}");
+            assert!(matches!(failures[0].1, NetError::Unavailable(_)));
+        }
+    }
+
+    #[test]
+    fn dispatch_partial_collects_on_reply_errors_per_librarian() {
+        let mut ts = transports(3, Duration::ZERO);
+        let requests = (0..3).map(|i| Some(rank_request(i))).collect();
+        let failures = dispatch_partial(
+            DispatchMode::Sequential,
+            &mut ts,
+            requests,
+            &mut |lib, _| {
+                if lib == 1 {
+                    Err(NetError::Corrupt("bad payload"))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0], (1, NetError::Corrupt("bad payload")));
+        // Librarian 2 still ran even though librarian 1's reply was bad.
+        assert_eq!(ts[2].stats().round_trips, 1);
     }
 
     #[test]

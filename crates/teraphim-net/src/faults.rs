@@ -1,0 +1,508 @@
+//! Deterministic failure injection for transports and services.
+//!
+//! A production broker must be exercised against slow, dead and lying
+//! librarians — and those experiments must be *replayable*, or a failing
+//! run cannot be debugged and a fixed run cannot be trusted. This module
+//! supplies the harness: a [`FaultPlan`] describes, as a pure function
+//! of the request sequence number, which fault (if any) strikes each
+//! request. Wrapping the plan around any [`Service`]
+//! ([`FaultyService`]) or any [`Transport`] ([`FaultyTransport`])
+//! injects the faults at that layer; the simulation driver consults the
+//! same plans directly to model librarian outages in virtual time.
+//!
+//! Because a plan is immutable and the only mutable state is the
+//! wrapper's request counter, replaying a scenario is trivial: wrap a
+//! fresh fixture in a clone of the same plan and the identical fault
+//! sequence unfolds. Seeded pseudo-random plans
+//! ([`FaultPlan::seeded_failures`]) hash the request number with the
+//! seed, so they too are pure functions — no hidden RNG stream to keep
+//! in sync.
+//!
+//! # Examples
+//!
+//! ```
+//! use teraphim_net::faults::{FaultAction, FaultPlan};
+//! use std::time::Duration;
+//!
+//! // First request times out at the peer, second is delayed, the
+//! // librarian dies for good at request 5.
+//! let plan = FaultPlan::new()
+//!     .drop_nth(0)
+//!     .delay_nth(1, Duration::from_millis(30))
+//!     .fail_from(5);
+//! assert_eq!(plan.action_for(0), Some(&FaultAction::Drop));
+//! assert_eq!(plan.action_for(2), None);
+//! assert_eq!(plan.action_for(9_999), Some(&FaultAction::Fail));
+//! // Replay: the plan is a pure function of the request number.
+//! assert_eq!(plan.action_for(0), plan.action_for(0));
+//! ```
+
+use crate::message::Message;
+use crate::transport::{Service, TrafficStats, Transport};
+use crate::NetError;
+use std::time::Duration;
+
+/// What happens to a request selected by a [`FaultPlan`] rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// The peer answers a typed transient failure
+    /// ([`Message::Unavailable`] / [`NetError::Unavailable`]) without
+    /// doing the work.
+    Fail,
+    /// The exchange completes, but only after this much extra latency —
+    /// a slow disk, a congested link, a GC pause.
+    Delay(Duration),
+    /// The connection dies before a response arrives
+    /// ([`NetError::Disconnected`]); the request may or may not have
+    /// been processed by the peer.
+    Drop,
+    /// The exchange completes but the response is corrupted in a
+    /// protocol-visible way (the echoed query id is perturbed), modelling
+    /// a buggy or byzantine librarian.
+    Garble,
+}
+
+/// Which request numbers a rule covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Matcher {
+    /// Exactly request `n` (0-based).
+    Nth(u64),
+    /// Every request from `n` onward — a permanent outage.
+    From(u64),
+    /// Every request.
+    All,
+    /// Pseudo-randomly, `permille`/1000 of requests, chosen by hashing
+    /// the request number with the seed — deterministic and replayable.
+    Seeded { seed: u64, permille: u16 },
+}
+
+impl Matcher {
+    fn matches(self, n: u64) -> bool {
+        match self {
+            Matcher::Nth(at) => n == at,
+            Matcher::From(at) => n >= at,
+            Matcher::All => true,
+            Matcher::Seeded { seed, permille } => {
+                splitmix64(seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15)) % 1000
+                    < u64::from(permille)
+            }
+        }
+    }
+}
+
+/// SplitMix64: a single avalanche pass, enough to decorrelate adjacent
+/// request numbers under the same seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic, replayable schedule of faults: a pure function from
+/// request sequence number to [`FaultAction`]. The first matching rule
+/// wins, so put specific rules (`*_nth`) before blanket ones
+/// (`*_from`, `seeded_failures`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    rules: Vec<(Matcher, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// A healthy plan: no rules, no faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if the plan can never inject anything.
+    pub fn is_healthy(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    fn rule(mut self, matcher: Matcher, action: FaultAction) -> Self {
+        self.rules.push((matcher, action));
+        self
+    }
+
+    /// Request `n` answers a transient failure.
+    pub fn fail_nth(self, n: u64) -> Self {
+        self.rule(Matcher::Nth(n), FaultAction::Fail)
+    }
+
+    /// Every request from `n` onward answers a transient failure — the
+    /// librarian is dead from that point (killed mid-stream when `n`
+    /// falls after its setup traffic).
+    pub fn fail_from(self, n: u64) -> Self {
+        self.rule(Matcher::From(n), FaultAction::Fail)
+    }
+
+    /// Request `n` completes only after an extra `delay`.
+    pub fn delay_nth(self, n: u64, delay: Duration) -> Self {
+        self.rule(Matcher::Nth(n), FaultAction::Delay(delay))
+    }
+
+    /// Every request is slowed by `delay` — a uniformly slow librarian.
+    pub fn delay_all(self, delay: Duration) -> Self {
+        self.rule(Matcher::All, FaultAction::Delay(delay))
+    }
+
+    /// Request `n`'s connection drops before the response arrives.
+    pub fn drop_nth(self, n: u64) -> Self {
+        self.rule(Matcher::Nth(n), FaultAction::Drop)
+    }
+
+    /// Every request from `n` onward drops its connection.
+    pub fn drop_from(self, n: u64) -> Self {
+        self.rule(Matcher::From(n), FaultAction::Drop)
+    }
+
+    /// Request `n`'s response arrives garbled (perturbed query id).
+    pub fn garble_nth(self, n: u64) -> Self {
+        self.rule(Matcher::Nth(n), FaultAction::Garble)
+    }
+
+    /// Roughly `permille`/1000 of requests answer a transient failure,
+    /// chosen by hashing the request number with `seed`: deterministic,
+    /// replayable, and identical across wrappers sharing the plan.
+    pub fn seeded_failures(self, seed: u64, permille: u16) -> Self {
+        self.rule(Matcher::Seeded { seed, permille }, FaultAction::Fail)
+    }
+
+    /// The fault striking request `n`, if any (first matching rule).
+    pub fn action_for(&self, n: u64) -> Option<&FaultAction> {
+        self.rules
+            .iter()
+            .find(|(m, _)| m.matches(n))
+            .map(|(_, action)| action)
+    }
+}
+
+/// Perturbs the echoed query id of a response — the protocol-visible
+/// corruption a receptionist must detect and treat as a failed
+/// librarian, not merge at face value.
+fn garble_response(response: Message) -> Message {
+    match response {
+        Message::RankResponse { query_id, entries } => Message::RankResponse {
+            query_id: query_id.wrapping_add(1),
+            entries,
+        },
+        Message::ScoreResponse {
+            query_id,
+            entries,
+            postings_decoded,
+        } => Message::ScoreResponse {
+            query_id: query_id.wrapping_add(1),
+            entries,
+            postings_decoded,
+        },
+        Message::BooleanResponse { query_id, docs } => Message::BooleanResponse {
+            query_id: query_id.wrapping_add(1),
+            docs,
+        },
+        // Responses without a protocol-checked id are replaced outright;
+        // the caller sees an unexpected variant.
+        other => Message::Unavailable {
+            message: format!("garbled response (was {})", variant_name(&other)),
+        },
+    }
+}
+
+fn variant_name(msg: &Message) -> &'static str {
+    match msg {
+        Message::StatsRequest => "StatsRequest",
+        Message::StatsResponse { .. } => "StatsResponse",
+        Message::IndexRequest => "IndexRequest",
+        Message::IndexResponse { .. } => "IndexResponse",
+        Message::RankRequest { .. } => "RankRequest",
+        Message::RankWeightedRequest { .. } => "RankWeightedRequest",
+        Message::RankResponse { .. } => "RankResponse",
+        Message::ScoreCandidatesRequest { .. } => "ScoreCandidatesRequest",
+        Message::ScoreResponse { .. } => "ScoreResponse",
+        Message::FetchDocsRequest { .. } => "FetchDocsRequest",
+        Message::DocsResponse { .. } => "DocsResponse",
+        Message::FetchHeadersRequest { .. } => "FetchHeadersRequest",
+        Message::HeadersResponse { .. } => "HeadersResponse",
+        Message::BooleanRequest { .. } => "BooleanRequest",
+        Message::BooleanResponse { .. } => "BooleanResponse",
+        Message::Error { .. } => "Error",
+        Message::Unavailable { .. } => "Unavailable",
+    }
+}
+
+/// A [`Service`] wrapper injecting a [`FaultPlan`] on the server side —
+/// usable behind any transport, including a real [`crate::tcp::TcpServer`].
+///
+/// [`FaultAction::Drop`] cannot sever a connection from inside the
+/// service layer; it answers [`Message::Unavailable`] like
+/// [`FaultAction::Fail`] (the client observes a typed transient failure
+/// either way). Use [`FaultyTransport`] when the distinction matters.
+#[derive(Debug)]
+pub struct FaultyService<S> {
+    inner: S,
+    plan: FaultPlan,
+    served: u64,
+}
+
+impl<S: Service> FaultyService<S> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: S, plan: FaultPlan) -> Self {
+        FaultyService {
+            inner,
+            plan,
+            served: 0,
+        }
+    }
+
+    /// Requests seen so far (the next request gets this sequence number).
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Service> Service for FaultyService<S> {
+    fn handle(&mut self, request: Message) -> Message {
+        let n = self.served;
+        self.served += 1;
+        match self.plan.action_for(n).copied() {
+            Some(FaultAction::Fail) | Some(FaultAction::Drop) => Message::Unavailable {
+                message: format!("injected fault (request {n})"),
+            },
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                self.inner.handle(request)
+            }
+            Some(FaultAction::Garble) => garble_response(self.inner.handle(request)),
+            None => self.inner.handle(request),
+        }
+    }
+}
+
+/// A [`Transport`] wrapper injecting a [`FaultPlan`] on the client's
+/// path to one librarian. All four actions are fully realizable at this
+/// layer: `Fail` answers [`NetError::Unavailable`] *without* reaching
+/// the peer (so a retry hits the healthy service and succeeds), `Drop`
+/// answers [`NetError::Disconnected`], `Delay` stalls then forwards,
+/// `Garble` forwards then corrupts the reply.
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    plan: FaultPlan,
+    sent: u64,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` under `plan`.
+    pub fn new(inner: T, plan: FaultPlan) -> Self {
+        FaultyTransport {
+            inner,
+            plan,
+            sent: 0,
+        }
+    }
+
+    /// Requests attempted so far (the next request gets this number).
+    pub fn attempts(&self) -> u64 {
+        self.sent
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn request(&mut self, request: &Message) -> Result<Message, NetError> {
+        let n = self.sent;
+        self.sent += 1;
+        match self.plan.action_for(n).copied() {
+            Some(FaultAction::Fail) => Err(NetError::Unavailable(format!(
+                "injected failure (request {n})"
+            ))),
+            Some(FaultAction::Drop) => Err(NetError::Disconnected),
+            Some(FaultAction::Delay(d)) => {
+                std::thread::sleep(d);
+                self.inner.request(request)
+            }
+            Some(FaultAction::Garble) => {
+                let response = self.inner.request(request)?;
+                match garble_response(response) {
+                    Message::Unavailable { message } => Err(NetError::Unavailable(message)),
+                    garbled => Ok(garbled),
+                }
+            }
+            None => self.inner.request(request),
+        }
+    }
+
+    fn stats(&self) -> TrafficStats {
+        self.inner.stats()
+    }
+
+    fn last_exchange(&self) -> (u64, u64) {
+        self.inner.last_exchange()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcTransport;
+
+    /// Answers rank requests; anything else is a permanent error.
+    struct Echo;
+    impl Service for Echo {
+        fn handle(&mut self, request: Message) -> Message {
+            match request {
+                Message::RankRequest { query_id, .. } => Message::RankResponse {
+                    query_id,
+                    entries: vec![(query_id, 0.5)],
+                },
+                _ => Message::Error {
+                    message: "unsupported".into(),
+                },
+            }
+        }
+    }
+
+    fn rank(query_id: u32) -> Message {
+        Message::RankRequest {
+            query_id,
+            k: 1,
+            terms: vec![],
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_transparent() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_healthy());
+        let mut t = FaultyTransport::new(InProcTransport::new(Echo), plan);
+        for i in 0..5 {
+            assert!(t.request(&rank(i)).is_ok());
+        }
+        assert_eq!(t.attempts(), 5);
+        assert_eq!(t.stats().round_trips, 5);
+    }
+
+    #[test]
+    fn fail_nth_skips_the_peer_so_a_retry_succeeds() {
+        let plan = FaultPlan::new().fail_nth(0);
+        let mut t = FaultyTransport::new(InProcTransport::new(Echo), plan);
+        let err = t.request(&rank(7)).unwrap_err();
+        assert!(matches!(err, NetError::Unavailable(_)));
+        // The peer never saw the failed attempt.
+        assert_eq!(t.stats().round_trips, 0);
+        assert!(t.request(&rank(7)).is_ok());
+        assert_eq!(t.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn fail_from_is_a_permanent_outage() {
+        let plan = FaultPlan::new().fail_from(2);
+        let mut t = FaultyTransport::new(InProcTransport::new(Echo), plan);
+        assert!(t.request(&rank(0)).is_ok());
+        assert!(t.request(&rank(1)).is_ok());
+        for _ in 0..4 {
+            assert!(t.request(&rank(2)).is_err());
+        }
+    }
+
+    #[test]
+    fn drop_maps_to_disconnected_on_transports() {
+        let plan = FaultPlan::new().drop_nth(0);
+        let mut t = FaultyTransport::new(InProcTransport::new(Echo), plan);
+        assert_eq!(t.request(&rank(0)).unwrap_err(), NetError::Disconnected);
+    }
+
+    #[test]
+    fn delay_forwards_after_sleeping() {
+        let delay = Duration::from_millis(25);
+        let plan = FaultPlan::new().delay_nth(0, delay);
+        let mut t = FaultyTransport::new(InProcTransport::new(Echo), plan);
+        let start = std::time::Instant::now();
+        assert!(t.request(&rank(0)).is_ok());
+        assert!(start.elapsed() >= delay);
+        // Subsequent requests are full speed (no rule matches).
+        let start = std::time::Instant::now();
+        assert!(t.request(&rank(1)).is_ok());
+        assert!(start.elapsed() < delay);
+    }
+
+    #[test]
+    fn garble_perturbs_the_query_id() {
+        let plan = FaultPlan::new().garble_nth(0);
+        let mut t = FaultyTransport::new(InProcTransport::new(Echo), plan);
+        match t.request(&rank(10)).unwrap() {
+            Message::RankResponse { query_id, .. } => assert_eq!(query_id, 11),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulty_service_injects_behind_any_transport() {
+        let plan = FaultPlan::new().fail_nth(1);
+        let mut t = InProcTransport::new(FaultyService::new(Echo, plan));
+        assert!(t.request(&rank(0)).is_ok());
+        let err = t.request(&rank(1)).unwrap_err();
+        assert!(matches!(err, NetError::Unavailable(_)));
+        assert!(t.request(&rank(2)).is_ok());
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::new()
+            .garble_nth(3)
+            .fail_from(2)
+            .delay_all(Duration::from_millis(1));
+        assert_eq!(
+            plan.action_for(0),
+            Some(&FaultAction::Delay(Duration::from_millis(1)))
+        );
+        assert_eq!(plan.action_for(2), Some(&FaultAction::Fail));
+        assert_eq!(plan.action_for(3), Some(&FaultAction::Garble));
+        assert_eq!(plan.action_for(4), Some(&FaultAction::Fail));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_roughly_calibrated() {
+        let plan = FaultPlan::new().seeded_failures(42, 250);
+        let hits: Vec<bool> = (0..4000).map(|n| plan.action_for(n).is_some()).collect();
+        let replay: Vec<bool> = (0..4000).map(|n| plan.action_for(n).is_some()).collect();
+        assert_eq!(hits, replay, "same plan, same answers");
+        let rate = hits.iter().filter(|&&h| h).count() as f64 / hits.len() as f64;
+        assert!((0.18..0.32).contains(&rate), "rate {rate} far from 0.25");
+        // A different seed picks a different subset.
+        let other = FaultPlan::new().seeded_failures(43, 250);
+        let other_hits: Vec<bool> = (0..4000).map(|n| other.action_for(n).is_some()).collect();
+        assert_ne!(hits, other_hits);
+    }
+
+    #[test]
+    fn cloned_plan_replays_identically_on_fresh_wrappers() {
+        let plan = FaultPlan::new()
+            .fail_nth(1)
+            .drop_nth(3)
+            .seeded_failures(7, 100);
+        let run = |plan: FaultPlan| -> Vec<bool> {
+            let mut t = FaultyTransport::new(InProcTransport::new(Echo), plan);
+            (0..20).map(|i| t.request(&rank(i)).is_ok()).collect()
+        };
+        assert_eq!(run(plan.clone()), run(plan));
+    }
+}

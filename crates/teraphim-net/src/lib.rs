@@ -35,13 +35,17 @@
 //! ```
 
 pub mod fanout;
+pub mod faults;
 pub mod message;
+pub mod retry;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
-pub use fanout::{dispatch, dispatch_collect, DispatchMode};
+pub use fanout::{dispatch, dispatch_collect, dispatch_partial, DispatchMode};
+pub use faults::{FaultAction, FaultPlan, FaultyService, FaultyTransport};
 pub use message::Message;
+pub use retry::{RetryPolicy, RetryTransport};
 pub use transport::{AtomicTrafficStats, InProcTransport, Service, TrafficStats, Transport};
 
 use std::error::Error;
@@ -54,10 +58,32 @@ pub enum NetError {
     Corrupt(&'static str),
     /// An I/O failure on a real transport.
     Io(std::io::Error),
-    /// The peer answered with a protocol-level error message.
+    /// The peer answered with a protocol-level error message: a
+    /// *permanent* failure, never retried.
     Remote(String),
+    /// The peer answered [`Message::Unavailable`]: a *transient*
+    /// failure the retry layer may attempt again.
+    Unavailable(String),
+    /// The peer did not answer within the transport's deadline. The
+    /// exchange may still complete on the peer's side; the caller
+    /// simply stops waiting. Transient.
+    Timeout,
     /// The connection was closed before a response arrived.
     Disconnected,
+}
+
+impl NetError {
+    /// True for failures worth retrying: the request may never have
+    /// reached the peer, or the peer declared the condition temporary.
+    /// Permanent answers ([`NetError::Remote`]) and structural
+    /// corruption ([`NetError::Corrupt`]) are not transient — retrying
+    /// them would repeat the same deterministic failure.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            NetError::Io(_) | NetError::Unavailable(_) | NetError::Timeout | NetError::Disconnected
+        )
+    }
 }
 
 impl fmt::Display for NetError {
@@ -66,6 +92,8 @@ impl fmt::Display for NetError {
             NetError::Corrupt(what) => write!(f, "corrupt message: {what}"),
             NetError::Io(e) => write!(f, "transport I/O error: {e}"),
             NetError::Remote(msg) => write!(f, "remote error: {msg}"),
+            NetError::Unavailable(msg) => write!(f, "peer temporarily unavailable: {msg}"),
+            NetError::Timeout => write!(f, "deadline exceeded waiting for response"),
             NetError::Disconnected => write!(f, "connection closed unexpectedly"),
         }
     }
@@ -91,6 +119,8 @@ impl PartialEq for NetError {
         match (self, other) {
             (NetError::Corrupt(a), NetError::Corrupt(b)) => a == b,
             (NetError::Remote(a), NetError::Remote(b)) => a == b,
+            (NetError::Unavailable(a), NetError::Unavailable(b)) => a == b,
+            (NetError::Timeout, NetError::Timeout) => true,
             (NetError::Disconnected, NetError::Disconnected) => true,
             _ => false,
         }

@@ -133,8 +133,20 @@ pub enum Message {
         /// Matching local document ids.
         docs: Vec<u32>,
     },
-    /// Protocol-level failure.
+    /// Protocol-level failure: the peer understood the request but
+    /// cannot ever satisfy it (bad expression, unknown document, …).
+    /// Transports surface it as [`NetError::Remote`]; it is *not*
+    /// retried.
     Error {
+        /// Human-readable reason.
+        message: String,
+    },
+    /// Typed *transient* failure: the peer is up but temporarily unable
+    /// to serve this request (overload, injected fault, resource
+    /// contention). Transports surface it as [`NetError::Unavailable`],
+    /// which the retry layer treats as retryable — the typed complement
+    /// of the permanent [`Message::Error`].
+    Unavailable {
         /// Human-readable reason.
         message: String,
     },
@@ -156,6 +168,7 @@ const TAG_HEADERS_REQ: u8 = 13;
 const TAG_HEADERS_RESP: u8 = 14;
 const TAG_BOOL_REQ: u8 = 15;
 const TAG_BOOL_RESP: u8 = 16;
+const TAG_UNAVAILABLE: u8 = 17;
 
 impl Message {
     /// Encodes to the compact wire form.
@@ -306,6 +319,10 @@ impl Message {
             }
             Message::Error { message } => {
                 out.push(TAG_ERROR);
+                put_str(&mut out, message);
+            }
+            Message::Unavailable { message } => {
+                out.push(TAG_UNAVAILABLE);
                 put_str(&mut out, message);
             }
         }
@@ -502,6 +519,9 @@ impl Message {
             TAG_ERROR => Message::Error {
                 message: get_str(rest, &mut pos)?,
             },
+            TAG_UNAVAILABLE => Message::Unavailable {
+                message: get_str(rest, &mut pos)?,
+            },
             _ => return Err(NetError::Corrupt("unknown message tag")),
         };
         if pos != rest.len() {
@@ -596,6 +616,9 @@ mod tests {
         });
         roundtrip(Message::Error {
             message: "no such document".into(),
+        });
+        roundtrip(Message::Unavailable {
+            message: "librarian restarting".into(),
         });
     }
 

@@ -1,0 +1,257 @@
+//! Bounded retries with backoff for transient transport failures.
+//!
+//! The error taxonomy in [`NetError`] splits failures into *transient*
+//! (the request may never have reached the peer, or the peer declared
+//! the condition temporary — timeouts, dropped connections, I/O errors,
+//! [`NetError::Unavailable`]) and *permanent* (protocol errors and
+//! corrupt frames, which would fail identically on every attempt).
+//! [`RetryTransport`] re-issues transient failures up to a bounded
+//! number of times with exponential backoff, and surfaces permanent
+//! failures immediately.
+//!
+//! All request/response exchanges in the TERAPHIM protocol are
+//! idempotent reads — ranking, scoring, statistics, document fetches —
+//! so re-sending a request whose fate is unknown (a timeout may have
+//! been processed by the peer) is always safe.
+//!
+//! # Examples
+//!
+//! ```
+//! use teraphim_net::retry::{RetryPolicy, RetryTransport};
+//! use teraphim_net::faults::{FaultPlan, FaultyTransport};
+//! use teraphim_net::transport::{InProcTransport, Transport};
+//! use teraphim_net::message::Message;
+//!
+//! // A service that answers rank requests; its first exchange is
+//! // injected to fail before reaching the peer.
+//! let service = |req: Message| match req {
+//!     Message::RankRequest { query_id, .. } => Message::RankResponse {
+//!         query_id,
+//!         entries: vec![],
+//!     },
+//!     _ => Message::Error { message: "unsupported".into() },
+//! };
+//! let flaky = FaultyTransport::new(
+//!     InProcTransport::new(service),
+//!     FaultPlan::new().fail_nth(0),
+//! );
+//! let mut t = RetryTransport::new(flaky, RetryPolicy::default());
+//! let req = Message::RankRequest { query_id: 1, k: 5, terms: vec![] };
+//! assert!(t.request(&req).is_ok()); // first attempt failed, retry succeeded
+//! assert_eq!(t.retries_used(), 1);
+//! ```
+
+use crate::message::Message;
+use crate::transport::{TrafficStats, Transport};
+use crate::NetError;
+use std::time::Duration;
+
+/// How many times to re-issue a transiently failed request, and how
+/// long to wait before each retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries *after* the initial attempt — `max_retries = 2` means at
+    /// most 3 attempts total.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles on each subsequent one.
+    pub backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Two retries with a 5 ms initial backoff — enough to ride out a
+    /// momentary stall without tripling the latency of a real outage.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure surfaces immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// The pause before retry number `retry` (1-based): exponential,
+    /// `backoff * 2^(retry-1)`.
+    pub fn backoff_before(&self, retry: u32) -> Duration {
+        if retry == 0 || self.backoff.is_zero() {
+            return Duration::ZERO;
+        }
+        self.backoff.saturating_mul(1u32 << (retry - 1).min(16))
+    }
+}
+
+/// A [`Transport`] decorator that re-issues requests on transient
+/// failures ([`NetError::is_transient`]) per a [`RetryPolicy`].
+/// Permanent failures pass through untouched on the first attempt.
+#[derive(Debug)]
+pub struct RetryTransport<T> {
+    inner: T,
+    policy: RetryPolicy,
+    retries_used: u64,
+}
+
+impl<T: Transport> RetryTransport<T> {
+    /// Wraps `inner` under `policy`.
+    pub fn new(inner: T, policy: RetryPolicy) -> Self {
+        RetryTransport {
+            inner,
+            policy,
+            retries_used: 0,
+        }
+    }
+
+    /// Total retries issued over this transport's lifetime (attempts
+    /// beyond the first, summed across all requests).
+    pub fn retries_used(&self) -> u64 {
+        self.retries_used
+    }
+
+    /// The policy in force.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// The wrapped transport, mutably (for reconfiguration mid-test).
+    pub fn inner_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: Transport> Transport for RetryTransport<T> {
+    fn request(&mut self, request: &Message) -> Result<Message, NetError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.inner.request(request) {
+                Ok(response) => return Ok(response),
+                Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
+                    attempt += 1;
+                    self.retries_used += 1;
+                    let pause = self.policy.backoff_before(attempt);
+                    if !pause.is_zero() {
+                        std::thread::sleep(pause);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn stats(&self) -> TrafficStats {
+        self.inner.stats()
+    }
+
+    fn last_exchange(&self) -> (u64, u64) {
+        self.inner.last_exchange()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultPlan, FaultyTransport};
+    use crate::transport::InProcTransport;
+
+    fn echo_service() -> impl crate::transport::Service {
+        |req: Message| match req {
+            Message::RankRequest { query_id, .. } => Message::RankResponse {
+                query_id,
+                entries: vec![(query_id, 1.0)],
+            },
+            _ => Message::Error {
+                message: "unsupported".into(),
+            },
+        }
+    }
+
+    fn rank(query_id: u32) -> Message {
+        Message::RankRequest {
+            query_id,
+            k: 1,
+            terms: vec![],
+        }
+    }
+
+    fn flaky(plan: FaultPlan) -> FaultyTransport<InProcTransport<impl crate::transport::Service>> {
+        FaultyTransport::new(InProcTransport::new(echo_service()), plan)
+    }
+
+    #[test]
+    fn transient_failure_is_retried_to_success() {
+        let mut t = RetryTransport::new(
+            flaky(FaultPlan::new().fail_nth(0).fail_nth(1)),
+            RetryPolicy {
+                max_retries: 2,
+                backoff: Duration::ZERO,
+            },
+        );
+        assert!(t.request(&rank(3)).is_ok());
+        assert_eq!(t.retries_used(), 2);
+    }
+
+    #[test]
+    fn retries_exhausted_surfaces_the_last_error() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            backoff: Duration::ZERO,
+        };
+        let mut t = RetryTransport::new(flaky(FaultPlan::new().fail_from(0)), policy);
+        let err = t.request(&rank(1)).unwrap_err();
+        assert!(matches!(err, NetError::Unavailable(_)));
+        // max_retries + 1 attempts total.
+        assert_eq!(t.inner().attempts(), 3);
+        assert_eq!(t.retries_used(), 2);
+    }
+
+    #[test]
+    fn permanent_errors_are_never_retried() {
+        // The inner service answers a protocol error; Remote is permanent.
+        let mut t = RetryTransport::new(
+            InProcTransport::new(|_req: Message| Message::Error {
+                message: "bad".into(),
+            }),
+            RetryPolicy::default(),
+        );
+        let err = t.request(&rank(1)).unwrap_err();
+        assert!(matches!(err, NetError::Remote(_)));
+        assert_eq!(t.retries_used(), 0);
+    }
+
+    #[test]
+    fn policy_none_fails_on_first_transient_error() {
+        let mut t = RetryTransport::new(flaky(FaultPlan::new().fail_nth(0)), RetryPolicy::none());
+        assert!(t.request(&rank(1)).is_err());
+        assert_eq!(t.inner().attempts(), 1);
+    }
+
+    #[test]
+    fn backoff_schedule_is_exponential() {
+        let p = RetryPolicy {
+            max_retries: 4,
+            backoff: Duration::from_millis(5),
+        };
+        assert_eq!(p.backoff_before(0), Duration::ZERO);
+        assert_eq!(p.backoff_before(1), Duration::from_millis(5));
+        assert_eq!(p.backoff_before(2), Duration::from_millis(10));
+        assert_eq!(p.backoff_before(3), Duration::from_millis(20));
+    }
+
+    #[test]
+    fn stats_pass_through_to_the_inner_transport() {
+        let mut t = RetryTransport::new(flaky(FaultPlan::new()), RetryPolicy::default());
+        t.request(&rank(1)).unwrap();
+        assert_eq!(t.stats().round_trips, 1);
+        assert!(t.last_exchange().0 > 0);
+    }
+}

@@ -53,7 +53,8 @@ pub struct TcpTransport {
 }
 
 impl TcpTransport {
-    /// Connects to a librarian server.
+    /// Connects to a librarian server with no deadline: exchanges block
+    /// until the peer answers or the connection dies.
     ///
     /// # Errors
     ///
@@ -67,22 +68,67 @@ impl TcpTransport {
             last: (0, 0),
         })
     }
+
+    /// Connects with a per-operation deadline: the connect itself, and
+    /// every subsequent socket read and write, must each complete within
+    /// `deadline` or the request fails with [`NetError::Timeout`]. This
+    /// bounds how long a dead or wedged librarian can stall a fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Timeout`] if the connection cannot be
+    /// established in time, [`NetError::Io`] on other failures.
+    pub fn connect_with_deadline(
+        addr: SocketAddr,
+        deadline: std::time::Duration,
+    ) -> Result<Self, NetError> {
+        let stream = TcpStream::connect_timeout(&addr, deadline).map_err(map_timeout_io_error)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(deadline))?;
+        stream.set_write_timeout(Some(deadline))?;
+        Ok(TcpTransport {
+            stream,
+            stats: TrafficStats::default(),
+            last: (0, 0),
+        })
+    }
+}
+
+/// Maps socket-timeout I/O errors to the typed [`NetError::Timeout`].
+/// (`WouldBlock` is what Unix returns for a timed-out read on a socket
+/// with `SO_RCVTIMEO`; Windows uses `TimedOut`.)
+fn map_timeout_io_error(e: std::io::Error) -> NetError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => NetError::Timeout,
+        _ => NetError::Io(e),
+    }
+}
+
+/// Lifts frame-level I/O errors into typed timeouts where applicable.
+fn map_timeout_frame_error(e: NetError) -> NetError {
+    match e {
+        NetError::Io(io) => map_timeout_io_error(io),
+        other => other,
+    }
 }
 
 impl Transport for TcpTransport {
     fn request(&mut self, request: &Message) -> Result<Message, NetError> {
         let encoded = request.encode();
-        write_frame(&mut self.stream, &encoded)?;
-        let response_bytes = read_frame(&mut self.stream)?.ok_or(NetError::Disconnected)?;
+        write_frame(&mut self.stream, &encoded).map_err(map_timeout_frame_error)?;
+        let response_bytes = read_frame(&mut self.stream)
+            .map_err(map_timeout_frame_error)?
+            .ok_or(NetError::Disconnected)?;
         self.stats.round_trips += 1;
         self.stats.bytes_sent += encoded.len() as u64;
         self.stats.bytes_received += response_bytes.len() as u64;
         self.last = (encoded.len() as u64, response_bytes.len() as u64);
         let response = Message::decode(&response_bytes)?;
-        if let Message::Error { message } = response {
-            return Err(NetError::Remote(message));
+        match response {
+            Message::Error { message } => Err(NetError::Remote(message)),
+            Message::Unavailable { message } => Err(NetError::Unavailable(message)),
+            response => Ok(response),
         }
-        Ok(response)
     }
 
     fn stats(&self) -> TrafficStats {
@@ -356,6 +402,76 @@ mod tests {
         client.request(&req).unwrap();
         assert_eq!(client.stats().bytes_sent, req.wire_len() as u64);
         assert!(client.stats().bytes_received > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn silent_server_times_out_within_the_deadline() {
+        use std::time::{Duration, Instant};
+        // A listener that accepts but never reads or replies.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            // Keep accepted sockets alive until the test is done.
+            let mut held = Vec::new();
+            while let Ok((stream, _)) = listener.accept() {
+                held.push(stream);
+                if !held.is_empty() {
+                    std::thread::sleep(Duration::from_millis(400));
+                    break;
+                }
+            }
+        });
+        let deadline = Duration::from_millis(100);
+        let mut client = TcpTransport::connect_with_deadline(addr, deadline).unwrap();
+        let start = Instant::now();
+        let err = client
+            .request(&Message::RankRequest {
+                query_id: 1,
+                k: 1,
+                terms: vec![],
+            })
+            .unwrap_err();
+        let elapsed = start.elapsed();
+        assert_eq!(err, NetError::Timeout);
+        assert!(err.is_transient());
+        assert!(
+            elapsed >= deadline && elapsed < deadline * 3,
+            "timed out after {elapsed:?} with deadline {deadline:?}"
+        );
+        hold.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_connect_to_healthy_server_works_normally() {
+        let server = TcpServer::spawn(Doubler, "127.0.0.1:0").unwrap();
+        let mut client =
+            TcpTransport::connect_with_deadline(server.addr(), std::time::Duration::from_secs(5))
+                .unwrap();
+        let resp = client
+            .request(&Message::RankRequest {
+                query_id: 3,
+                k: 1,
+                terms: vec![],
+            })
+            .unwrap();
+        assert!(matches!(resp, Message::RankResponse { query_id: 6, .. }));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unavailable_over_tcp_is_transient() {
+        let server = TcpServer::spawn(
+            |_req: Message| Message::Unavailable {
+                message: "compacting".into(),
+            },
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let mut client = TcpTransport::connect(server.addr()).unwrap();
+        let err = client.request(&Message::StatsRequest).unwrap_err();
+        assert_eq!(err, NetError::Unavailable("compacting".into()));
+        assert!(err.is_transient());
         server.shutdown();
     }
 

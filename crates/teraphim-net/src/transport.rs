@@ -125,6 +125,7 @@ pub struct InProcTransport<S: Service> {
     service: Arc<Mutex<S>>,
     stats: TrafficStats,
     last: (u64, u64),
+    deadline: Option<std::time::Duration>,
 }
 
 impl<S: Service> InProcTransport<S> {
@@ -134,6 +135,7 @@ impl<S: Service> InProcTransport<S> {
             service: Arc::new(Mutex::new(service)),
             stats: TrafficStats::default(),
             last: (0, 0),
+            deadline: None,
         }
     }
 
@@ -144,7 +146,30 @@ impl<S: Service> InProcTransport<S> {
             service,
             stats: TrafficStats::default(),
             last: (0, 0),
+            deadline: None,
         }
+    }
+
+    /// Sets a per-request deadline: if the service (queueing included)
+    /// takes longer than this, the request fails with
+    /// [`NetError::Timeout`]. The response, when it eventually
+    /// materialises, is discarded — exactly the client's view of a
+    /// read timeout on a socket, where the server may well complete the
+    /// work after the client has stopped waiting.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets or clears the per-request deadline on an existing transport.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// The per-request deadline, if one is set.
+    pub fn deadline(&self) -> Option<std::time::Duration> {
+        self.deadline
     }
 
     /// The shared service handle.
@@ -159,21 +184,33 @@ impl<S: Service> Transport for InProcTransport<S> {
         // Decode on the "server side" to prove the codec carries
         // everything the service needs.
         let decoded = Message::decode(&encoded)?;
+        let started = std::time::Instant::now();
         let response = self
             .service
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .handle(decoded);
+        if let Some(deadline) = self.deadline {
+            if started.elapsed() > deadline {
+                // The request went out but the caller stopped waiting:
+                // count what was sent, drop the late response.
+                self.stats.round_trips += 1;
+                self.stats.bytes_sent += encoded.len() as u64;
+                self.last = (encoded.len() as u64, 0);
+                return Err(NetError::Timeout);
+            }
+        }
         let response_bytes = response.encode();
         self.stats.round_trips += 1;
         self.stats.bytes_sent += encoded.len() as u64;
         self.stats.bytes_received += response_bytes.len() as u64;
         self.last = (encoded.len() as u64, response_bytes.len() as u64);
         let response = Message::decode(&response_bytes)?;
-        if let Message::Error { message } = response {
-            return Err(NetError::Remote(message));
+        match response {
+            Message::Error { message } => Err(NetError::Remote(message)),
+            Message::Unavailable { message } => Err(NetError::Unavailable(message)),
+            response => Ok(response),
         }
-        Ok(response)
     }
 
     fn stats(&self) -> TrafficStats {
@@ -253,6 +290,49 @@ mod tests {
         assert_eq!(err, NetError::Remote("unsupported".into()));
         // The failed exchange is still counted (bytes did travel).
         assert_eq!(t.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn unavailable_becomes_transient_neterror() {
+        let mut t = InProcTransport::new(|_req: Message| Message::Unavailable {
+            message: "restarting".into(),
+        });
+        let err = t.request(&Message::StatsRequest).unwrap_err();
+        assert_eq!(err, NetError::Unavailable("restarting".into()));
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn deadline_times_out_slow_services() {
+        use std::time::Duration;
+        let mut t = InProcTransport::new(|_req: Message| {
+            std::thread::sleep(Duration::from_millis(40));
+            Message::StatsResponse {
+                num_docs: 1,
+                term_freqs: vec![],
+            }
+        })
+        .with_deadline(Duration::from_millis(5));
+        let err = t.request(&Message::StatsRequest).unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+        assert!(err.is_transient());
+        // The request went out; the response never counted.
+        let stats = t.stats();
+        assert_eq!(stats.round_trips, 1);
+        assert!(stats.bytes_sent > 0);
+        assert_eq!(stats.bytes_received, 0);
+        assert_eq!(t.last_exchange().1, 0);
+        // Clearing the deadline restores normal service.
+        t.set_deadline(None);
+        assert!(t.request(&Message::StatsRequest).is_ok());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_fire() {
+        use std::time::Duration;
+        let mut t = InProcTransport::new(Echo).with_deadline(Duration::from_secs(5));
+        assert_eq!(t.deadline(), Some(Duration::from_secs(5)));
+        assert!(t.request(&Message::StatsRequest).is_ok());
     }
 
     #[test]

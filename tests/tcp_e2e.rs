@@ -78,6 +78,76 @@ fn tcp_and_inproc_agree_on_all_methodologies() {
     }
 }
 
+/// One librarian accepts the TCP connection but never replies: the
+/// receptionist's read deadline must fire, the query must degrade (not
+/// hang), and the other librarians' results must come through intact.
+#[test]
+fn silent_librarian_degrades_within_the_deadline() {
+    use std::time::{Duration, Instant};
+
+    let texts: [&[(&str, &str)]; 3] = [
+        &[("A-1", "cats and dogs"), ("A-2", "just cats")],
+        &[("B-1", "dogs alone"), ("B-2", "cats dogs birds")],
+        &[("C-1", "cats chasing birds"), ("C-2", "quiet cats")],
+    ];
+    let servers: Vec<TcpServer> = texts
+        .iter()
+        .enumerate()
+        .map(|(i, docs)| {
+            TcpServer::spawn(Librarian::from_texts(&format!("L{i}"), docs), "127.0.0.1:0").unwrap()
+        })
+        .collect();
+
+    // The silent librarian: connections land in the listener's backlog
+    // (so connect succeeds) but no reply is ever written.
+    let silent = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let silent_addr = silent.local_addr().unwrap();
+
+    let deadline = Duration::from_millis(300);
+    let mut transports: Vec<TcpTransport> = servers
+        .iter()
+        .map(|s| TcpTransport::connect_with_deadline(s.addr(), deadline).unwrap())
+        .collect();
+    transports.insert(
+        2,
+        TcpTransport::connect_with_deadline(silent_addr, deadline).unwrap(),
+    );
+
+    let mut r = Receptionist::new(transports, Analyzer::default());
+    let started = Instant::now();
+    let answer = r
+        .query_with_coverage(Methodology::CentralNothing, "cats dogs", 8)
+        .unwrap();
+    let elapsed = started.elapsed();
+
+    // The silent librarian (index 2) timed out; everyone else answered.
+    assert_eq!(answer.coverage.answered, vec![0, 1, 3]);
+    assert_eq!(answer.coverage.failed, vec![2]);
+    assert!(!answer.hits.is_empty());
+    assert!(answer.hits.iter().all(|h| h.librarian != 2));
+    // Bounded by the read deadline plus scheduling slack — not a hang.
+    assert!(
+        elapsed < deadline * 4,
+        "degraded query took {elapsed:?} against a {deadline:?} deadline"
+    );
+
+    // The surviving rankings are exactly what a fan-out to only the
+    // healthy librarians produces.
+    let subset = r
+        .query_subset(Methodology::CentralNothing, "cats dogs", 8, &[0, 1, 3])
+        .unwrap();
+    let key = |hits: &[teraphim::core::GlobalHit]| -> Vec<(usize, u32, u64)> {
+        hits.iter()
+            .map(|h| (h.librarian, h.doc, h.score.to_bits()))
+            .collect()
+    };
+    assert_eq!(key(&answer.hits), key(&subset));
+
+    for server in servers {
+        server.shutdown();
+    }
+}
+
 #[test]
 fn tcp_traffic_is_counted() {
     let docs = [TrecDoc {
