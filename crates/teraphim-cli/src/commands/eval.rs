@@ -6,18 +6,24 @@ use crate::commands::{load_collection, outln};
 use teraphim_core::{CiParams, Methodology, Receptionist};
 use teraphim_eval::{Judgments, QueryEval, SetEval};
 use teraphim_net::tcp::TcpTransport;
+use teraphim_obs::Phase;
 use teraphim_text::Analyzer;
 
 const HELP: &str = "\
 usage: teraphim eval --queries FILE.tsv --qrels FILE
                      (--servers ADDR[,ADDR...] [--methodology cn|cv|ci]
                       | --index FILE.tcol)
-                     [--k N]
+                     [--k N] [--trace-json FILE]
 
 FILE.tsv holds one `id<TAB>query text` per line (the gen-corpus output);
 qrels is TREC format. Prints 11-pt average, relevant-in-top-20 and MAP.
 With --servers this is a distributed evaluation through a receptionist;
-with --index it evaluates the mono-server baseline";
+with --index it evaluates the mono-server baseline.
+
+--trace-json (with --servers) records a structured trace of every
+query's lifecycle — per-librarian exchanges, retries, faults, phase
+timings — writes them as JSON to FILE, and prints a per-phase latency
+summary";
 
 fn parse_queries(path: &str) -> Result<Vec<(u32, String)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -59,6 +65,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let judgments = Judgments::from_qrels(&qrels);
     let k = args.get_parsed("k", 1000usize)?;
 
+    let trace_path = args.get("trace-json");
+    let mut trace_sink = None;
     let mut degraded_queries = 0usize;
     let mut failed_librarians: Vec<usize> = Vec::new();
     let evals: Vec<QueryEval> = if let Some(servers) = args.get("servers") {
@@ -76,6 +84,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             })
             .collect::<Result<Vec<_>, String>>()?;
         let mut receptionist = Receptionist::new(transports, Analyzer::default());
+        if trace_path.is_some() {
+            trace_sink = Some(receptionist.enable_tracing());
+        }
         match methodology {
             Methodology::CentralNothing => {}
             Methodology::CentralVocabulary => receptionist
@@ -133,6 +144,16 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             .collect()
     };
 
+    if let Some(path) = trace_path {
+        let sink = trace_sink
+            .take()
+            .ok_or("--trace-json requires --servers (the mono baseline has no fan-out to trace)")?;
+        let traces = sink.take_traces();
+        std::fs::write(path, teraphim_obs::traces_to_json(&traces))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        print_trace_summary(&traces, path)?;
+    }
+
     let set = SetEval::from_evals(&evals);
     outln!(
         "queries evaluated: {} (of {} supplied)",
@@ -150,5 +171,47 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             failed_librarians
         );
     }
+    Ok(())
+}
+
+/// Prints the per-phase latency attribution and traffic totals rolled
+/// up from `traces`.
+fn print_trace_summary(traces: &[teraphim_obs::QueryTrace], path: &str) -> Result<(), String> {
+    let query_count = traces
+        .iter()
+        .filter(|t| t.op.starts_with("query"))
+        .count()
+        .max(1) as u64;
+    let mut phase_totals: Vec<(Phase, u64)> = Vec::new();
+    let mut messages = 0u64;
+    let mut bytes = 0u64;
+    let mut retries = 0u64;
+    let mut timeouts = 0u64;
+    for trace in traces {
+        let m = trace.metrics();
+        for (phase, micros) in m.phase_micros {
+            if let Some(slot) = phase_totals.iter_mut().find(|(p, _)| *p == phase) {
+                slot.1 += micros;
+            } else {
+                phase_totals.push((phase, micros));
+            }
+        }
+        messages += m.messages_sent + m.messages_received;
+        bytes += m.bytes_sent + m.bytes_received;
+        retries += m.retries;
+        timeouts += m.timeouts;
+    }
+    outln!("traces written:    {} ({path})", traces.len());
+    outln!("per-phase mean latency over {query_count} queries:");
+    for (phase, total) in phase_totals {
+        outln!(
+            "  {:>14}: {:>9.1} us",
+            phase.as_str(),
+            total as f64 / query_count as f64
+        );
+    }
+    outln!(
+        "  messages: {messages}, payload bytes: {bytes}, retries: {retries}, timeouts: {timeouts}"
+    );
     Ok(())
 }

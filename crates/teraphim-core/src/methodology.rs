@@ -47,12 +47,7 @@ pub enum Methodology {
 
 impl fmt::Display for Methodology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
-            Methodology::CentralNothing => "CN",
-            Methodology::CentralVocabulary => "CV",
-            Methodology::CentralIndex => "CI",
-        };
-        write!(f, "{name}")
+        write!(f, "{}", self.code())
     }
 }
 
@@ -63,6 +58,16 @@ impl Methodology {
         Methodology::CentralVocabulary,
         Methodology::CentralIndex,
     ];
+
+    /// The paper's two-letter abbreviation as a static string — the
+    /// `methodology` label stamped onto query traces.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Methodology::CentralNothing => "CN",
+            Methodology::CentralVocabulary => "CV",
+            Methodology::CentralIndex => "CI",
+        }
+    }
 }
 
 #[cfg(test)]

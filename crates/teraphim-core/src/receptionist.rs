@@ -19,9 +19,10 @@ use teraphim_engine::ranking::{self, ScoredDoc};
 use teraphim_index::similarity;
 use teraphim_index::{CollectionStats, DocId, GroupedIndex, InvertedIndex, Vocabulary};
 use teraphim_net::{
-    dispatch, dispatch_collect, dispatch_partial, DispatchMode, Message, NetError, TrafficStats,
-    Transport,
+    dispatch_collect_traced, dispatch_partial_traced, dispatch_traced, DispatchMode, Message,
+    NetError, TrafficStats, Transport,
 };
+use teraphim_obs::{EventKind, LibCandidates, Phase, TraceSink};
 use teraphim_text::Analyzer;
 
 /// A merged ranking entry: which librarian owns the document.
@@ -158,6 +159,7 @@ pub struct Receptionist<T: Transport> {
     next_query_id: u32,
     dispatch: DispatchMode,
     degrade: DegradePolicy,
+    trace: TraceSink,
 }
 
 impl<T: Transport> Receptionist<T> {
@@ -174,7 +176,33 @@ impl<T: Transport> Receptionist<T> {
             next_query_id: 0,
             dispatch: DispatchMode::default(),
             degrade: DegradePolicy::default(),
+            trace: TraceSink::disabled(),
         }
+    }
+
+    /// Attaches a trace sink: subsequent operations record structured
+    /// [`EventKind`] events into it, one [`teraphim_obs::QueryTrace`] per
+    /// operation. Clone the same sink into transport decorators
+    /// (`RetryTransport::with_trace`, `FaultyTransport::with_trace`,
+    /// deadline-bearing transports) so their retry/fault/timeout events
+    /// land in the same traces. Pass [`TraceSink::disabled`] to stop
+    /// tracing.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The sink operations currently record into (disabled by default).
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Creates a fresh enabled sink, attaches it, and returns it — call
+    /// [`TraceSink::take_traces`] on the returned handle after running
+    /// queries.
+    pub fn enable_tracing(&mut self) -> TraceSink {
+        let sink = TraceSink::new();
+        self.trace = sink.clone();
+        sink
     }
 
     /// The degradation policy applied by
@@ -211,6 +239,24 @@ impl<T: Transport> Receptionist<T> {
     ///
     /// Propagates transport failures.
     pub fn enable_cv(&mut self) -> Result<(), TeraphimError> {
+        self.trace.record(EventKind::Begin {
+            op: "enable_cv",
+            methodology: None,
+            query_id: 0,
+            k: 0,
+        });
+        self.trace.record(EventKind::PhaseStart {
+            phase: Phase::VocabExchange,
+        });
+        let result = self.enable_cv_inner();
+        self.trace.record(EventKind::PhaseEnd {
+            phase: Phase::VocabExchange,
+        });
+        self.trace.record(EventKind::End);
+        result
+    }
+
+    fn enable_cv_inner(&mut self) -> Result<(), TeraphimError> {
         let mut vocab = Vocabulary::new();
         let mut stats = CollectionStats::new();
         let mut selection = crate::selection::SelectionState::new();
@@ -220,8 +266,12 @@ impl<T: Transport> Receptionist<T> {
         // order, and the merged vocabulary must not depend on which
         // librarian answered fastest.
         let requests = vec![Some(Message::StatsRequest); self.transports.len()];
-        let responses =
-            dispatch_collect::<_, TeraphimError>(self.dispatch, &mut self.transports, requests)?;
+        let responses = dispatch_collect_traced::<_, TeraphimError>(
+            self.dispatch,
+            &mut self.transports,
+            requests,
+            &self.trace,
+        )?;
         for response in responses.into_iter().flatten() {
             match response {
                 Message::StatsResponse {
@@ -257,12 +307,34 @@ impl<T: Transport> Receptionist<T> {
     ///
     /// Propagates transport and index-decoding failures.
     pub fn enable_ci(&mut self, params: CiParams) -> Result<(), TeraphimError> {
+        self.trace.record(EventKind::Begin {
+            op: "enable_ci",
+            methodology: None,
+            query_id: 0,
+            k: 0,
+        });
+        self.trace.record(EventKind::PhaseStart {
+            phase: Phase::IndexExchange,
+        });
+        let result = self.enable_ci_inner(params);
+        self.trace.record(EventKind::PhaseEnd {
+            phase: Phase::IndexExchange,
+        });
+        self.trace.record(EventKind::End);
+        result
+    }
+
+    fn enable_ci_inner(&mut self, params: CiParams) -> Result<(), TeraphimError> {
         let mut indexes = Vec::with_capacity(self.transports.len());
         // As with CV setup, decode in librarian order: the grouped
         // index's layout depends on subcollection order.
         let requests = vec![Some(Message::IndexRequest); self.transports.len()];
-        let responses =
-            dispatch_collect::<_, TeraphimError>(self.dispatch, &mut self.transports, requests)?;
+        let responses = dispatch_collect_traced::<_, TeraphimError>(
+            self.dispatch,
+            &mut self.transports,
+            requests,
+            &self.trace,
+        )?;
         for response in responses.into_iter().flatten() {
             match response {
                 Message::IndexResponse { index_bytes } => {
@@ -307,6 +379,13 @@ impl<T: Transport> Receptionist<T> {
     }
 
     /// Aggregate traffic across all librarian transports.
+    /// Per-librarian transport counters, in librarian index order — the
+    /// ground truth a trace's per-librarian `sent`/`reply` sums are
+    /// checked against.
+    pub fn per_librarian_traffic(&self) -> Vec<TrafficStats> {
+        self.transports.iter().map(Transport::stats).collect()
+    }
+
     pub fn traffic(&self) -> TrafficStats {
         let mut total = TrafficStats::default();
         for t in &self.transports {
@@ -344,11 +423,19 @@ impl<T: Transport> Receptionist<T> {
         let query_id = self.next_query_id;
         self.next_query_id += 1;
         let terms = self.analyze_query(query);
-        match methodology {
+        self.trace.record(EventKind::Begin {
+            op: "query",
+            methodology: Some(methodology.code()),
+            query_id,
+            k: k as u32,
+        });
+        let result = match methodology {
             Methodology::CentralNothing => self.query_cn(query_id, &terms, k),
             Methodology::CentralVocabulary => self.query_cv(query_id, &terms, k),
             Methodology::CentralIndex => self.query_ci(query_id, &terms, k),
-        }
+        };
+        self.trace.record(EventKind::End);
+        result
     }
 
     fn query_cn(
@@ -363,7 +450,7 @@ impl<T: Transport> Receptionist<T> {
             terms: terms.to_vec(),
         };
         let requests = vec![Some(request); self.transports.len()];
-        self.rank_fanout(query_id, requests, k)
+        self.rank_fanout(query_id, requests, k, ranking_entries)
     }
 
     fn query_cv(
@@ -383,7 +470,7 @@ impl<T: Transport> Receptionist<T> {
             terms: weighted,
         };
         let requests = vec![Some(request); self.transports.len()];
-        self.rank_fanout(query_id, requests, k)
+        self.rank_fanout(query_id, requests, k, ranking_entries)
     }
 
     /// Fans `requests` out to the librarians and folds each ranking
@@ -396,18 +483,35 @@ impl<T: Transport> Receptionist<T> {
         query_id: u32,
         requests: Vec<Option<Message>>,
         k: usize,
+        extract: ExtractEntries,
     ) -> Result<Vec<GlobalHit>, TeraphimError> {
+        let trace = self.trace.clone();
+        trace.record(EventKind::PhaseStart {
+            phase: Phase::RankFanout,
+        });
         let mut merged: Vec<(ScoredDoc, usize)> = Vec::new();
-        dispatch::<_, TeraphimError>(
+        let mut folded = 0u64;
+        let result = dispatch_traced::<_, TeraphimError>(
             self.dispatch,
             &mut self.transports,
             requests,
+            &trace,
             &mut |lib, response| {
-                let entries = ranking_entries(response, query_id, lib)?;
+                record_scored(&trace, lib, &response);
+                let entries = extract(response, query_id, lib)?;
+                folded += entries.len() as u64;
                 fold_ranking(&mut merged, entries, k);
                 Ok(())
             },
-        )?;
+        );
+        trace.record(EventKind::Merge {
+            entries: folded,
+            k: k as u32,
+        });
+        trace.record(EventKind::PhaseEnd {
+            phase: Phase::RankFanout,
+        });
+        result?;
         Ok(into_global_hits(merged))
     }
 
@@ -441,6 +545,24 @@ impl<T: Transport> Receptionist<T> {
         let query_id = self.next_query_id;
         self.next_query_id += 1;
         let terms = self.analyze_query(query);
+        self.trace.record(EventKind::Begin {
+            op: "query_with_coverage",
+            methodology: Some(methodology.code()),
+            query_id,
+            k: k as u32,
+        });
+        let result = self.query_with_coverage_inner(methodology, query_id, terms, k);
+        self.trace.record(EventKind::End);
+        result
+    }
+
+    fn query_with_coverage_inner(
+        &mut self,
+        methodology: Methodology,
+        query_id: u32,
+        terms: Vec<(String, u32)>,
+        k: usize,
+    ) -> Result<RankedAnswer, TeraphimError> {
         let requests = match methodology {
             Methodology::CentralNothing => {
                 let request = Message::RankRequest {
@@ -469,13 +591,20 @@ impl<T: Transport> Receptionist<T> {
             _ => ranking_entries,
         };
         let (hits, answered, failed) = self.rank_fanout_partial(query_id, requests, k, extract);
+        let docs_fraction = self.docs_fraction_excluding(&failed);
+        if self.trace.is_enabled() {
+            self.trace.record(EventKind::Coverage {
+                answered: answered.iter().map(|&lib| lib as u32).collect(),
+                failed: failed.iter().map(|&lib| lib as u32).collect(),
+                docs_permille: docs_fraction.map(|f| (f * 1000.0).round() as u32),
+            });
+        }
         if answered.len() < self.degrade.min_answered {
             return Err(TeraphimError::InsufficientCoverage {
                 answered: answered.len(),
                 failed: failed.len(),
             });
         }
-        let docs_fraction = self.docs_fraction_excluding(&failed);
         Ok(RankedAnswer {
             hits,
             coverage: Coverage {
@@ -501,17 +630,32 @@ impl<T: Transport> Receptionist<T> {
             .enumerate()
             .filter_map(|(lib, r)| r.is_some().then_some(lib))
             .collect();
+        let trace = self.trace.clone();
+        trace.record(EventKind::PhaseStart {
+            phase: Phase::RankFanout,
+        });
         let mut merged: Vec<(ScoredDoc, usize)> = Vec::new();
-        let failures = dispatch_partial(
+        let mut folded = 0u64;
+        let failures = dispatch_partial_traced(
             self.dispatch,
             &mut self.transports,
             requests,
+            &trace,
             &mut |lib, response| {
+                record_scored(&trace, lib, &response);
                 let entries = extract(response, query_id, lib)?;
+                folded += entries.len() as u64;
                 fold_ranking(&mut merged, entries, k);
                 Ok(())
             },
         );
+        trace.record(EventKind::Merge {
+            entries: folded,
+            k: k as u32,
+        });
+        trace.record(EventKind::PhaseEnd {
+            phase: Phase::RankFanout,
+        });
         let failed: Vec<usize> = failures.into_iter().map(|(lib, _)| lib).collect();
         let answered: Vec<usize> = contacted
             .into_iter()
@@ -587,7 +731,7 @@ impl<T: Transport> Receptionist<T> {
         for &lib in libs {
             requests[lib] = Some(request.clone());
         }
-        self.rank_fanout(query_id, requests, k)
+        self.rank_fanout(query_id, requests, k, ranking_entries)
     }
 
     /// Builds the per-librarian candidate-scoring requests for a CI
@@ -611,6 +755,9 @@ impl<T: Transport> Receptionist<T> {
                 ci.params.k_prime, ci.params.group_size
             )));
         }
+        self.trace.record(EventKind::PhaseStart {
+            phase: Phase::GroupRank,
+        });
         // Rank groups on the central grouped index, treating groups as
         // documents (group-level statistics for the group ranking).
         let group_index = ci.grouped.group_index();
@@ -624,6 +771,22 @@ impl<T: Transport> Receptionist<T> {
 
         // Expand groups into per-librarian candidate lists.
         let expanded = ci.grouped.expand_groups(&group_ids);
+        if self.trace.is_enabled() {
+            let mut candidates: Vec<LibCandidates> = expanded
+                .iter()
+                .map(|(part, docs)| LibCandidates {
+                    librarian: *part,
+                    docs: docs.clone(),
+                })
+                .collect();
+            candidates.sort_by_key(|c| c.librarian);
+            self.trace.record(EventKind::Expansion {
+                k_prime: ci.params.k_prime as u32,
+                group_size: ci.params.group_size,
+                groups: group_ids.clone(),
+                candidates,
+            });
+        }
 
         let doc_weights = global_weights_from_grouped(&ci.grouped, terms);
 
@@ -636,6 +799,9 @@ impl<T: Transport> Receptionist<T> {
                 candidates,
             });
         }
+        self.trace.record(EventKind::PhaseEnd {
+            phase: Phase::GroupRank,
+        });
         Ok(requests)
     }
 
@@ -646,18 +812,7 @@ impl<T: Transport> Receptionist<T> {
         k: usize,
     ) -> Result<Vec<GlobalHit>, TeraphimError> {
         let requests = self.ci_requests(query_id, terms, k)?;
-        let mut merged: Vec<(ScoredDoc, usize)> = Vec::new();
-        dispatch::<_, TeraphimError>(
-            self.dispatch,
-            &mut self.transports,
-            requests,
-            &mut |lib, response| {
-                let entries = scoring_entries(response, query_id, lib)?;
-                fold_ranking(&mut merged, entries, k);
-                Ok(())
-            },
-        )?;
-        Ok(into_global_hits(merged))
+        self.rank_fanout(query_id, requests, k, scoring_entries)
     }
 
     /// Ranks librarians by GlOSS-style goodness for a query (requires CV
@@ -714,7 +869,7 @@ impl<T: Transport> Receptionist<T> {
         for &lib in &selected {
             requests[lib] = Some(request.clone());
         }
-        let hits = self.rank_fanout(query_id, requests, k)?;
+        let hits = self.rank_fanout(query_id, requests, k, ranking_entries)?;
         Ok((hits, selected))
     }
 
@@ -731,6 +886,28 @@ impl<T: Transport> Receptionist<T> {
     pub fn boolean_query(&mut self, expr: &str) -> Result<Vec<(usize, DocId)>, TeraphimError> {
         let query_id = self.next_query_id;
         self.next_query_id += 1;
+        self.trace.record(EventKind::Begin {
+            op: "boolean",
+            methodology: None,
+            query_id,
+            k: 0,
+        });
+        self.trace.record(EventKind::PhaseStart {
+            phase: Phase::Boolean,
+        });
+        let result = self.boolean_inner(query_id, expr);
+        self.trace.record(EventKind::PhaseEnd {
+            phase: Phase::Boolean,
+        });
+        self.trace.record(EventKind::End);
+        result
+    }
+
+    fn boolean_inner(
+        &mut self,
+        query_id: u32,
+        expr: &str,
+    ) -> Result<Vec<(usize, DocId)>, TeraphimError> {
         let request = Message::BooleanRequest {
             query_id,
             expr: expr.to_owned(),
@@ -739,10 +916,11 @@ impl<T: Transport> Receptionist<T> {
         // librarian-then-document order holds under concurrent arrival.
         let mut per_lib: Vec<Vec<DocId>> = vec![Vec::new(); self.transports.len()];
         let requests = vec![Some(request); self.transports.len()];
-        dispatch::<_, TeraphimError>(
+        dispatch_traced::<_, TeraphimError>(
             self.dispatch,
             &mut self.transports,
             requests,
+            &self.trace,
             &mut |lib, response| match response {
                 Message::BooleanResponse {
                     query_id: qid,
@@ -776,6 +954,29 @@ impl<T: Transport> Receptionist<T> {
     ) -> Result<Vec<FetchedDoc>, TeraphimError> {
         let query_id = self.next_query_id;
         self.next_query_id += 1;
+        self.trace.record(EventKind::Begin {
+            op: "fetch",
+            methodology: None,
+            query_id,
+            k: hits.len() as u32,
+        });
+        self.trace.record(EventKind::PhaseStart {
+            phase: Phase::DocFetch,
+        });
+        let result = self.fetch_inner(query_id, hits, plain);
+        self.trace.record(EventKind::PhaseEnd {
+            phase: Phase::DocFetch,
+        });
+        self.trace.record(EventKind::End);
+        result
+    }
+
+    fn fetch_inner(
+        &mut self,
+        query_id: u32,
+        hits: &[GlobalHit],
+        plain: bool,
+    ) -> Result<Vec<FetchedDoc>, TeraphimError> {
         // Group per librarian, preserving hit order positions.
         let mut per_lib: HashMap<usize, Vec<u32>> = HashMap::new();
         for hit in hits {
@@ -792,10 +993,11 @@ impl<T: Transport> Receptionist<T> {
         // Responses land in a map keyed by (librarian, doc), so arrival
         // order is irrelevant; output order is re-imposed from `hits`.
         let mut fetched: HashMap<(usize, u32), (String, Vec<u8>)> = HashMap::new();
-        dispatch::<_, TeraphimError>(
+        dispatch_traced::<_, TeraphimError>(
             self.dispatch,
             &mut self.transports,
             requests,
+            &self.trace,
             &mut |lib, response| match response {
                 Message::DocsResponse { docs, .. } => {
                     for (doc, docno, bytes) in docs {
@@ -841,6 +1043,28 @@ impl<T: Transport> Receptionist<T> {
     pub fn headers(&mut self, hits: &[GlobalHit]) -> Result<Vec<String>, TeraphimError> {
         let query_id = self.next_query_id;
         self.next_query_id += 1;
+        self.trace.record(EventKind::Begin {
+            op: "headers",
+            methodology: None,
+            query_id,
+            k: hits.len() as u32,
+        });
+        self.trace.record(EventKind::PhaseStart {
+            phase: Phase::HeaderFetch,
+        });
+        let result = self.headers_inner(query_id, hits);
+        self.trace.record(EventKind::PhaseEnd {
+            phase: Phase::HeaderFetch,
+        });
+        self.trace.record(EventKind::End);
+        result
+    }
+
+    fn headers_inner(
+        &mut self,
+        query_id: u32,
+        hits: &[GlobalHit],
+    ) -> Result<Vec<String>, TeraphimError> {
         let mut per_lib: HashMap<usize, Vec<u32>> = HashMap::new();
         for hit in hits {
             per_lib.entry(hit.librarian).or_default().push(hit.doc);
@@ -850,10 +1074,11 @@ impl<T: Transport> Receptionist<T> {
             requests[lib] = Some(Message::FetchHeadersRequest { query_id, docs });
         }
         let mut resolved: HashMap<(usize, u32), String> = HashMap::new();
-        dispatch::<_, TeraphimError>(
+        dispatch_traced::<_, TeraphimError>(
             self.dispatch,
             &mut self.transports,
             requests,
+            &self.trace,
             &mut |lib, response| match response {
                 Message::HeadersResponse { headers, .. } => {
                     for (doc, docno) in headers {
@@ -936,6 +1161,26 @@ type ExtractEntries = fn(Message, u32, usize) -> Result<Vec<(ScoredDoc, usize)>,
 /// librarian. A wrong variant or a mismatched query id — a garbled or
 /// misdirected reply — is a *permanent* failure of that librarian for
 /// this query: the data cannot be trusted, so it must not be merged.
+/// Records a `scored` event for CI candidate-scoring replies: how many
+/// candidates the librarian scored and how many postings it decoded doing
+/// so. Other reply kinds record nothing.
+fn record_scored(trace: &TraceSink, lib: usize, response: &Message) {
+    if trace.is_enabled() {
+        if let Message::ScoreResponse {
+            entries,
+            postings_decoded,
+            ..
+        } = response
+        {
+            trace.record(EventKind::Scored {
+                librarian: lib as u32,
+                candidates: entries.len() as u32,
+                postings: *postings_decoded,
+            });
+        }
+    }
+}
+
 fn ranking_entries(
     response: Message,
     query_id: u32,

@@ -32,6 +32,7 @@ use teraphim_engine::{candidates, Collection};
 use teraphim_index::stats::merge_stats;
 use teraphim_index::{CollectionStats, DocId, GroupedIndex, Vocabulary};
 use teraphim_net::{FaultAction, FaultPlan, Message};
+use teraphim_obs::{EventKind, LibCandidates, Phase, TraceSink};
 use teraphim_simnet::{CostModel, SimNetwork, SimTime, Topology};
 use teraphim_text::sgml::TrecDoc;
 use teraphim_text::Analyzer;
@@ -136,6 +137,96 @@ pub struct SimDriver {
     /// numbers the fault plans are evaluated at. Persists across
     /// queries, like a real transport's request counter.
     fault_requests: Vec<u64>,
+    /// Structured trace sink (disabled by default). Simulated queries
+    /// emit the same event schema as the real receptionist, stamped
+    /// with *virtual* microseconds instead of wall-clock ones.
+    trace: TraceSink,
+}
+
+/// Virtual seconds → whole trace microseconds.
+fn micros(t: SimTime) -> u64 {
+    (t * 1e6).round() as u64
+}
+
+/// Per-exchange observability data captured while jobs are built,
+/// recorded once the schedule assigns virtual times.
+struct ExchangeTrace {
+    lib: u32,
+    req_bytes: u64,
+    req_msg: &'static str,
+    /// `(bytes, message)` when a reply crosses the wire back.
+    reply: Option<(u64, &'static str)>,
+    /// `(candidates, postings)` for CI scoring replies.
+    scored: Option<(u32, u64)>,
+    /// Injected fault that fired on this exchange.
+    fault: Option<&'static str>,
+    /// Error kind when the librarian drops out of the merge — the same
+    /// kind the real transports surface for the same fault.
+    failed: Option<&'static str>,
+}
+
+/// Records one fan-out's worth of exchange events at their scheduled
+/// virtual times. Event order per librarian (`sent` → `reply` →
+/// `scored` → `lib_failed`) mirrors the real dispatch path.
+fn record_fanout(
+    trace: &TraceSink,
+    exchanges: &[ExchangeTrace],
+    send_at: &[SimTime],
+    back_at: &[SimTime],
+) {
+    if !trace.is_enabled() {
+        return;
+    }
+    for (i, ex) in exchanges.iter().enumerate() {
+        let send = micros(send_at[i]);
+        let back = micros(back_at[i]);
+        trace.record_at(
+            send,
+            EventKind::Sent {
+                librarian: ex.lib,
+                bytes: ex.req_bytes,
+                message: ex.req_msg,
+            },
+        );
+        if let Some(action) = ex.fault {
+            trace.record_at(
+                send,
+                EventKind::Fault {
+                    librarian: ex.lib,
+                    action,
+                },
+            );
+        }
+        if let Some((bytes, message)) = ex.reply {
+            trace.record_at(
+                back,
+                EventKind::Reply {
+                    librarian: ex.lib,
+                    bytes,
+                    message,
+                },
+            );
+        }
+        if let Some((candidates, postings)) = ex.scored {
+            trace.record_at(
+                back,
+                EventKind::Scored {
+                    librarian: ex.lib,
+                    candidates,
+                    postings,
+                },
+            );
+        }
+        if let Some(error) = ex.failed {
+            trace.record_at(
+                back,
+                EventKind::LibFailed {
+                    librarian: ex.lib,
+                    error,
+                },
+            );
+        }
+    }
 }
 
 impl SimDriver {
@@ -181,7 +272,27 @@ impl SimDriver {
             dispatch: SimDispatch::default(),
             fault_plans: vec![None; num_parts],
             fault_requests: vec![0; num_parts],
+            trace: TraceSink::disabled(),
         })
+    }
+
+    /// Attaches a trace sink; pass [`TraceSink::disabled`] to stop
+    /// tracing.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The sink simulated queries currently record into.
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Creates a fresh enabled sink labelled `"sim"`, attaches it, and
+    /// returns it.
+    pub fn enable_tracing(&mut self) -> TraceSink {
+        let sink = TraceSink::for_driver("sim");
+        self.trace = sink.clone();
+        sink
     }
 
     /// Number of librarians.
@@ -248,7 +359,20 @@ impl SimDriver {
         k: usize,
     ) -> Result<QueryCost, TeraphimError> {
         let mut net = SimNetwork::new(topo, cost.clone());
-        let mut result = match mode {
+        let methodology = match mode {
+            SimMode::MonoServer => "MS",
+            SimMode::Distributed(m) => m.code(),
+        };
+        self.trace.record_at(
+            0,
+            EventKind::Begin {
+                op: "query",
+                methodology: Some(methodology),
+                query_id: 0,
+                k: k as u32,
+            },
+        );
+        let outcome = match mode {
             SimMode::MonoServer => self.run_mono(&mut net, query, k),
             SimMode::Distributed(Methodology::CentralNothing) => {
                 self.run_cn_cv(&mut net, query, k, false)
@@ -257,7 +381,10 @@ impl SimDriver {
                 self.run_cn_cv(&mut net, query, k, true)
             }
             SimMode::Distributed(Methodology::CentralIndex) => self.run_ci(&mut net, query, k),
-        }?;
+        };
+        let end_at = outcome.as_ref().map_or(0, |c| micros(c.total_time));
+        self.trace.record_at(end_at, EventKind::End);
+        let mut result = outcome?;
         result.cpu_busy = net.total_cpu_busy();
         result.disk_busy = net.total_disk_busy();
         result.link_busy = net.total_link_busy();
@@ -318,6 +445,71 @@ impl SimDriver {
         out
     }
 
+    /// Charges the fan-out schedule for `jobs` — one `(librarian,
+    /// request bytes, job)` per contacted librarian — under the current
+    /// [`SimDispatch`]. Returns the time the last reply (or observed
+    /// reset) is in, plus each job's request-departure time and
+    /// reply-arrival (or reset-observed) time.
+    fn schedule_fanout(
+        &self,
+        net: &mut SimNetwork,
+        start: SimTime,
+        jobs: &[(usize, usize, SimJob)],
+    ) -> (SimTime, Vec<SimTime>, Vec<SimTime>) {
+        match self.dispatch {
+            SimDispatch::Parallel => {
+                // All requests leave the receptionist together; the
+                // fan-out completes with the slowest librarian.
+                let req_items: Vec<(usize, SimTime, usize)> = jobs
+                    .iter()
+                    .map(|&(lib, req_len, _)| (lib, start, req_len))
+                    .collect();
+                let arrivals = Self::transfer_batch(net, &req_items, true);
+                let send_at = vec![start; jobs.len()];
+                let mut back_at = vec![start; jobs.len()];
+                let mut done = start;
+                let mut resp_items: Vec<(usize, SimTime, usize)> = Vec::with_capacity(jobs.len());
+                let mut resp_idx: Vec<usize> = Vec::with_capacity(jobs.len());
+                for (i, (lib, _, job)) in jobs.iter().enumerate() {
+                    let t_done = charge_librarian(net, *lib, arrivals[i], job);
+                    if job.resp_len > 0 {
+                        resp_items.push((*lib, t_done, job.resp_len));
+                        resp_idx.push(i);
+                    } else {
+                        // Dropped connection: the receptionist observes
+                        // the reset when it happens, with no reply leg.
+                        back_at[i] = t_done;
+                        done = done.max(t_done);
+                    }
+                }
+                let backs = Self::transfer_batch(net, &resp_items, false);
+                for (j, &i) in resp_idx.iter().enumerate() {
+                    back_at[i] = backs[j];
+                }
+                let ready = backs.iter().cloned().fold(done, f64::max);
+                (ready, send_at, back_at)
+            }
+            SimDispatch::Sequential => {
+                // Each exchange completes before the next begins.
+                let mut t = start;
+                let mut send_at = Vec::with_capacity(jobs.len());
+                let mut back_at = Vec::with_capacity(jobs.len());
+                for (lib, req_len, job) in jobs {
+                    send_at.push(t);
+                    let t_arrive = net.send_to_librarian(*lib, t, *req_len);
+                    let t_done = charge_librarian(net, *lib, t_arrive, job);
+                    t = if job.resp_len > 0 {
+                        net.send_to_receptionist(*lib, t_done, job.resp_len)
+                    } else {
+                        t_done
+                    };
+                    back_at.push(t);
+                }
+                (t, send_at, back_at)
+            }
+        }
+    }
+
     fn term_counts(&self, query: &str) -> Vec<(String, u32)> {
         let mut counts: BTreeMap<String, u32> = BTreeMap::new();
         for term in self.analyzer.analyze(query) {
@@ -348,6 +540,12 @@ impl SimDriver {
         // Disk pass over the touched lists, then CPU, on the single
         // machine (librarian slot 0 is co-located in the MS topology).
         let t_parse = net.receptionist_cpu(0.0, net.cost().cpu_query_overhead);
+        self.trace.record_at(
+            micros(t_parse),
+            EventKind::PhaseStart {
+                phase: Phase::RankFanout,
+            },
+        );
         let t_disk = net.receptionist_disk_read(t_parse, work.list_bytes, work.seeks);
         let cost = net.cost().clone();
         let t_cpu = net.receptionist_cpu(
@@ -355,6 +553,25 @@ impl SimDriver {
             work.postings as f64 * cost.cpu_per_posting + cost.merge_cpu(work.postings),
         );
         let index_time = t_cpu;
+        self.trace.record_at(
+            micros(index_time),
+            EventKind::Merge {
+                entries: hits.len() as u64,
+                k: k as u32,
+            },
+        );
+        self.trace.record_at(
+            micros(index_time),
+            EventKind::PhaseEnd {
+                phase: Phase::RankFanout,
+            },
+        );
+        self.trace.record_at(
+            micros(index_time),
+            EventKind::PhaseStart {
+                phase: Phase::DocFetch,
+            },
+        );
 
         // Fetch: per-document disk reads, no network.
         let mut t_fetch = index_time;
@@ -370,6 +587,12 @@ impl SimDriver {
             t_fetch = net.receptionist_disk_read(t_fetch, body, 1);
         }
         let total_time = net.receptionist_cpu(t_fetch, cost.decompress_cpu(plain_bytes));
+        self.trace.record_at(
+            micros(total_time),
+            EventKind::PhaseEnd {
+                phase: Phase::DocFetch,
+            },
+        );
 
         Ok(QueryCost {
             index_time,
@@ -437,29 +660,56 @@ impl SimDriver {
         // work but its reply cannot be trusted; `Delay` answers
         // normally, late.
         let mut lists: Vec<Vec<(ScoredDoc, usize)>> = Vec::with_capacity(self.parts.len());
-        let mut jobs: Vec<SimJob> = Vec::with_capacity(self.parts.len());
+        let mut jobs: Vec<(usize, usize, SimJob)> = Vec::with_capacity(self.parts.len());
+        let mut exchanges: Vec<ExchangeTrace> = Vec::with_capacity(self.parts.len());
         for (lib, col) in self.parts.iter().enumerate() {
             let fault = faults[lib];
             if matches!(fault, Some(FaultAction::Fail)) {
                 let response = Message::Unavailable {
                     message: "injected fault".into(),
                 };
-                jobs.push(SimJob {
-                    work: NO_WORK,
-                    cpu: 0.0,
-                    resp_len: response.wire_len(),
-                    delay: 0.0,
+                jobs.push((
+                    lib,
+                    req_bytes,
+                    SimJob {
+                        work: NO_WORK,
+                        cpu: 0.0,
+                        resp_len: response.wire_len(),
+                        delay: 0.0,
+                    },
+                ));
+                exchanges.push(ExchangeTrace {
+                    lib: lib as u32,
+                    req_bytes: req_bytes as u64,
+                    req_msg: request.variant_name(),
+                    reply: None,
+                    scored: None,
+                    fault: Some("fail"),
+                    failed: Some("unavailable"),
                 });
                 bytes_on_wire += (req_bytes + response.wire_len()) as u64;
                 failed.push(lib);
                 continue;
             }
             if matches!(fault, Some(FaultAction::Drop)) {
-                jobs.push(SimJob {
-                    work: NO_WORK,
-                    cpu: 0.0,
-                    resp_len: 0,
-                    delay: 0.0,
+                jobs.push((
+                    lib,
+                    req_bytes,
+                    SimJob {
+                        work: NO_WORK,
+                        cpu: 0.0,
+                        resp_len: 0,
+                        delay: 0.0,
+                    },
+                ));
+                exchanges.push(ExchangeTrace {
+                    lib: lib as u32,
+                    req_bytes: req_bytes as u64,
+                    req_msg: request.variant_name(),
+                    reply: None,
+                    scored: None,
+                    fault: Some("drop"),
+                    failed: Some("disconnected"),
                 });
                 bytes_on_wire += req_bytes as u64;
                 failed.push(lib);
@@ -490,14 +740,28 @@ impl SimDriver {
                 Some(FaultAction::Delay(d)) => d.as_secs_f64(),
                 _ => 0.0,
             };
-            jobs.push(SimJob {
-                work,
-                cpu: cost.postings_cpu(work.postings) + cost.merge_cpu(work.postings),
-                resp_len: response.wire_len(),
-                delay,
+            jobs.push((
+                lib,
+                req_bytes,
+                SimJob {
+                    work,
+                    cpu: cost.postings_cpu(work.postings) + cost.merge_cpu(work.postings),
+                    resp_len: response.wire_len(),
+                    delay,
+                },
+            ));
+            let garbled = matches!(fault, Some(FaultAction::Garble));
+            exchanges.push(ExchangeTrace {
+                lib: lib as u32,
+                req_bytes: req_bytes as u64,
+                req_msg: request.variant_name(),
+                reply: Some((response.wire_len() as u64, response.variant_name())),
+                scored: None,
+                fault: fault.map(|f| f.name()),
+                failed: garbled.then_some("remote"),
             });
             bytes_on_wire += (req_bytes + response.wire_len()) as u64;
-            if matches!(fault, Some(FaultAction::Garble)) {
+            if garbled {
                 failed.push(lib);
             } else {
                 lists.push(hits.into_iter().map(|h| (h, lib)).collect());
@@ -507,48 +771,31 @@ impl SimDriver {
         // Charge the schedule. Per-librarian CPU covers decode +
         // accumulator/heap maintenance, as the MS baseline is charged —
         // the cost repeated at every librarian.
-        let ready = match self.dispatch {
-            SimDispatch::Parallel => {
-                // All query messages leave the receptionist together;
-                // step 3 waits for the slowest librarian.
-                let req_items: Vec<(usize, SimTime, usize)> = (0..self.parts.len())
-                    .map(|lib| (lib, t_parse, req_bytes))
-                    .collect();
-                let arrivals = Self::transfer_batch(net, &req_items, true);
-                let mut done = t_parse;
-                let mut resp_items: Vec<(usize, SimTime, usize)> = Vec::with_capacity(jobs.len());
-                for (lib, job) in jobs.iter().enumerate() {
-                    let t_done = charge_librarian(net, lib, arrivals[lib], job);
-                    if job.resp_len > 0 {
-                        resp_items.push((lib, t_done, job.resp_len));
-                    } else {
-                        // Dropped connection: the receptionist observes
-                        // the reset when it happens, with no reply leg.
-                        done = done.max(t_done);
-                    }
-                }
-                let backs = Self::transfer_batch(net, &resp_items, false);
-                backs.iter().cloned().fold(done, f64::max)
-            }
-            SimDispatch::Sequential => {
-                // Each exchange completes before the next begins.
-                let mut t = t_parse;
-                for (lib, job) in jobs.iter().enumerate() {
-                    let t_arrive = net.send_to_librarian(lib, t, req_bytes);
-                    let t_done = charge_librarian(net, lib, t_arrive, job);
-                    t = if job.resp_len > 0 {
-                        net.send_to_receptionist(lib, t_done, job.resp_len)
-                    } else {
-                        t_done
-                    };
-                }
-                t
-            }
-        };
+        self.trace.record_at(
+            micros(t_parse),
+            EventKind::PhaseStart {
+                phase: Phase::RankFanout,
+            },
+        );
+        let (ready, send_at, back_at) = self.schedule_fanout(net, t_parse, &jobs);
+        record_fanout(&self.trace, &exchanges, &send_at, &back_at);
 
         // Step 3: the receptionist merges once every reply is in.
         let merged_entries: u64 = lists.iter().map(|l| l.len() as u64).sum();
         let index_time = net.receptionist_cpu(ready, cost.merge_cpu(merged_entries));
+        self.trace.record_at(
+            micros(index_time),
+            EventKind::Merge {
+                entries: merged_entries,
+                k: k as u32,
+            },
+        );
+        self.trace.record_at(
+            micros(index_time),
+            EventKind::PhaseEnd {
+                phase: Phase::RankFanout,
+            },
+        );
         let merged = ranking::merge_rankings(&lists, k);
         let hits: Vec<(usize, DocId)> = merged.iter().map(|(s, lib)| (*lib, s.doc)).collect();
 
@@ -558,7 +805,19 @@ impl SimDriver {
         } else {
             FetchPlan::PerDocument
         };
+        self.trace.record_at(
+            micros(index_time),
+            EventKind::PhaseStart {
+                phase: Phase::DocFetch,
+            },
+        );
         let (total_time, fetch_bytes) = self.fetch_phase(net, index_time, &hits, plan)?;
+        self.trace.record_at(
+            micros(total_time),
+            EventKind::PhaseEnd {
+                phase: Phase::DocFetch,
+            },
+        );
         bytes_on_wire += fetch_bytes;
 
         Ok(QueryCost {
@@ -618,10 +877,41 @@ impl SimDriver {
         let mut failed: Vec<usize> = Vec::new();
 
         let t_parse = net.receptionist_cpu(0.0, cost.cpu_query_overhead);
+        self.trace.record_at(
+            micros(t_parse),
+            EventKind::PhaseStart {
+                phase: Phase::GroupRank,
+            },
+        );
         let t_gdisk = net.receptionist_disk_read(t_parse, group_work.list_bytes, group_work.seeks);
         let t_grank = net.receptionist_cpu(
             t_gdisk,
             cost.postings_cpu(group_work.postings) + cost.merge_cpu(self.ci_params.k_prime as u64),
+        );
+        if self.trace.is_enabled() {
+            let mut candidates: Vec<LibCandidates> = expanded
+                .iter()
+                .map(|(part, docs)| LibCandidates {
+                    librarian: *part,
+                    docs: docs.clone(),
+                })
+                .collect();
+            candidates.sort_by_key(|c| c.librarian);
+            self.trace.record_at(
+                micros(t_grank),
+                EventKind::Expansion {
+                    k_prime: self.ci_params.k_prime as u32,
+                    group_size: self.ci_params.group_size,
+                    groups: group_ids.clone(),
+                    candidates,
+                },
+            );
+        }
+        self.trace.record_at(
+            micros(t_grank),
+            EventKind::PhaseEnd {
+                phase: Phase::GroupRank,
+            },
         );
         let mut postings_total = group_work.postings;
 
@@ -632,6 +922,7 @@ impl SimDriver {
         // One (part, request bytes, job) per touched librarian. Faulted
         // owners drop out of the merge exactly as on the real driver.
         let mut jobs: Vec<(usize, usize, SimJob)> = Vec::new();
+        let mut exchanges: Vec<ExchangeTrace> = Vec::new();
         for (i, (part, cands)) in expanded.iter().enumerate() {
             let part_idx = *part as usize;
             let fault = owner_faults[i];
@@ -654,6 +945,15 @@ impl SimDriver {
                         delay: 0.0,
                     },
                 ));
+                exchanges.push(ExchangeTrace {
+                    lib: *part,
+                    req_bytes: request.wire_len() as u64,
+                    req_msg: request.variant_name(),
+                    reply: None,
+                    scored: None,
+                    fault: Some("fail"),
+                    failed: Some("unavailable"),
+                });
                 bytes_on_wire += (request.wire_len() + response.wire_len()) as u64;
                 failed.push(part_idx);
                 continue;
@@ -669,6 +969,15 @@ impl SimDriver {
                         delay: 0.0,
                     },
                 ));
+                exchanges.push(ExchangeTrace {
+                    lib: *part,
+                    req_bytes: request.wire_len() as u64,
+                    req_msg: request.variant_name(),
+                    reply: None,
+                    scored: None,
+                    fault: Some("drop"),
+                    failed: Some("disconnected"),
+                });
                 bytes_on_wire += request.wire_len() as u64;
                 failed.push(part_idx);
                 continue;
@@ -709,8 +1018,18 @@ impl SimDriver {
                     delay,
                 },
             ));
+            let garbled = matches!(fault, Some(FaultAction::Garble));
+            exchanges.push(ExchangeTrace {
+                lib: *part,
+                req_bytes: request.wire_len() as u64,
+                req_msg: request.variant_name(),
+                reply: Some((response.wire_len() as u64, response.variant_name())),
+                scored: Some((scores.len() as u32, decoded)),
+                fault: fault.map(|f| f.name()),
+                failed: garbled.then_some("remote"),
+            });
             bytes_on_wire += (request.wire_len() + response.wire_len()) as u64;
-            if matches!(fault, Some(FaultAction::Garble)) {
+            if garbled {
                 failed.push(part_idx);
             } else {
                 lists.push(scores.into_iter().map(|s| (s, part_idx)).collect());
@@ -720,53 +1039,49 @@ impl SimDriver {
         // Disk: the librarian still reads the touched lists once;
         // skipping reduces decode CPU, not the sequential transfer.
         // CPU: candidate scoring maintains one accumulator per candidate.
-        let ready = match self.dispatch {
-            SimDispatch::Parallel => {
-                // Candidate requests leave the receptionist together once
-                // the group ranking is done.
-                let req_items: Vec<(usize, SimTime, usize)> = jobs
-                    .iter()
-                    .map(|&(part_idx, req_len, _)| (part_idx, t_grank, req_len))
-                    .collect();
-                let arrivals = Self::transfer_batch(net, &req_items, true);
-                let mut done = t_grank;
-                let mut resp_items: Vec<(usize, SimTime, usize)> = Vec::with_capacity(jobs.len());
-                for (i, (part_idx, _, job)) in jobs.iter().enumerate() {
-                    let t_done = charge_librarian(net, *part_idx, arrivals[i], job);
-                    if job.resp_len > 0 {
-                        resp_items.push((*part_idx, t_done, job.resp_len));
-                    } else {
-                        done = done.max(t_done);
-                    }
-                }
-                let backs = Self::transfer_batch(net, &resp_items, false);
-                backs.iter().cloned().fold(done, f64::max)
-            }
-            SimDispatch::Sequential => {
-                // Each exchange completes before the next begins.
-                let mut t = t_grank;
-                for (part_idx, req_len, job) in &jobs {
-                    let t_arrive = net.send_to_librarian(*part_idx, t, *req_len);
-                    let t_done = charge_librarian(net, *part_idx, t_arrive, job);
-                    t = if job.resp_len > 0 {
-                        net.send_to_receptionist(*part_idx, t_done, job.resp_len)
-                    } else {
-                        t_done
-                    };
-                }
-                t
-            }
-        };
+        self.trace.record_at(
+            micros(t_grank),
+            EventKind::PhaseStart {
+                phase: Phase::RankFanout,
+            },
+        );
+        let (ready, send_at, back_at) = self.schedule_fanout(net, t_grank, &jobs);
+        record_fanout(&self.trace, &exchanges, &send_at, &back_at);
 
         // Receptionist sorts the k'·G similarity values.
         let scored_count: u64 = lists.iter().map(|l| l.len() as u64).sum();
         let index_time = net.receptionist_cpu(ready, cost.merge_cpu(scored_count));
+        self.trace.record_at(
+            micros(index_time),
+            EventKind::Merge {
+                entries: scored_count,
+                k: k as u32,
+            },
+        );
+        self.trace.record_at(
+            micros(index_time),
+            EventKind::PhaseEnd {
+                phase: Phase::RankFanout,
+            },
+        );
         let merged = ranking::merge_rankings(&lists, k);
         let hits: Vec<(usize, DocId)> = merged.iter().map(|(s, lib)| (*lib, s.doc)).collect();
 
         // Step 4: fetch — bundled, since CI candidates arrive as ranges.
+        self.trace.record_at(
+            micros(index_time),
+            EventKind::PhaseStart {
+                phase: Phase::DocFetch,
+            },
+        );
         let (total_time, fetch_bytes) =
             self.fetch_phase(net, index_time, &hits, FetchPlan::Bundled)?;
+        self.trace.record_at(
+            micros(total_time),
+            EventKind::PhaseEnd {
+                phase: Phase::DocFetch,
+            },
+        );
         bytes_on_wire += fetch_bytes;
 
         Ok(QueryCost {

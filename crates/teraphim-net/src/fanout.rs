@@ -16,6 +16,41 @@ use crate::message::Message;
 use crate::transport::Transport;
 use crate::NetError;
 use std::sync::mpsc;
+use teraphim_obs::{EventKind, TraceSink};
+
+/// Records the departure of a request, guarding the re-encode that
+/// computes the wire length behind the enabled check.
+fn record_sent(trace: &TraceSink, lib: usize, request: &Message) {
+    if trace.is_enabled() {
+        trace.record(EventKind::Sent {
+            librarian: lib as u32,
+            bytes: request.wire_len() as u64,
+            message: request.variant_name(),
+        });
+    }
+}
+
+/// Records a reply's arrival; `bytes` comes from the transport's
+/// `last_exchange` so it matches the traffic counters exactly.
+fn record_reply(trace: &TraceSink, lib: usize, bytes: u64, response: &Message) {
+    if trace.is_enabled() {
+        trace.record(EventKind::Reply {
+            librarian: lib as u32,
+            bytes,
+            message: response.variant_name(),
+        });
+    }
+}
+
+/// Records a librarian dropping out of the fan-out.
+fn record_failed(trace: &TraceSink, lib: usize, error: &NetError) {
+    if trace.is_enabled() {
+        trace.record(EventKind::LibFailed {
+            librarian: lib as u32,
+            error: error.kind(),
+        });
+    }
+}
 
 /// How a batch of subqueries is issued to the librarians.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -57,6 +92,35 @@ where
     T: Transport + Send,
     E: From<NetError>,
 {
+    dispatch_traced(mode, transports, requests, &TraceSink::disabled(), on_reply)
+}
+
+/// [`dispatch`] with trace instrumentation: each participating librarian
+/// gets a `sent` event as its request leaves and a `reply` event as the
+/// response arrives (recorded on the worker thread, so a librarian's own
+/// events stay contiguous even under concurrent dispatch); a transport
+/// failure records `lib_failed` with the final error kind. With a
+/// disabled sink this is exactly [`dispatch`].
+///
+/// # Panics
+///
+/// Panics if `requests.len() != transports.len()`.
+///
+/// # Errors
+///
+/// Returns the first transport failure (converted into `E`) or the
+/// first error returned by `on_reply`.
+pub fn dispatch_traced<T, E>(
+    mode: DispatchMode,
+    transports: &mut [T],
+    requests: Vec<Option<Message>>,
+    trace: &TraceSink,
+    on_reply: &mut dyn FnMut(usize, Message) -> Result<(), E>,
+) -> Result<(), E>
+where
+    T: Transport + Send,
+    E: From<NetError>,
+{
     assert_eq!(
         requests.len(),
         transports.len(),
@@ -66,7 +130,17 @@ where
         DispatchMode::Sequential => {
             for (lib, (transport, request)) in transports.iter_mut().zip(requests).enumerate() {
                 let Some(request) = request else { continue };
-                on_reply(lib, transport.request(&request).map_err(E::from)?)?;
+                record_sent(trace, lib, &request);
+                match transport.request(&request) {
+                    Ok(response) => {
+                        record_reply(trace, lib, transport.last_exchange().1, &response);
+                        on_reply(lib, response)?;
+                    }
+                    Err(e) => {
+                        record_failed(trace, lib, &e);
+                        return Err(E::from(e));
+                    }
+                }
             }
             Ok(())
         }
@@ -76,24 +150,34 @@ where
                 let Some(request) = request else { continue };
                 let tx = tx.clone();
                 scope.spawn(move || {
+                    record_sent(trace, lib, &request);
+                    let result = transport.request(&request);
+                    if let Ok(response) = &result {
+                        record_reply(trace, lib, transport.last_exchange().1, response);
+                    }
                     // A dropped receiver only means the result goes
                     // unread; the exchange itself always completes.
-                    let _ = tx.send((lib, transport.request(&request)));
+                    let _ = tx.send((lib, result));
                 });
             }
             drop(tx);
             let mut first_err = None;
             for (lib, result) in rx {
-                if first_err.is_some() {
-                    continue; // drain remaining replies, keep the first error
-                }
                 match result {
                     Ok(response) => {
-                        if let Err(e) = on_reply(lib, response) {
-                            first_err = Some(e);
+                        if first_err.is_none() {
+                            if let Err(e) = on_reply(lib, response) {
+                                first_err = Some(e);
+                            }
+                        }
+                        // otherwise drain remaining replies, keep the first error
+                    }
+                    Err(e) => {
+                        record_failed(trace, lib, &e);
+                        if first_err.is_none() {
+                            first_err = Some(E::from(e));
                         }
                     }
-                    Err(e) => first_err = Some(E::from(e)),
                 }
             }
             first_err.map_or(Ok(()), Err)
@@ -123,6 +207,28 @@ pub fn dispatch_partial<T>(
 where
     T: Transport + Send,
 {
+    dispatch_partial_traced(mode, transports, requests, &TraceSink::disabled(), on_reply)
+}
+
+/// [`dispatch_partial`] with trace instrumentation — the same `sent` /
+/// `reply` / `lib_failed` events as [`dispatch_traced`], except that
+/// errors returned by `on_reply` (a malformed or mismatched reply) also
+/// record `lib_failed`, since here they degrade rather than abort the
+/// fan-out. With a disabled sink this is exactly [`dispatch_partial`].
+///
+/// # Panics
+///
+/// Panics if `requests.len() != transports.len()`.
+pub fn dispatch_partial_traced<T>(
+    mode: DispatchMode,
+    transports: &mut [T],
+    requests: Vec<Option<Message>>,
+    trace: &TraceSink,
+    on_reply: &mut dyn FnMut(usize, Message) -> Result<(), NetError>,
+) -> Vec<(usize, NetError)>
+where
+    T: Transport + Send,
+{
     assert_eq!(
         requests.len(),
         transports.len(),
@@ -133,9 +239,16 @@ where
         DispatchMode::Sequential => {
             for (lib, (transport, request)) in transports.iter_mut().zip(requests).enumerate() {
                 let Some(request) = request else { continue };
-                match transport.request(&request).and_then(|r| on_reply(lib, r)) {
+                record_sent(trace, lib, &request);
+                let result = transport.request(&request).inspect(|response| {
+                    record_reply(trace, lib, transport.last_exchange().1, response);
+                });
+                match result.and_then(|r| on_reply(lib, r)) {
                     Ok(()) => {}
-                    Err(e) => failures.push((lib, e)),
+                    Err(e) => {
+                        record_failed(trace, lib, &e);
+                        failures.push((lib, e));
+                    }
                 }
             }
         }
@@ -145,14 +258,22 @@ where
                 let Some(request) = request else { continue };
                 let tx = tx.clone();
                 scope.spawn(move || {
-                    let _ = tx.send((lib, transport.request(&request)));
+                    record_sent(trace, lib, &request);
+                    let result = transport.request(&request);
+                    if let Ok(response) = &result {
+                        record_reply(trace, lib, transport.last_exchange().1, response);
+                    }
+                    let _ = tx.send((lib, result));
                 });
             }
             drop(tx);
             for (lib, result) in rx {
                 match result.and_then(|r| on_reply(lib, r)) {
                     Ok(()) => {}
-                    Err(e) => failures.push((lib, e)),
+                    Err(e) => {
+                        record_failed(trace, lib, &e);
+                        failures.push((lib, e));
+                    }
                 }
             }
         }),
@@ -179,9 +300,29 @@ where
     T: Transport + Send,
     E: From<NetError>,
 {
+    dispatch_collect_traced(mode, transports, requests, &TraceSink::disabled())
+}
+
+/// [`dispatch_collect`] with trace instrumentation (see
+/// [`dispatch_traced`]). With a disabled sink this is exactly
+/// [`dispatch_collect`].
+///
+/// # Errors
+///
+/// Propagates [`dispatch_traced`] failures.
+pub fn dispatch_collect_traced<T, E>(
+    mode: DispatchMode,
+    transports: &mut [T],
+    requests: Vec<Option<Message>>,
+    trace: &TraceSink,
+) -> Result<Vec<Option<Message>>, E>
+where
+    T: Transport + Send,
+    E: From<NetError>,
+{
     let mut responses: Vec<Option<Message>> = Vec::new();
     responses.resize_with(transports.len(), || None);
-    dispatch(mode, transports, requests, &mut |lib, response| {
+    dispatch_traced(mode, transports, requests, trace, &mut |lib, response| {
         responses[lib] = Some(response);
         Ok(())
     })?;
@@ -369,6 +510,38 @@ mod tests {
         assert_eq!(failures[0], (1, NetError::Corrupt("bad payload")));
         // Librarian 2 still ran even though librarian 1's reply was bad.
         assert_eq!(ts[2].stats().round_trips, 1);
+    }
+
+    #[test]
+    fn traced_dispatch_records_sent_and_reply_per_librarian() {
+        for mode in [DispatchMode::Sequential, DispatchMode::Concurrent] {
+            let sink = TraceSink::new();
+            sink.record(EventKind::Begin {
+                op: "query",
+                methodology: Some("CN"),
+                query_id: 0,
+                k: 1,
+            });
+            let mut ts = transports(3, Duration::ZERO);
+            let requests: Vec<Option<Message>> = (0..3).map(|i| Some(rank_request(i))).collect();
+            let wire_len = rank_request(0).wire_len() as u64;
+            dispatch_traced::<_, NetError>(mode, &mut ts, requests, &sink, &mut |_, _| Ok(()))
+                .unwrap();
+            sink.record(EventKind::End);
+            let traces = sink.take_traces();
+            assert_eq!(traces.len(), 1, "{mode:?}");
+            let trace = traces[0].normalized();
+            let rows = trace.per_librarian_traffic();
+            assert_eq!(rows.len(), 3, "{mode:?}");
+            for (lib, row) in rows.iter().enumerate() {
+                assert_eq!(row.librarian, lib as u32, "{mode:?}");
+                assert_eq!(row.messages, 2, "{mode:?}");
+                assert_eq!(row.bytes_sent, wire_len, "{mode:?}");
+                let stats = ts[lib].stats();
+                assert_eq!(row.bytes_sent, stats.bytes_sent, "{mode:?}");
+                assert_eq!(row.bytes_received, stats.bytes_received, "{mode:?}");
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::message::Message;
 use crate::transport::{Service, TrafficStats, Transport};
 use crate::NetError;
 use std::time::Duration;
+use teraphim_obs::{EventKind, TraceSink};
 
 /// What happens to a request selected by a [`FaultPlan`] rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +61,18 @@ pub enum FaultAction {
     /// protocol-visible way (the echoed query id is perturbed), modelling
     /// a buggy or byzantine librarian.
     Garble,
+}
+
+impl FaultAction {
+    /// Stable lowercase label used in trace `fault` events.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultAction::Fail => "fail",
+            FaultAction::Delay(_) => "delay",
+            FaultAction::Drop => "drop",
+            FaultAction::Garble => "garble",
+        }
+    }
 }
 
 /// Which request numbers a rule covers.
@@ -202,30 +215,8 @@ fn garble_response(response: Message) -> Message {
         // Responses without a protocol-checked id are replaced outright;
         // the caller sees an unexpected variant.
         other => Message::Unavailable {
-            message: format!("garbled response (was {})", variant_name(&other)),
+            message: format!("garbled response (was {})", other.variant_name()),
         },
-    }
-}
-
-fn variant_name(msg: &Message) -> &'static str {
-    match msg {
-        Message::StatsRequest => "StatsRequest",
-        Message::StatsResponse { .. } => "StatsResponse",
-        Message::IndexRequest => "IndexRequest",
-        Message::IndexResponse { .. } => "IndexResponse",
-        Message::RankRequest { .. } => "RankRequest",
-        Message::RankWeightedRequest { .. } => "RankWeightedRequest",
-        Message::RankResponse { .. } => "RankResponse",
-        Message::ScoreCandidatesRequest { .. } => "ScoreCandidatesRequest",
-        Message::ScoreResponse { .. } => "ScoreResponse",
-        Message::FetchDocsRequest { .. } => "FetchDocsRequest",
-        Message::DocsResponse { .. } => "DocsResponse",
-        Message::FetchHeadersRequest { .. } => "FetchHeadersRequest",
-        Message::HeadersResponse { .. } => "HeadersResponse",
-        Message::BooleanRequest { .. } => "BooleanRequest",
-        Message::BooleanResponse { .. } => "BooleanResponse",
-        Message::Error { .. } => "Error",
-        Message::Unavailable { .. } => "Unavailable",
     }
 }
 
@@ -298,6 +289,8 @@ pub struct FaultyTransport<T> {
     inner: T,
     plan: FaultPlan,
     sent: u64,
+    trace: TraceSink,
+    librarian: u32,
 }
 
 impl<T: Transport> FaultyTransport<T> {
@@ -307,7 +300,18 @@ impl<T: Transport> FaultyTransport<T> {
             inner,
             plan,
             sent: 0,
+            trace: TraceSink::disabled(),
+            librarian: 0,
         }
+    }
+
+    /// Attaches a trace sink: each injected fault records a `fault`
+    /// event tagged with `librarian` and the action name.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSink, librarian: u32) -> Self {
+        self.trace = trace;
+        self.librarian = librarian;
+        self
     }
 
     /// Requests attempted so far (the next request gets this number).
@@ -330,7 +334,16 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     fn request(&mut self, request: &Message) -> Result<Message, NetError> {
         let n = self.sent;
         self.sent += 1;
-        match self.plan.action_for(n).copied() {
+        let action = self.plan.action_for(n).copied();
+        if let Some(action) = action {
+            if self.trace.is_enabled() {
+                self.trace.record(EventKind::Fault {
+                    librarian: self.librarian,
+                    action: action.name(),
+                });
+            }
+        }
+        match action {
             Some(FaultAction::Fail) => Err(NetError::Unavailable(format!(
                 "injected failure (request {n})"
             ))),

@@ -42,7 +42,10 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
-pub use fanout::{dispatch, dispatch_collect, dispatch_partial, DispatchMode};
+pub use fanout::{
+    dispatch, dispatch_collect, dispatch_collect_traced, dispatch_partial, dispatch_partial_traced,
+    dispatch_traced, DispatchMode,
+};
 pub use faults::{FaultAction, FaultPlan, FaultyService, FaultyTransport};
 pub use message::Message;
 pub use retry::{RetryPolicy, RetryTransport};
@@ -83,6 +86,20 @@ impl NetError {
             self,
             NetError::Io(_) | NetError::Unavailable(_) | NetError::Timeout | NetError::Disconnected
         )
+    }
+
+    /// Stable lowercase label for the error's kind, used in trace events
+    /// (payload details like the remote message text are dropped so traces
+    /// stay structurally comparable).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetError::Corrupt(_) => "corrupt",
+            NetError::Io(_) => "io",
+            NetError::Remote(_) => "remote",
+            NetError::Unavailable(_) => "unavailable",
+            NetError::Timeout => "timeout",
+            NetError::Disconnected => "disconnected",
+        }
     }
 }
 

@@ -534,6 +534,30 @@ impl Message {
     pub fn wire_len(&self) -> usize {
         self.encode().len()
     }
+
+    /// The variant's name, e.g. `"RankRequest"` — a stable label for
+    /// trace events and fault diagnostics.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            Message::StatsRequest => "StatsRequest",
+            Message::StatsResponse { .. } => "StatsResponse",
+            Message::IndexRequest => "IndexRequest",
+            Message::IndexResponse { .. } => "IndexResponse",
+            Message::RankRequest { .. } => "RankRequest",
+            Message::RankWeightedRequest { .. } => "RankWeightedRequest",
+            Message::RankResponse { .. } => "RankResponse",
+            Message::ScoreCandidatesRequest { .. } => "ScoreCandidatesRequest",
+            Message::ScoreResponse { .. } => "ScoreResponse",
+            Message::FetchDocsRequest { .. } => "FetchDocsRequest",
+            Message::DocsResponse { .. } => "DocsResponse",
+            Message::FetchHeadersRequest { .. } => "FetchHeadersRequest",
+            Message::HeadersResponse { .. } => "HeadersResponse",
+            Message::BooleanRequest { .. } => "BooleanRequest",
+            Message::BooleanResponse { .. } => "BooleanResponse",
+            Message::Error { .. } => "Error",
+            Message::Unavailable { .. } => "Unavailable",
+        }
+    }
 }
 
 #[cfg(test)]

@@ -45,6 +45,7 @@ use crate::message::Message;
 use crate::transport::{TrafficStats, Transport};
 use crate::NetError;
 use std::time::Duration;
+use teraphim_obs::{EventKind, TraceSink};
 
 /// How many times to re-issue a transiently failed request, and how
 /// long to wait before each retry.
@@ -95,6 +96,8 @@ pub struct RetryTransport<T> {
     inner: T,
     policy: RetryPolicy,
     retries_used: u64,
+    trace: TraceSink,
+    librarian: u32,
 }
 
 impl<T: Transport> RetryTransport<T> {
@@ -104,7 +107,18 @@ impl<T: Transport> RetryTransport<T> {
             inner,
             policy,
             retries_used: 0,
+            trace: TraceSink::disabled(),
+            librarian: 0,
         }
+    }
+
+    /// Attaches a trace sink: each retry records a `retry` event tagged
+    /// with `librarian` and the transient error kind that triggered it.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSink, librarian: u32) -> Self {
+        self.trace = trace;
+        self.librarian = librarian;
+        self
     }
 
     /// Total retries issued over this transport's lifetime (attempts
@@ -138,6 +152,13 @@ impl<T: Transport> Transport for RetryTransport<T> {
                 Err(e) if e.is_transient() && attempt < self.policy.max_retries => {
                     attempt += 1;
                     self.retries_used += 1;
+                    if self.trace.is_enabled() {
+                        self.trace.record(EventKind::Retry {
+                            librarian: self.librarian,
+                            attempt,
+                            error: e.kind(),
+                        });
+                    }
                     let pause = self.policy.backoff_before(attempt);
                     if !pause.is_zero() {
                         std::thread::sleep(pause);

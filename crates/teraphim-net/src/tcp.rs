@@ -14,6 +14,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use teraphim_obs::{EventKind, TraceSink};
 
 /// Maximum accepted frame, guarding against corrupt length prefixes.
 const MAX_FRAME: u32 = 256 * 1024 * 1024;
@@ -50,6 +51,8 @@ pub struct TcpTransport {
     stream: TcpStream,
     stats: TrafficStats,
     last: (u64, u64),
+    trace: TraceSink,
+    librarian: u32,
 }
 
 impl TcpTransport {
@@ -66,6 +69,8 @@ impl TcpTransport {
             stream,
             stats: TrafficStats::default(),
             last: (0, 0),
+            trace: TraceSink::disabled(),
+            librarian: 0,
         })
     }
 
@@ -90,7 +95,18 @@ impl TcpTransport {
             stream,
             stats: TrafficStats::default(),
             last: (0, 0),
+            trace: TraceSink::disabled(),
+            librarian: 0,
         })
+    }
+
+    /// Attaches a trace sink: a socket deadline expiry records a
+    /// `timeout` event tagged with `librarian`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSink, librarian: u32) -> Self {
+        self.trace = trace;
+        self.librarian = librarian;
+        self
     }
 }
 
@@ -114,6 +130,27 @@ fn map_timeout_frame_error(e: NetError) -> NetError {
 
 impl Transport for TcpTransport {
     fn request(&mut self, request: &Message) -> Result<Message, NetError> {
+        let result = self.exchange(request);
+        if matches!(result, Err(NetError::Timeout)) && self.trace.is_enabled() {
+            self.trace.record(EventKind::Timeout {
+                librarian: self.librarian,
+            });
+        }
+        result
+    }
+
+    fn stats(&self) -> TrafficStats {
+        self.stats
+    }
+
+    fn last_exchange(&self) -> (u64, u64) {
+        self.last
+    }
+}
+
+impl TcpTransport {
+    /// One length-prefixed request/response exchange over the socket.
+    fn exchange(&mut self, request: &Message) -> Result<Message, NetError> {
         let encoded = request.encode();
         write_frame(&mut self.stream, &encoded).map_err(map_timeout_frame_error)?;
         let response_bytes = read_frame(&mut self.stream)
@@ -129,14 +166,6 @@ impl Transport for TcpTransport {
             Message::Unavailable { message } => Err(NetError::Unavailable(message)),
             response => Ok(response),
         }
-    }
-
-    fn stats(&self) -> TrafficStats {
-        self.stats
-    }
-
-    fn last_exchange(&self) -> (u64, u64) {
-        self.last
     }
 }
 

@@ -11,6 +11,7 @@ use crate::message::Message;
 use crate::NetError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+use teraphim_obs::{EventKind, TraceSink};
 
 /// The server side of the protocol: anything that can answer a request.
 pub trait Service: Send {
@@ -126,6 +127,8 @@ pub struct InProcTransport<S: Service> {
     stats: TrafficStats,
     last: (u64, u64),
     deadline: Option<std::time::Duration>,
+    trace: TraceSink,
+    librarian: u32,
 }
 
 impl<S: Service> InProcTransport<S> {
@@ -136,6 +139,8 @@ impl<S: Service> InProcTransport<S> {
             stats: TrafficStats::default(),
             last: (0, 0),
             deadline: None,
+            trace: TraceSink::disabled(),
+            librarian: 0,
         }
     }
 
@@ -147,7 +152,18 @@ impl<S: Service> InProcTransport<S> {
             stats: TrafficStats::default(),
             last: (0, 0),
             deadline: None,
+            trace: TraceSink::disabled(),
+            librarian: 0,
         }
+    }
+
+    /// Attaches a trace sink: a deadline expiry records a `timeout`
+    /// event tagged with `librarian`.
+    #[must_use]
+    pub fn with_trace(mut self, trace: TraceSink, librarian: u32) -> Self {
+        self.trace = trace;
+        self.librarian = librarian;
+        self
     }
 
     /// Sets a per-request deadline: if the service (queueing included)
@@ -197,6 +213,11 @@ impl<S: Service> Transport for InProcTransport<S> {
                 self.stats.round_trips += 1;
                 self.stats.bytes_sent += encoded.len() as u64;
                 self.last = (encoded.len() as u64, 0);
+                if self.trace.is_enabled() {
+                    self.trace.record(EventKind::Timeout {
+                        librarian: self.librarian,
+                    });
+                }
                 return Err(NetError::Timeout);
             }
         }

@@ -1,0 +1,231 @@
+//! The structured event vocabulary recorded into a [`QueryTrace`].
+//!
+//! Events are deliberately small, `Copy`-ish (only `Expansion` and
+//! `Coverage` carry vectors) and built from `&'static str` labels so that
+//! recording an event on the hot path costs one mutex push and no string
+//! allocation.
+//!
+//! [`QueryTrace`]: crate::QueryTrace
+
+/// A named phase of the query lifecycle.
+///
+/// Phases bracket stretches of a query operation between
+/// [`EventKind::PhaseStart`] and [`EventKind::PhaseEnd`] events; the same
+/// labels are emitted by the real receptionist and by the simulator so
+/// per-phase latency can be attributed identically in both drivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// CV preprocessing: collecting vocabularies from every librarian.
+    VocabExchange,
+    /// CI preprocessing: collecting full indexes to build the grouped index.
+    IndexExchange,
+    /// CI query step: ranking groups on the receptionist's grouped index.
+    GroupRank,
+    /// The rank fan-out: dispatching rank/score requests and merging replies.
+    RankFanout,
+    /// Fetching headers for the final ranking.
+    HeaderFetch,
+    /// Fetching full documents.
+    DocFetch,
+    /// Boolean query fan-out.
+    Boolean,
+}
+
+impl Phase {
+    /// Stable lowercase label used in the JSON encoding.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::VocabExchange => "vocab_exchange",
+            Phase::IndexExchange => "index_exchange",
+            Phase::GroupRank => "group_rank",
+            Phase::RankFanout => "rank_fanout",
+            Phase::HeaderFetch => "header_fetch",
+            Phase::DocFetch => "doc_fetch",
+            Phase::Boolean => "boolean",
+        }
+    }
+}
+
+/// The candidate documents a single librarian is asked to score in CI mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LibCandidates {
+    /// Librarian (partition) index.
+    pub librarian: u32,
+    /// Document ids, local to that librarian.
+    pub docs: Vec<u32>,
+}
+
+/// One structured event in a query trace.
+///
+/// `Begin`/`End` delimit a traced operation and are consumed by
+/// [`TraceSink::take_traces`] when the event stream is split into
+/// [`QueryTrace`] values; every other variant lands in
+/// [`QueryTrace::events`].
+///
+/// [`TraceSink::take_traces`]: crate::TraceSink::take_traces
+/// [`QueryTrace`]: crate::QueryTrace
+/// [`QueryTrace::events`]: crate::QueryTrace::events
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A traced operation starts (`query`, `enable_cv`, `headers`, ...).
+    Begin {
+        /// Operation name.
+        op: &'static str,
+        /// Methodology code (`"MS"`, `"CN"`, `"CV"`, `"CI"`) for query ops.
+        methodology: Option<&'static str>,
+        /// Query id assigned by the receptionist (0 in the simulator).
+        query_id: u32,
+        /// Requested answer size (0 for non-ranking operations).
+        k: u32,
+    },
+    /// The traced operation ends (recorded on success *and* error paths).
+    End,
+    /// A lifecycle phase starts.
+    PhaseStart {
+        /// The phase.
+        phase: Phase,
+    },
+    /// A lifecycle phase ends.
+    PhaseEnd {
+        /// The phase.
+        phase: Phase,
+    },
+    /// A request message leaves for a librarian.
+    Sent {
+        /// Librarian index.
+        librarian: u32,
+        /// Encoded size of the request in bytes.
+        bytes: u64,
+        /// Message variant name, e.g. `"RankRequest"`.
+        message: &'static str,
+    },
+    /// A reply message arrived back from a librarian.
+    Reply {
+        /// Librarian index.
+        librarian: u32,
+        /// Encoded size of the reply in bytes.
+        bytes: u64,
+        /// Message variant name, e.g. `"RankResponse"`.
+        message: &'static str,
+    },
+    /// A transport attempt against a librarian timed out.
+    Timeout {
+        /// Librarian index.
+        librarian: u32,
+    },
+    /// `RetryTransport` is about to retry after a transient error.
+    Retry {
+        /// Librarian index.
+        librarian: u32,
+        /// 1-based retry attempt number.
+        attempt: u32,
+        /// Error kind that triggered the retry (see `NetError::kind`).
+        error: &'static str,
+    },
+    /// An injected fault fired (`FaultyTransport` or the simulator).
+    Fault {
+        /// Librarian index.
+        librarian: u32,
+        /// Fault action name: `"fail"`, `"delay"`, `"drop"` or `"garble"`.
+        action: &'static str,
+    },
+    /// A librarian dropped out of the fan-out (after any retries).
+    LibFailed {
+        /// Librarian index.
+        librarian: u32,
+        /// Final error kind (see `NetError::kind`).
+        error: &'static str,
+    },
+    /// CI group ranking expanded into per-librarian candidate sets.
+    Expansion {
+        /// Number of groups ranked (k′).
+        k_prime: u32,
+        /// Documents per group (G).
+        group_size: u32,
+        /// The selected group ids, best first.
+        groups: Vec<u32>,
+        /// Candidates per owning librarian, in librarian order.
+        candidates: Vec<LibCandidates>,
+    },
+    /// A librarian finished scoring CI candidates.
+    Scored {
+        /// Librarian index.
+        librarian: u32,
+        /// Number of candidates that received a score.
+        candidates: u32,
+        /// Postings decoded while scoring.
+        postings: u64,
+    },
+    /// The receptionist merged the fan-out replies into the final ranking.
+    Merge {
+        /// Total entries folded into the merge across all replies.
+        entries: u64,
+        /// Requested answer size.
+        k: u32,
+    },
+    /// Coverage decision from `query_with_coverage`.
+    Coverage {
+        /// Librarians that answered.
+        answered: Vec<u32>,
+        /// Librarians that failed (after retries).
+        failed: Vec<u32>,
+        /// Fraction of the corpus covered, in permille (0..=1000), when
+        /// collection statistics are known.
+        docs_permille: Option<u32>,
+    },
+}
+
+impl EventKind {
+    /// The librarian index this event is tagged with, if any.
+    ///
+    /// Used by trace normalization to canonicalize the arrival order of
+    /// concurrent fan-out events.
+    #[must_use]
+    pub fn librarian(&self) -> Option<u32> {
+        match *self {
+            EventKind::Sent { librarian, .. }
+            | EventKind::Reply { librarian, .. }
+            | EventKind::Timeout { librarian }
+            | EventKind::Retry { librarian, .. }
+            | EventKind::Fault { librarian, .. }
+            | EventKind::LibFailed { librarian, .. }
+            | EventKind::Scored { librarian, .. } => Some(librarian),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase tag used in the JSON encoding.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::Begin { .. } => "begin",
+            EventKind::End => "end",
+            EventKind::PhaseStart { .. } => "phase_start",
+            EventKind::PhaseEnd { .. } => "phase_end",
+            EventKind::Sent { .. } => "sent",
+            EventKind::Reply { .. } => "reply",
+            EventKind::Timeout { .. } => "timeout",
+            EventKind::Retry { .. } => "retry",
+            EventKind::Fault { .. } => "fault",
+            EventKind::LibFailed { .. } => "lib_failed",
+            EventKind::Expansion { .. } => "expansion",
+            EventKind::Scored { .. } => "scored",
+            EventKind::Merge { .. } => "merge",
+            EventKind::Coverage { .. } => "coverage",
+        }
+    }
+}
+
+/// A timestamped event.
+///
+/// `at_micros` is microseconds since the sink's epoch for real drivers, or
+/// simulated microseconds for the simulator. Normalization zeroes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event time in microseconds (wall-clock since sink creation, or
+    /// simulated time).
+    pub at_micros: u64,
+    /// What happened.
+    pub kind: EventKind,
+}

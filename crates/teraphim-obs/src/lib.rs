@@ -1,0 +1,39 @@
+//! # teraphim-obs
+//!
+//! Query-lifecycle observability for the TERAPHIM workspace: a lightweight
+//! span/event API (no external dependencies) that the real receptionist
+//! stack and the [`SimDriver`] both emit, producing one structured
+//! [`QueryTrace`] per operation.
+//!
+//! The paper's claims — CV rankings byte-identical to mono-server, CI
+//! scoring at most k′·G candidates, CN trading accuracy for traffic — are
+//! claims about what happens *inside* a query. A trace captures exactly
+//! that: per-librarian dispatch and reply events with message variants and
+//! byte counts, retry/timeout/fault events from the transport decorators,
+//! CI candidate expansion, merge sizes and coverage decisions, each stamped
+//! with wall-clock (real drivers) or virtual (simulator) microseconds.
+//!
+//! ## Shape of the API
+//!
+//! * [`TraceSink`] — a cloneable collector; the disabled default costs
+//!   nothing. Components share clones of the same sink.
+//! * [`EventKind`] / [`TraceEvent`] / [`Phase`] — the event vocabulary.
+//! * [`QueryTrace`] — one operation's events, split out of the sink by
+//!   [`TraceSink::take_traces`]; [`QueryTrace::normalized`] makes traces
+//!   deterministic for golden-fixture comparison, and
+//!   [`QueryTrace::metrics`] rolls a trace up into per-phase durations and
+//!   traffic counters.
+//! * [`traces_to_json`] / [`diff_json`] — a stable line-oriented JSON
+//!   encoding (no serde) and the structural diff used by the golden tests.
+//!
+//! [`SimDriver`]: https://docs.rs/teraphim-core
+
+pub mod event;
+pub mod json;
+pub mod sink;
+pub mod trace;
+
+pub use event::{EventKind, LibCandidates, Phase, TraceEvent};
+pub use json::{diff_json, traces_to_json};
+pub use sink::TraceSink;
+pub use trace::{LibTraffic, QueryTrace, TraceMetrics, NORMALIZED_DRIVER};

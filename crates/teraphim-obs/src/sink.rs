@@ -1,0 +1,277 @@
+//! The [`TraceSink`] — a cheap, cloneable event collector.
+//!
+//! A sink is either *disabled* (the default: a `None` inner, no allocation,
+//! every call a no-op) or *attached* (an `Arc` around a mutex-guarded event
+//! buffer). Components hold clones of the same sink so events from transport
+//! wrappers, fan-out workers and the receptionist interleave into one
+//! stream, which [`TraceSink::take_traces`] later splits into per-operation
+//! [`QueryTrace`] values.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::trace::QueryTrace;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+#[derive(Debug)]
+struct SinkInner {
+    driver: &'static str,
+    enabled: AtomicBool,
+    epoch: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+/// A shared, thread-safe collector of [`TraceEvent`]s.
+///
+/// Cloning is cheap (an `Arc` clone) and all clones feed the same buffer.
+/// The zero-cost default is [`TraceSink::disabled`], which never allocates;
+/// instrumented code guards any expensive event construction behind
+/// [`TraceSink::is_enabled`].
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    inner: Option<Arc<SinkInner>>,
+}
+
+impl TraceSink {
+    /// A new sink for a real (wall-clock) driver, initially enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::for_driver("real")
+    }
+
+    /// A new enabled sink labelled with a driver name (`"real"`, `"sim"`).
+    ///
+    /// The label is stamped onto every trace the sink produces so test
+    /// harnesses can tell which driver emitted a trace before normalizing.
+    #[must_use]
+    pub fn for_driver(driver: &'static str) -> Self {
+        TraceSink {
+            inner: Some(Arc::new(SinkInner {
+                driver,
+                enabled: AtomicBool::new(true),
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+            })),
+        }
+    }
+
+    /// The no-op sink: records nothing, allocates nothing.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        TraceSink { inner: None }
+    }
+
+    /// Whether events are currently being recorded.
+    ///
+    /// Call sites use this to skip constructing expensive event payloads
+    /// (e.g. re-encoding a message to learn its wire length).
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        match &self.inner {
+            Some(inner) => inner.enabled.load(Ordering::Relaxed),
+            None => false,
+        }
+    }
+
+    /// Pauses or resumes recording on an attached sink (no-op when
+    /// disabled). All clones observe the change.
+    pub fn set_enabled(&self, on: bool) {
+        if let Some(inner) = &self.inner {
+            inner.enabled.store(on, Ordering::Relaxed);
+        }
+    }
+
+    /// The driver label traces from this sink carry.
+    #[must_use]
+    pub fn driver(&self) -> &'static str {
+        self.inner.as_ref().map_or("disabled", |inner| inner.driver)
+    }
+
+    /// Records an event stamped with the wall-clock time since the sink was
+    /// created. No-op when the sink is disabled.
+    pub fn record(&self, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            if inner.enabled.load(Ordering::Relaxed) {
+                let at_micros =
+                    u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+                inner
+                    .events
+                    .lock()
+                    .unwrap()
+                    .push(TraceEvent { at_micros, kind });
+            }
+        }
+    }
+
+    /// Records an event at an explicit timestamp (used by the simulator,
+    /// which runs on virtual time). No-op when the sink is disabled.
+    pub fn record_at(&self, at_micros: u64, kind: EventKind) {
+        if let Some(inner) = &self.inner {
+            if inner.enabled.load(Ordering::Relaxed) {
+                inner
+                    .events
+                    .lock()
+                    .unwrap()
+                    .push(TraceEvent { at_micros, kind });
+            }
+        }
+    }
+
+    /// Discards all buffered events.
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            inner.events.lock().unwrap().clear();
+        }
+    }
+
+    /// Drains the buffered event stream and splits it into per-operation
+    /// traces.
+    ///
+    /// The stream is cut at [`EventKind::Begin`] / [`EventKind::End`]
+    /// markers; events recorded outside any operation are dropped, and an
+    /// operation missing its `End` (an error path, or a drain mid-query) is
+    /// kept as a partial trace with [`QueryTrace::complete`] false. Within
+    /// each trace, events are stably sorted by timestamp — a no-op for real
+    /// drivers, which record in time order, but required for the simulator,
+    /// which records librarian by librarian.
+    #[must_use]
+    pub fn take_traces(&self) -> Vec<QueryTrace> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let drained: Vec<TraceEvent> = std::mem::take(&mut *inner.events.lock().unwrap());
+        let mut traces = Vec::new();
+        let mut current: Option<QueryTrace> = None;
+        let finish = |mut trace: QueryTrace, complete: bool, traces: &mut Vec<QueryTrace>| {
+            trace.complete = complete;
+            trace.events.sort_by_key(|e| e.at_micros);
+            traces.push(trace);
+        };
+        for event in drained {
+            match event.kind {
+                EventKind::Begin {
+                    op,
+                    methodology,
+                    query_id,
+                    k,
+                } => {
+                    if let Some(trace) = current.take() {
+                        finish(trace, false, &mut traces);
+                    }
+                    current = Some(QueryTrace {
+                        driver: inner.driver.to_owned(),
+                        op: op.to_owned(),
+                        methodology: methodology.map(str::to_owned),
+                        query_id,
+                        k,
+                        complete: false,
+                        events: Vec::new(),
+                    });
+                }
+                EventKind::End => {
+                    if let Some(trace) = current.take() {
+                        finish(trace, true, &mut traces);
+                    }
+                }
+                _ => {
+                    if let Some(trace) = &mut current {
+                        trace.events.push(event);
+                    }
+                }
+            }
+        }
+        if let Some(trace) = current.take() {
+            finish(trace, false, &mut traces);
+        }
+        traces
+    }
+}
+
+impl Default for TraceSink {
+    /// The default sink is [`TraceSink::disabled`].
+    fn default() -> Self {
+        TraceSink::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Phase;
+
+    fn begin(op: &'static str) -> EventKind {
+        EventKind::Begin {
+            op,
+            methodology: Some("CV"),
+            query_id: 7,
+            k: 10,
+        }
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.record(begin("query"));
+        sink.record(EventKind::End);
+        assert!(sink.take_traces().is_empty());
+    }
+
+    #[test]
+    fn events_split_into_traces_on_begin_end() {
+        let sink = TraceSink::new();
+        sink.record(EventKind::Merge { entries: 9, k: 1 }); // outside any op: dropped
+        sink.record(begin("query"));
+        sink.record(EventKind::PhaseStart {
+            phase: Phase::RankFanout,
+        });
+        sink.record(EventKind::End);
+        sink.record(begin("headers"));
+        let traces = sink.take_traces();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].op, "query");
+        assert_eq!(traces[0].query_id, 7);
+        assert!(traces[0].complete);
+        assert_eq!(traces[0].events.len(), 1);
+        assert!(!traces[1].complete, "unterminated trace kept as partial");
+        assert!(sink.take_traces().is_empty(), "drain empties the buffer");
+    }
+
+    #[test]
+    fn take_traces_sorts_simulated_events_by_time() {
+        let sink = TraceSink::for_driver("sim");
+        sink.record_at(0, begin("query"));
+        sink.record_at(
+            50,
+            EventKind::Reply {
+                librarian: 1,
+                bytes: 8,
+                message: "RankResponse",
+            },
+        );
+        sink.record_at(
+            10,
+            EventKind::Sent {
+                librarian: 0,
+                bytes: 4,
+                message: "RankRequest",
+            },
+        );
+        sink.record_at(60, EventKind::End);
+        let traces = sink.take_traces();
+        assert_eq!(traces[0].driver, "sim");
+        assert_eq!(traces[0].events[0].at_micros, 10);
+        assert_eq!(traces[0].events[1].at_micros, 50);
+    }
+
+    #[test]
+    fn set_enabled_pauses_all_clones() {
+        let sink = TraceSink::new();
+        let clone = sink.clone();
+        clone.set_enabled(false);
+        assert!(!sink.is_enabled());
+        sink.record(begin("query"));
+        sink.record(EventKind::End);
+        assert!(sink.take_traces().is_empty());
+    }
+}

@@ -1,0 +1,374 @@
+//! [`QueryTrace`] — the per-operation trace, plus normalization and
+//! metric roll-ups.
+
+use crate::event::{EventKind, Phase, TraceEvent};
+
+/// Driver label stamped onto normalized traces in place of the real one.
+pub const NORMALIZED_DRIVER: &str = "normalized";
+
+/// The structured trace of one traced operation (a query, a preprocessing
+/// exchange, a fetch, ...), as produced by
+/// [`TraceSink::take_traces`](crate::TraceSink::take_traces).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    /// Which driver produced the trace: `"real"`, `"sim"`, or
+    /// [`NORMALIZED_DRIVER`] after [`QueryTrace::normalized`].
+    pub driver: String,
+    /// Operation name (`"query"`, `"query_with_coverage"`, `"enable_cv"`,
+    /// `"headers"`, ...).
+    pub op: String,
+    /// Methodology code (`"MS"`, `"CN"`, `"CV"`, `"CI"`) for query
+    /// operations, `None` otherwise.
+    pub methodology: Option<String>,
+    /// The receptionist query id (always 0 in the simulator).
+    pub query_id: u32,
+    /// Requested answer size (0 for non-ranking operations).
+    pub k: u32,
+    /// Whether the operation's `End` marker was seen.
+    pub complete: bool,
+    /// The events between `Begin` and `End`, in time order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl QueryTrace {
+    /// A structurally comparable copy of the trace.
+    ///
+    /// Normalization makes traces deterministic so they can be committed as
+    /// golden fixtures and compared across drivers and dispatch modes:
+    ///
+    /// 1. the driver label becomes [`NORMALIZED_DRIVER`];
+    /// 2. every timestamp becomes 0 (wall-clock and simulated times differ
+    ///    run to run, structure does not);
+    /// 3. within each maximal contiguous run of librarian-tagged events
+    ///    (`sent`, `reply`, `retry`, `timeout`, `fault`, `lib_failed`,
+    ///    `scored`), events are stably sorted by librarian index. Concurrent
+    ///    dispatch interleaves librarians in arrival order; the stable sort
+    ///    restores the sequential order while preserving each librarian's
+    ///    own event sequence. Phase boundaries and merge/coverage events
+    ///    never move.
+    #[must_use]
+    pub fn normalized(&self) -> QueryTrace {
+        let mut trace = self.clone();
+        trace.driver = NORMALIZED_DRIVER.to_owned();
+        for event in &mut trace.events {
+            event.at_micros = 0;
+        }
+        let events = &mut trace.events;
+        let mut i = 0;
+        while i < events.len() {
+            if events[i].kind.librarian().is_none() {
+                i += 1;
+                continue;
+            }
+            let mut j = i;
+            while j < events.len() && events[j].kind.librarian().is_some() {
+                j += 1;
+            }
+            events[i..j].sort_by_key(|e| e.kind.librarian());
+            i = j;
+        }
+        trace
+    }
+
+    /// Rolls the trace up into per-phase durations and traffic counters.
+    #[must_use]
+    pub fn metrics(&self) -> TraceMetrics {
+        let mut metrics = TraceMetrics::default();
+        let mut open: Vec<(Phase, u64)> = Vec::new();
+        for event in &self.events {
+            match &event.kind {
+                EventKind::PhaseStart { phase } => open.push((*phase, event.at_micros)),
+                EventKind::PhaseEnd { phase } => {
+                    if let Some(pos) = open.iter().rposition(|(p, _)| p == phase) {
+                        let (_, started) = open.remove(pos);
+                        metrics.add_phase(*phase, event.at_micros.saturating_sub(started));
+                    }
+                }
+                EventKind::Sent { bytes, .. } => {
+                    metrics.messages_sent += 1;
+                    metrics.bytes_sent += bytes;
+                }
+                EventKind::Reply { bytes, .. } => {
+                    metrics.messages_received += 1;
+                    metrics.bytes_received += bytes;
+                }
+                EventKind::Timeout { .. } => metrics.timeouts += 1,
+                EventKind::Retry { .. } => metrics.retries += 1,
+                EventKind::Fault { .. } => metrics.faults += 1,
+                EventKind::LibFailed { .. } => metrics.failed_librarians += 1,
+                EventKind::Scored {
+                    candidates,
+                    postings,
+                    ..
+                } => {
+                    metrics.scored_candidates += u64::from(*candidates);
+                    metrics.postings_decoded += postings;
+                }
+                EventKind::Merge { entries, .. } => metrics.merged_entries += entries,
+                _ => {}
+            }
+        }
+        metrics
+    }
+
+    /// Per-librarian traffic summed from `sent`/`reply` events, sorted by
+    /// librarian index.
+    ///
+    /// For transports whose counters charge each *logical* request once
+    /// (the in-process and TCP transports with client-side fault
+    /// injection), these totals line up with `TrafficStats`.
+    #[must_use]
+    pub fn per_librarian_traffic(&self) -> Vec<LibTraffic> {
+        fn row(rows: &mut Vec<LibTraffic>, librarian: u32) -> &mut LibTraffic {
+            if let Some(pos) = rows.iter().position(|r| r.librarian == librarian) {
+                &mut rows[pos]
+            } else {
+                rows.push(LibTraffic {
+                    librarian,
+                    messages: 0,
+                    bytes_sent: 0,
+                    bytes_received: 0,
+                });
+                rows.last_mut().unwrap()
+            }
+        }
+        let mut rows: Vec<LibTraffic> = Vec::new();
+        for event in &self.events {
+            match event.kind {
+                EventKind::Sent {
+                    librarian, bytes, ..
+                } => {
+                    let r = row(&mut rows, librarian);
+                    r.messages += 1;
+                    r.bytes_sent += bytes;
+                }
+                EventKind::Reply {
+                    librarian, bytes, ..
+                } => {
+                    let r = row(&mut rows, librarian);
+                    r.messages += 1;
+                    r.bytes_received += bytes;
+                }
+                _ => {}
+            }
+        }
+        rows.sort_by_key(|r| r.librarian);
+        rows
+    }
+}
+
+/// Traffic attributed to one librarian by [`QueryTrace::per_librarian_traffic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LibTraffic {
+    /// Librarian index.
+    pub librarian: u32,
+    /// Messages exchanged (requests sent plus replies received).
+    pub messages: u64,
+    /// Request bytes sent to the librarian.
+    pub bytes_sent: u64,
+    /// Reply bytes received from the librarian.
+    pub bytes_received: u64,
+}
+
+/// Aggregated counters for one trace, from [`QueryTrace::metrics`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceMetrics {
+    /// Completed phases and their durations in microseconds, in order of
+    /// first completion. Repeated phases accumulate.
+    pub phase_micros: Vec<(Phase, u64)>,
+    /// Requests sent.
+    pub messages_sent: u64,
+    /// Replies received.
+    pub messages_received: u64,
+    /// Request bytes sent.
+    pub bytes_sent: u64,
+    /// Reply bytes received.
+    pub bytes_received: u64,
+    /// Transport timeouts observed.
+    pub timeouts: u64,
+    /// Retries attempted.
+    pub retries: u64,
+    /// Injected faults that fired.
+    pub faults: u64,
+    /// Librarians that dropped out.
+    pub failed_librarians: u64,
+    /// CI candidates scored across all librarians.
+    pub scored_candidates: u64,
+    /// Postings decoded while scoring CI candidates.
+    pub postings_decoded: u64,
+    /// Entries folded into merges.
+    pub merged_entries: u64,
+}
+
+impl TraceMetrics {
+    fn add_phase(&mut self, phase: Phase, micros: u64) {
+        if let Some(slot) = self.phase_micros.iter_mut().find(|(p, _)| *p == phase) {
+            slot.1 += micros;
+        } else {
+            self.phase_micros.push((phase, micros));
+        }
+    }
+
+    /// Duration of `phase` in microseconds, if it completed in this trace.
+    #[must_use]
+    pub fn phase(&self, phase: Phase) -> Option<u64> {
+        self.phase_micros
+            .iter()
+            .find(|(p, _)| *p == phase)
+            .map(|&(_, micros)| micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent {
+            at_micros: at,
+            kind,
+        }
+    }
+
+    fn sent(lib: u32) -> EventKind {
+        EventKind::Sent {
+            librarian: lib,
+            bytes: 10 + u64::from(lib),
+            message: "RankRequest",
+        }
+    }
+
+    fn reply(lib: u32) -> EventKind {
+        EventKind::Reply {
+            librarian: lib,
+            bytes: 100 + u64::from(lib),
+            message: "RankResponse",
+        }
+    }
+
+    fn trace(events: Vec<TraceEvent>) -> QueryTrace {
+        QueryTrace {
+            driver: "real".to_owned(),
+            op: "query".to_owned(),
+            methodology: Some("CN".to_owned()),
+            query_id: 0,
+            k: 10,
+            complete: true,
+            events,
+        }
+    }
+
+    #[test]
+    fn normalization_reorders_concurrent_arrivals() {
+        // Concurrent arrival order 2, 0, 1 with per-librarian Sent→Reply
+        // pairs; normalization must yield 0, 1, 2 keeping Sent before Reply.
+        let concurrent = trace(vec![
+            ev(
+                1,
+                EventKind::PhaseStart {
+                    phase: Phase::RankFanout,
+                },
+            ),
+            ev(2, sent(2)),
+            ev(3, sent(0)),
+            ev(4, reply(2)),
+            ev(5, sent(1)),
+            ev(6, reply(0)),
+            ev(7, reply(1)),
+            ev(8, EventKind::Merge { entries: 30, k: 10 }),
+            ev(
+                9,
+                EventKind::PhaseEnd {
+                    phase: Phase::RankFanout,
+                },
+            ),
+        ]);
+        let sequential = trace(vec![
+            ev(
+                0,
+                EventKind::PhaseStart {
+                    phase: Phase::RankFanout,
+                },
+            ),
+            ev(0, sent(0)),
+            ev(0, reply(0)),
+            ev(0, sent(1)),
+            ev(0, reply(1)),
+            ev(0, sent(2)),
+            ev(0, reply(2)),
+            ev(0, EventKind::Merge { entries: 30, k: 10 }),
+            ev(
+                0,
+                EventKind::PhaseEnd {
+                    phase: Phase::RankFanout,
+                },
+            ),
+        ]);
+        assert_eq!(concurrent.normalized(), sequential.normalized());
+        assert_eq!(concurrent.normalized().driver, NORMALIZED_DRIVER);
+    }
+
+    #[test]
+    fn metrics_attribute_phases_and_traffic() {
+        let t = trace(vec![
+            ev(
+                10,
+                EventKind::PhaseStart {
+                    phase: Phase::RankFanout,
+                },
+            ),
+            ev(12, sent(0)),
+            ev(20, reply(0)),
+            ev(
+                25,
+                EventKind::Retry {
+                    librarian: 1,
+                    attempt: 1,
+                    error: "timeout",
+                },
+            ),
+            ev(
+                30,
+                EventKind::LibFailed {
+                    librarian: 1,
+                    error: "timeout",
+                },
+            ),
+            ev(40, EventKind::Merge { entries: 10, k: 10 }),
+            ev(
+                50,
+                EventKind::PhaseEnd {
+                    phase: Phase::RankFanout,
+                },
+            ),
+        ]);
+        let m = t.metrics();
+        assert_eq!(m.phase(Phase::RankFanout), Some(40));
+        assert_eq!(m.phase(Phase::HeaderFetch), None);
+        assert_eq!(m.messages_sent, 1);
+        assert_eq!(m.bytes_sent, 10);
+        assert_eq!(m.bytes_received, 100);
+        assert_eq!(m.retries, 1);
+        assert_eq!(m.failed_librarians, 1);
+        assert_eq!(m.merged_entries, 10);
+    }
+
+    #[test]
+    fn per_librarian_traffic_sums_sent_and_reply() {
+        let t = trace(vec![
+            ev(0, sent(1)),
+            ev(0, sent(0)),
+            ev(0, reply(1)),
+            ev(0, reply(0)),
+            ev(0, sent(1)),
+        ]);
+        let rows = t.per_librarian_traffic();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].librarian, 0);
+        assert_eq!(rows[0].messages, 2);
+        assert_eq!(rows[1].librarian, 1);
+        assert_eq!(rows[1].messages, 3);
+        assert_eq!(rows[1].bytes_sent, 22);
+        assert_eq!(rows[1].bytes_received, 101);
+    }
+}

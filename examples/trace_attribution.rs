@@ -1,0 +1,172 @@
+//! Per-phase latency attribution from query traces: run the three
+//! methodologies over S = 4 librarians, once healthy and once with one
+//! uniformly slow librarian, and show where each query's time went —
+//! which phase, and which librarian.
+//!
+//! ```sh
+//! cargo run --release --example trace_attribution
+//! ```
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use teraphim::core::{CiParams, Librarian, Methodology, Receptionist};
+use teraphim::corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim::net::{FaultPlan, FaultyTransport, InProcTransport};
+use teraphim::obs::{EventKind, Phase, QueryTrace};
+use teraphim::text::Analyzer;
+
+const SLOW_LIBRARIAN: usize = 2;
+const SLOWDOWN: Duration = Duration::from_millis(25);
+const QUERIES: usize = 12;
+const K: usize = 10;
+
+type Stack = FaultyTransport<InProcTransport<Librarian>>;
+
+fn receptionist(corpus: &SyntheticCorpus, slow: Option<Duration>) -> Receptionist<Stack> {
+    let transports = corpus
+        .subcollections()
+        .iter()
+        .enumerate()
+        .map(|(i, sub)| {
+            let plan = match slow {
+                Some(d) if i == SLOW_LIBRARIAN => FaultPlan::new().delay_all(d),
+                _ => FaultPlan::new(),
+            };
+            FaultyTransport::new(
+                InProcTransport::new(Librarian::build(&sub.name, Analyzer::default(), &sub.docs)),
+                plan,
+            )
+        })
+        .collect();
+    let mut r = Receptionist::new(transports, Analyzer::default());
+    r.enable_cv().unwrap();
+    r.enable_ci(CiParams {
+        group_size: 10,
+        k_prime: 50,
+    })
+    .unwrap();
+    r
+}
+
+/// Mean microseconds per phase and per-librarian exchange latency
+/// (send-to-reply), accumulated over a batch of traces.
+#[derive(Default)]
+struct Attribution {
+    phase_sums: BTreeMap<&'static str, u64>,
+    lib_sums: BTreeMap<u32, (u64, u64)>,
+    traces: u64,
+}
+
+impl Attribution {
+    fn absorb(&mut self, trace: &QueryTrace) {
+        self.traces += 1;
+        for (phase, micros) in trace.metrics().phase_micros {
+            *self.phase_sums.entry(phase.as_str()).or_default() += micros;
+        }
+        let mut sent: BTreeMap<u32, u64> = BTreeMap::new();
+        for event in &trace.events {
+            match event.kind {
+                EventKind::Sent { librarian, .. } => {
+                    sent.insert(librarian, event.at_micros);
+                }
+                EventKind::Reply { librarian, .. } => {
+                    if let Some(&at) = sent.get(&librarian) {
+                        let slot = self.lib_sums.entry(librarian).or_default();
+                        slot.0 += event.at_micros.saturating_sub(at);
+                        slot.1 += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn mean_phases(&self) -> Vec<(&'static str, u64)> {
+        self.phase_sums
+            .iter()
+            .map(|(&p, &sum)| (p, sum / self.traces.max(1)))
+            .collect()
+    }
+
+    fn mean_lib_latency(&self) -> Vec<(u32, u64)> {
+        self.lib_sums
+            .iter()
+            .map(|(&lib, &(sum, n))| (lib, sum / n.max(1)))
+            .collect()
+    }
+}
+
+fn run_scenario(
+    corpus: &SyntheticCorpus,
+    slow: Option<Duration>,
+) -> BTreeMap<&'static str, Attribution> {
+    let mut out = BTreeMap::new();
+    for methodology in Methodology::ALL {
+        let mut r = receptionist(corpus, slow);
+        let sink = r.enable_tracing();
+        for query in corpus.short_queries().iter().cycle().take(QUERIES) {
+            r.query(methodology, &query.text, K).unwrap();
+        }
+        let mut attribution = Attribution::default();
+        for trace in sink.take_traces() {
+            attribution.absorb(&trace);
+        }
+        out.insert(methodology.code(), attribution);
+    }
+    out
+}
+
+fn main() {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(7));
+    let healthy = run_scenario(&corpus, None);
+    let degraded = run_scenario(&corpus, Some(SLOWDOWN));
+
+    println!(
+        "Per-phase latency attribution, S = 4 librarians, {QUERIES} queries, k = {K}.\n\
+         Degraded run: librarian {SLOW_LIBRARIAN} answers every exchange {SLOWDOWN:?} late.\n"
+    );
+
+    println!(
+        "{:<4} {:<14} {:>12} {:>12} {:>8}",
+        "meth", "phase", "healthy µs", "1-slow µs", "×"
+    );
+    for methodology in Methodology::ALL {
+        let code = methodology.code();
+        let h = &healthy[code];
+        let d = &degraded[code];
+        let slow_phases: BTreeMap<_, _> = d.mean_phases().into_iter().collect();
+        for (phase, mean_h) in h.mean_phases() {
+            let mean_d = slow_phases.get(phase).copied().unwrap_or(0);
+            let factor = mean_d as f64 / mean_h.max(1) as f64;
+            println!("{code:<4} {phase:<14} {mean_h:>12} {mean_d:>12} {factor:>8.1}");
+        }
+    }
+
+    println!("\nMean send-to-reply latency per librarian (µs):");
+    println!("{:<4} {:<9} librarians 0..4", "meth", "run");
+    for methodology in Methodology::ALL {
+        let code = methodology.code();
+        for (label, attribution) in [("healthy", &healthy[code]), ("1-slow", &degraded[code])] {
+            let row: Vec<String> = attribution
+                .mean_lib_latency()
+                .iter()
+                .map(|(lib, mean)| format!("L{lib}={mean}"))
+                .collect();
+            println!("{code:<4} {label:<9} {}", row.join("  "));
+        }
+    }
+
+    // The rank fan-out phase should absorb (roughly) one slowdown per
+    // query under concurrent dispatch, regardless of methodology.
+    let h_fanout = healthy["CN"]
+        .mean_phases()
+        .iter()
+        .find(|(p, _)| *p == Phase::RankFanout.as_str())
+        .map(|&(_, m)| m)
+        .unwrap_or(0);
+    println!(
+        "\nHealthy CN fan-out mean {h_fanout} µs; injected slowdown {} µs per exchange.",
+        SLOWDOWN.as_micros()
+    );
+}

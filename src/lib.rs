@@ -16,6 +16,7 @@
 //! * [`corpus`] — synthetic TREC-like corpus/query/qrels generation.
 //! * [`eval`] — retrieval-effectiveness metrics.
 //! * [`net`] — wire protocol and transports.
+//! * [`obs`] — structured query traces and per-phase metrics.
 //! * [`simnet`] — discrete-event disk/CPU/network simulator.
 //! * [`core`] — the TERAPHIM librarian/receptionist system itself.
 //!
@@ -50,5 +51,6 @@ pub use teraphim_engine as engine;
 pub use teraphim_eval as eval;
 pub use teraphim_index as index;
 pub use teraphim_net as net;
+pub use teraphim_obs as obs;
 pub use teraphim_simnet as simnet;
 pub use teraphim_text as text;

@@ -4,6 +4,8 @@
 use teraphim::core::{CiParams, DistributedCollection, Librarian, Methodology, Receptionist};
 use teraphim::corpus::{CorpusSpec, SyntheticCorpus};
 use teraphim::net::tcp::{TcpServer, TcpTransport};
+use teraphim::net::{InProcTransport, RetryPolicy, RetryTransport};
+use teraphim::obs::{diff_json, EventKind, TraceSink};
 use teraphim::text::sgml::TrecDoc;
 use teraphim::text::Analyzer;
 
@@ -79,8 +81,10 @@ fn tcp_and_inproc_agree_on_all_methodologies() {
 }
 
 /// One librarian accepts the TCP connection but never replies: the
-/// receptionist's read deadline must fire, the query must degrade (not
-/// hang), and the other librarians' results must come through intact.
+/// receptionist's read deadline must fire (once per retry attempt), the
+/// query must degrade (not hang), the other librarians' results must
+/// come through intact, and the trace must record the exact
+/// timeout/retry sequence the deadline configuration implies.
 #[test]
 fn silent_librarian_degrades_within_the_deadline() {
     use std::time::{Duration, Instant};
@@ -103,17 +107,30 @@ fn silent_librarian_degrades_within_the_deadline() {
     let silent = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
     let silent_addr = silent.local_addr().unwrap();
 
+    let sink = TraceSink::new();
     let deadline = Duration::from_millis(300);
-    let mut transports: Vec<TcpTransport> = servers
-        .iter()
-        .map(|s| TcpTransport::connect_with_deadline(s.addr(), deadline).unwrap())
-        .collect();
-    transports.insert(
-        2,
-        TcpTransport::connect_with_deadline(silent_addr, deadline).unwrap(),
-    );
+    let policy = RetryPolicy {
+        max_retries: 2,
+        backoff: Duration::ZERO,
+    };
+    let connect = |addr: std::net::SocketAddr, lib: u32| {
+        RetryTransport::new(
+            TcpTransport::connect_with_deadline(addr, deadline)
+                .unwrap()
+                .with_trace(sink.clone(), lib),
+            policy,
+        )
+        .with_trace(sink.clone(), lib)
+    };
+    let transports = vec![
+        connect(servers[0].addr(), 0),
+        connect(servers[1].addr(), 1),
+        connect(silent_addr, 2),
+        connect(servers[2].addr(), 3),
+    ];
 
     let mut r = Receptionist::new(transports, Analyzer::default());
+    r.set_trace_sink(sink.clone());
     let started = Instant::now();
     let answer = r
         .query_with_coverage(Methodology::CentralNothing, "cats dogs", 8)
@@ -125,11 +142,78 @@ fn silent_librarian_degrades_within_the_deadline() {
     assert_eq!(answer.coverage.failed, vec![2]);
     assert!(!answer.hits.is_empty());
     assert!(answer.hits.iter().all(|h| h.librarian != 2));
-    // Bounded by the read deadline plus scheduling slack — not a hang.
+    // Bounded by one deadline per attempt plus scheduling slack — not a
+    // hang: max_retries = 2 means three deadline waits on the silent
+    // librarian, overlapped with the healthy exchanges.
     assert!(
-        elapsed < deadline * 4,
+        elapsed < deadline * 5,
         "degraded query took {elapsed:?} against a {deadline:?} deadline"
     );
+
+    // The trace records the failure as the deadline config dictates —
+    // assert event counts and ordering, never wall-clock times.
+    let traces = sink.take_traces();
+    assert_eq!(traces.len(), 1);
+    let trace = &traces[0];
+    assert_eq!(trace.op, "query_with_coverage");
+    assert!(trace.complete);
+
+    let tags_for = |lib: u32| -> Vec<&'static str> {
+        trace
+            .events
+            .iter()
+            .filter(|e| e.kind.librarian() == Some(lib))
+            .map(|e| e.kind.tag())
+            .collect()
+    };
+    // One send; each attempt's deadline expiry records a timeout, each
+    // re-issue a retry; the exhausted transport fails the librarian.
+    assert_eq!(
+        tags_for(2),
+        [
+            "sent",
+            "timeout",
+            "retry",
+            "timeout",
+            "retry",
+            "timeout",
+            "lib_failed"
+        ],
+        "silent librarian event sequence"
+    );
+    let timeouts = trace
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Timeout { librarian: 2 }))
+        .count();
+    assert_eq!(timeouts as u32, policy.max_retries + 1);
+    let retries: Vec<(u32, &str)> = trace
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::Retry {
+                librarian: 2,
+                attempt,
+                error,
+            } => Some((attempt, error)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(retries, [(1, "timeout"), (2, "timeout")]);
+    for lib in [0u32, 1, 3] {
+        assert_eq!(tags_for(lib), ["sent", "reply"], "healthy librarian {lib}");
+    }
+    let coverage = trace
+        .events
+        .iter()
+        .find_map(|e| match &e.kind {
+            EventKind::Coverage {
+                answered, failed, ..
+            } => Some((answered.clone(), failed.clone())),
+            _ => None,
+        })
+        .expect("coverage decision must be traced");
+    assert_eq!(coverage, (vec![0, 1, 3], vec![2]));
 
     // The surviving rankings are exactly what a fan-out to only the
     // healthy librarians produces.
@@ -142,6 +226,60 @@ fn silent_librarian_degrades_within_the_deadline() {
             .collect()
     };
     assert_eq!(key(&answer.hits), key(&subset));
+
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+/// The QueryTrace schema is transport-independent: the same query over
+/// loopback TCP and over in-process calls yields byte-identical
+/// normalized traces (both transports count payload bytes only, so even
+/// the byte fields line up).
+#[test]
+fn tcp_and_inproc_emit_identical_normalized_traces() {
+    let texts: [&[(&str, &str)]; 3] = [
+        &[("A-1", "cats and dogs"), ("A-2", "just cats")],
+        &[("B-1", "dogs alone"), ("B-2", "cats dogs birds")],
+        &[("C-1", "cats chasing birds"), ("C-2", "quiet cats")],
+    ];
+    let librarians = || {
+        texts
+            .iter()
+            .enumerate()
+            .map(|(i, docs)| Librarian::from_texts(&format!("L{i}"), docs))
+    };
+
+    let servers: Vec<TcpServer> = librarians()
+        .map(|l| TcpServer::spawn(l, "127.0.0.1:0").unwrap())
+        .collect();
+
+    for methodology in [Methodology::CentralNothing, Methodology::CentralVocabulary] {
+        let mut inproc = Receptionist::new(
+            librarians().map(InProcTransport::new).collect(),
+            Analyzer::default(),
+        );
+        let mut tcp = Receptionist::new(
+            servers
+                .iter()
+                .map(|s| TcpTransport::connect(s.addr()).unwrap())
+                .collect(),
+            Analyzer::default(),
+        );
+        if methodology == Methodology::CentralVocabulary {
+            inproc.enable_cv().unwrap();
+            tcp.enable_cv().unwrap();
+        }
+        let sink_a = inproc.enable_tracing();
+        let sink_b = tcp.enable_tracing();
+        inproc.query(methodology, "cats birds", 5).unwrap();
+        tcp.query(methodology, "cats birds", 5).unwrap();
+        let a = sink_a.take_traces().remove(0).normalized().to_json();
+        let b = sink_b.take_traces().remove(0).normalized().to_json();
+        if let Some(diff) = diff_json(&a, &b) {
+            panic!("{methodology}: in-process and TCP traces diverged:\n{diff}");
+        }
+    }
 
     for server in servers {
         server.shutdown();

@@ -1,0 +1,417 @@
+//! Query-lifecycle observability: golden traces, cross-driver schema
+//! equality, and trace-vs-counter consistency.
+//!
+//! Every traced operation yields a structured `QueryTrace` whose
+//! *normalized* form is deterministic: timestamps zeroed, concurrent
+//! arrival order canonicalized per librarian. The normalized JSON for
+//! each methodology is committed under `tests/fixtures/traces/` and
+//! asserted here; regenerate with `UPDATE_TRACE_GOLDENS=1 cargo test
+//! --test traces`. On mismatch the actual trace is written to
+//! `target/trace-diffs/` and the structural diff is printed.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use teraphim::core::sim::{SimDriver, SimMode};
+use teraphim::core::{CiParams, Librarian, Methodology, Receptionist};
+use teraphim::corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim::net::{
+    DispatchMode, FaultPlan, FaultyTransport, InProcTransport, RetryPolicy, RetryTransport,
+};
+use teraphim::obs::{diff_json, EventKind, Phase, QueryTrace, TraceSink};
+use teraphim::simnet::{CostModel, Topology};
+use teraphim::text::sgml::TrecDoc;
+use teraphim::text::Analyzer;
+
+const CI_PARAMS: CiParams = CiParams {
+    group_size: 10,
+    k_prime: 50,
+};
+const K: usize = 10;
+
+fn corpus() -> SyntheticCorpus {
+    SyntheticCorpus::generate(&CorpusSpec::small(33))
+}
+
+/// A fresh receptionist over in-process librarians, in sequential
+/// dispatch — the canonical event order the goldens are recorded in.
+fn receptionist(corpus: &SyntheticCorpus) -> Receptionist<InProcTransport<Librarian>> {
+    let transports = corpus
+        .subcollections()
+        .iter()
+        .map(|s| InProcTransport::new(Librarian::build(&s.name, Analyzer::default(), &s.docs)))
+        .collect();
+    let mut r = Receptionist::new(transports, Analyzer::default());
+    r.set_dispatch_mode(DispatchMode::Sequential);
+    r
+}
+
+fn sim_driver(corpus: &SyntheticCorpus) -> SimDriver {
+    let parts: Vec<(&str, &[TrecDoc])> = corpus
+        .subcollections()
+        .iter()
+        .map(|s| (s.name.as_str(), s.docs.as_slice()))
+        .collect();
+    SimDriver::new(&parts, Analyzer::default(), CI_PARAMS).unwrap()
+}
+
+/// Runs one traced query on a fresh receptionist (tracing enabled
+/// *after* any preprocessing, so exactly one trace comes back).
+fn real_trace(corpus: &SyntheticCorpus, methodology: Methodology, query: &str) -> QueryTrace {
+    let mut r = receptionist(corpus);
+    match methodology {
+        Methodology::CentralNothing => {}
+        Methodology::CentralVocabulary => r.enable_cv().unwrap(),
+        Methodology::CentralIndex => r.enable_ci(CI_PARAMS).unwrap(),
+    }
+    let sink = r.enable_tracing();
+    r.query(methodology, query, K).unwrap();
+    let mut traces = sink.take_traces();
+    assert_eq!(traces.len(), 1, "one traced op, one trace");
+    traces.remove(0)
+}
+
+/// Runs one traced query on the simulation driver (virtual time).
+fn sim_trace(driver: &mut SimDriver, mode: SimMode, query: &str) -> QueryTrace {
+    let sink = driver.enable_tracing();
+    driver
+        .time_query(
+            &Topology::multi_disk(4),
+            &CostModel::default(),
+            mode,
+            query,
+            K,
+        )
+        .unwrap();
+    let mut traces = sink.take_traces();
+    assert_eq!(traces.len(), 1);
+    driver.set_trace_sink(TraceSink::disabled());
+    traces.remove(0)
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures/traces")
+        .join(format!("{name}.json"))
+}
+
+/// Asserts `trace` (normalized) matches the committed golden fixture.
+fn assert_matches_golden(name: &str, trace: &QueryTrace) {
+    let actual = trace.normalized().to_json() + "\n";
+    let path = fixture_path(name);
+    if std::env::var("UPDATE_TRACE_GOLDENS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_TRACE_GOLDENS=1 cargo test --test traces",
+            path.display()
+        )
+    });
+    if let Some(diff) = diff_json(&expected, &actual) {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/trace-diffs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join(format!("{name}.actual.json"));
+        std::fs::write(&out, &actual).unwrap();
+        panic!(
+            "golden trace `{name}` diverged (actual written to {}):\n{diff}",
+            out.display()
+        );
+    }
+}
+
+#[test]
+fn golden_traces_for_all_methodologies() {
+    let corpus = corpus();
+    let query = corpus.short_queries()[0].text.clone();
+
+    // MS has no fan-out on the real driver; its golden comes from the
+    // simulator, which emits the same schema in virtual time.
+    let mut driver = sim_driver(&corpus);
+    assert_matches_golden("ms", &sim_trace(&mut driver, SimMode::MonoServer, &query));
+
+    assert_matches_golden(
+        "cn",
+        &real_trace(&corpus, Methodology::CentralNothing, &query),
+    );
+    assert_matches_golden(
+        "cv",
+        &real_trace(&corpus, Methodology::CentralVocabulary, &query),
+    );
+    assert_matches_golden(
+        "ci",
+        &real_trace(&corpus, Methodology::CentralIndex, &query),
+    );
+}
+
+/// Concurrent dispatch interleaves arrivals nondeterministically; the
+/// normalized trace must be identical to the sequential one.
+#[test]
+fn concurrent_trace_normalizes_to_sequential() {
+    let corpus = corpus();
+    let query = corpus.short_queries()[1].text.clone();
+    for methodology in Methodology::ALL {
+        let sequential = real_trace(&corpus, methodology, &query);
+
+        let mut conc = receptionist(&corpus);
+        conc.set_dispatch_mode(DispatchMode::Concurrent);
+        match methodology {
+            Methodology::CentralNothing => {}
+            Methodology::CentralVocabulary => conc.enable_cv().unwrap(),
+            Methodology::CentralIndex => conc.enable_ci(CI_PARAMS).unwrap(),
+        }
+        let sink = conc.enable_tracing();
+        conc.query(methodology, &query, K).unwrap();
+        let concurrent = sink.take_traces().remove(0);
+
+        assert_eq!(
+            concurrent.normalized(),
+            sequential.normalized(),
+            "{methodology}: concurrent trace must normalize to the sequential one"
+        );
+    }
+}
+
+/// The simulated and real drivers must emit byte-identical normalized
+/// traces for the query lifecycle they share (the simulator additionally
+/// times step 4, appending one `doc_fetch` phase at the end).
+#[test]
+fn sim_and_real_traces_share_schema() {
+    let corpus = corpus();
+    let mut driver = sim_driver(&corpus);
+    // The real librarians score CI candidates with skip-based scoring;
+    // flip the simulator onto the same path so `scored` events agree.
+    driver.skipping = true;
+    driver.dispatch = teraphim::core::sim::SimDispatch::Sequential;
+    for methodology in Methodology::ALL {
+        for query in corpus.short_queries().iter().take(3) {
+            let real = real_trace(&corpus, methodology, &query.text).normalized();
+            let sim =
+                sim_trace(&mut driver, SimMode::Distributed(methodology), &query.text).normalized();
+
+            assert_eq!(real.op, sim.op);
+            assert_eq!(real.methodology, sim.methodology);
+            assert_eq!(real.query_id, sim.query_id);
+            assert_eq!(real.k, sim.k);
+            assert!(real.complete && sim.complete);
+
+            // The sim's last two events are the doc-fetch phase the real
+            // `query` path (steps 1–3) does not perform.
+            let n = sim.events.len();
+            assert!(n >= 2, "{methodology}: sim trace too short");
+            assert_eq!(
+                sim.events[n - 2].kind,
+                EventKind::PhaseStart {
+                    phase: Phase::DocFetch
+                }
+            );
+            assert_eq!(
+                sim.events[n - 1].kind,
+                EventKind::PhaseEnd {
+                    phase: Phase::DocFetch
+                }
+            );
+            assert_eq!(
+                real.events,
+                sim.events[..n - 2],
+                "{methodology} query {}: sim and real traces diverged",
+                query.id
+            );
+        }
+    }
+}
+
+/// CI's defining budget, asserted from the trace: at most k'·G
+/// candidates are ever scored, and every returned document came out of
+/// the expanded candidate set.
+#[test]
+fn ci_trace_obeys_candidate_budget() {
+    use proptest::test_runner::{case_count, case_seed, TestRng};
+
+    let corpus = corpus();
+    let mut r = receptionist(&corpus);
+    r.enable_ci(CI_PARAMS).unwrap();
+    let sink = r.enable_tracing();
+    let queries: Vec<String> = corpus
+        .short_queries()
+        .iter()
+        .map(|q| q.text.clone())
+        .collect();
+
+    let budget = CI_PARAMS.k_prime as u64 * u64::from(CI_PARAMS.group_size);
+    let cases = case_count().min(24);
+    for case in 0..cases {
+        let mut rng = TestRng::new(case_seed("traces::ci_trace_obeys_candidate_budget", case));
+        let qi = rng.index(queries.len());
+        let k = 1 + rng.index(20);
+        sink.clear();
+        let hits = r
+            .query(Methodology::CentralIndex, &queries[qi], k)
+            .unwrap_or_else(|e| panic!("case {case} (query {qi}, k={k}): {e}"));
+        let traces = sink.take_traces();
+        assert_eq!(traces.len(), 1, "case {case}: expected exactly one trace");
+        let trace = &traces[0];
+
+        let metrics = trace.metrics();
+        assert!(
+            metrics.scored_candidates <= budget,
+            "case {case}: scored {} candidates, budget k'*G = {budget}",
+            metrics.scored_candidates
+        );
+
+        let mut expanded: HashSet<(u32, u32)> = HashSet::new();
+        for event in &trace.events {
+            if let EventKind::Expansion { candidates, .. } = &event.kind {
+                for owner in candidates {
+                    for &doc in &owner.docs {
+                        expanded.insert((owner.librarian, doc));
+                    }
+                }
+            }
+        }
+        assert!(
+            !expanded.is_empty(),
+            "case {case}: CI trace must carry an expansion"
+        );
+        for hit in &hits {
+            assert!(
+                expanded.contains(&(hit.librarian as u32, hit.doc)),
+                "case {case}: hit ({}, {}) not in the expanded candidate set",
+                hit.librarian,
+                hit.doc
+            );
+        }
+    }
+}
+
+fn four_librarians() -> Vec<Librarian> {
+    vec![
+        Librarian::from_texts("A", &[("A-1", "cats and dogs"), ("A-2", "just cats")]),
+        Librarian::from_texts("B", &[("B-1", "dogs alone"), ("B-2", "cats dogs birds")]),
+        Librarian::from_texts("C", &[("C-1", "cats chasing birds"), ("C-2", "quiet cats")]),
+        Librarian::from_texts("D", &[("D-1", "birds and cats"), ("D-2", "sleeping dogs")]),
+    ]
+}
+
+type FaultyStack = RetryTransport<FaultyTransport<InProcTransport<Librarian>>>;
+
+/// One shared sink wired through the receptionist *and* the transport
+/// decorators, with a transport-layer `fail_nth(0)` on librarian 2 so
+/// the first query costs it one retry.
+fn traced_faulty_receptionist(mode: DispatchMode) -> (Receptionist<FaultyStack>, TraceSink) {
+    let sink = TraceSink::new();
+    let transports: Vec<FaultyStack> = four_librarians()
+        .into_iter()
+        .enumerate()
+        .map(|(lib, service)| {
+            let plan = if lib == 2 {
+                FaultPlan::new().fail_nth(0)
+            } else {
+                FaultPlan::new()
+            };
+            let faulty = FaultyTransport::new(InProcTransport::new(service), plan)
+                .with_trace(sink.clone(), lib as u32);
+            RetryTransport::new(
+                faulty,
+                RetryPolicy {
+                    max_retries: 2,
+                    backoff: Duration::ZERO,
+                },
+            )
+            .with_trace(sink.clone(), lib as u32)
+        })
+        .collect();
+    let mut r = Receptionist::new(transports, Analyzer::default());
+    r.set_dispatch_mode(mode);
+    r.set_trace_sink(sink.clone());
+    (r, sink)
+}
+
+/// The trace's per-librarian byte/message sums must equal the transport
+/// counters — under both dispatch modes, and with a client-side fault
+/// plus one retry in the schedule. (Client-side `Fail` consumes no inner
+/// bytes, so the retried exchange is counted exactly once by both.)
+#[test]
+fn trace_totals_match_transport_counters() {
+    for mode in [DispatchMode::Sequential, DispatchMode::Concurrent] {
+        let (mut r, sink) = traced_faulty_receptionist(mode);
+        let hits = r
+            .query(Methodology::CentralNothing, "cats dogs", 8)
+            .unwrap();
+        assert!(!hits.is_empty());
+
+        let traces = sink.take_traces();
+        assert_eq!(traces.len(), 1);
+        let trace = &traces[0];
+
+        // The injected fault and its retry are on the record.
+        let tags: Vec<(&str, Option<u32>)> = trace
+            .events
+            .iter()
+            .map(|e| (e.kind.tag(), e.kind.librarian()))
+            .collect();
+        assert!(
+            tags.contains(&("fault", Some(2))),
+            "{mode:?}: missing fault event: {tags:?}"
+        );
+        assert!(
+            tags.contains(&("retry", Some(2))),
+            "{mode:?}: missing retry event: {tags:?}"
+        );
+
+        // Per-librarian: trace sums == transport counters.
+        let from_trace = trace.per_librarian_traffic();
+        let from_transports = r.per_librarian_traffic();
+        assert_eq!(from_trace.len(), from_transports.len());
+        for (row, stats) in from_trace.iter().zip(&from_transports) {
+            assert_eq!(
+                row.bytes_sent, stats.bytes_sent,
+                "{mode:?} librarian {}: sent bytes",
+                row.librarian
+            );
+            assert_eq!(
+                row.bytes_received, stats.bytes_received,
+                "{mode:?} librarian {}: received bytes",
+                row.librarian
+            );
+            assert_eq!(
+                row.messages,
+                2 * stats.round_trips,
+                "{mode:?} librarian {}: one sent + one reply per round trip",
+                row.librarian
+            );
+        }
+
+        // And in aggregate against the receptionist's rollup.
+        let metrics = trace.metrics();
+        let total = r.traffic();
+        assert_eq!(metrics.bytes_sent, total.bytes_sent);
+        assert_eq!(metrics.bytes_received, total.bytes_received);
+        assert_eq!(metrics.retries, 1);
+        assert_eq!(metrics.faults, 1);
+    }
+}
+
+/// Tracing is pay-for-what-you-use: a disabled sink records nothing,
+/// and re-enabling the same sink picks events back up.
+#[test]
+fn disabled_sink_stays_empty_and_reenables() {
+    let corpus = corpus();
+    let mut r = receptionist(&corpus);
+    let query = corpus.short_queries()[0].text.clone();
+
+    let sink = r.enable_tracing();
+    sink.set_enabled(false);
+    r.query(Methodology::CentralNothing, &query, K).unwrap();
+    assert!(sink.take_traces().is_empty());
+
+    sink.set_enabled(true);
+    r.query(Methodology::CentralNothing, &query, K).unwrap();
+    let traces = sink.take_traces();
+    assert_eq!(traces.len(), 1);
+    assert_eq!(traces[0].op, "query");
+    assert_eq!(traces[0].methodology.as_deref(), Some("CN"));
+}

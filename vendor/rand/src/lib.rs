@@ -1,7 +1,7 @@
 //! Offline vendored subset of the `rand` 0.8 API.
 //!
 //! The build environment has no registry access, so this crate provides
-//! the small slice of `rand` the workspace actually uses: [`StdRng`],
+//! the small slice of `rand` the workspace actually uses: [`rngs::StdRng`],
 //! [`SeedableRng::seed_from_u64`], [`Rng::gen_range`] over integer and
 //! float ranges, and [`Rng::gen_bool`]. The generator is a splitmix64
 //! stream — statistically solid for synthetic-corpus generation, with a
