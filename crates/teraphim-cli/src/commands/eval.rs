@@ -13,7 +13,7 @@ const HELP: &str = "\
 usage: teraphim eval --queries FILE.tsv --qrels FILE
                      (--servers ADDR[,ADDR...] [--methodology cn|cv|ci]
                       | --index FILE.tcol)
-                     [--k N] [--trace-json FILE]
+                     [--k N] [--trace-json FILE] [--metrics FILE]
 
 FILE.tsv holds one `id<TAB>query text` per line (the gen-corpus output);
 qrels is TREC format. Prints 11-pt average, relevant-in-top-20 and MAP.
@@ -23,7 +23,11 @@ with --index it evaluates the mono-server baseline.
 --trace-json (with --servers) records a structured trace of every
 query's lifecycle — per-librarian exchanges, retries, faults, phase
 timings — writes them as JSON to FILE, and prints a per-phase latency
-summary";
+summary
+
+--metrics (with --servers) tees the run into a metrics registry and
+writes the final snapshot — per-librarian and per-methodology counters
+and latency histograms — to FILE in the Prometheus text format";
 
 fn parse_queries(path: &str) -> Result<Vec<(u32, String)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -66,7 +70,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let k = args.get_parsed("k", 1000usize)?;
 
     let trace_path = args.get("trace-json");
+    let metrics_path = args.get("metrics");
     let mut trace_sink = None;
+    let mut metrics_registry = None;
     let mut degraded_queries = 0usize;
     let mut failed_librarians: Vec<usize> = Vec::new();
     let evals: Vec<QueryEval> = if let Some(servers) = args.get("servers") {
@@ -86,6 +92,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         let mut receptionist = Receptionist::new(transports, Analyzer::default());
         if trace_path.is_some() {
             trace_sink = Some(receptionist.enable_tracing());
+        }
+        if metrics_path.is_some() {
+            // Tees the trace sink when one is attached, otherwise runs a
+            // metrics-only sink — either way the registry sees every event.
+            metrics_registry = Some(receptionist.enable_metrics());
         }
         match methodology {
             Methodology::CentralNothing => {}
@@ -152,6 +163,24 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         std::fs::write(path, teraphim_obs::traces_to_json(&traces))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         print_trace_summary(&traces, path)?;
+    }
+
+    if let Some(path) = metrics_path {
+        let registry = metrics_registry
+            .take()
+            .ok_or("--metrics requires --servers (the mono baseline has no fan-out to meter)")?;
+        let snapshot = registry.snapshot();
+        let text = snapshot.render_prometheus();
+        teraphim_obs::lint_prometheus(&text)
+            .map_err(|e| format!("internal error: exposition failed lint: {e}"))?;
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let latency = snapshot.query_latency();
+        outln!(
+            "metrics written:   {path} ({} queries, p50 {} us, p99 {} us)",
+            snapshot.queries,
+            latency.p50(),
+            latency.p99()
+        );
     }
 
     let set = SetEval::from_evals(&evals);

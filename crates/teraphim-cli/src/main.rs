@@ -34,6 +34,7 @@ commands:
   eval         evaluate effectiveness against queries and qrels
   serve        serve a collection as a librarian over TCP
   search       distributed search across librarian servers
+  stats        poll librarian servers for live fleet health
 
 run `teraphim <command> --help` for per-command options";
 
@@ -53,6 +54,7 @@ fn main() -> ExitCode {
         "eval" => commands::eval::run(rest),
         "serve" => commands::serve::run(rest),
         "search" => commands::search::run(rest),
+        "stats" => commands::stats::run(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())

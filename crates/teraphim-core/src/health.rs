@@ -1,0 +1,326 @@
+//! Fleet health: polling librarians over the admin `Stats` protocol and
+//! classifying each as up, degraded or down.
+//!
+//! Health combines two ledgers. The *server side* is what each librarian
+//! reports about itself over [`Message::Stats`] — index shape, requests
+//! served, errors returned, service latency. The *client side* is what
+//! the receptionist's [`MetricsRegistry`] observed about it — timeouts
+//! and fan-out drop-outs the librarian itself cannot see (a dead server
+//! reports nothing). A librarian is **down** when the `Stats` poll
+//! itself fails, **degraded** when either ledger shows an error rate at
+//! or above [`HealthPolicy::degraded_error_rate`], and **up** otherwise.
+//!
+//! [`MetricsRegistry`]: teraphim_obs::MetricsRegistry
+
+use teraphim_net::{Message, Transport};
+use teraphim_obs::{HistogramSnapshot, LibrarianMetrics};
+
+/// Health classification of one librarian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Answering, error rate below the degraded threshold.
+    Up,
+    /// Answering, but erroring or timing out at or above the threshold.
+    Degraded,
+    /// The `Stats` poll itself failed.
+    Down,
+}
+
+impl HealthState {
+    /// Stable lowercase label (`"up"`, `"degraded"`, `"down"`).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HealthState::Up => "up",
+            HealthState::Degraded => "degraded",
+            HealthState::Down => "down",
+        }
+    }
+}
+
+/// Thresholds for classifying a responding librarian.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthPolicy {
+    /// Error rate (errors over requests, on either ledger) at or above
+    /// which a responding librarian is [`HealthState::Degraded`].
+    pub degraded_error_rate: f64,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            degraded_error_rate: 0.1,
+        }
+    }
+}
+
+/// One librarian's row in a [`HealthReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibrarianHealth {
+    /// Librarian (partition) index.
+    pub librarian: u32,
+    /// Self-reported collection name (empty when down).
+    pub name: String,
+    /// Classification under the polling policy.
+    pub state: HealthState,
+    /// Documents in its collection.
+    pub num_docs: u64,
+    /// Distinct vocabulary terms.
+    pub num_terms: u64,
+    /// Serialized index size in bytes.
+    pub index_bytes: u64,
+    /// Requests it has served.
+    pub requests_served: u64,
+    /// Of those, rank/score requests.
+    pub rank_requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Self-reported service latency, microseconds.
+    pub latency: HistogramSnapshot,
+}
+
+impl LibrarianHealth {
+    /// The row for a librarian whose `Stats` poll failed.
+    #[must_use]
+    pub fn down(librarian: u32) -> Self {
+        LibrarianHealth {
+            librarian,
+            name: String::new(),
+            state: HealthState::Down,
+            num_docs: 0,
+            num_terms: 0,
+            index_bytes: 0,
+            requests_served: 0,
+            rank_requests: 0,
+            errors: 0,
+            latency: HistogramSnapshot::empty(),
+        }
+    }
+
+    /// Server-side error rate: errors over requests served.
+    #[must_use]
+    pub fn error_rate(&self) -> f64 {
+        self.errors as f64 / (self.requests_served.max(1)) as f64
+    }
+}
+
+/// A point-in-time fleet health snapshot, one row per librarian.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthReport {
+    /// Rows in librarian index order.
+    pub librarians: Vec<LibrarianHealth>,
+}
+
+impl HealthReport {
+    /// Rows in the given state.
+    #[must_use]
+    pub fn count(&self, state: HealthState) -> usize {
+        self.librarians.iter().filter(|l| l.state == state).count()
+    }
+
+    /// True when every librarian is [`HealthState::Up`].
+    #[must_use]
+    pub fn all_up(&self) -> bool {
+        self.count(HealthState::Up) == self.librarians.len()
+    }
+
+    /// Renders the fixed-width per-librarian table `teraphim stats`
+    /// prints. The same shape regardless of transport (TCP or
+    /// in-process); `-` marks fields a down librarian could not report.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>4}  {:<12} {:<9} {:>8} {:>9} {:>8} {:>7} {:>9} {:>9}\n",
+            "lib", "name", "state", "docs", "requests", "queries", "errors", "p50(us)", "p99(us)"
+        ));
+        for row in &self.librarians {
+            if row.state == HealthState::Down {
+                out.push_str(&format!(
+                    "{:>4}  {:<12} {:<9} {:>8} {:>9} {:>8} {:>7} {:>9} {:>9}\n",
+                    row.librarian,
+                    "-",
+                    row.state.as_str(),
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-",
+                    "-"
+                ));
+                continue;
+            }
+            let (p50, p99) = if row.latency.is_empty() {
+                ("-".to_owned(), "-".to_owned())
+            } else {
+                (row.latency.p50().to_string(), row.latency.p99().to_string())
+            };
+            let name = if row.name.is_empty() { "-" } else { &row.name };
+            out.push_str(&format!(
+                "{:>4}  {:<12} {:<9} {:>8} {:>9} {:>8} {:>7} {:>9} {:>9}\n",
+                row.librarian,
+                name,
+                row.state.as_str(),
+                row.num_docs,
+                row.requests_served,
+                row.rank_requests,
+                row.errors,
+                p50,
+                p99,
+            ));
+        }
+        out
+    }
+
+    /// One-line summary, e.g. `4 librarians: 3 up, 0 degraded, 1 down`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} librarians: {} up, {} degraded, {} down",
+            self.librarians.len(),
+            self.count(HealthState::Up),
+            self.count(HealthState::Degraded),
+            self.count(HealthState::Down),
+        )
+    }
+
+    /// Re-classifies rows against the *client-side* ledger: a librarian
+    /// that answered its poll is still degraded if the receptionist has
+    /// watched it time out or drop out of fan-outs at or above the
+    /// policy threshold.
+    pub fn apply_client_observations(
+        &mut self,
+        observed: &[LibrarianMetrics],
+        policy: HealthPolicy,
+    ) {
+        for row in &mut self.librarians {
+            if row.state != HealthState::Up {
+                continue;
+            }
+            if let Some(m) = observed.iter().find(|m| m.librarian == row.librarian) {
+                if m.sent > 0 && m.error_rate() >= policy.degraded_error_rate {
+                    row.state = HealthState::Degraded;
+                }
+            }
+        }
+    }
+}
+
+/// Polls one librarian over `transport` and classifies the reply.
+pub fn poll_one<T: Transport>(
+    librarian: u32,
+    transport: &mut T,
+    policy: HealthPolicy,
+) -> LibrarianHealth {
+    match transport.request(&Message::Stats) {
+        Ok(Message::StatsReply {
+            name,
+            num_docs,
+            num_terms,
+            index_bytes,
+            requests_served,
+            rank_requests,
+            errors,
+            latency,
+        }) => {
+            let mut row = LibrarianHealth {
+                librarian,
+                name,
+                state: HealthState::Up,
+                num_docs,
+                num_terms,
+                index_bytes,
+                requests_served,
+                rank_requests,
+                errors,
+                latency: HistogramSnapshot::from_bucket_pairs(&latency),
+            };
+            if row.requests_served > 0 && row.error_rate() >= policy.degraded_error_rate {
+                row.state = HealthState::Degraded;
+            }
+            row
+        }
+        Ok(_) | Err(_) => LibrarianHealth::down(librarian),
+    }
+}
+
+/// Polls every librarian in index order.
+pub fn poll_fleet<T: Transport>(transports: &mut [T], policy: HealthPolicy) -> HealthReport {
+    let librarians = transports
+        .iter_mut()
+        .enumerate()
+        .map(|(i, t)| poll_one(i as u32, t, policy))
+        .collect();
+    HealthReport { librarians }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn up_row(librarian: u32, requests: u64, errors: u64) -> LibrarianHealth {
+        LibrarianHealth {
+            librarian,
+            name: format!("lib-{librarian}"),
+            state: HealthState::Up,
+            num_docs: 10,
+            num_terms: 100,
+            index_bytes: 1000,
+            requests_served: requests,
+            rank_requests: requests / 2,
+            errors,
+            latency: HistogramSnapshot::from_bucket_pairs(&[(8, requests)]),
+        }
+    }
+
+    #[test]
+    fn table_has_one_row_per_librarian_and_dashes_when_down() {
+        let report = HealthReport {
+            librarians: vec![up_row(0, 10, 0), LibrarianHealth::down(1)],
+        };
+        let table = report.render_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows");
+        assert!(lines[0].contains("p99(us)"));
+        assert!(lines[1].contains("up"));
+        assert!(lines[2].contains("down"));
+        assert!(lines[2].contains('-'));
+        assert_eq!(report.summary(), "2 librarians: 1 up, 0 degraded, 1 down");
+    }
+
+    #[test]
+    fn client_observations_degrade_a_responding_librarian() {
+        let mut report = HealthReport {
+            librarians: vec![up_row(0, 10, 0), up_row(1, 10, 0)],
+        };
+        let observed = vec![LibrarianMetrics {
+            librarian: 1,
+            sent: 10,
+            replies: 8,
+            bytes_sent: 100,
+            bytes_received: 80,
+            timeouts: 2,
+            retries: 2,
+            faults: 0,
+            failures: 0,
+            latency: HistogramSnapshot::empty(),
+        }];
+        report.apply_client_observations(&observed, HealthPolicy::default());
+        assert_eq!(report.librarians[0].state, HealthState::Up);
+        assert_eq!(report.librarians[1].state, HealthState::Degraded);
+        assert!(!report.all_up());
+    }
+
+    #[test]
+    fn server_reported_errors_degrade() {
+        let row = up_row(0, 10, 0);
+        assert_eq!(row.error_rate(), 0.0);
+        let mut bad = up_row(0, 10, 5);
+        assert!(bad.error_rate() >= 0.5);
+        // poll_one applies this threshold; mimic its classification.
+        if bad.error_rate() >= HealthPolicy::default().degraded_error_rate {
+            bad.state = HealthState::Degraded;
+        }
+        assert_eq!(bad.state, HealthState::Degraded);
+    }
+}

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod distributed;
+pub mod health;
 pub mod librarian;
 pub mod methodology;
 pub mod receptionist;
@@ -49,6 +50,7 @@ pub mod selection;
 pub mod sim;
 
 pub use distributed::DistributedCollection;
+pub use health::{HealthPolicy, HealthReport, HealthState, LibrarianHealth};
 pub use librarian::Librarian;
 pub use methodology::{CiParams, Methodology};
 pub use receptionist::{

@@ -8,8 +8,10 @@
 //! local statistics (CN). This is the transparency property the paper
 //! requires — any subcollection can serve several receptionists at once.
 
+use std::time::Instant;
 use teraphim_engine::{ranking, Collection, RankScratch};
 use teraphim_net::{Message, Service};
+use teraphim_obs::Histogram;
 use teraphim_text::sgml::TrecDoc;
 use teraphim_text::Analyzer;
 
@@ -18,10 +20,22 @@ use teraphim_text::Analyzer;
 /// Ranking scratch buffers (accumulator map, candidate vectors) live on
 /// the librarian and are reused across the query stream, so steady-state
 /// query evaluation allocates no fresh hash tables.
+///
+/// Every librarian also keeps its own service ledger — request, rank and
+/// error counters plus a log-bucketed service-latency histogram — and
+/// serves it over [`Message::Stats`], so a receptionist (or `teraphim
+/// stats`) can snapshot fleet health without any shared state.
 #[derive(Debug)]
 pub struct Librarian {
     collection: Collection,
     scratch: RankScratch,
+    requests_served: u64,
+    rank_requests: u64,
+    errors_returned: u64,
+    latency: Histogram,
+    /// Serialized index size, computed lazily on the first `Stats`
+    /// request (serialization is too expensive for the constructor).
+    index_bytes_cache: Option<u64>,
 }
 
 impl Librarian {
@@ -41,6 +55,11 @@ impl Librarian {
         Librarian {
             collection,
             scratch: RankScratch::new(),
+            requests_served: 0,
+            rank_requests: 0,
+            errors_returned: 0,
+            latency: Histogram::new(),
+            index_bytes_cache: None,
         }
     }
 
@@ -62,6 +81,24 @@ impl Librarian {
     /// Number of documents managed.
     pub fn num_docs(&self) -> u64 {
         self.collection.num_docs()
+    }
+
+    /// Builds the [`Message::StatsReply`] for this librarian's current
+    /// service ledger.
+    fn stats_reply(&mut self) -> Message {
+        let index_bytes = *self
+            .index_bytes_cache
+            .get_or_insert_with(|| self.collection.index().to_bytes().len() as u64);
+        Message::StatsReply {
+            name: self.collection.name().to_owned(),
+            num_docs: self.collection.num_docs(),
+            num_terms: self.collection.index().vocab().len() as u64,
+            index_bytes,
+            requests_served: self.requests_served,
+            rank_requests: self.rank_requests,
+            errors: self.errors_returned,
+            latency: self.latency.snapshot().to_bucket_pairs(),
+        }
     }
 
     fn handle_inner(&mut self, request: Message) -> Message {
@@ -192,6 +229,8 @@ impl Librarian {
                     },
                 }
             }
+            // Handled in `Service::handle` before the ledger is updated.
+            Message::Stats => self.stats_reply(),
             // Requests only a receptionist should ever receive.
             Message::StatsResponse { .. }
             | Message::IndexResponse { .. }
@@ -201,7 +240,8 @@ impl Librarian {
             | Message::HeadersResponse { .. }
             | Message::BooleanResponse { .. }
             | Message::Error { .. }
-            | Message::Unavailable { .. } => Message::Error {
+            | Message::Unavailable { .. }
+            | Message::StatsReply { .. } => Message::Error {
                 message: "librarian received a response message".into(),
             },
         }
@@ -210,7 +250,33 @@ impl Librarian {
 
 impl Service for Librarian {
     fn handle(&mut self, request: Message) -> Message {
-        self.handle_inner(request)
+        // Admin stats are answered out of band: they do not count as
+        // served requests and are not timed, so polling a fleet for
+        // health never perturbs the ledger it reads.
+        if matches!(request, Message::Stats) {
+            return self.stats_reply();
+        }
+        let started = Instant::now();
+        let is_rank = matches!(
+            request,
+            Message::RankRequest { .. }
+                | Message::RankWeightedRequest { .. }
+                | Message::ScoreCandidatesRequest { .. }
+        );
+        let response = self.handle_inner(request);
+        self.requests_served += 1;
+        if is_rank {
+            self.rank_requests += 1;
+        }
+        if matches!(
+            response,
+            Message::Error { .. } | Message::Unavailable { .. }
+        ) {
+            self.errors_returned += 1;
+        }
+        self.latency
+            .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        response
     }
 }
 
@@ -370,6 +436,56 @@ mod tests {
             entries: vec![],
         });
         assert!(matches!(resp, Message::Error { .. }));
+    }
+
+    #[test]
+    fn stats_ledger_counts_requests_and_errors() {
+        let mut lib = librarian();
+        lib.handle(Message::RankRequest {
+            query_id: 1,
+            k: 10,
+            terms: vec![("cat".into(), 1)],
+        });
+        lib.handle(Message::FetchHeadersRequest {
+            query_id: 2,
+            docs: vec![0],
+        });
+        lib.handle(Message::FetchDocsRequest {
+            query_id: 3,
+            docs: vec![99],
+            plain: true,
+        }); // error: unknown doc
+        let reply = lib.handle(Message::Stats);
+        let Message::StatsReply {
+            name,
+            num_docs,
+            num_terms,
+            index_bytes,
+            requests_served,
+            rank_requests,
+            errors,
+            latency,
+        } = reply
+        else {
+            panic!("expected StatsReply");
+        };
+        assert_eq!(name, "TEST");
+        assert_eq!(num_docs, 3);
+        assert!(num_terms > 0);
+        assert!(index_bytes > 0);
+        assert_eq!(requests_served, 3);
+        assert_eq!(rank_requests, 1);
+        assert_eq!(errors, 1);
+        let total: u64 = latency.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 3, "every served request is timed");
+        // Polling stats again does not count the poll itself.
+        let again = lib.handle(Message::Stats);
+        if let Message::StatsReply {
+            requests_served, ..
+        } = again
+        {
+            assert_eq!(requests_served, 3);
+        }
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //! drives in-process librarians, TCP librarians on a LAN, and the
 //! byte-accounted runs that feed the WAN simulation.
 
+use crate::health::{self, HealthPolicy, HealthReport};
 use crate::methodology::{CiParams, Methodology};
 use crate::TeraphimError;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use teraphim_engine::ranking::{self, ScoredDoc};
 use teraphim_index::similarity;
@@ -203,6 +205,44 @@ impl<T: Transport> Receptionist<T> {
         let sink = TraceSink::new();
         self.trace = sink.clone();
         sink
+    }
+
+    /// Tees the attached sink into a fresh [`MetricsRegistry`] and
+    /// returns it. If no sink is attached a metrics-only sink (which
+    /// never buffers events) is attached first, so long-running fleets
+    /// can meter without accumulating traces. Every subsequent query
+    /// updates the registry's rolling per-librarian and per-methodology
+    /// counters and histograms with no further calls needed.
+    ///
+    /// [`MetricsRegistry`]: teraphim_obs::MetricsRegistry
+    pub fn enable_metrics(&mut self) -> Arc<teraphim_obs::MetricsRegistry> {
+        let registry = Arc::new(teraphim_obs::MetricsRegistry::new());
+        if self.trace.is_enabled() {
+            self.trace.tee_metrics(Arc::clone(&registry));
+        } else {
+            self.set_trace_sink(TraceSink::metrics_only(Arc::clone(&registry)));
+        }
+        registry
+    }
+
+    /// Polls every librarian over the admin `Stats` protocol and
+    /// classifies the fleet with the default [`HealthPolicy`].
+    pub fn fleet_health(&mut self) -> HealthReport {
+        self.fleet_health_with(HealthPolicy::default())
+    }
+
+    /// [`Receptionist::fleet_health`] with an explicit policy. The
+    /// server-reported rows are cross-checked against the client-side
+    /// metrics registry when one is teed in, so a librarian the
+    /// receptionist has watched time out or drop fan-outs is marked
+    /// degraded even if it answers its own poll cleanly.
+    pub fn fleet_health_with(&mut self, policy: HealthPolicy) -> HealthReport {
+        let registry = self.trace.metrics();
+        let mut report = health::poll_fleet(&mut self.transports, policy);
+        if let Some(registry) = registry {
+            report.apply_client_observations(&registry.snapshot().per_librarian, policy);
+        }
+        report
     }
 
     /// The degradation policy applied by

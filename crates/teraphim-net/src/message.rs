@@ -150,6 +150,36 @@ pub enum Message {
         /// Human-readable reason.
         message: String,
     },
+    /// Admin request: ask a librarian for its self-reported operational
+    /// statistics. Distinct from [`Message::StatsRequest`], which is the
+    /// CV preprocessing step fetching *collection* statistics — this one
+    /// carries no query-path payload and is served out of band by the
+    /// librarian's own counters, for fleet health snapshots.
+    Stats,
+    /// Admin response: the librarian's index shape and lifetime service
+    /// counters, as counted *by the librarian itself* (the server side
+    /// of the ledger; the receptionist's metrics registry is the client
+    /// side).
+    StatsReply {
+        /// Librarian's self-chosen display name (may be empty).
+        name: String,
+        /// Documents in its collection.
+        num_docs: u64,
+        /// Distinct terms in its vocabulary.
+        num_terms: u64,
+        /// Serialized size of its inverted index, in bytes.
+        index_bytes: u64,
+        /// Requests served since startup (all variants except `Stats`).
+        requests_served: u64,
+        /// Of those, rank/score requests (the query hot path).
+        rank_requests: u64,
+        /// Requests answered with `Error` or `Unavailable`.
+        errors: u64,
+        /// Sparse service-latency histogram: `(log-bucket, count)` pairs
+        /// in ascending bucket order, microseconds (see
+        /// `teraphim-obs` histogram bucketing).
+        latency: Vec<(u32, u64)>,
+    },
 }
 
 const TAG_STATS_REQ: u8 = 1;
@@ -169,6 +199,8 @@ const TAG_HEADERS_RESP: u8 = 14;
 const TAG_BOOL_REQ: u8 = 15;
 const TAG_BOOL_RESP: u8 = 16;
 const TAG_UNAVAILABLE: u8 = 17;
+const TAG_ADMIN_STATS: u8 = 18;
+const TAG_ADMIN_STATS_REPLY: u8 = 19;
 
 impl Message {
     /// Encodes to the compact wire form.
@@ -324,6 +356,31 @@ impl Message {
             Message::Unavailable { message } => {
                 out.push(TAG_UNAVAILABLE);
                 put_str(&mut out, message);
+            }
+            Message::Stats => out.push(TAG_ADMIN_STATS),
+            Message::StatsReply {
+                name,
+                num_docs,
+                num_terms,
+                index_bytes,
+                requests_served,
+                rank_requests,
+                errors,
+                latency,
+            } => {
+                out.push(TAG_ADMIN_STATS_REPLY);
+                put_str(&mut out, name);
+                put_uint(&mut out, *num_docs);
+                put_uint(&mut out, *num_terms);
+                put_uint(&mut out, *index_bytes);
+                put_uint(&mut out, *requests_served);
+                put_uint(&mut out, *rank_requests);
+                put_uint(&mut out, *errors);
+                put_uint(&mut out, latency.len() as u64);
+                for (bucket, count) in latency {
+                    put_uint(&mut out, u64::from(*bucket));
+                    put_uint(&mut out, *count);
+                }
             }
         }
         out
@@ -522,6 +579,33 @@ impl Message {
             TAG_UNAVAILABLE => Message::Unavailable {
                 message: get_str(rest, &mut pos)?,
             },
+            TAG_ADMIN_STATS => Message::Stats,
+            TAG_ADMIN_STATS_REPLY => {
+                let name = get_str(rest, &mut pos)?;
+                let num_docs = get_uint(rest, &mut pos)?;
+                let num_terms = get_uint(rest, &mut pos)?;
+                let index_bytes = get_uint(rest, &mut pos)?;
+                let requests_served = get_uint(rest, &mut pos)?;
+                let rank_requests = get_uint(rest, &mut pos)?;
+                let errors = get_uint(rest, &mut pos)?;
+                let n = get_uint(rest, &mut pos)? as usize;
+                let mut latency = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let bucket = get_uint(rest, &mut pos)? as u32;
+                    let count = get_uint(rest, &mut pos)?;
+                    latency.push((bucket, count));
+                }
+                Message::StatsReply {
+                    name,
+                    num_docs,
+                    num_terms,
+                    index_bytes,
+                    requests_served,
+                    rank_requests,
+                    errors,
+                    latency,
+                }
+            }
             _ => return Err(NetError::Corrupt("unknown message tag")),
         };
         if pos != rest.len() {
@@ -556,6 +640,8 @@ impl Message {
             Message::BooleanResponse { .. } => "BooleanResponse",
             Message::Error { .. } => "Error",
             Message::Unavailable { .. } => "Unavailable",
+            Message::Stats => "Stats",
+            Message::StatsReply { .. } => "StatsReply",
         }
     }
 }
@@ -644,6 +730,27 @@ mod tests {
         roundtrip(Message::Unavailable {
             message: "librarian restarting".into(),
         });
+        roundtrip(Message::Stats);
+        roundtrip(Message::StatsReply {
+            name: "lib-2".into(),
+            num_docs: 9000,
+            num_terms: 12345,
+            index_bytes: 1 << 20,
+            requests_served: 42,
+            rank_requests: 17,
+            errors: 2,
+            latency: vec![(0, 1), (9, 30), (64, 1)],
+        });
+        roundtrip(Message::StatsReply {
+            name: String::new(),
+            num_docs: 0,
+            num_terms: 0,
+            index_bytes: 0,
+            requests_served: 0,
+            rank_requests: 0,
+            errors: 0,
+            latency: vec![],
+        });
     }
 
     #[test]
@@ -697,6 +804,16 @@ mod tests {
             Message::DocsResponse {
                 query_id: 9,
                 docs: vec![(3, "AP-3".into(), vec![1, 2, 3, 4, 5])],
+            },
+            Message::StatsReply {
+                name: "lib-0".into(),
+                num_docs: 5,
+                num_terms: 40,
+                index_bytes: 900,
+                requests_served: 8,
+                rank_requests: 3,
+                errors: 1,
+                latency: vec![(4, 2), (11, 6)],
             },
         ];
         for msg in msgs {

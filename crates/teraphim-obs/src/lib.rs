@@ -25,15 +25,26 @@
 //!   traffic counters.
 //! * [`traces_to_json`] / [`diff_json`] — a stable line-oriented JSON
 //!   encoding (no serde) and the structural diff used by the golden tests.
+//! * [`MetricsRegistry`] / [`MetricsSnapshot`] — rolling fleet metrics
+//!   (atomic counters and log-bucketed latency [`Histogram`]s, per
+//!   librarian and per methodology) that a sink tees into via
+//!   [`TraceSink::tee_metrics`], so everything that traces also meters;
+//!   [`MetricsSnapshot::render_prometheus`] exposes a snapshot in the
+//!   Prometheus text format.
 //!
 //! [`SimDriver`]: https://docs.rs/teraphim-core
 
 pub mod event;
 pub mod json;
+pub mod metrics;
 pub mod sink;
 pub mod trace;
 
 pub use event::{EventKind, LibCandidates, Phase, TraceEvent};
 pub use json::{diff_json, traces_to_json};
+pub use metrics::{
+    lint_prometheus, Histogram, HistogramSnapshot, LibrarianMetrics, MethodologyMetrics,
+    MetricsRegistry, MetricsSnapshot, TrafficTotals,
+};
 pub use sink::TraceSink;
 pub use trace::{LibTraffic, QueryTrace, TraceMetrics, NORMALIZED_DRIVER};

@@ -8,6 +8,7 @@
 //! [`QueryTrace`] values.
 
 use crate::event::{EventKind, TraceEvent};
+use crate::metrics::MetricsRegistry;
 use crate::trace::QueryTrace;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -17,8 +18,14 @@ use std::time::Instant;
 struct SinkInner {
     driver: &'static str,
     enabled: AtomicBool,
+    /// When false the sink still runs (and tees into `metrics`) but does
+    /// not buffer events — the metrics-only mode long-running fleets use
+    /// so the buffer cannot grow without bound.
+    buffer_events: bool,
     epoch: Instant,
     events: Mutex<Vec<TraceEvent>>,
+    /// Registry every recorded event is also applied to, when teed.
+    metrics: Mutex<Option<Arc<MetricsRegistry>>>,
 }
 
 /// A shared, thread-safe collector of [`TraceEvent`]s.
@@ -49,10 +56,50 @@ impl TraceSink {
             inner: Some(Arc::new(SinkInner {
                 driver,
                 enabled: AtomicBool::new(true),
+                buffer_events: true,
                 epoch: Instant::now(),
                 events: Mutex::new(Vec::new()),
+                metrics: Mutex::new(None),
             })),
         }
+    }
+
+    /// A sink that feeds `registry` but never buffers events.
+    ///
+    /// Instrumented code sees an enabled sink (so it constructs event
+    /// payloads as usual) and every event updates the registry, but the
+    /// in-memory trace buffer stays empty — the right mode for a
+    /// long-running fleet where buffering every event forever would leak.
+    /// [`TraceSink::take_traces`] on such a sink always returns nothing.
+    #[must_use]
+    pub fn metrics_only(registry: Arc<MetricsRegistry>) -> Self {
+        TraceSink {
+            inner: Some(Arc::new(SinkInner {
+                driver: "metrics",
+                enabled: AtomicBool::new(true),
+                buffer_events: false,
+                epoch: Instant::now(),
+                events: Mutex::new(Vec::new()),
+                metrics: Mutex::new(Some(registry)),
+            })),
+        }
+    }
+
+    /// Tees this sink into `registry`: from now on every recorded event
+    /// also updates the registry, with no new instrumentation points.
+    /// No-op on a disabled sink. All clones observe the tee.
+    pub fn tee_metrics(&self, registry: Arc<MetricsRegistry>) {
+        if let Some(inner) = &self.inner {
+            *inner.metrics.lock().unwrap() = Some(registry);
+        }
+    }
+
+    /// The registry this sink tees into, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.inner
+            .as_ref()
+            .and_then(|inner| inner.metrics.lock().unwrap().clone())
     }
 
     /// The no-op sink: records nothing, allocates nothing.
@@ -94,11 +141,7 @@ impl TraceSink {
             if inner.enabled.load(Ordering::Relaxed) {
                 let at_micros =
                     u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
-                inner
-                    .events
-                    .lock()
-                    .unwrap()
-                    .push(TraceEvent { at_micros, kind });
+                Self::deliver(inner, at_micros, kind);
             }
         }
     }
@@ -108,12 +151,23 @@ impl TraceSink {
     pub fn record_at(&self, at_micros: u64, kind: EventKind) {
         if let Some(inner) = &self.inner {
             if inner.enabled.load(Ordering::Relaxed) {
-                inner
-                    .events
-                    .lock()
-                    .unwrap()
-                    .push(TraceEvent { at_micros, kind });
+                Self::deliver(inner, at_micros, kind);
             }
+        }
+    }
+
+    /// Tees an event into the attached registry (if any) and buffers it.
+    fn deliver(inner: &SinkInner, at_micros: u64, kind: EventKind) {
+        let registry = inner.metrics.lock().unwrap().clone();
+        if let Some(registry) = registry {
+            registry.observe(at_micros, &kind);
+        }
+        if inner.buffer_events {
+            inner
+                .events
+                .lock()
+                .unwrap()
+                .push(TraceEvent { at_micros, kind });
         }
     }
 
@@ -198,6 +252,8 @@ impl Default for TraceSink {
 mod tests {
     use super::*;
     use crate::event::Phase;
+    use crate::metrics::MetricsRegistry;
+    use std::sync::Arc;
 
     fn begin(op: &'static str) -> EventKind {
         EventKind::Begin {
@@ -262,6 +318,42 @@ mod tests {
         assert_eq!(traces[0].driver, "sim");
         assert_eq!(traces[0].events[0].at_micros, 10);
         assert_eq!(traces[0].events[1].at_micros, 50);
+    }
+
+    #[test]
+    fn teed_sink_updates_registry_and_buffer() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = TraceSink::new();
+        sink.tee_metrics(Arc::clone(&registry));
+        sink.record(begin("query"));
+        sink.record(EventKind::Sent {
+            librarian: 3,
+            bytes: 21,
+            message: "RankRequest",
+        });
+        sink.record(EventKind::Reply {
+            librarian: 3,
+            bytes: 42,
+            message: "RankResponse",
+        });
+        sink.record(EventKind::End);
+        let snap = registry.snapshot();
+        assert_eq!(snap.messages_sent, 1);
+        assert_eq!(snap.bytes_received, 42);
+        assert_eq!(snap.per_librarian[3].latency.count, 1);
+        assert_eq!(sink.take_traces().len(), 1, "events still buffered");
+    }
+
+    #[test]
+    fn metrics_only_sink_never_buffers() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let sink = TraceSink::metrics_only(Arc::clone(&registry));
+        assert!(sink.is_enabled());
+        assert!(sink.metrics().is_some());
+        sink.record(begin("query"));
+        sink.record(EventKind::End);
+        assert!(sink.take_traces().is_empty());
+        assert_eq!(registry.snapshot().queries, 1);
     }
 
     #[test]

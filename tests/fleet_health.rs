@@ -1,0 +1,243 @@
+//! Fleet health end to end: the `Stats` admin protocol, the metrics
+//! registry teed from the trace path, and `HealthReport` classification
+//! under injected faults — the same answers over in-process and TCP
+//! transports.
+
+use std::sync::Arc;
+
+use teraphim::core::health::{poll_fleet, HealthPolicy, HealthState};
+use teraphim::core::{CiParams, Librarian, Methodology, Receptionist};
+use teraphim::net::tcp::{TcpServer, TcpTransport};
+use teraphim::net::{FaultPlan, FaultyService, InProcTransport};
+use teraphim::obs::MetricsRegistry;
+use teraphim::text::Analyzer;
+
+/// Four librarians with overlapping vocabulary (every one participates
+/// in a "cats" fan-out) — the same fixture shape `tests/failures.rs`
+/// uses.
+fn four_librarians() -> Vec<Librarian> {
+    vec![
+        Librarian::from_texts("A", &[("A-1", "cats and dogs"), ("A-2", "just cats")]),
+        Librarian::from_texts("B", &[("B-1", "dogs alone"), ("B-2", "cats dogs birds")]),
+        Librarian::from_texts("C", &[("C-1", "cats chasing birds"), ("C-2", "quiet cats")]),
+        Librarian::from_texts("D", &[("D-1", "birds and cats"), ("D-2", "sleeping dogs")]),
+    ]
+}
+
+fn faulty_receptionist(
+    plans: Vec<FaultPlan>,
+) -> Receptionist<InProcTransport<FaultyService<Librarian>>> {
+    let transports = four_librarians()
+        .into_iter()
+        .zip(plans)
+        .map(|(lib, plan)| InProcTransport::new(FaultyService::new(lib, plan)))
+        .collect();
+    Receptionist::new(transports, Analyzer::default())
+}
+
+fn plans_with(lib: usize, plan: FaultPlan) -> Vec<FaultPlan> {
+    let mut plans = vec![FaultPlan::new(); 4];
+    plans[lib] = plan;
+    plans
+}
+
+/// The tentpole's acceptance shape: enable tracing, tee a registry, run
+/// an ordinary query — per-librarian latency histograms and counters
+/// light up from the existing trace events alone.
+#[test]
+fn any_traced_query_populates_per_librarian_metrics() {
+    let transports: Vec<InProcTransport<Librarian>> = four_librarians()
+        .into_iter()
+        .map(InProcTransport::new)
+        .collect();
+    let mut receptionist = Receptionist::new(transports, Analyzer::default());
+    receptionist.enable_tracing();
+    let registry = receptionist.enable_metrics();
+    receptionist.enable_cv().unwrap();
+    receptionist
+        .query(Methodology::CentralVocabulary, "cats and birds", 8)
+        .unwrap();
+
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.queries, 1);
+    assert!(snapshot.messages_sent >= 4, "setup + rank fan-out");
+    assert_eq!(snapshot.per_librarian.len(), 4);
+    for lib in &snapshot.per_librarian {
+        assert!(lib.sent > 0, "lib {} never contacted", lib.librarian);
+        assert!(
+            !lib.latency.is_empty(),
+            "lib {} has no latency samples",
+            lib.librarian
+        );
+        assert!(lib.latency.p99() >= lib.latency.p50());
+    }
+    let cv = snapshot
+        .per_methodology
+        .iter()
+        .find(|m| m.code == "CV")
+        .unwrap();
+    assert_eq!(cv.queries, 1);
+    assert!(!cv.latency.is_empty());
+    // The exposition renders and lints clean straight off a live run.
+    teraphim::obs::lint_prometheus(&snapshot.render_prometheus()).unwrap();
+}
+
+/// The satellite scenario: one permanently-failed librarian. The health
+/// report marks exactly that librarian down, the stats table reflects
+/// it, and the registry's failure counters agree with the `Coverage`
+/// metadata the degraded queries returned.
+#[test]
+fn permanently_failed_librarian_is_down_and_counters_match_coverage() {
+    let mut receptionist = faulty_receptionist(plans_with(2, FaultPlan::new().fail_from(0)));
+    let registry = receptionist.enable_metrics();
+
+    let mut degraded = 0u64;
+    let mut failed_exchanges = 0u64;
+    for _ in 0..3 {
+        let answer = receptionist
+            .query_with_coverage(Methodology::CentralNothing, "cats", 8)
+            .unwrap();
+        assert_eq!(answer.coverage.failed, vec![2], "only librarian 2 fails");
+        if answer.coverage.is_degraded() {
+            degraded += 1;
+        }
+        failed_exchanges += answer.coverage.failed.len() as u64;
+    }
+
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.degraded_queries, degraded);
+    assert_eq!(snapshot.lib_failures, failed_exchanges);
+    assert_eq!(snapshot.per_librarian[2].failures, failed_exchanges);
+    for lib in [0usize, 1, 3] {
+        assert_eq!(snapshot.per_librarian[lib].failures, 0);
+    }
+
+    let report = receptionist.fleet_health();
+    assert_eq!(report.librarians.len(), 4);
+    for row in &report.librarians {
+        let expected = if row.librarian == 2 {
+            HealthState::Down
+        } else {
+            HealthState::Up
+        };
+        assert_eq!(row.state, expected, "librarian {}", row.librarian);
+    }
+    assert_eq!(report.summary(), "4 librarians: 3 up, 0 degraded, 1 down");
+
+    // The rendered table (what `teraphim stats` prints) reflects it.
+    let table = report.render_table();
+    let lines: Vec<&str> = table.lines().collect();
+    assert_eq!(lines.len(), 5, "header + 4 rows");
+    assert!(
+        lines[3].contains("down"),
+        "row for librarian 2: {}",
+        lines[3]
+    );
+    for &healthy in &[1usize, 2, 4] {
+        assert!(lines[healthy].contains("up"), "{}", lines[healthy]);
+    }
+}
+
+/// A librarian that failed once but recovered answers its own poll
+/// cleanly — the *client-side* ledger is what degrades it.
+#[test]
+fn transient_failure_degrades_via_client_observations() {
+    // fail_nth(0): the first request librarian 1 receives fails, all
+    // later ones (including the Stats poll) succeed.
+    let mut receptionist = faulty_receptionist(plans_with(1, FaultPlan::new().fail_nth(0)));
+    let registry = receptionist.enable_metrics();
+    let answer = receptionist
+        .query_with_coverage(Methodology::CentralNothing, "cats", 8)
+        .unwrap();
+    assert_eq!(answer.coverage.failed, vec![1]);
+    // A second query succeeds everywhere: librarian 1's client-side
+    // error rate settles at 1 failure / 2 sends = 0.5.
+    let answer = receptionist
+        .query_with_coverage(Methodology::CentralNothing, "dogs", 8)
+        .unwrap();
+    assert!(answer.coverage.failed.is_empty());
+    assert_eq!(registry.snapshot().per_librarian[1].failures, 1);
+
+    let report = receptionist.fleet_health();
+    assert_eq!(report.librarians[1].state, HealthState::Degraded);
+    for lib in [0usize, 2, 3] {
+        assert_eq!(report.librarians[lib].state, HealthState::Up);
+    }
+
+    // With a permissive policy the same fleet reads fully up.
+    let lenient = receptionist.fleet_health_with(HealthPolicy {
+        degraded_error_rate: 0.9,
+    });
+    assert!(lenient.all_up());
+}
+
+/// The same report shape over TCP and in-process transports: a live TCP
+/// fleet serves `Stats` end to end, and the rendered table is identical
+/// to the in-process one over the same (healthy) librarians.
+#[test]
+fn tcp_and_in_process_stats_produce_the_same_table_shape() {
+    let servers: Vec<TcpServer> = four_librarians()
+        .into_iter()
+        .map(|lib| TcpServer::spawn(lib, "127.0.0.1:0").unwrap())
+        .collect();
+    let mut tcp_transports: Vec<TcpTransport> = servers
+        .iter()
+        .map(|s| TcpTransport::connect(s.addr()).unwrap())
+        .collect();
+    let tcp_report = poll_fleet(&mut tcp_transports, HealthPolicy::default());
+
+    let mut inproc_transports: Vec<InProcTransport<Librarian>> = four_librarians()
+        .into_iter()
+        .map(InProcTransport::new)
+        .collect();
+    let inproc_report = poll_fleet(&mut inproc_transports, HealthPolicy::default());
+
+    // Fresh librarians on both sides: no requests served yet, so the
+    // ledgers — and therefore the rendered tables — are identical.
+    assert_eq!(tcp_report, inproc_report);
+    assert_eq!(tcp_report.render_table(), inproc_report.render_table());
+    assert!(tcp_report.all_up());
+    for row in &tcp_report.librarians {
+        assert!(row.num_docs == 2, "self-reported index stats over TCP");
+        assert!(row.index_bytes > 0);
+    }
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+/// CI preprocessing plus queries through a teed registry: per-phase
+/// histograms fill in and the per-methodology slot sees CI latency.
+#[test]
+fn ci_queries_meter_phases_and_methodology_slots() {
+    let transports: Vec<InProcTransport<Librarian>> = four_librarians()
+        .into_iter()
+        .map(InProcTransport::new)
+        .collect();
+    let mut receptionist = Receptionist::new(transports, Analyzer::default());
+    let registry = Arc::new(MetricsRegistry::new());
+    receptionist
+        .enable_tracing()
+        .tee_metrics(Arc::clone(&registry));
+    receptionist
+        .enable_ci(CiParams {
+            group_size: 2,
+            k_prime: 4,
+        })
+        .unwrap();
+    receptionist
+        .query(Methodology::CentralIndex, "cats birds", 4)
+        .unwrap();
+    let snapshot = registry.snapshot();
+    let ci = snapshot
+        .per_methodology
+        .iter()
+        .find(|m| m.code == "CI")
+        .unwrap();
+    assert_eq!(ci.queries, 1);
+    assert!(snapshot.scored_candidates > 0, "Scored events tee through");
+    assert!(
+        snapshot.per_phase.iter().any(|(_, h)| !h.is_empty()),
+        "phase brackets tee through"
+    );
+}

@@ -2,9 +2,12 @@
 //! receptionist: same methodology logic, same rankings. Only the clock
 //! is virtual.
 
+use std::sync::Arc;
 use teraphim::core::sim::{SimDriver, SimMode};
-use teraphim::core::{CiParams, DistributedCollection, Methodology};
+use teraphim::core::{CiParams, DistributedCollection, Librarian, Methodology, Receptionist};
 use teraphim::corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim::net::InProcTransport;
+use teraphim::obs::MetricsRegistry;
 use teraphim::simnet::{CostModel, Topology};
 use teraphim::text::sgml::TrecDoc;
 use teraphim::text::Analyzer;
@@ -169,6 +172,124 @@ fn distribution_is_fast_but_not_efficient() {
             "{m}: distributed CPU {cpu} should exceed MS {ms_cpu}"
         );
     }
+}
+
+/// The satellite guard against accounting drift: the system now counts
+/// wire traffic three independent ways — transport `TrafficStats`
+/// (counted at request time), `QueryTrace` sums (counted from buffered
+/// `sent`/`reply` events), and the teed `MetricsRegistry` (counted as
+/// the sink delivers those same events). On the real driver, where every
+/// exchange goes through an instrumented transport, all three must agree
+/// *exactly*, per fleet total and per librarian.
+#[test]
+fn three_accounting_paths_agree_on_the_real_driver() {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(33));
+    let parts: Vec<(&str, &[TrecDoc])> = corpus
+        .subcollections()
+        .iter()
+        .map(|s| (s.name.as_str(), s.docs.as_slice()))
+        .collect();
+    let transports: Vec<InProcTransport<Librarian>> = parts
+        .iter()
+        .map(|(name, docs)| InProcTransport::new(Librarian::build(name, Analyzer::default(), docs)))
+        .collect();
+    let mut receptionist = Receptionist::new(transports, Analyzer::default());
+    // Tracing and metrics on *before* preprocessing, so the setup
+    // fan-outs (CV vocabulary exchange, CI index exchange) are part of
+    // the ledger on all three paths.
+    let sink = receptionist.enable_tracing();
+    let registry = receptionist.enable_metrics();
+    receptionist.enable_cv().unwrap();
+    receptionist
+        .enable_ci(CiParams {
+            group_size: 10,
+            k_prime: 100,
+        })
+        .unwrap();
+    for methodology in Methodology::ALL {
+        for query in corpus.short_queries().iter().take(3) {
+            let hits = receptionist.query(methodology, &query.text, 10).unwrap();
+            receptionist.headers(&hits).unwrap();
+        }
+    }
+
+    let traffic = receptionist.traffic();
+    assert!(traffic.round_trips > 0, "fixture must generate traffic");
+
+    // Path 1 vs path 2: transport counters vs metrics registry.
+    let snapshot = registry.snapshot();
+    let totals = snapshot.traffic_totals();
+    assert_eq!(totals.round_trips, traffic.round_trips);
+    assert_eq!(totals.bytes_sent, traffic.bytes_sent);
+    assert_eq!(totals.bytes_received, traffic.bytes_received);
+
+    // Per-librarian as well, not just the fleet roll-up.
+    let per_lib = receptionist.per_librarian_traffic();
+    assert_eq!(snapshot.per_librarian.len(), per_lib.len());
+    for (metrics, stats) in snapshot.per_librarian.iter().zip(&per_lib) {
+        assert_eq!(metrics.sent, stats.round_trips, "lib {}", metrics.librarian);
+        assert_eq!(metrics.bytes_sent, stats.bytes_sent);
+        assert_eq!(metrics.bytes_received, stats.bytes_received);
+        assert_eq!(
+            metrics.latency.count, metrics.replies,
+            "every reply contributes one latency sample"
+        );
+    }
+
+    // Path 3: sums over the buffered traces.
+    let traces = sink.take_traces();
+    let (mut messages, mut bytes_sent, mut bytes_received) = (0u64, 0u64, 0u64);
+    for trace in &traces {
+        let m = trace.metrics();
+        messages += m.messages_sent;
+        bytes_sent += m.bytes_sent;
+        bytes_received += m.bytes_received;
+    }
+    assert_eq!(messages, traffic.round_trips);
+    assert_eq!(bytes_sent, traffic.bytes_sent);
+    assert_eq!(bytes_received, traffic.bytes_received);
+}
+
+/// The simulator registry covers the rank fan-out (its `sent`/`reply`
+/// events) while `QueryCost::bytes_on_wire` additionally charges the
+/// document-fetch phase, which the sim does not emit exchange events
+/// for. So the teed registry must see nonzero traffic bounded by the
+/// cost model's total.
+#[test]
+fn sim_registry_traffic_is_bounded_by_query_cost() {
+    let (corpus, _system, mut driver) = setup();
+    let registry = Arc::new(MetricsRegistry::new());
+    driver.enable_tracing().tee_metrics(Arc::clone(&registry));
+    let topo = Topology::multi_disk(4);
+    let cost = CostModel::default();
+    let q = &corpus.short_queries()[0].text;
+    let result = driver
+        .time_query(
+            &topo,
+            &cost,
+            SimMode::Distributed(Methodology::CentralVocabulary),
+            q,
+            20,
+        )
+        .unwrap();
+    let snapshot = registry.snapshot();
+    let totals = snapshot.traffic_totals();
+    assert!(totals.round_trips > 0, "sim fan-out must be metered");
+    assert!(
+        totals.bytes_sent + totals.bytes_received <= result.bytes_on_wire,
+        "registry {} + {} vs QueryCost {}",
+        totals.bytes_sent,
+        totals.bytes_received,
+        result.bytes_on_wire
+    );
+    // Methodology latency lands in the CV slot, in *virtual* micros.
+    let cv = snapshot
+        .per_methodology
+        .iter()
+        .find(|m| m.code == "CV")
+        .unwrap();
+    assert_eq!(cv.queries, 1);
+    assert!(!cv.latency.is_empty());
 }
 
 #[test]
