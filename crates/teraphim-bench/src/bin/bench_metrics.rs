@@ -16,8 +16,9 @@
 //! ```
 //!
 //! `--check` exits nonzero if any per-methodology counter that must be
-//! nonzero is zero, or if the Prometheus exposition fails the format
-//! lint — the CI smoke gate.
+//! nonzero is zero, if the cache-free sweep recorded any cache events
+//! (see `bench_cache` for the cache trajectory), or if the Prometheus
+//! exposition fails the format lint — the CI smoke gate.
 
 use teraphim_bench::{corpus_parts, HarnessOptions, TextTable};
 use teraphim_core::{CiParams, Librarian, Methodology, Receptionist};
@@ -147,6 +148,18 @@ fn check(modes: &[ModeReport]) -> Result<(), String> {
         }
         if s.per_librarian.iter().all(|l| l.latency.is_empty()) {
             return Err(format!("{code}: no per-librarian latency recorded"));
+        }
+        // This sweep runs cache-free receptionists: any cache event in
+        // the registry means the trace plumbing is misattributing, or a
+        // cache was silently enabled and the sweep no longer measures
+        // the fleet round trips the trajectory file tracks.
+        for c in &s.per_cache {
+            if c.hits + c.misses + c.stale + c.evictions != 0 {
+                return Err(format!(
+                    "{code}: uncached sweep recorded {:?} cache events ({c:?})",
+                    c.cache
+                ));
+            }
         }
         lint_prometheus(&s.render_prometheus())
             .map_err(|e| format!("{code}: exposition failed lint: {e}"))?;

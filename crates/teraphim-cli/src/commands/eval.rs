@@ -3,7 +3,7 @@
 
 use crate::args::Args;
 use crate::commands::{load_collection, outln};
-use teraphim_core::{CiParams, Methodology, Receptionist};
+use teraphim_core::{CacheConfig, CiParams, Methodology, Receptionist};
 use teraphim_eval::{Judgments, QueryEval, SetEval};
 use teraphim_net::tcp::TcpTransport;
 use teraphim_obs::Phase;
@@ -14,6 +14,7 @@ usage: teraphim eval --queries FILE.tsv --qrels FILE
                      (--servers ADDR[,ADDR...] [--methodology cn|cv|ci]
                       | --index FILE.tcol)
                      [--k N] [--trace-json FILE] [--metrics FILE]
+                     [--cache SPEC]
 
 FILE.tsv holds one `id<TAB>query text` per line (the gen-corpus output);
 qrels is TREC format. Prints 11-pt average, relevant-in-top-20 and MAP.
@@ -27,7 +28,46 @@ summary
 
 --metrics (with --servers) tees the run into a metrics registry and
 writes the final snapshot — per-librarian and per-methodology counters
-and latency histograms — to FILE in the Prometheus text format";
+and latency histograms — to FILE in the Prometheus text format
+
+--cache (with --servers) enables the receptionist-side caches. SPEC is
+`default` or comma-separated `key=value` pairs, any subset of:
+  results=N     result-cache entries (default 256; 0 disables)
+  shards=N      result-cache shards (default 4)
+  terms=N       term-statistics entries (default 1024; 0 disables)
+  doc-bytes=N   answer-document byte budget (default 1048576; 0 disables)
+Hit/miss/eviction counters are printed after the run (and show up in
+--metrics and --trace-json output)";
+
+/// Parses a `--cache` specification: `default` or `key=value` pairs.
+fn parse_cache_spec(spec: &str) -> Result<CacheConfig, String> {
+    let mut config = CacheConfig::default();
+    if spec.trim() == "default" {
+        return Ok(config);
+    }
+    for pair in spec.split(',') {
+        let pair = pair.trim();
+        let (key, value) = pair
+            .split_once('=')
+            .ok_or_else(|| format!("--cache: expected key=value, got {pair:?}"))?;
+        let value: usize = value
+            .trim()
+            .parse()
+            .map_err(|_| format!("--cache: {key}={value:?} is not an integer"))?;
+        match key.trim() {
+            "results" => config.result_entries = value,
+            "shards" => config.result_shards = value,
+            "terms" => config.term_entries = value,
+            "doc-bytes" => config.doc_bytes = value,
+            other => {
+                return Err(format!(
+                    "--cache: unknown key {other:?} (expected results, shards, terms, doc-bytes)"
+                ))
+            }
+        }
+    }
+    Ok(config)
+}
 
 fn parse_queries(path: &str) -> Result<Vec<(u32, String)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -71,8 +111,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
     let trace_path = args.get("trace-json");
     let metrics_path = args.get("metrics");
+    let cache_config = args.get("cache").map(parse_cache_spec).transpose()?;
     let mut trace_sink = None;
     let mut metrics_registry = None;
+    let mut cache_stats = None;
     let mut degraded_queries = 0usize;
     let mut failed_librarians: Vec<usize> = Vec::new();
     let evals: Vec<QueryEval> = if let Some(servers) = args.get("servers") {
@@ -98,6 +140,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             // metrics-only sink — either way the registry sees every event.
             metrics_registry = Some(receptionist.enable_metrics());
         }
+        if let Some(config) = cache_config {
+            receptionist.enable_cache(config);
+        }
         match methodology {
             Methodology::CentralNothing => {}
             Methodology::CentralVocabulary => receptionist
@@ -107,7 +152,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 .enable_ci(CiParams::default())
                 .map_err(|e| format!("CI preprocessing failed: {e}"))?,
         }
-        queries
+        let evals = queries
             .iter()
             .map(|(id, q)| {
                 // Degraded coverage (a librarian down mid-run) is folded
@@ -116,7 +161,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 // librarian can also die *between* the rank fan-out and
                 // the header fetch, leaving hits that point at a dead
                 // transport — re-running the query once lets the coverage
-                // path exclude it cleanly.
+                // path exclude it cleanly. The health poll before the
+                // retry is what makes that work under --cache: a result
+                // hit replays the pre-death entry without any fan-out,
+                // so only the poll can observe the casualty and bump the
+                // cache generation, turning the retry into a stale miss.
                 let mut attempt = 0;
                 let (answer, ranking) = loop {
                     attempt += 1;
@@ -125,7 +174,10 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                         .map_err(|e| format!("query {id} failed: {e}"))?;
                     match receptionist.headers(&answer.hits) {
                         Ok(ranking) => break (answer, ranking),
-                        Err(_) if attempt == 1 => continue,
+                        Err(_) if attempt == 1 => {
+                            receptionist.fleet_health();
+                            continue;
+                        }
                         Err(e) => return Err(format!("query {id} failed: {e}")),
                     }
                 };
@@ -139,8 +191,16 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 }
                 Ok(QueryEval::evaluate(&judgments, *id, &ranking))
             })
-            .collect::<Result<Vec<_>, String>>()?
+            .collect::<Result<Vec<_>, String>>()?;
+        cache_stats = receptionist.cache_stats();
+        evals
     } else {
+        if cache_config.is_some() {
+            return Err(
+                "--cache requires --servers (the mono baseline has no receptionist to cache)"
+                    .to_owned(),
+            );
+        }
         let collection = load_collection(args.require("index")?)?;
         queries
             .iter()
@@ -181,6 +241,25 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             latency.p50(),
             latency.p99()
         );
+    }
+
+    if let Some(stats) = cache_stats {
+        let line = |c: teraphim_core::CacheCounters| {
+            let lookups = c.hits + c.misses;
+            let rate = if lookups == 0 {
+                0.0
+            } else {
+                100.0 * c.hits as f64 / lookups as f64
+            };
+            format!(
+                "{}/{} hits ({rate:.1}%), {} stale, {} evicted",
+                c.hits, lookups, c.stale, c.evictions
+            )
+        };
+        outln!("cache (generation {}):", stats.generation);
+        outln!("  results: {}", line(stats.results));
+        outln!("  stats:   {}", line(stats.terms));
+        outln!("  docs:    {}", line(stats.docs));
     }
 
     let set = SetEval::from_evals(&evals);

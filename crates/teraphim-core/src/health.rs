@@ -75,6 +75,8 @@ pub struct LibrarianHealth {
     pub rank_requests: u64,
     /// Requests answered with an error.
     pub errors: u64,
+    /// Self-reported index epoch (0 until the librarian reindexes).
+    pub epoch: u64,
     /// Self-reported service latency, microseconds.
     pub latency: HistogramSnapshot,
 }
@@ -93,6 +95,7 @@ impl LibrarianHealth {
             requests_served: 0,
             rank_requests: 0,
             errors: 0,
+            epoch: 0,
             latency: HistogramSnapshot::empty(),
         }
     }
@@ -221,6 +224,7 @@ pub fn poll_one<T: Transport>(
             requests_served,
             rank_requests,
             errors,
+            epoch,
             latency,
         }) => {
             let mut row = LibrarianHealth {
@@ -233,6 +237,7 @@ pub fn poll_one<T: Transport>(
                 requests_served,
                 rank_requests,
                 errors,
+                epoch,
                 latency: HistogramSnapshot::from_bucket_pairs(&latency),
             };
             if row.requests_served > 0 && row.error_rate() >= policy.degraded_error_rate {
@@ -269,6 +274,7 @@ mod tests {
             requests_served: requests,
             rank_requests: requests / 2,
             errors,
+            epoch: 0,
             latency: HistogramSnapshot::from_bucket_pairs(&[(8, requests)]),
         }
     }

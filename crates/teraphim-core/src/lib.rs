@@ -41,6 +41,7 @@
 //! # }
 //! ```
 
+pub mod cache;
 pub mod distributed;
 pub mod health;
 pub mod librarian;
@@ -49,6 +50,7 @@ pub mod receptionist;
 pub mod selection;
 pub mod sim;
 
+pub use cache::{CacheConfig, CacheCounters, CacheStats};
 pub use distributed::DistributedCollection;
 pub use health::{HealthPolicy, HealthReport, HealthState, LibrarianHealth};
 pub use librarian::Librarian;

@@ -33,6 +33,10 @@ pub struct Librarian {
     rank_requests: u64,
     errors_returned: u64,
     latency: Histogram,
+    /// Index epoch: 0 at build, bumped by [`Librarian::bump_epoch`] when
+    /// the index changes. Echoed in every rank/score reply and in
+    /// `StatsReply` so receptionist caches can invalidate.
+    epoch: u64,
     /// Serialized index size, computed lazily on the first `Stats`
     /// request (serialization is too expensive for the constructor).
     index_bytes_cache: Option<u64>,
@@ -59,8 +63,20 @@ impl Librarian {
             rank_requests: 0,
             errors_returned: 0,
             latency: Histogram::new(),
+            epoch: 0,
             index_bytes_cache: None,
         }
+    }
+
+    /// Current index epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Declares the index changed: every later reply carries the new
+    /// epoch, telling receptionists their cached results are stale.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// The underlying collection.
@@ -97,6 +113,7 @@ impl Librarian {
             requests_served: self.requests_served,
             rank_requests: self.rank_requests,
             errors: self.errors_returned,
+            epoch: self.epoch,
             latency: self.latency.snapshot().to_bucket_pairs(),
         }
     }
@@ -132,6 +149,7 @@ impl Librarian {
                     ranking::rank_with_scratch(index, &weighted, k as usize, &mut self.scratch);
                 Message::RankResponse {
                     query_id,
+                    epoch: self.epoch,
                     entries: hits.into_iter().map(|h| (h.doc, h.score)).collect(),
                 }
             }
@@ -145,6 +163,7 @@ impl Librarian {
                 );
                 Message::RankResponse {
                     query_id,
+                    epoch: self.epoch,
                     entries: hits.into_iter().map(|h| (h.doc, h.score)).collect(),
                 }
             }
@@ -159,6 +178,7 @@ impl Librarian {
             ) {
                 Ok((scores, postings_decoded)) => Message::ScoreResponse {
                     query_id,
+                    epoch: self.epoch,
                     entries: scores.into_iter().map(|s| (s.doc, s.score)).collect(),
                     postings_decoded,
                 },
@@ -335,7 +355,9 @@ mod tests {
             terms: vec![("cat".into(), 1)],
         });
         match resp {
-            Message::RankResponse { query_id, entries } => {
+            Message::RankResponse {
+                query_id, entries, ..
+            } => {
                 assert_eq!(query_id, 1);
                 assert_eq!(entries.len(), 2);
                 // Scores strictly ordered.
@@ -433,6 +455,7 @@ mod tests {
         let mut lib = librarian();
         let resp = lib.handle(Message::RankResponse {
             query_id: 1,
+            epoch: 0,
             entries: vec![],
         });
         assert!(matches!(resp, Message::Error { .. }));
@@ -464,6 +487,7 @@ mod tests {
             requests_served,
             rank_requests,
             errors,
+            epoch,
             latency,
         } = reply
         else {
@@ -476,6 +500,7 @@ mod tests {
         assert_eq!(requests_served, 3);
         assert_eq!(rank_requests, 1);
         assert_eq!(errors, 1);
+        assert_eq!(epoch, 0, "fresh librarian starts at epoch 0");
         let total: u64 = latency.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, 3, "every served request is timed");
         // Polling stats again does not count the poll itself.

@@ -11,10 +11,11 @@
 //! drives in-process librarians, TCP librarians on a LAN, and the
 //! byte-accounted runs that feed the WAN simulation.
 
-use crate::health::{self, HealthPolicy, HealthReport};
+use crate::cache::{CacheConfig, CacheState, CacheStats, CachedAnswer, Lookup, ResultKey};
+use crate::health::{self, HealthPolicy, HealthReport, HealthState};
 use crate::methodology::{CiParams, Methodology};
 use crate::TeraphimError;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use teraphim_engine::ranking::{self, ScoredDoc};
@@ -162,6 +163,7 @@ pub struct Receptionist<T: Transport> {
     dispatch: DispatchMode,
     degrade: DegradePolicy,
     trace: TraceSink,
+    cache: Option<CacheState>,
 }
 
 impl<T: Transport> Receptionist<T> {
@@ -179,7 +181,36 @@ impl<T: Transport> Receptionist<T> {
             dispatch: DispatchMode::default(),
             degrade: DegradePolicy::default(),
             trace: TraceSink::disabled(),
+            cache: None,
         }
+    }
+
+    /// Enables the receptionist-side caches (merged rankings, term
+    /// statistics, answer documents) under `config`. Caching is
+    /// *off* by default; enabling it never changes what a query
+    /// returns — cached entries replay the exact bytes the fleet
+    /// produced, and epoch-based invalidation (librarians report an
+    /// index epoch in every ranking reply and stats poll) drops
+    /// entries as soon as any index is observed to have moved. See
+    /// the `cache` module docs for the invalidation rules.
+    pub fn enable_cache(&mut self, config: CacheConfig) {
+        self.cache = Some(CacheState::new(config));
+    }
+
+    /// Drops all cached state and disables caching.
+    pub fn disable_cache(&mut self) {
+        self.cache = None;
+    }
+
+    /// True while [`Receptionist::enable_cache`] is in force.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Hit/miss/eviction counters and occupancy for the enabled
+    /// caches, or `None` when caching is off.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(CacheState::stats)
     }
 
     /// Attaches a trace sink: subsequent operations record structured
@@ -242,6 +273,20 @@ impl<T: Transport> Receptionist<T> {
         if let Some(registry) = registry {
             report.apply_client_observations(&registry.snapshot().per_librarian, policy);
         }
+        if let Some(cache) = self.cache.as_mut() {
+            // Fold the poll into the cache's invalidation inputs: any
+            // librarian whose index epoch moved, and any change in
+            // which librarians are down, bumps the fleet generation.
+            let mut failed = Vec::new();
+            for row in &report.librarians {
+                if row.state == HealthState::Down {
+                    failed.push(row.librarian as usize);
+                } else {
+                    cache.observe_epoch(row.librarian as usize, row.epoch);
+                }
+            }
+            cache.observe_failed(&failed);
+        }
         report
     }
 
@@ -293,6 +338,12 @@ impl<T: Transport> Receptionist<T> {
             phase: Phase::VocabExchange,
         });
         self.trace.record(EventKind::End);
+        if result.is_ok() {
+            if let Some(cache) = self.cache.as_mut() {
+                // Rebuilt global state changes CV query weights.
+                cache.bump_generation();
+            }
+        }
         result
     }
 
@@ -361,6 +412,12 @@ impl<T: Transport> Receptionist<T> {
             phase: Phase::IndexExchange,
         });
         self.trace.record(EventKind::End);
+        if result.is_ok() {
+            if let Some(cache) = self.cache.as_mut() {
+                // Rebuilt grouped index changes CI candidate expansion.
+                cache.bump_generation();
+            }
+        }
         result
     }
 
@@ -469,11 +526,47 @@ impl<T: Transport> Receptionist<T> {
             query_id,
             k: k as u32,
         });
+        // Plain queries have no degradation policy, recorded as
+        // `min_answered: 0` in the key so they never collide with
+        // `query_with_coverage` entries under a different policy.
+        let key = self.cache.as_ref().map(|_| ResultKey {
+            terms: terms.clone(),
+            code: methodology.code(),
+            k,
+            min_answered: 0,
+        });
+        if let (Some(cache), Some(key)) = (self.cache.as_mut(), key.as_ref()) {
+            let lookup = cache.lookup_result(key, false);
+            note_lookup(&self.trace, "results", &lookup);
+            if let Lookup::Hit(entry) = lookup {
+                self.trace.record(EventKind::End);
+                return Ok(entry.hits);
+            }
+        }
         let result = match methodology {
             Methodology::CentralNothing => self.query_cn(query_id, &terms, k),
             Methodology::CentralVocabulary => self.query_cv(query_id, &terms, k),
             Methodology::CentralIndex => self.query_ci(query_id, &terms, k),
         };
+        if let (Ok(hits), Some(key)) = (&result, key) {
+            let hits = hits.clone();
+            if let Some(cache) = self.cache.as_mut() {
+                // A plain query only succeeds when every contacted
+                // librarian answered; observing that may bump the
+                // generation (fleet recovery), so do it before the
+                // insert stamps the entry's generation.
+                cache.observe_failed(&[]);
+                let evicted = cache.insert_result(
+                    key,
+                    CachedAnswer {
+                        hits,
+                        coverage: None,
+                        degraded: false,
+                    },
+                );
+                note_evicted(&self.trace, "results", evicted);
+            }
+        }
         self.trace.record(EventKind::End);
         result
     }
@@ -499,11 +592,7 @@ impl<T: Transport> Receptionist<T> {
         terms: &[(String, u32)],
         k: usize,
     ) -> Result<Vec<GlobalHit>, TeraphimError> {
-        let cv = self
-            .cv
-            .as_ref()
-            .ok_or(TeraphimError::MissingGlobalState("central vocabulary"))?;
-        let weighted = global_weights(&cv.vocab, &cv.stats, terms);
+        let weighted = self.cv_weights(terms)?;
         let request = Message::RankWeightedRequest {
             query_id,
             k: k as u32,
@@ -511,6 +600,43 @@ impl<T: Transport> Receptionist<T> {
         };
         let requests = vec![Some(request); self.transports.len()];
         self.rank_fanout(query_id, requests, k, ranking_entries)
+    }
+
+    /// CV global query weights, consulting the term-statistics cache
+    /// when one is enabled. The cache stores each term's *global
+    /// document frequency* (or its absence from the merged
+    /// vocabulary) and the weight itself is recomputed with
+    /// [`similarity::w_qt`] on every use — the same call the uncached
+    /// path makes, so cached weights are bit-identical.
+    fn cv_weights(&mut self, terms: &[(String, u32)]) -> Result<Vec<(String, f64)>, TeraphimError> {
+        let cv = self
+            .cv
+            .as_ref()
+            .ok_or(TeraphimError::MissingGlobalState("central vocabulary"))?;
+        let Some(cache) = self.cache.as_mut() else {
+            return Ok(global_weights(&cv.vocab, &cv.stats, terms));
+        };
+        let mut weighted = Vec::new();
+        for (term, f_qt) in terms {
+            let lookup = cache.lookup_term(term);
+            note_lookup(&self.trace, "stats", &lookup);
+            let doc_freq = match lookup {
+                Lookup::Hit(doc_freq) => doc_freq,
+                Lookup::Miss | Lookup::Stale => {
+                    let doc_freq = cv.vocab.term_id(term).map(|id| cv.stats.doc_freq(id));
+                    let evicted = cache.insert_term(term.clone(), doc_freq);
+                    note_evicted(&self.trace, "stats", evicted);
+                    doc_freq
+                }
+            };
+            if let Some(doc_freq) = doc_freq {
+                let w = similarity::w_qt(u64::from(*f_qt), cv.stats.num_docs(), doc_freq);
+                if w > 0.0 {
+                    weighted.push((term.clone(), w));
+                }
+            }
+        }
+        Ok(weighted)
     }
 
     /// Fans `requests` out to the librarians and folds each ranking
@@ -529,6 +655,8 @@ impl<T: Transport> Receptionist<T> {
         trace.record(EventKind::PhaseStart {
             phase: Phase::RankFanout,
         });
+        let caching = self.cache.is_some();
+        let mut epochs: Vec<(usize, u64)> = Vec::new();
         let mut merged: Vec<(ScoredDoc, usize)> = Vec::new();
         let mut folded = 0u64;
         let result = dispatch_traced::<_, TeraphimError>(
@@ -538,6 +666,13 @@ impl<T: Transport> Receptionist<T> {
             &trace,
             &mut |lib, response| {
                 record_scored(&trace, lib, &response);
+                if caching {
+                    if let Message::RankResponse { epoch, .. }
+                    | Message::ScoreResponse { epoch, .. } = &response
+                    {
+                        epochs.push((lib, *epoch));
+                    }
+                }
                 let entries = extract(response, query_id, lib)?;
                 folded += entries.len() as u64;
                 fold_ranking(&mut merged, entries, k);
@@ -551,8 +686,19 @@ impl<T: Transport> Receptionist<T> {
         trace.record(EventKind::PhaseEnd {
             phase: Phase::RankFanout,
         });
+        self.observe_epochs(epochs);
         result?;
         Ok(into_global_hits(merged))
+    }
+
+    /// Folds librarian-reported index epochs gathered during a fan-out
+    /// into the cache's invalidation state.
+    fn observe_epochs(&mut self, epochs: Vec<(usize, u64)>) {
+        if let Some(cache) = self.cache.as_mut() {
+            for (lib, epoch) in epochs {
+                cache.observe_epoch(lib, epoch);
+            }
+        }
     }
 
     /// Like [`Receptionist::query`], but a failed librarian degrades the
@@ -603,6 +749,25 @@ impl<T: Transport> Receptionist<T> {
         terms: Vec<(String, u32)>,
         k: usize,
     ) -> Result<RankedAnswer, TeraphimError> {
+        let key = self.cache.as_ref().map(|_| ResultKey {
+            terms: terms.clone(),
+            code: methodology.code(),
+            k,
+            min_answered: self.degrade.min_answered,
+        });
+        if let (Some(cache), Some(key)) = (self.cache.as_mut(), key.as_ref()) {
+            let lookup = cache.lookup_result(key, true);
+            note_lookup(&self.trace, "results", &lookup);
+            if let Lookup::Hit(entry) = lookup {
+                let coverage = entry
+                    .coverage
+                    .expect("coverage-gated hits always carry coverage");
+                return Ok(RankedAnswer {
+                    hits: entry.hits,
+                    coverage,
+                });
+            }
+        }
         let requests = match methodology {
             Methodology::CentralNothing => {
                 let request = Message::RankRequest {
@@ -613,14 +778,10 @@ impl<T: Transport> Receptionist<T> {
                 vec![Some(request); self.transports.len()]
             }
             Methodology::CentralVocabulary => {
-                let cv = self
-                    .cv
-                    .as_ref()
-                    .ok_or(TeraphimError::MissingGlobalState("central vocabulary"))?;
                 let request = Message::RankWeightedRequest {
                     query_id,
                     k: k as u32,
-                    terms: global_weights(&cv.vocab, &cv.stats, &terms),
+                    terms: self.cv_weights(&terms)?,
                 };
                 vec![Some(request); self.transports.len()]
             }
@@ -631,6 +792,11 @@ impl<T: Transport> Receptionist<T> {
             _ => ranking_entries,
         };
         let (hits, answered, failed) = self.rank_fanout_partial(query_id, requests, k, extract);
+        if let Some(cache) = self.cache.as_mut() {
+            // Must precede the insert: a changed casualty set bumps
+            // the generation the new entry is stamped with.
+            cache.observe_failed(&failed);
+        }
         let docs_fraction = self.docs_fraction_excluding(&failed);
         if self.trace.is_enabled() {
             self.trace.record(EventKind::Coverage {
@@ -645,14 +811,23 @@ impl<T: Transport> Receptionist<T> {
                 failed: failed.len(),
             });
         }
-        Ok(RankedAnswer {
-            hits,
-            coverage: Coverage {
-                answered,
-                failed,
-                docs_fraction,
-            },
-        })
+        let coverage = Coverage {
+            answered,
+            failed,
+            docs_fraction,
+        };
+        if let (Some(key), Some(cache)) = (key, self.cache.as_mut()) {
+            let evicted = cache.insert_result(
+                key,
+                CachedAnswer {
+                    hits: hits.clone(),
+                    coverage: Some(coverage.clone()),
+                    degraded: coverage.is_degraded(),
+                },
+            );
+            note_evicted(&self.trace, "results", evicted);
+        }
+        Ok(RankedAnswer { hits, coverage })
     }
 
     /// Fans out like [`Receptionist::rank_fanout`] but never aborts:
@@ -674,6 +849,8 @@ impl<T: Transport> Receptionist<T> {
         trace.record(EventKind::PhaseStart {
             phase: Phase::RankFanout,
         });
+        let caching = self.cache.is_some();
+        let mut epochs: Vec<(usize, u64)> = Vec::new();
         let mut merged: Vec<(ScoredDoc, usize)> = Vec::new();
         let mut folded = 0u64;
         let failures = dispatch_partial_traced(
@@ -683,6 +860,13 @@ impl<T: Transport> Receptionist<T> {
             &trace,
             &mut |lib, response| {
                 record_scored(&trace, lib, &response);
+                if caching {
+                    if let Message::RankResponse { epoch, .. }
+                    | Message::ScoreResponse { epoch, .. } = &response
+                    {
+                        epochs.push((lib, *epoch));
+                    }
+                }
                 let entries = extract(response, query_id, lib)?;
                 folded += entries.len() as u64;
                 fold_ranking(&mut merged, entries, k);
@@ -696,6 +880,7 @@ impl<T: Transport> Receptionist<T> {
         trace.record(EventKind::PhaseEnd {
             phase: Phase::RankFanout,
         });
+        self.observe_epochs(epochs);
         let failed: Vec<usize> = failures.into_iter().map(|(lib, _)| lib).collect();
         let answered: Vec<usize> = contacted
             .into_iter()
@@ -1017,10 +1202,30 @@ impl<T: Transport> Receptionist<T> {
         hits: &[GlobalHit],
         plain: bool,
     ) -> Result<Vec<FetchedDoc>, TeraphimError> {
-        // Group per librarian, preserving hit order positions.
+        // Probe the answer-document cache once per distinct hit, in
+        // hit order (determinism: cache recency and eviction follow
+        // the order the caller asked for the documents).
+        let mut cached: HashMap<(usize, u32), (String, Vec<u8>)> = HashMap::new();
+        if let Some(cache) = self.cache.as_mut() {
+            let mut probed: HashSet<(usize, u32)> = HashSet::new();
+            for hit in hits {
+                if !probed.insert((hit.librarian, hit.doc)) {
+                    continue;
+                }
+                let lookup = cache.lookup_doc(&(hit.librarian, hit.doc, plain));
+                note_lookup(&self.trace, "docs", &lookup);
+                if let Lookup::Hit(body) = lookup {
+                    cached.insert((hit.librarian, hit.doc), body);
+                }
+            }
+        }
+        // Group the cache misses per librarian, preserving hit order
+        // positions.
         let mut per_lib: HashMap<usize, Vec<u32>> = HashMap::new();
         for hit in hits {
-            per_lib.entry(hit.librarian).or_default().push(hit.doc);
+            if !cached.contains_key(&(hit.librarian, hit.doc)) {
+                per_lib.entry(hit.librarian).or_default().push(hit.doc);
+            }
         }
         let mut requests: Vec<Option<Message>> = vec![None; self.transports.len()];
         for (lib, docs) in per_lib {
@@ -1048,6 +1253,25 @@ impl<T: Transport> Receptionist<T> {
                 other => Err(unexpected("FetchDocsRequest", &other)),
             },
         )?;
+        if let Some(cache) = self.cache.as_mut() {
+            // Insert newly fetched bodies in hit order, again for
+            // deterministic recency.
+            let mut inserted: HashSet<(usize, u32)> = HashSet::new();
+            for hit in hits {
+                if !inserted.insert((hit.librarian, hit.doc)) {
+                    continue;
+                }
+                if let Some((docno, bytes)) = fetched.get(&(hit.librarian, hit.doc)) {
+                    let evicted = cache.insert_doc(
+                        (hit.librarian, hit.doc, plain),
+                        docno.clone(),
+                        bytes.clone(),
+                    );
+                    note_evicted(&self.trace, "docs", evicted);
+                }
+            }
+        }
+        fetched.extend(cached);
         hits.iter()
             .map(|hit| {
                 let (docno, bytes) = fetched
@@ -1204,6 +1428,30 @@ type ExtractEntries = fn(Message, u32, usize) -> Result<Vec<(ScoredDoc, usize)>,
 /// Records a `scored` event for CI candidate-scoring replies: how many
 /// candidates the librarian scored and how many postings it decoded doing
 /// so. Other reply kinds record nothing.
+/// Records the trace event for a cache probe's outcome.
+fn note_lookup<V>(trace: &TraceSink, cache: &'static str, outcome: &Lookup<V>) {
+    if trace.is_enabled() {
+        trace.record(match outcome {
+            Lookup::Hit(_) => EventKind::CacheHit { cache },
+            Lookup::Miss => EventKind::CacheMiss {
+                cache,
+                stale: false,
+            },
+            Lookup::Stale => EventKind::CacheMiss { cache, stale: true },
+        });
+    }
+}
+
+/// Records the trace event for entries evicted by a cache insert.
+fn note_evicted(trace: &TraceSink, cache: &'static str, evicted: u64) {
+    if evicted > 0 && trace.is_enabled() {
+        trace.record(EventKind::CacheEvict {
+            cache,
+            entries: evicted as u32,
+        });
+    }
+}
+
 fn record_scored(trace: &TraceSink, lib: usize, response: &Message) {
     if trace.is_enabled() {
         if let Message::ScoreResponse {
@@ -1230,6 +1478,7 @@ fn ranking_entries(
         Message::RankResponse {
             query_id: qid,
             entries,
+            ..
         } if qid == query_id => Ok(entries
             .into_iter()
             .map(|(doc, score)| (ScoredDoc { doc, score }, lib))

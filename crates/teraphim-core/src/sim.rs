@@ -734,6 +734,7 @@ impl SimDriver {
             let hits = ranking::rank_with_norm(col.index(), &weighted, qnorm, k);
             let response = Message::RankResponse {
                 query_id: 0,
+                epoch: 0,
                 entries: hits.iter().map(|h| (h.doc, h.score)).collect(),
             };
             let delay = match fault {
@@ -1000,6 +1001,7 @@ impl SimDriver {
             postings_total += decoded;
             let response = Message::ScoreResponse {
                 query_id: 0,
+                epoch: 0,
                 entries: scores.iter().map(|s| (s.doc, s.score)).collect(),
                 postings_decoded: decoded,
             };

@@ -346,6 +346,7 @@ mod tests {
             match request {
                 Message::RankRequest { query_id, .. } => Message::RankResponse {
                     query_id,
+                    epoch: 0,
                     entries: vec![(query_id, 1.0)],
                 },
                 _ => Message::Error {

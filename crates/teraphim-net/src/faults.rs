@@ -195,16 +195,23 @@ impl FaultPlan {
 /// librarian, not merge at face value.
 fn garble_response(response: Message) -> Message {
     match response {
-        Message::RankResponse { query_id, entries } => Message::RankResponse {
+        Message::RankResponse {
+            query_id,
+            epoch,
+            entries,
+        } => Message::RankResponse {
             query_id: query_id.wrapping_add(1),
+            epoch,
             entries,
         },
         Message::ScoreResponse {
             query_id,
+            epoch,
             entries,
             postings_decoded,
         } => Message::ScoreResponse {
             query_id: query_id.wrapping_add(1),
+            epoch,
             entries,
             postings_decoded,
         },
@@ -384,6 +391,7 @@ mod tests {
             match request {
                 Message::RankRequest { query_id, .. } => Message::RankResponse {
                     query_id,
+                    epoch: 0,
                     entries: vec![(query_id, 0.5)],
                 },
                 _ => Message::Error {

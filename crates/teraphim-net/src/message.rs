@@ -61,6 +61,9 @@ pub enum Message {
     RankResponse {
         /// Echoed query identifier.
         query_id: u32,
+        /// The librarian's index epoch (bumped on reindex); lets the
+        /// receptionist invalidate caches without a separate poll.
+        epoch: u64,
         /// The ranked entries.
         entries: Vec<(u32, f64)>,
     },
@@ -77,6 +80,8 @@ pub enum Message {
     ScoreResponse {
         /// Echoed query identifier.
         query_id: u32,
+        /// The librarian's index epoch (see [`Message::RankResponse`]).
+        epoch: u64,
         /// `(local doc id, similarity)` for each distinct candidate.
         entries: Vec<(u32, f64)>,
         /// Postings decoded while scoring (CPU-cost instrumentation).
@@ -175,6 +180,10 @@ pub enum Message {
         rank_requests: u64,
         /// Requests answered with `Error` or `Unavailable`.
         errors: u64,
+        /// Index epoch: 0 at build, bumped whenever the librarian
+        /// reindexes. Receptionist caches key their generations on the
+        /// fleet-wide sum of these.
+        epoch: u64,
         /// Sparse service-latency histogram: `(log-bucket, count)` pairs
         /// in ascending bucket order, microseconds (see
         /// `teraphim-obs` histogram bucketing).
@@ -245,9 +254,14 @@ impl Message {
                     put_f64(&mut out, *w);
                 }
             }
-            Message::RankResponse { query_id, entries } => {
+            Message::RankResponse {
+                query_id,
+                epoch,
+                entries,
+            } => {
                 out.push(TAG_RANK_RESP);
                 put_uint(&mut out, u64::from(*query_id));
+                put_uint(&mut out, *epoch);
                 put_uint(&mut out, entries.len() as u64);
                 for (doc, score) in entries {
                     put_uint(&mut out, u64::from(*doc));
@@ -279,11 +293,13 @@ impl Message {
             }
             Message::ScoreResponse {
                 query_id,
+                epoch,
                 entries,
                 postings_decoded,
             } => {
                 out.push(TAG_SCORE_RESP);
                 put_uint(&mut out, u64::from(*query_id));
+                put_uint(&mut out, *epoch);
                 put_uint(&mut out, *postings_decoded);
                 put_uint(&mut out, entries.len() as u64);
                 for (doc, score) in entries {
@@ -366,6 +382,7 @@ impl Message {
                 requests_served,
                 rank_requests,
                 errors,
+                epoch,
                 latency,
             } => {
                 out.push(TAG_ADMIN_STATS_REPLY);
@@ -376,6 +393,7 @@ impl Message {
                 put_uint(&mut out, *requests_served);
                 put_uint(&mut out, *rank_requests);
                 put_uint(&mut out, *errors);
+                put_uint(&mut out, *epoch);
                 put_uint(&mut out, latency.len() as u64);
                 for (bucket, count) in latency {
                     put_uint(&mut out, u64::from(*bucket));
@@ -443,6 +461,7 @@ impl Message {
             }
             TAG_RANK_RESP => {
                 let query_id = get_uint(rest, &mut pos)? as u32;
+                let epoch = get_uint(rest, &mut pos)?;
                 let n = get_uint(rest, &mut pos)? as usize;
                 let mut entries = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
@@ -450,7 +469,11 @@ impl Message {
                     let score = get_f64(rest, &mut pos)?;
                     entries.push((doc, score));
                 }
-                Message::RankResponse { query_id, entries }
+                Message::RankResponse {
+                    query_id,
+                    epoch,
+                    entries,
+                }
             }
             TAG_SCORE_REQ => {
                 let query_id = get_uint(rest, &mut pos)? as u32;
@@ -484,6 +507,7 @@ impl Message {
             }
             TAG_SCORE_RESP => {
                 let query_id = get_uint(rest, &mut pos)? as u32;
+                let epoch = get_uint(rest, &mut pos)?;
                 let postings_decoded = get_uint(rest, &mut pos)?;
                 let n = get_uint(rest, &mut pos)? as usize;
                 let mut entries = Vec::with_capacity(n.min(1 << 20));
@@ -494,6 +518,7 @@ impl Message {
                 }
                 Message::ScoreResponse {
                     query_id,
+                    epoch,
                     entries,
                     postings_decoded,
                 }
@@ -588,6 +613,7 @@ impl Message {
                 let requests_served = get_uint(rest, &mut pos)?;
                 let rank_requests = get_uint(rest, &mut pos)?;
                 let errors = get_uint(rest, &mut pos)?;
+                let epoch = get_uint(rest, &mut pos)?;
                 let n = get_uint(rest, &mut pos)? as usize;
                 let mut latency = Vec::with_capacity(n.min(1 << 20));
                 for _ in 0..n {
@@ -603,6 +629,7 @@ impl Message {
                     requests_served,
                     rank_requests,
                     errors,
+                    epoch,
                     latency,
                 }
             }
@@ -678,6 +705,7 @@ mod tests {
         });
         roundtrip(Message::RankResponse {
             query_id: 202,
+            epoch: 3,
             entries: vec![(0, 0.9), (7, 0.1)],
         });
         roundtrip(Message::ScoreCandidatesRequest {
@@ -687,6 +715,7 @@ mod tests {
         });
         roundtrip(Message::ScoreResponse {
             query_id: 1,
+            epoch: 0,
             entries: vec![(5, 0.4)],
             postings_decoded: 321,
         });
@@ -739,6 +768,7 @@ mod tests {
             requests_served: 42,
             rank_requests: 17,
             errors: 2,
+            epoch: 5,
             latency: vec![(0, 1), (9, 30), (64, 1)],
         });
         roundtrip(Message::StatsReply {
@@ -749,6 +779,7 @@ mod tests {
             requests_served: 0,
             rank_requests: 0,
             errors: 0,
+            epoch: 0,
             latency: vec![],
         });
     }
@@ -762,6 +793,7 @@ mod tests {
         });
         roundtrip(Message::RankResponse {
             query_id: 0,
+            epoch: 0,
             entries: vec![],
         });
         roundtrip(Message::FetchDocsRequest {
@@ -813,6 +845,7 @@ mod tests {
                 requests_served: 8,
                 rank_requests: 3,
                 errors: 1,
+                epoch: 2,
                 latency: vec![(4, 2), (11, 6)],
             },
         ];
@@ -830,6 +863,7 @@ mod tests {
         // a k=20 ranking must be well under a kilobyte.
         let msg = Message::RankResponse {
             query_id: 202,
+            epoch: 1,
             entries: (0..20).map(|d| (d * 37, 1.0 / f64::from(d + 1))).collect(),
         };
         assert!(msg.wire_len() < 250, "wire len {}", msg.wire_len());

@@ -27,6 +27,7 @@
 //! let service = |req: Message| match req {
 //!     Message::RankRequest { query_id, .. } => Message::RankResponse {
 //!         query_id,
+//!         epoch: 0,
 //!         entries: vec![],
 //!     },
 //!     _ => Message::Error { message: "unsupported".into() },
@@ -188,6 +189,7 @@ mod tests {
         |req: Message| match req {
             Message::RankRequest { query_id, .. } => Message::RankResponse {
                 query_id,
+                epoch: 0,
                 entries: vec![(query_id, 1.0)],
             },
             _ => Message::Error {

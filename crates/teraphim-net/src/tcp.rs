@@ -299,6 +299,7 @@ mod tests {
             match request {
                 Message::RankRequest { query_id, k, .. } => Message::RankResponse {
                     query_id: query_id * 2,
+                    epoch: 0,
                     entries: vec![(k, 0.5)],
                 },
                 _ => Message::Error {
@@ -323,6 +324,7 @@ mod tests {
             resp,
             Message::RankResponse {
                 query_id: 42,
+                epoch: 0,
                 entries: vec![(5, 0.5)],
             }
         );

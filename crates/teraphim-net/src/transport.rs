@@ -255,6 +255,7 @@ mod tests {
             match request {
                 Message::RankRequest { query_id, k, .. } => Message::RankResponse {
                     query_id,
+                    epoch: 0,
                     entries: (0..k.min(3)).map(|d| (d, 1.0 / f64::from(d + 1))).collect(),
                 },
                 Message::StatsRequest => Message::StatsResponse {
@@ -279,7 +280,9 @@ mod tests {
             })
             .unwrap();
         match resp {
-            Message::RankResponse { query_id, entries } => {
+            Message::RankResponse {
+                query_id, entries, ..
+            } => {
                 assert_eq!(query_id, 7);
                 assert_eq!(entries.len(), 3);
             }

@@ -174,6 +174,27 @@ pub enum EventKind {
         /// collection statistics are known.
         docs_permille: Option<u32>,
     },
+    /// A receptionist cache lookup was answered without touching the
+    /// fleet.
+    CacheHit {
+        /// Cache kind: `"results"`, `"stats"` or `"docs"`.
+        cache: &'static str,
+    },
+    /// A receptionist cache lookup missed (work proceeds normally).
+    CacheMiss {
+        /// Cache kind: `"results"`, `"stats"` or `"docs"`.
+        cache: &'static str,
+        /// True when the miss dropped an entry from a stale generation
+        /// (epoch-based invalidation) rather than finding nothing.
+        stale: bool,
+    },
+    /// A receptionist cache insert evicted older entries to make room.
+    CacheEvict {
+        /// Cache kind: `"results"`, `"stats"` or `"docs"`.
+        cache: &'static str,
+        /// Number of entries evicted by this insert.
+        entries: u32,
+    },
 }
 
 impl EventKind {
@@ -213,6 +234,9 @@ impl EventKind {
             EventKind::Scored { .. } => "scored",
             EventKind::Merge { .. } => "merge",
             EventKind::Coverage { .. } => "coverage",
+            EventKind::CacheHit { .. } => "cache_hit",
+            EventKind::CacheMiss { .. } => "cache_miss",
+            EventKind::CacheEvict { .. } => "cache_evict",
         }
     }
 }

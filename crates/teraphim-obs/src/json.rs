@@ -155,6 +155,20 @@ fn event_json(event: &TraceEvent) -> String {
                 None => out.push_str(",\"docs_permille\":null"),
             }
         }
+        EventKind::CacheHit { cache } => {
+            out.push_str(",\"cache\":");
+            push_escaped(&mut out, cache);
+        }
+        EventKind::CacheMiss { cache, stale } => {
+            out.push_str(",\"cache\":");
+            push_escaped(&mut out, cache);
+            let _ = write!(out, ",\"stale\":{stale}");
+        }
+        EventKind::CacheEvict { cache, entries } => {
+            out.push_str(",\"cache\":");
+            push_escaped(&mut out, cache);
+            let _ = write!(out, ",\"entries\":{entries}");
+        }
     }
     out.push('}');
     out

@@ -43,8 +43,8 @@ pub mod trace;
 pub use event::{EventKind, LibCandidates, Phase, TraceEvent};
 pub use json::{diff_json, traces_to_json};
 pub use metrics::{
-    lint_prometheus, Histogram, HistogramSnapshot, LibrarianMetrics, MethodologyMetrics,
-    MetricsRegistry, MetricsSnapshot, TrafficTotals,
+    lint_prometheus, CacheMetrics, Histogram, HistogramSnapshot, LibrarianMetrics,
+    MethodologyMetrics, MetricsRegistry, MetricsSnapshot, TrafficTotals, CACHE_KINDS,
 };
 pub use sink::TraceSink;
 pub use trace::{LibTraffic, QueryTrace, TraceMetrics, NORMALIZED_DRIVER};

@@ -52,6 +52,14 @@ fn methodology_index(code: &str) -> Option<usize> {
     METHODOLOGIES.iter().position(|&m| m == code)
 }
 
+/// Receptionist cache kinds the registry keeps per-cache slots for, in
+/// slot order (result, term-statistics, answer-document caches).
+pub const CACHE_KINDS: [&str; 3] = ["results", "stats", "docs"];
+
+fn cache_index(cache: &str) -> Option<usize> {
+    CACHE_KINDS.iter().position(|&c| c == cache)
+}
+
 fn phase_index(phase: Phase) -> usize {
     PHASES
         .iter()
@@ -307,6 +315,15 @@ struct MethodSlot {
     latency: Histogram,
 }
 
+/// Per-cache-kind atomic slots.
+#[derive(Debug, Default)]
+struct CacheSlot {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale: AtomicU64,
+    evictions: AtomicU64,
+}
+
 /// Event-correlation state: which operation/phases/requests are open.
 /// Guarded by one small mutex; every field is bounded by the number of
 /// librarians, so holding it never allocates on the steady state.
@@ -348,6 +365,7 @@ pub struct MetricsRegistry {
     queries: AtomicU64,
     degraded_queries: AtomicU64,
     methodologies: [MethodSlot; 4],
+    caches: [CacheSlot; 3],
     phases: [Histogram; 7],
     librarians: RwLock<Vec<LibSlot>>,
     open: Mutex<OpenState>,
@@ -373,6 +391,7 @@ impl MetricsRegistry {
             queries: AtomicU64::new(0),
             degraded_queries: AtomicU64::new(0),
             methodologies: Default::default(),
+            caches: Default::default(),
             phases: Default::default(),
             librarians: RwLock::new(Vec::new()),
             open: Mutex::new(OpenState::default()),
@@ -519,6 +538,26 @@ impl MetricsRegistry {
                     self.degraded_queries.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            EventKind::CacheHit { cache } => {
+                if let Some(i) = cache_index(cache) {
+                    self.caches[i].hits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            EventKind::CacheMiss { cache, stale } => {
+                if let Some(i) = cache_index(cache) {
+                    self.caches[i].misses.fetch_add(1, Ordering::Relaxed);
+                    if *stale {
+                        self.caches[i].stale.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            EventKind::CacheEvict { cache, entries } => {
+                if let Some(i) = cache_index(cache) {
+                    self.caches[i]
+                        .evictions
+                        .fetch_add(u64::from(*entries), Ordering::Relaxed);
+                }
+            }
             EventKind::Expansion { .. } => {}
         }
     }
@@ -555,6 +594,17 @@ impl MetricsRegistry {
                 latency: slot.latency.snapshot(),
             })
             .collect();
+        let per_cache = CACHE_KINDS
+            .iter()
+            .zip(&self.caches)
+            .map(|(&cache, slot)| CacheMetrics {
+                cache,
+                hits: load(&slot.hits),
+                misses: load(&slot.misses),
+                stale: load(&slot.stale),
+                evictions: load(&slot.evictions),
+            })
+            .collect();
         let per_phase = PHASES
             .iter()
             .zip(&self.phases)
@@ -576,6 +626,7 @@ impl MetricsRegistry {
             queries: load(&self.queries),
             degraded_queries: load(&self.degraded_queries),
             per_methodology,
+            per_cache,
             per_librarian,
             per_phase,
         }
@@ -620,6 +671,24 @@ impl LibrarianMetrics {
     pub fn error_rate(&self) -> f64 {
         (self.failures + self.timeouts) as f64 / (self.sent.max(1)) as f64
     }
+}
+
+/// One receptionist cache's rolled-up counters in a
+/// [`MetricsSnapshot`]. All four counters are monotone; `hits + misses`
+/// is the number of lookups, and `stale` counts the subset of misses
+/// that lazily dropped an entry from an invalidated generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheMetrics {
+    /// Cache kind (`"results"`, `"stats"`, `"docs"`).
+    pub cache: &'static str,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Misses that dropped a stale-generation entry.
+    pub stale: u64,
+    /// Entries evicted to make room for inserts.
+    pub evictions: u64,
 }
 
 /// One methodology's rolled-up counters in a [`MetricsSnapshot`].
@@ -680,6 +749,8 @@ pub struct MetricsSnapshot {
     pub degraded_queries: u64,
     /// Per-methodology slots, in [`METHODOLOGIES`] order.
     pub per_methodology: Vec<MethodologyMetrics>,
+    /// Per-cache slots, in [`CACHE_KINDS`] order.
+    pub per_cache: Vec<CacheMetrics>,
     /// Per-librarian slots, in librarian index order.
     pub per_librarian: Vec<LibrarianMetrics>,
     /// Per-phase latency histograms, in [`PHASES`] order.
@@ -783,6 +854,33 @@ impl MetricsSnapshot {
             "teraphim_degraded_queries_total",
             "Queries answered with degraded coverage.",
             &[(String::new(), self.degraded_queries)],
+        );
+        let cache_samples: Vec<(String, u64)> = self
+            .per_cache
+            .iter()
+            .flat_map(|c| {
+                [
+                    (format!("{{cache=\"{}\",outcome=\"hit\"}}", c.cache), c.hits),
+                    (
+                        format!("{{cache=\"{}\",outcome=\"miss\"}}", c.cache),
+                        c.misses,
+                    ),
+                    (
+                        format!("{{cache=\"{}\",outcome=\"stale\"}}", c.cache),
+                        c.stale,
+                    ),
+                    (
+                        format!("{{cache=\"{}\",outcome=\"evict\"}}", c.cache),
+                        c.evictions,
+                    ),
+                ]
+            })
+            .collect();
+        counter(
+            &mut out,
+            "teraphim_cache_events_total",
+            "Receptionist cache lookups and evictions, by cache and outcome.",
+            &cache_samples,
         );
         let query_samples: Vec<(String, u64)> = self
             .per_methodology

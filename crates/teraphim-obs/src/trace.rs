@@ -105,6 +105,16 @@ impl QueryTrace {
                     metrics.postings_decoded += postings;
                 }
                 EventKind::Merge { entries, .. } => metrics.merged_entries += entries,
+                EventKind::CacheHit { .. } => metrics.cache_hits += 1,
+                EventKind::CacheMiss { stale, .. } => {
+                    metrics.cache_misses += 1;
+                    if *stale {
+                        metrics.cache_stale += 1;
+                    }
+                }
+                EventKind::CacheEvict { entries, .. } => {
+                    metrics.cache_evictions += u64::from(*entries);
+                }
                 _ => {}
             }
         }
@@ -198,6 +208,14 @@ pub struct TraceMetrics {
     pub postings_decoded: u64,
     /// Entries folded into merges.
     pub merged_entries: u64,
+    /// Receptionist cache hits (all cache kinds).
+    pub cache_hits: u64,
+    /// Receptionist cache misses (all cache kinds, stale drops included).
+    pub cache_misses: u64,
+    /// Misses that dropped an entry from a stale generation.
+    pub cache_stale: u64,
+    /// Entries evicted by cache inserts.
+    pub cache_evictions: u64,
 }
 
 impl TraceMetrics {

@@ -171,6 +171,98 @@ fn transient_failure_degrades_via_client_observations() {
     assert!(lenient.all_up());
 }
 
+/// A result-cache hit answers without touching the fleet: the metrics
+/// registry's query count advances while its traffic ledger stands
+/// still, and the health report's server-side request counters show the
+/// librarians never saw the repeat.
+#[test]
+fn cache_hits_leave_the_fleet_ledger_untouched() {
+    let transports: Vec<InProcTransport<Librarian>> = four_librarians()
+        .into_iter()
+        .map(InProcTransport::new)
+        .collect();
+    let mut receptionist = Receptionist::new(transports, Analyzer::default());
+    receptionist.enable_tracing();
+    let registry = receptionist.enable_metrics();
+    receptionist.enable_cv().unwrap();
+    receptionist.enable_cache(teraphim::core::CacheConfig::default());
+
+    receptionist
+        .query(Methodology::CentralVocabulary, "cats and birds", 8)
+        .unwrap();
+    let cold = registry.snapshot();
+    receptionist
+        .query(Methodology::CentralVocabulary, "cats and birds", 8)
+        .unwrap();
+    let warm = registry.snapshot();
+
+    assert_eq!(
+        warm.queries,
+        cold.queries + 1,
+        "the hit still counts as a query"
+    );
+    assert_eq!(
+        warm.messages_sent, cold.messages_sent,
+        "a hit sends nothing"
+    );
+    assert_eq!(warm.bytes_sent, cold.bytes_sent);
+    let results = warm
+        .per_cache
+        .iter()
+        .find(|c| c.cache == "results")
+        .unwrap();
+    assert_eq!((results.hits, results.misses), (1, 1));
+
+    // The librarians' own ledgers agree: one rank request each, ever.
+    let report = receptionist.fleet_health();
+    assert!(report.all_up());
+    for row in &report.librarians {
+        assert_eq!(row.rank_requests, 1, "librarian {}", row.librarian);
+        assert_eq!(row.epoch, 0, "no librarian re-indexed");
+    }
+}
+
+/// The health poll doubles as the cache's epoch watcher: a fleet whose
+/// health degrades, or whose poll reports a moved index epoch, bumps
+/// the receptionist's cache generation so stale results never serve.
+#[test]
+fn health_polls_drive_cache_invalidation() {
+    // Librarian 2 dies permanently. With the cache on, the first
+    // coverage query observes the degraded fleet (one generation bump)
+    // and later repeats replay the flagged degraded entry.
+    let mut receptionist = faulty_receptionist(plans_with(2, FaultPlan::new().fail_from(0)));
+    receptionist.enable_cache(teraphim::core::CacheConfig::default());
+    let g0 = receptionist.cache_stats().unwrap().generation;
+    let first = receptionist
+        .query_with_coverage(Methodology::CentralNothing, "cats", 8)
+        .unwrap();
+    assert!(first.coverage.is_degraded());
+    let g1 = receptionist.cache_stats().unwrap().generation;
+    assert!(g1 > g0, "degradation must bump the generation");
+
+    let again = receptionist
+        .query_with_coverage(Methodology::CentralNothing, "cats", 8)
+        .unwrap();
+    assert_eq!(again.hits, first.hits);
+    assert_eq!(again.coverage, first.coverage);
+    let stats = receptionist.cache_stats().unwrap();
+    assert_eq!(
+        stats.results.hits, 1,
+        "the degraded entry served the repeat"
+    );
+    assert_eq!(
+        stats.generation, g1,
+        "an unchanged failed set does not re-bump"
+    );
+
+    // Polling health confirms the same picture the cache acted on: the
+    // report marks librarian 2 down, and folding that report into the
+    // cache state is idempotent — no further generation churn.
+    let report = receptionist.fleet_health();
+    assert_eq!(report.librarians[2].state, HealthState::Down);
+    assert_eq!(receptionist.cache_stats().unwrap().generation, g1);
+}
+
 /// The same report shape over TCP and in-process transports: a live TCP
 /// fleet serves `Stats` end to end, and the rendered table is identical
 /// to the in-process one over the same (healthy) librarians.

@@ -250,6 +250,90 @@ fn three_accounting_paths_agree_on_the_real_driver() {
     assert_eq!(bytes_received, traffic.bytes_received);
 }
 
+/// The cache extends the accounting guard: cache activity is now
+/// counted three independent ways — the receptionist's own
+/// `CacheStats` mirrors, the `CacheHit`/`CacheMiss`/`CacheEvict` trace
+/// events, and the teed `MetricsRegistry`'s per-cache slots. A repeated
+/// query stream with fetches (so all three caches light up) must leave
+/// all three ledgers in exact agreement.
+#[test]
+fn cache_accounting_paths_agree_on_the_real_driver() {
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(33));
+    let parts: Vec<(&str, &[TrecDoc])> = corpus
+        .subcollections()
+        .iter()
+        .map(|s| (s.name.as_str(), s.docs.as_slice()))
+        .collect();
+    let transports: Vec<InProcTransport<Librarian>> = parts
+        .iter()
+        .map(|(name, docs)| InProcTransport::new(Librarian::build(name, Analyzer::default(), docs)))
+        .collect();
+    let mut receptionist = Receptionist::new(transports, Analyzer::default());
+    let sink = receptionist.enable_tracing();
+    let registry = receptionist.enable_metrics();
+    receptionist.enable_cv().unwrap();
+    // A deliberately tight configuration so the stream also evicts,
+    // exercising the `CacheEvict` accounting, not just hits and misses.
+    receptionist.enable_cache(teraphim::core::CacheConfig {
+        result_entries: 2,
+        result_shards: 1,
+        term_entries: 4,
+        doc_bytes: 4096,
+    });
+    for _ in 0..3 {
+        for query in corpus.short_queries().iter().take(4) {
+            let hits = receptionist
+                .query(Methodology::CentralVocabulary, &query.text, 10)
+                .unwrap();
+            receptionist
+                .fetch(&hits[..hits.len().min(3)], false)
+                .unwrap();
+        }
+    }
+
+    // Path 1: the receptionist's own mirrors.
+    let stats = receptionist.cache_stats().unwrap();
+    let local_hits = stats.results.hits + stats.terms.hits + stats.docs.hits;
+    let local_misses = stats.results.misses + stats.terms.misses + stats.docs.misses;
+    let local_stale = stats.results.stale + stats.terms.stale + stats.docs.stale;
+    let local_evictions = stats.results.evictions + stats.terms.evictions + stats.docs.evictions;
+    assert!(local_hits > 0, "repeats must hit");
+    assert!(local_evictions > 0, "the tight config must evict");
+
+    // Path 2: sums over the buffered trace events.
+    let traces = sink.take_traces();
+    let (mut hits, mut misses, mut stale, mut evictions) = (0u64, 0u64, 0u64, 0u64);
+    for trace in &traces {
+        let m = trace.metrics();
+        hits += m.cache_hits;
+        misses += m.cache_misses;
+        stale += m.cache_stale;
+        evictions += m.cache_evictions;
+    }
+    assert_eq!(hits, local_hits);
+    assert_eq!(misses, local_misses);
+    assert_eq!(stale, local_stale);
+    assert_eq!(evictions, local_evictions);
+
+    // Path 3: the registry's per-cache slots, keyed per cache kind.
+    let snapshot = registry.snapshot();
+    for (kind, counters) in [
+        ("results", stats.results),
+        ("stats", stats.terms),
+        ("docs", stats.docs),
+    ] {
+        let slot = snapshot
+            .per_cache
+            .iter()
+            .find(|c| c.cache == kind)
+            .unwrap_or_else(|| panic!("no registry slot for cache {kind:?}"));
+        assert_eq!(slot.hits, counters.hits, "{kind} hits");
+        assert_eq!(slot.misses, counters.misses, "{kind} misses");
+        assert_eq!(slot.stale, counters.stale, "{kind} stale");
+        assert_eq!(slot.evictions, counters.evictions, "{kind} evictions");
+    }
+}
+
 /// The simulator registry covers the rank fan-out (its `sent`/`reply`
 /// events) while `QueryCost::bytes_on_wire` additionally charges the
 /// document-fetch phase, which the sim does not emit exchange events

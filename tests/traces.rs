@@ -147,6 +147,51 @@ fn golden_traces_for_all_methodologies() {
     );
 }
 
+/// The cache's trace vocabulary, pinned as goldens: a warmed CV query
+/// replayed from the result cache (a `cache_hit` trace with no
+/// fan-out) and a fresh CV query straight after it (a `cache_miss`
+/// trace carrying the full fan-out plus the term-statistics probes).
+#[test]
+fn golden_cache_hit_and_miss_cv_traces() {
+    let corpus = corpus();
+    let mut r = receptionist(&corpus);
+    r.enable_cv().unwrap();
+    r.enable_cache(teraphim::core::CacheConfig::default());
+    let warm = corpus.short_queries()[0].text.clone();
+    let cold = corpus.short_queries()[1].text.clone();
+    // Warm the result cache before tracing starts, so the two traces
+    // below are exactly the hit-then-miss pair.
+    r.query(Methodology::CentralVocabulary, &warm, K).unwrap();
+
+    let sink = r.enable_tracing();
+    r.query(Methodology::CentralVocabulary, &warm, K).unwrap();
+    r.query(Methodology::CentralVocabulary, &cold, K).unwrap();
+    let traces = sink.take_traces();
+    assert_eq!(traces.len(), 2, "two traced queries, two traces");
+
+    let tags =
+        |t: &QueryTrace| -> Vec<&'static str> { t.events.iter().map(|e| e.kind.tag()).collect() };
+    assert!(
+        tags(&traces[0]).contains(&"cache_hit"),
+        "warmed query must hit: {:?}",
+        tags(&traces[0])
+    );
+    assert!(
+        !tags(&traces[0]).contains(&"sent"),
+        "a result-cache hit must not fan out: {:?}",
+        tags(&traces[0])
+    );
+    assert!(
+        tags(&traces[1]).contains(&"cache_miss"),
+        "fresh query must miss: {:?}",
+        tags(&traces[1])
+    );
+    assert!(tags(&traces[1]).contains(&"sent"));
+
+    assert_matches_golden("cv_cache_hit", &traces[0]);
+    assert_matches_golden("cv_cache_miss", &traces[1]);
+}
+
 /// Concurrent dispatch interleaves arrivals nondeterministically; the
 /// normalized trace must be identical to the sequential one.
 #[test]
