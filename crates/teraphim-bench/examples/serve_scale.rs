@@ -1,0 +1,109 @@
+//! Bisect probe for closed-loop serving throughput: real MS fleet,
+//! multiplexed sessions, with and without the ServePool layer.
+//! `cargo run --release -p teraphim-bench --example serve_scale`
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use teraphim_bench::{corpus_parts, HarnessOptions};
+use teraphim_core::{Librarian, Methodology, Receptionist, ServePool};
+use teraphim_net::mux::{MuxPool, MuxTransport};
+use teraphim_net::tcp::{ServerOptions, TcpServer, TcpTransport};
+use teraphim_net::{DispatchMode, TcpOptions};
+use teraphim_text::sgml::TrecDoc;
+use teraphim_text::Analyzer;
+
+fn main() {
+    let opts = HarnessOptions {
+        small: true,
+        seed: 1998,
+        rest: vec![],
+    };
+    let corpus = opts.corpus();
+    let parts = corpus_parts(&corpus);
+    let merged: Vec<TrecDoc> = parts
+        .iter()
+        .flat_map(|(_, docs)| docs.iter().cloned())
+        .collect();
+    let queries: Vec<String> = corpus
+        .long_queries()
+        .iter()
+        .chain(corpus.short_queries())
+        .map(|q| q.text.clone())
+        .collect();
+    let server = TcpServer::spawn_with(
+        vec![
+            Librarian::build("MS", Analyzer::default(), &merged),
+            Librarian::build("MS", Analyzer::default(), &merged),
+        ],
+        "127.0.0.1:0",
+        ServerOptions {
+            workers: 2,
+            queue_depth: 512,
+        },
+    )
+    .unwrap();
+    let prototype = Receptionist::new(
+        vec![TcpTransport::connect(server.addr()).unwrap()],
+        Analyzer::default(),
+    );
+    let pool = MuxPool::connect(server.addr(), 2, TcpOptions::default()).unwrap();
+    let total = 400usize;
+
+    let make_session = || {
+        let mut s = prototype.fork(vec![MuxTransport::new(Arc::clone(&pool))]);
+        s.set_dispatch_mode(DispatchMode::Pipelined);
+        s
+    };
+
+    println!("-- sessions owned per thread (no ServePool) --");
+    for threads in [1usize, 16, 64, 256] {
+        let issued = AtomicUsize::new(0);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let mut session = make_session();
+                let issued = &issued;
+                let queries = &queries;
+                scope.spawn(move || loop {
+                    let i = issued.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    session
+                        .query(Methodology::CentralNothing, &queries[i % queries.len()], 10)
+                        .unwrap();
+                });
+            }
+        });
+        let qps = total as f64 / start.elapsed().as_secs_f64();
+        println!("threads {threads:4}  {qps:10.0} qps");
+    }
+
+    println!("-- sessions checked out of a ServePool --");
+    let serve_pool = ServePool::new((0..256).map(|_| make_session()).collect());
+    for threads in [1usize, 16, 64, 256] {
+        let issued = AtomicUsize::new(0);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let issued = &issued;
+                let queries = &queries;
+                let serve_pool = serve_pool.clone();
+                scope.spawn(move || loop {
+                    let i = issued.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let mut session = serve_pool.session();
+                    session
+                        .query(Methodology::CentralNothing, &queries[i % queries.len()], 10)
+                        .unwrap();
+                });
+            }
+        });
+        let qps = total as f64 / start.elapsed().as_secs_f64();
+        println!("threads {threads:4}  {qps:10.0} qps");
+    }
+    server.shutdown();
+}

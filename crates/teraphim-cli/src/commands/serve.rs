@@ -3,13 +3,20 @@
 use crate::args::Args;
 use teraphim_core::Librarian;
 use teraphim_engine::Collection;
-use teraphim_net::tcp::TcpServer;
+use teraphim_net::tcp::{ServerOptions, TcpServer};
 
 const HELP: &str = "\
 usage: teraphim serve --index FILE.tcol [--addr 127.0.0.1:7070]
+                      [--workers N] [--replicas R]
 
 serves the collection as a TERAPHIM librarian; receptionists connect
-with `teraphim search --servers ...`. Runs until interrupted";
+with `teraphim search --servers ...`. Runs until interrupted.
+
+--workers N   threads evaluating multiplexed (pipelined) requests
+              concurrently (default 2)
+--replicas R  independent copies of the engine; worker i serves
+              replica i mod R, trading memory for parallel evaluation
+              (default 1)";
 
 /// Runs the subcommand (blocks until the process is interrupted).
 ///
@@ -24,15 +31,30 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
     let path = args.require("index")?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:7070");
-    let collection = Collection::load(std::path::Path::new(path))
-        .map_err(|e| format!("cannot load collection {path}: {e}"))?;
-    let name = collection.name().to_owned();
-    let num_docs = collection.num_docs();
-    let librarian = Librarian::from_collection(collection);
-    let server =
-        TcpServer::spawn(librarian, addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let workers: usize = args.get_parsed("workers", 2)?;
+    let replicas: usize = args.get_parsed("replicas", 1)?;
+    if workers == 0 || replicas == 0 {
+        return Err("--workers and --replicas must be at least 1".into());
+    }
+    // The engine is not clonable (it owns index file state), so each
+    // replica is an independent load of the same collection file.
+    let mut librarians = Vec::with_capacity(replicas);
+    let (mut name, mut num_docs) = (String::new(), 0);
+    for _ in 0..replicas {
+        let collection = Collection::load(std::path::Path::new(path))
+            .map_err(|e| format!("cannot load collection {path}: {e}"))?;
+        name = collection.name().to_owned();
+        num_docs = collection.num_docs();
+        librarians.push(Librarian::from_collection(collection));
+    }
+    let options = ServerOptions {
+        workers,
+        ..ServerOptions::default()
+    };
+    let server = TcpServer::spawn_with(librarians, addr, options)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!(
-        "librarian {name} ({num_docs} documents) listening on {}",
+        "librarian {name} ({num_docs} documents, {replicas} replica(s), {workers} worker(s)) listening on {}",
         server.addr()
     );
     println!("press Ctrl-C to stop");

@@ -48,6 +48,7 @@ pub mod librarian;
 pub mod methodology;
 pub mod receptionist;
 pub mod selection;
+pub mod serving;
 pub mod sim;
 
 pub use cache::{CacheConfig, CacheCounters, CacheStats};
@@ -58,6 +59,7 @@ pub use methodology::{CiParams, Methodology};
 pub use receptionist::{
     Coverage, DegradePolicy, FetchedDoc, GlobalHit, RankedAnswer, Receptionist,
 };
+pub use serving::{QuerySession, ServePool};
 
 use std::error::Error;
 use std::fmt;

@@ -113,7 +113,10 @@ impl Default for DegradePolicy {
     }
 }
 
-/// Global state for the Central Vocabulary methodology.
+/// Global state for the Central Vocabulary methodology. Immutable once
+/// built, so forked receptionists ([`Receptionist::fork`]) share one
+/// copy behind an [`Arc`] instead of re-running the vocabulary
+/// exchange per session.
 #[derive(Debug)]
 struct CvState {
     vocab: Vocabulary,
@@ -123,7 +126,8 @@ struct CvState {
     selection: crate::selection::SelectionState,
 }
 
-/// Global state for the Central Index methodology.
+/// Global state for the Central Index methodology. Immutable once
+/// built and shared across forked receptionists like [`CvState`].
 #[derive(Debug)]
 struct CiState {
     grouped: GroupedIndex,
@@ -157,8 +161,8 @@ struct CiState {
 pub struct Receptionist<T: Transport> {
     transports: Vec<T>,
     analyzer: Analyzer,
-    cv: Option<CvState>,
-    ci: Option<CiState>,
+    cv: Option<Arc<CvState>>,
+    ci: Option<Arc<CiState>>,
     next_query_id: u32,
     dispatch: DispatchMode,
     degrade: DegradePolicy,
@@ -182,6 +186,40 @@ impl<T: Transport> Receptionist<T> {
             degrade: DegradePolicy::default(),
             trace: TraceSink::disabled(),
             cache: None,
+        }
+    }
+
+    /// Clones this receptionist's *global* state onto a fresh set of
+    /// transports, producing an independent session that can run on
+    /// another thread. The expensive preprocessing products — the
+    /// merged CV vocabulary/statistics and the CI grouped index — are
+    /// shared behind [`Arc`]s (they are immutable once built), so a
+    /// pool of hundreds of sessions costs no more memory than one.
+    ///
+    /// Per-session state is *not* shared: the fork gets its own
+    /// transports (and therefore its own traffic accounting), its own
+    /// query-id counter, a fresh cache with the same configuration
+    /// (caches are unsynchronized, so each session maintains its own),
+    /// and a disabled trace sink — attach one per session with
+    /// [`Receptionist::set_trace_sink`] if needed. Dispatch mode and
+    /// degrade policy carry over.
+    ///
+    /// The fork may run over a *different* transport type than the
+    /// prototype — e.g. preprocess over plain per-call
+    /// `TcpTransport`s, then fork sessions onto multiplexed handles.
+    /// The transports must of course address the same librarian fleet
+    /// in the same order.
+    pub fn fork<U: Transport>(&self, transports: Vec<U>) -> Receptionist<U> {
+        Receptionist {
+            transports,
+            analyzer: self.analyzer.clone(),
+            cv: self.cv.clone(),
+            ci: self.ci.clone(),
+            next_query_id: 0,
+            dispatch: self.dispatch,
+            degrade: self.degrade,
+            trace: TraceSink::disabled(),
+            cache: self.cache.as_ref().map(|c| CacheState::new(c.config())),
         }
     }
 
@@ -383,11 +421,11 @@ impl<T: Transport> Receptionist<T> {
             }
         }
         stats.set_num_docs(total_docs);
-        self.cv = Some(CvState {
+        self.cv = Some(Arc::new(CvState {
             vocab,
             stats,
             selection,
-        });
+        }));
         Ok(())
     }
 
@@ -442,7 +480,7 @@ impl<T: Transport> Receptionist<T> {
         }
         let refs: Vec<&InvertedIndex> = indexes.iter().collect();
         let grouped = GroupedIndex::build(&refs, params.group_size)?;
-        self.ci = Some(CiState { grouped, params });
+        self.ci = Some(Arc::new(CiState { grouped, params }));
         Ok(())
     }
 

@@ -1,0 +1,298 @@
+//! The concurrent serving front-end: a pool of receptionist sessions
+//! with admission control.
+//!
+//! A single [`Receptionist`] evaluates one query at a time — its query
+//! pipeline holds `&mut self` from lodgement to merge. To serve many
+//! users concurrently the receptionist is *forked*
+//! ([`Receptionist::fork`]): each session carries its own transports
+//! and per-query state while the expensive global products (CV
+//! vocabulary, CI grouped index) are shared behind `Arc`s. Over
+//! multiplexed transports ([`teraphim_net::mux`]) every session's
+//! exchanges pipeline onto the same few TCP connections, so hundreds of
+//! in-flight queries cost a handful of sockets rather than a socket
+//! (or a thread) per query.
+//!
+//! [`ServePool`] owns the sessions and gates admission: at most
+//! `capacity` queries are in flight at once. [`ServePool::session`]
+//! blocks until a session is free (closed-loop callers), while
+//! [`ServePool::try_session`] returns `None` instead of queueing
+//! (open-loop callers shed load — backpressure surfaces to the client
+//! rather than growing an unbounded internal queue). A checked-out
+//! [`QuerySession`] dereferences to the receptionist and returns itself
+//! to the pool on drop, even if the query panicked.
+//!
+//! # Examples
+//!
+//! ```
+//! use teraphim_core::{Librarian, Methodology, Receptionist, ServePool};
+//! use teraphim_net::InProcTransport;
+//! use teraphim_text::Analyzer;
+//!
+//! # fn main() -> Result<(), teraphim_core::TeraphimError> {
+//! let make_fleet = || {
+//!     vec![
+//!         Librarian::from_texts("A", &[("A-1", "cats sleep all day")]),
+//!         Librarian::from_texts("B", &[("B-1", "dogs fetch sticks")]),
+//!     ]
+//!     .into_iter()
+//!     .map(InProcTransport::new)
+//!     .collect::<Vec<_>>()
+//! };
+//! let mut prototype = Receptionist::new(make_fleet(), Analyzer::default());
+//! prototype.enable_cv()?;
+//! // Two concurrent sessions sharing the prototype's CV state.
+//! let pool = ServePool::new(vec![prototype.fork(make_fleet()), prototype.fork(make_fleet())]);
+//! let mut session = pool.session();
+//! let hits = session.query(Methodology::CentralVocabulary, "cats", 5)?;
+//! assert_eq!(hits.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::receptionist::Receptionist;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, Condvar, Mutex};
+use teraphim_net::Transport;
+
+struct PoolInner<T: Transport> {
+    idle: Mutex<Vec<Receptionist<T>>>,
+    freed: Condvar,
+    capacity: usize,
+}
+
+/// A fixed-capacity pool of receptionist sessions with admission
+/// control. See the [module docs](self) for the serving model.
+///
+/// The pool is cheaply cloneable (an `Arc` internally); clones check
+/// sessions out of the same shared pool, so one `ServePool` can be
+/// handed to many client threads.
+pub struct ServePool<T: Transport> {
+    inner: Arc<PoolInner<T>>,
+}
+
+impl<T: Transport> Clone for ServePool<T> {
+    fn clone(&self) -> Self {
+        ServePool {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Transport> std::fmt::Debug for ServePool<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServePool")
+            .field("capacity", &self.capacity())
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+impl<T: Transport> ServePool<T> {
+    /// Builds a pool over pre-forked sessions. Capacity — the maximum
+    /// number of concurrently admitted queries — is `sessions.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sessions` is empty: a zero-capacity pool would
+    /// deadlock every caller.
+    pub fn new(sessions: Vec<Receptionist<T>>) -> Self {
+        assert!(!sessions.is_empty(), "ServePool needs at least one session");
+        let capacity = sessions.len();
+        ServePool {
+            inner: Arc::new(PoolInner {
+                idle: Mutex::new(sessions),
+                freed: Condvar::new(),
+                capacity,
+            }),
+        }
+    }
+
+    /// Checks a session out, blocking until one is free. This is the
+    /// closed-loop admission path: when all `capacity` sessions are in
+    /// flight the caller waits, which propagates backpressure up to
+    /// whatever is driving it.
+    pub fn session(&self) -> QuerySession<T> {
+        let mut idle = self.inner.idle.lock().unwrap();
+        loop {
+            if let Some(r) = idle.pop() {
+                return QuerySession {
+                    pool: Arc::clone(&self.inner),
+                    receptionist: Some(r),
+                };
+            }
+            idle = self.inner.freed.wait(idle).unwrap();
+        }
+    }
+
+    /// Checks a session out only if one is free *right now* — the
+    /// open-loop admission path. `None` means the pool is saturated and
+    /// the caller should shed the query (count it as rejected, tell the
+    /// user to retry) rather than queue it.
+    pub fn try_session(&self) -> Option<QuerySession<T>> {
+        let mut idle = self.inner.idle.lock().unwrap();
+        idle.pop().map(|r| QuerySession {
+            pool: Arc::clone(&self.inner),
+            receptionist: Some(r),
+        })
+    }
+
+    /// The maximum number of concurrently admitted queries.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Sessions currently checked out.
+    pub fn in_flight(&self) -> usize {
+        self.inner.capacity - self.inner.idle.lock().unwrap().len()
+    }
+}
+
+/// An admitted query session: a receptionist checked out of a
+/// [`ServePool`]. Dereferences to [`Receptionist`]; returns itself to
+/// the pool (waking one blocked [`ServePool::session`] caller) when
+/// dropped.
+pub struct QuerySession<T: Transport> {
+    pool: Arc<PoolInner<T>>,
+    receptionist: Option<Receptionist<T>>,
+}
+
+impl<T: Transport> Deref for QuerySession<T> {
+    type Target = Receptionist<T>;
+
+    fn deref(&self) -> &Receptionist<T> {
+        self.receptionist
+            .as_ref()
+            .expect("session present until drop")
+    }
+}
+
+impl<T: Transport> DerefMut for QuerySession<T> {
+    fn deref_mut(&mut self) -> &mut Receptionist<T> {
+        self.receptionist
+            .as_mut()
+            .expect("session present until drop")
+    }
+}
+
+impl<T: Transport> Drop for QuerySession<T> {
+    fn drop(&mut self) {
+        if let Some(r) = self.receptionist.take() {
+            self.pool.idle.lock().unwrap().push(r);
+            self.pool.freed.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::librarian::Librarian;
+    use crate::methodology::Methodology;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+    use teraphim_net::InProcTransport;
+    use teraphim_text::Analyzer;
+
+    fn fleet() -> Vec<InProcTransport<Librarian>> {
+        vec![
+            Librarian::from_texts(
+                "A",
+                &[("A-1", "cats sleep all day"), ("A-2", "big cats roam")],
+            ),
+            Librarian::from_texts("B", &[("B-1", "dogs fetch sticks")]),
+        ]
+        .into_iter()
+        .map(InProcTransport::new)
+        .collect()
+    }
+
+    fn pool_of(n: usize) -> ServePool<InProcTransport<Librarian>> {
+        let prototype = Receptionist::new(fleet(), Analyzer::default());
+        ServePool::new((0..n).map(|_| prototype.fork(fleet())).collect())
+    }
+
+    #[test]
+    fn forked_sessions_share_cv_state_and_answer_identically() {
+        let mut prototype = Receptionist::new(fleet(), Analyzer::default());
+        prototype.enable_cv().unwrap();
+        let baseline = prototype
+            .query(Methodology::CentralVocabulary, "cats", 5)
+            .unwrap();
+
+        let mut fork = prototype.fork(fleet());
+        assert!(fork.has_cv(), "fork inherits CV state without re-exchange");
+        let forked = fork
+            .query(Methodology::CentralVocabulary, "cats", 5)
+            .unwrap();
+        assert_eq!(forked, baseline);
+    }
+
+    #[test]
+    fn admission_control_bounds_in_flight_sessions() {
+        let pool = pool_of(2);
+        assert_eq!(pool.capacity(), 2);
+        assert_eq!(pool.in_flight(), 0);
+
+        let a = pool.session();
+        let b = pool.session();
+        assert_eq!(pool.in_flight(), 2);
+        assert!(pool.try_session().is_none(), "saturated pool sheds load");
+
+        drop(a);
+        assert_eq!(pool.in_flight(), 1);
+        let c = pool.try_session();
+        assert!(c.is_some(), "freed session is admissible again");
+        drop(b);
+        drop(c);
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[test]
+    fn blocked_callers_wake_when_a_session_frees() {
+        let pool = pool_of(1);
+        let held = pool.session();
+        let woke = Arc::new(AtomicUsize::new(0));
+        let handle = {
+            let pool = pool.clone();
+            let woke = Arc::clone(&woke);
+            std::thread::spawn(move || {
+                let mut s = pool.session(); // blocks until `held` drops
+                woke.store(1, Ordering::SeqCst);
+                s.query(Methodology::CentralNothing, "dogs", 5)
+                    .unwrap()
+                    .len()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            woke.load(Ordering::SeqCst),
+            0,
+            "caller waits while saturated"
+        );
+        drop(held);
+        assert_eq!(handle.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn sessions_run_queries_concurrently_and_agree_with_a_lone_receptionist() {
+        let mut oracle = Receptionist::new(fleet(), Analyzer::default());
+        let expected = oracle
+            .query(Methodology::CentralNothing, "cats", 5)
+            .unwrap();
+
+        let pool = pool_of(4);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    let mut s = pool.session();
+                    s.query(Methodology::CentralNothing, "cats", 5).unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), expected);
+        }
+        assert_eq!(pool.in_flight(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Quick scaling probe: raw multiplexed exchanges per second as client
+//! thread count grows, against one `TcpServer`. Run with
+//! `cargo run --release -p teraphim-net --example mux_scale`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use teraphim_net::mux::{MuxPool, MuxTransport};
+use teraphim_net::tcp::{ServerOptions, TcpServer};
+use teraphim_net::{Message, Service, TcpOptions, Transport};
+
+struct Echo;
+
+impl Service for Echo {
+    fn handle(&mut self, request: Message) -> Message {
+        // Simulate a ~170us ranking evaluation so the probe matches the
+        // serving benchmark's per-query CPU cost.
+        let t0 = Instant::now();
+        let mut x = 0u64;
+        while t0.elapsed().as_micros() < 170 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        std::hint::black_box(x);
+        request
+    }
+}
+
+fn main() {
+    let total = 20_000usize;
+    let server = TcpServer::spawn_with(
+        vec![Echo, Echo],
+        "127.0.0.1:0",
+        ServerOptions {
+            workers: 2,
+            queue_depth: 512,
+        },
+    )
+    .unwrap();
+    let pool = MuxPool::connect(server.addr(), 2, TcpOptions::default()).unwrap();
+    for threads in [1usize, 16, 64, 256] {
+        let issued = AtomicUsize::new(0);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let pool = std::sync::Arc::clone(&pool);
+                let issued = &issued;
+                scope.spawn(move || {
+                    let mut t = MuxTransport::new(pool);
+                    loop {
+                        if issued.fetch_add(1, Ordering::Relaxed) >= total {
+                            break;
+                        }
+                        let request = Message::RankRequest {
+                            query_id: 1,
+                            k: 10,
+                            terms: (0..30)
+                                .map(|i| (format!("query-term-number-{i}"), 1u32))
+                                .collect(),
+                        };
+                        let reply = t.request(&request).expect("exchange");
+                        assert!(matches!(reply, Message::RankRequest { .. }));
+                    }
+                });
+            }
+        });
+        let qps = total as f64 / start.elapsed().as_secs_f64();
+        println!("threads {threads:4}  {qps:10.0} exchanges/s");
+    }
+    drop(pool);
+    server.shutdown();
+}

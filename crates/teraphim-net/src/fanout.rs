@@ -63,6 +63,16 @@ pub enum DispatchMode {
     /// the elapsed time is the maximum of the librarians' times.
     #[default]
     Concurrent,
+    /// All requests issued back-to-back on the calling thread
+    /// ([`Transport::begin`]), replies then waited for in librarian
+    /// order — no worker threads at all. Over pipelining transports
+    /// (the multiplexed TCP path) the elapsed time matches
+    /// `Concurrent` — the maximum of the librarians' times — without
+    /// per-query thread spawns, which is what lets hundreds of
+    /// concurrent query sessions coexist cheaply. Over plain
+    /// transports the deferred-ticket fallback makes it behave exactly
+    /// like `Sequential`.
+    Pipelined,
 }
 
 /// Sends `requests[i]` over `transports[i]` (skipping `None` slots) and
@@ -137,6 +147,29 @@ where
                         on_reply(lib, response)?;
                     }
                     Err(e) => {
+                        record_failed(trace, lib, &e);
+                        return Err(E::from(e));
+                    }
+                }
+            }
+            Ok(())
+        }
+        DispatchMode::Pipelined => {
+            let mut tickets = Vec::with_capacity(transports.len());
+            for (lib, (transport, request)) in transports.iter_mut().zip(requests).enumerate() {
+                let Some(request) = request else { continue };
+                record_sent(trace, lib, &request);
+                tickets.push((lib, transport.begin(&request)));
+            }
+            for (lib, ticket) in tickets {
+                match transports[lib].finish(ticket) {
+                    Ok(response) => {
+                        record_reply(trace, lib, transports[lib].last_exchange().1, &response);
+                        on_reply(lib, response)?;
+                    }
+                    Err(e) => {
+                        // Outstanding tickets deregister on drop; their
+                        // replies are discarded by the reactors.
                         record_failed(trace, lib, &e);
                         return Err(E::from(e));
                     }
@@ -243,6 +276,27 @@ where
                 let result = transport.request(&request).inspect(|response| {
                     record_reply(trace, lib, transport.last_exchange().1, response);
                 });
+                match result.and_then(|r| on_reply(lib, r)) {
+                    Ok(()) => {}
+                    Err(e) => {
+                        record_failed(trace, lib, &e);
+                        failures.push((lib, e));
+                    }
+                }
+            }
+        }
+        DispatchMode::Pipelined => {
+            let mut tickets = Vec::with_capacity(transports.len());
+            for (lib, (transport, request)) in transports.iter_mut().zip(requests).enumerate() {
+                let Some(request) = request else { continue };
+                record_sent(trace, lib, &request);
+                tickets.push((lib, transport.begin(&request)));
+            }
+            for (lib, ticket) in tickets {
+                let result = transports[lib].finish(ticket);
+                if let Ok(response) = &result {
+                    record_reply(trace, lib, transports[lib].last_exchange().1, response);
+                }
                 match result.and_then(|r| on_reply(lib, r)) {
                     Ok(()) => {}
                     Err(e) => {
@@ -372,7 +426,11 @@ mod tests {
 
     #[test]
     fn both_modes_deliver_every_reply() {
-        for mode in [DispatchMode::Sequential, DispatchMode::Concurrent] {
+        for mode in [
+            DispatchMode::Sequential,
+            DispatchMode::Concurrent,
+            DispatchMode::Pipelined,
+        ] {
             let mut ts = transports(4, Duration::ZERO);
             let requests = (0..4).map(|i| Some(rank_request(i))).collect();
             let mut seen = Vec::new();
@@ -452,7 +510,11 @@ mod tests {
     #[test]
     fn dispatch_partial_survives_failed_librarians() {
         use crate::faults::{FaultPlan, FaultyTransport};
-        for mode in [DispatchMode::Sequential, DispatchMode::Concurrent] {
+        for mode in [
+            DispatchMode::Sequential,
+            DispatchMode::Concurrent,
+            DispatchMode::Pipelined,
+        ] {
             let mut ts: Vec<FaultyTransport<InProcTransport<SlowEcho>>> = (0..4)
                 .map(|lib| {
                     let plan = if lib == 2 {
@@ -515,7 +577,11 @@ mod tests {
 
     #[test]
     fn traced_dispatch_records_sent_and_reply_per_librarian() {
-        for mode in [DispatchMode::Sequential, DispatchMode::Concurrent] {
+        for mode in [
+            DispatchMode::Sequential,
+            DispatchMode::Concurrent,
+            DispatchMode::Pipelined,
+        ] {
             let sink = TraceSink::new();
             sink.record(EventKind::Begin {
                 op: "query",

@@ -14,6 +14,10 @@
 //!   (mono-disk / multi-disk configurations, and the simulation driver);
 //! * [`tcp`] — real TCP with length-prefixed frames (the LAN
 //!   configuration, runnable on loopback);
+//! * [`mux`] — persistent multiplexed connections over the same TCP
+//!   framing: correlation-id-tagged frames let hundreds of in-flight
+//!   requests pipeline on one socket, demultiplexed by a per-connection
+//!   reactor thread;
 //! * traffic accounting ([`transport::TrafficStats`]) that the
 //!   simulation driver feeds into `teraphim-simnet` to cost the WAN;
 //! * [`fanout`] — the receptionist's batch dispatch path: one scoped
@@ -37,6 +41,7 @@
 pub mod fanout;
 pub mod faults;
 pub mod message;
+pub mod mux;
 pub mod retry;
 pub mod tcp;
 pub mod transport;
@@ -48,8 +53,12 @@ pub use fanout::{
 };
 pub use faults::{FaultAction, FaultPlan, FaultyService, FaultyTransport};
 pub use message::Message;
+pub use mux::{MuxConnection, MuxPool, MuxTransport};
 pub use retry::{RetryPolicy, RetryTransport};
-pub use transport::{AtomicTrafficStats, InProcTransport, Service, TrafficStats, Transport};
+pub use tcp::{ServerOptions, TcpOptions};
+pub use transport::{
+    AtomicTrafficStats, InProcTransport, Service, Ticket, TrafficStats, Transport,
+};
 
 use std::error::Error;
 use std::fmt;

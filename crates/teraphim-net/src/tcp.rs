@@ -2,47 +2,73 @@
 //!
 //! This is the deployment transport — a librarian process listens on a
 //! socket, a receptionist connects. Frames are `u32` little-endian
-//! length + encoded [`Message`]. One connection carries many sequential
-//! request/response exchanges, matching the paper's "librarian-to-
-//! receptionist session" model (an MG process per session).
+//! length + encoded [`Message`] (see [`crate::wire`] for the framing
+//! rules). One connection carries either sequential request/response
+//! exchanges (plain frames, answered in order — the paper's
+//! "librarian-to-receptionist session" model) or correlated multiplexed
+//! frames pipelined by [`crate::mux::MuxTransport`], answered in
+//! completion order.
+//!
+//! The server couples a nonblocking accept loop with one reader thread
+//! per connection and a **bounded worker pool**: readers decode frames
+//! off the socket and enqueue correlated requests on a bounded job
+//! queue; workers pull jobs, run the service, and write replies under a
+//! per-connection writer lock (replies to different correlation ids may
+//! interleave). When the queue is full the readers block, which stops
+//! them draining their sockets, which backpressures clients through
+//! TCP's own flow control — load shedding without unbounded thread
+//! growth. Plain frames are handled on the reader thread itself, which
+//! preserves their strict per-connection ordering.
 
 use crate::message::Message;
 use crate::transport::{AtomicTrafficStats, Service, TrafficStats, Transport};
+use crate::wire::{mux_envelope, read_frame, split_mux_envelope, write_frame};
 use crate::NetError;
-use std::io::{Read, Write};
+use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use teraphim_obs::{EventKind, TraceSink};
 
-/// Maximum accepted frame, guarding against corrupt length prefixes.
-const MAX_FRAME: u32 = 256 * 1024 * 1024;
-
-/// Writes one length-prefixed frame.
-fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), NetError> {
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()?;
-    Ok(())
+/// Socket configuration applied uniformly to every client connection:
+/// one knob each for connect, read and write, all optional. `Nagle` is
+/// always disabled — the protocol's exchanges are small and
+/// latency-sensitive, so coalescing delay is never worth it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcpOptions {
+    /// Bound on establishing the connection; `None` blocks until the OS
+    /// gives up.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on each socket read ([`NetError::Timeout`] on expiry).
+    pub read_timeout: Option<Duration>,
+    /// Bound on each socket write ([`NetError::Timeout`] on expiry).
+    pub write_timeout: Option<Duration>,
 }
 
-/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
-/// boundary.
-fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, NetError> {
-    let mut len_buf = [0u8; 4];
-    match r.read_exact(&mut len_buf) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e.into()),
+impl TcpOptions {
+    /// One deadline for everything: connect, every read, every write.
+    pub fn with_deadline(deadline: Duration) -> Self {
+        TcpOptions {
+            connect_timeout: Some(deadline),
+            read_timeout: Some(deadline),
+            write_timeout: Some(deadline),
+        }
     }
-    let len = u32::from_le_bytes(len_buf);
-    if len > MAX_FRAME {
-        return Err(NetError::Corrupt("frame too large"));
-    }
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+}
+
+/// Connects a raw stream per `options`: `TCP_NODELAY` on, timeouts
+/// applied. Shared by [`TcpTransport`] and the multiplexed pool.
+pub(crate) fn connect_stream(addr: SocketAddr, options: TcpOptions) -> Result<TcpStream, NetError> {
+    let stream = match options.connect_timeout {
+        Some(t) => TcpStream::connect_timeout(&addr, t).map_err(map_timeout_io_error)?,
+        None => TcpStream::connect(addr)?,
+    };
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(options.read_timeout)?;
+    stream.set_write_timeout(options.write_timeout)?;
+    Ok(stream)
 }
 
 /// A client connection to one librarian server.
@@ -65,13 +91,20 @@ impl TcpTransport {
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, NetError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        Ok(TcpTransport {
-            stream,
-            stats: TrafficStats::default(),
-            last: (0, 0),
-            trace: TraceSink::disabled(),
-            librarian: 0,
-        })
+        Ok(Self::from_stream(stream))
+    }
+
+    /// Connects with explicit socket options — the uniform path that
+    /// [`TcpTransport::connect`] and
+    /// [`TcpTransport::connect_with_deadline`] both reduce to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Timeout`] if the connection cannot be
+    /// established within `options.connect_timeout`, [`NetError::Io`]
+    /// on other failures.
+    pub fn connect_with(addr: SocketAddr, options: TcpOptions) -> Result<Self, NetError> {
+        Ok(Self::from_stream(connect_stream(addr, options)?))
     }
 
     /// Connects with a per-operation deadline: the connect itself, and
@@ -83,21 +116,18 @@ impl TcpTransport {
     ///
     /// Returns [`NetError::Timeout`] if the connection cannot be
     /// established in time, [`NetError::Io`] on other failures.
-    pub fn connect_with_deadline(
-        addr: SocketAddr,
-        deadline: std::time::Duration,
-    ) -> Result<Self, NetError> {
-        let stream = TcpStream::connect_timeout(&addr, deadline).map_err(map_timeout_io_error)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(deadline))?;
-        stream.set_write_timeout(Some(deadline))?;
-        Ok(TcpTransport {
+    pub fn connect_with_deadline(addr: SocketAddr, deadline: Duration) -> Result<Self, NetError> {
+        Self::connect_with(addr, TcpOptions::with_deadline(deadline))
+    }
+
+    fn from_stream(stream: TcpStream) -> Self {
+        TcpTransport {
             stream,
             stats: TrafficStats::default(),
             last: (0, 0),
             trace: TraceSink::disabled(),
             librarian: 0,
-        })
+        }
     }
 
     /// Attaches a trace sink: a socket deadline expiry records a
@@ -113,7 +143,7 @@ impl TcpTransport {
 /// Maps socket-timeout I/O errors to the typed [`NetError::Timeout`].
 /// (`WouldBlock` is what Unix returns for a timed-out read on a socket
 /// with `SO_RCVTIMEO`; Windows uses `TimedOut`.)
-fn map_timeout_io_error(e: std::io::Error) -> NetError {
+pub(crate) fn map_timeout_io_error(e: std::io::Error) -> NetError {
     match e.kind() {
         std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => NetError::Timeout,
         _ => NetError::Io(e),
@@ -121,7 +151,7 @@ fn map_timeout_io_error(e: std::io::Error) -> NetError {
 }
 
 /// Lifts frame-level I/O errors into typed timeouts where applicable.
-fn map_timeout_frame_error(e: NetError) -> NetError {
+pub(crate) fn map_timeout_frame_error(e: NetError) -> NetError {
     match e {
         NetError::Io(io) => map_timeout_io_error(io),
         other => other,
@@ -169,21 +199,142 @@ impl TcpTransport {
     }
 }
 
+/// Sizing for a [`TcpServer`]'s bounded worker pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerOptions {
+    /// Worker threads draining the correlated-request queue. Each
+    /// worker is pinned to one service replica (`worker % replicas`),
+    /// so concurrency across replicas needs at least as many workers.
+    pub workers: usize,
+    /// Bound on queued correlated requests. A full queue blocks the
+    /// connection readers, which backpressures clients through TCP
+    /// flow control instead of growing memory without bound.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerOptions {
+    /// Two workers over a 128-deep queue: enough to overlap service
+    /// work with socket I/O on a single replica without oversubscribing
+    /// small machines.
+    fn default() -> Self {
+        ServerOptions {
+            workers: 2,
+            queue_depth: 128,
+        }
+    }
+}
+
+/// A correlated request waiting for a worker: the decoded-frame bytes,
+/// the id to echo, and the connection to answer on.
+struct Job {
+    corr: u64,
+    request: Vec<u8>,
+    writer: Arc<Mutex<TcpStream>>,
+}
+
+/// A bounded MPMC queue: readers push (blocking when full), workers pop
+/// (blocking when empty), `close` wakes everyone for shutdown.
+struct JobQueue {
+    state: Mutex<JobQueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct JobQueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(JobQueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a job, blocking while the queue is full. Returns `false`
+    /// when the queue has been closed (server shutting down).
+    fn push(&self, job: Job) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        while st.jobs.len() >= self.capacity && !st.closed {
+            st = self
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.closed {
+            return false;
+        }
+        st.jobs.push_back(job);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Dequeues the next job, blocking while empty. Drains remaining
+    /// jobs after close; returns `None` only when closed *and* empty.
+    fn pop(&self) -> Option<Job> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(job) = st.jobs.pop_front() {
+                self.not_full.notify_one();
+                return Some(job);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
 /// A running librarian server.
 ///
-/// Dropping the handle signals shutdown and joins the accept thread.
+/// Dropping the handle signals shutdown and joins the accept thread and
+/// worker pool.
 #[derive(Debug)]
 pub struct TcpServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     traffic: Arc<AtomicTrafficStats>,
     accept_thread: Option<JoinHandle<()>>,
+    queue: Arc<JobQueue>,
+    workers: Vec<JoinHandle<()>>,
 }
 
+impl std::fmt::Debug for JobQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+/// How often the nonblocking accept loop re-checks the shutdown flag
+/// while no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
 impl TcpServer {
-    /// Serves `service` on `addr` (use port 0 for an ephemeral port).
-    /// Each connection is handled on its own thread; requests on one
-    /// connection are sequential.
+    /// Serves `service` on `addr` (use port 0 for an ephemeral port)
+    /// with default [`ServerOptions`]. Each connection gets a reader
+    /// thread; plain requests on one connection are sequential,
+    /// correlated requests go through the worker pool.
     ///
     /// # Errors
     ///
@@ -193,29 +344,93 @@ impl TcpServer {
         S: Service + 'static,
         A: ToSocketAddrs,
     {
+        Self::spawn_with(vec![service], addr, ServerOptions::default())
+    }
+
+    /// Serves a set of interchangeable `services` replicas on `addr`
+    /// under explicit pool sizing. Every replica must answer any request
+    /// identically (e.g. librarians built over the same collection):
+    /// each worker is pinned to `replica = worker % replicas`, so with
+    /// `workers == replicas` correlated requests run lock-free in
+    /// parallel, while plain connections share replicas round-robin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `services` is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetError::Io`] if the listener cannot be bound.
+    pub fn spawn_with<S, A>(
+        services: Vec<S>,
+        addr: A,
+        options: ServerOptions,
+    ) -> Result<TcpServer, NetError>
+    where
+        S: Service + 'static,
+        A: ToSocketAddrs,
+    {
+        assert!(!services.is_empty(), "at least one service replica");
+        let replicas: Vec<Arc<Mutex<S>>> = services
+            .into_iter()
+            .map(|s| Arc::new(Mutex::new(s)))
+            .collect();
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let traffic = Arc::new(AtomicTrafficStats::new());
-        let service = Arc::new(Mutex::new(service));
+        let queue = Arc::new(JobQueue::new(options.queue_depth));
+
+        let workers: Vec<JoinHandle<()>> = (0..options.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let service = Arc::clone(&replicas[i % replicas.len()]);
+                let traffic = Arc::clone(&traffic);
+                std::thread::spawn(move || worker_loop(&queue, &service, &traffic))
+            })
+            .collect();
+
         let shutdown_flag = Arc::clone(&shutdown);
         let accept_traffic = Arc::clone(&traffic);
+        let accept_queue = Arc::clone(&queue);
         let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if shutdown_flag.load(Ordering::SeqCst) {
-                    break;
+            let mut conn_id = 0usize;
+            // Nonblocking accept + short poll: shutdown needs no
+            // self-connect trick and cannot be missed.
+            while !shutdown_flag.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // The listener is nonblocking; the accepted
+                        // socket must not be.
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        let service = Arc::clone(&replicas[conn_id % replicas.len()]);
+                        conn_id = conn_id.wrapping_add(1);
+                        let conn_shutdown = Arc::clone(&shutdown_flag);
+                        let conn_traffic = Arc::clone(&accept_traffic);
+                        let conn_queue = Arc::clone(&accept_queue);
+                        // Connection readers are detached: they exit when
+                        // their client hangs up (EOF at a frame boundary)
+                        // or shutdown closes the job queue. Joining them
+                        // here would stall shutdown while any client is
+                        // still connected.
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(
+                                stream,
+                                &service,
+                                &conn_shutdown,
+                                &conn_traffic,
+                                &conn_queue,
+                            );
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
                 }
-                let Ok(stream) = stream else { continue };
-                let service = Arc::clone(&service);
-                let conn_shutdown = Arc::clone(&shutdown_flag);
-                let conn_traffic = Arc::clone(&accept_traffic);
-                // Connection threads are detached: they exit when their
-                // client hangs up (EOF at a frame boundary) or shutdown
-                // is signalled. Joining them here would deadlock shutdown
-                // while any client is still connected.
-                std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &service, &conn_shutdown, &conn_traffic);
-                });
             }
         });
         Ok(TcpServer {
@@ -223,6 +438,8 @@ impl TcpServer {
             shutdown,
             traffic,
             accept_thread: Some(accept_thread),
+            queue,
+            workers,
         })
     }
 
@@ -233,22 +450,26 @@ impl TcpServer {
 
     /// Aggregate traffic served so far, across all connection threads.
     /// Directions are from the server's perspective: `bytes_received`
-    /// counts requests, `bytes_sent` responses.
+    /// counts requests, `bytes_sent` responses. Correlated frames are
+    /// counted by their message payload only (the envelope is framing
+    /// overhead), so totals mirror the clients' counters exactly.
     pub fn traffic(&self) -> TrafficStats {
         self.traffic.snapshot()
     }
 
-    /// Signals shutdown and joins the accept thread.
+    /// Signals shutdown, then joins the accept thread and worker pool.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
         if let Some(handle) = self.accept_thread.take() {
-            self.shutdown.store(true, Ordering::SeqCst);
-            // Unblock the accept loop.
-            let _ = TcpStream::connect(self.addr);
             let _ = handle.join();
+        }
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
         }
     }
 }
@@ -259,31 +480,84 @@ impl Drop for TcpServer {
     }
 }
 
+/// Runs the service over one decoded request payload.
+fn handle_payload<S: Service>(payload: &[u8], service: &Arc<Mutex<S>>) -> Message {
+    match Message::decode(payload) {
+        Ok(request) => service
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .handle(request),
+        Err(e) => Message::Error {
+            message: format!("bad request: {e}"),
+        },
+    }
+}
+
+/// Drains the job queue until closed-and-empty: decode, serve, reply
+/// under the connection's writer lock. Write failures mean the client
+/// is gone; the job is simply dropped.
+fn worker_loop<S: Service>(
+    queue: &JobQueue,
+    service: &Arc<Mutex<S>>,
+    traffic: &AtomicTrafficStats,
+) {
+    while let Some(job) = queue.pop() {
+        let response = handle_payload(&job.request, service);
+        let encoded = response.encode();
+        traffic.record(encoded.len() as u64, job.request.len() as u64);
+        let framed = mux_envelope(job.corr, &encoded);
+        let mut w = job.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = write_frame(&mut *w, &framed);
+    }
+}
+
 fn serve_connection<S: Service>(
-    mut stream: TcpStream,
+    stream: TcpStream,
     service: &Arc<Mutex<S>>,
     shutdown: &AtomicBool,
     traffic: &AtomicTrafficStats,
+    queue: &Arc<JobQueue>,
 ) -> Result<(), NetError> {
     stream.set_nodelay(true)?;
-    while let Some(frame) = read_frame(&mut stream)? {
+    // Workers answer correlated frames out of order while this thread
+    // answers plain frames in order; the shared writer lock keeps their
+    // frames from interleaving mid-write.
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut reader = stream;
+    while let Some(frame) = read_frame(&mut reader)? {
         // A shut-down server stops serving even on live connections; the
         // client observes EOF on its next exchange.
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let response = match Message::decode(&frame) {
-            Ok(request) => service
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .handle(request),
-            Err(e) => Message::Error {
-                message: format!("bad request: {e}"),
-            },
-        };
-        let encoded = response.encode();
-        traffic.record(encoded.len() as u64, frame.len() as u64);
-        write_frame(&mut stream, &encoded)?;
+        match split_mux_envelope(&frame) {
+            Ok(Some((corr, payload))) => {
+                let job = Job {
+                    corr,
+                    request: payload.to_vec(),
+                    writer: Arc::clone(&writer),
+                };
+                if !queue.push(job) {
+                    break; // queue closed: shutting down
+                }
+            }
+            Ok(None) => {
+                let response = handle_payload(&frame, service);
+                let encoded = response.encode();
+                traffic.record(encoded.len() as u64, frame.len() as u64);
+                let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                write_frame(&mut *w, &encoded)?;
+            }
+            Err(e) => {
+                let response = Message::Error {
+                    message: format!("bad request: {e}"),
+                };
+                let encoded = response.encode();
+                traffic.record(encoded.len() as u64, frame.len() as u64);
+                let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                write_frame(&mut *w, &encoded)?;
+            }
+        }
     }
     Ok(())
 }
@@ -438,7 +712,7 @@ mod tests {
 
     #[test]
     fn silent_server_times_out_within_the_deadline() {
-        use std::time::{Duration, Instant};
+        use std::time::Instant;
         // A listener that accepts but never reads or replies.
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -477,8 +751,7 @@ mod tests {
     fn deadline_connect_to_healthy_server_works_normally() {
         let server = TcpServer::spawn(Doubler, "127.0.0.1:0").unwrap();
         let mut client =
-            TcpTransport::connect_with_deadline(server.addr(), std::time::Duration::from_secs(5))
-                .unwrap();
+            TcpTransport::connect_with_deadline(server.addr(), Duration::from_secs(5)).unwrap();
         let resp = client
             .request(&Message::RankRequest {
                 query_id: 3,
@@ -506,25 +779,123 @@ mod tests {
         server.shutdown();
     }
 
+    /// The old shutdown path woke the acceptor by connecting to itself,
+    /// which could hang if the connect was swallowed. The nonblocking
+    /// accept loop must shut down promptly even with idle clients still
+    /// connected.
     #[test]
-    fn frame_helpers_roundtrip() {
-        let mut buf = Vec::new();
-        write_frame(&mut buf, b"hello").unwrap();
-        write_frame(&mut buf, b"").unwrap();
-        let mut cursor = std::io::Cursor::new(buf);
-        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
-        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
-        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    fn shutdown_is_prompt_with_idle_connections() {
+        use std::time::Instant;
+        let server = TcpServer::spawn(Doubler, "127.0.0.1:0").unwrap();
+        // Two idle clients hold connections open across shutdown.
+        let _idle_a = TcpTransport::connect(server.addr()).unwrap();
+        let _idle_b = TcpTransport::connect(server.addr()).unwrap();
+        let start = Instant::now();
+        server.shutdown();
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "shutdown took {:?}",
+            start.elapsed()
+        );
     }
 
+    /// Raw correlated frames over one connection: replies echo the
+    /// correlation id and the worker pool serves them even when sent
+    /// back-to-back without waiting.
     #[test]
-    fn oversized_frame_is_rejected() {
-        let mut buf = Vec::new();
-        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
-        let mut cursor = std::io::Cursor::new(buf);
+    fn correlated_frames_pipeline_on_one_connection() {
+        use std::collections::HashMap;
+        let server = TcpServer::spawn_with(
+            vec![Doubler, Doubler],
+            "127.0.0.1:0",
+            ServerOptions {
+                workers: 2,
+                queue_depth: 8,
+            },
+        )
+        .unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let n = 16u64;
+        for corr in 0..n {
+            let req = Message::RankRequest {
+                query_id: corr as u32,
+                k: 1,
+                terms: vec![],
+            };
+            write_frame(&mut stream, &mux_envelope(corr, &req.encode())).unwrap();
+        }
+        let mut seen: HashMap<u64, u32> = HashMap::new();
+        for _ in 0..n {
+            let frame = read_frame(&mut stream).unwrap().unwrap();
+            let (corr, payload) = split_mux_envelope(&frame).unwrap().unwrap();
+            match Message::decode(payload).unwrap() {
+                Message::RankResponse { query_id, .. } => {
+                    seen.insert(corr, query_id);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // Every reply routed to its request regardless of arrival order.
+        assert_eq!(seen.len(), n as usize);
+        for corr in 0..n {
+            assert_eq!(seen[&corr], corr as u32 * 2);
+        }
+        assert_eq!(server.traffic().round_trips, n);
+        server.shutdown();
+    }
+
+    /// Plain and correlated frames may share one connection: plain
+    /// replies keep their strict ordering while correlated ones flow
+    /// through the pool.
+    #[test]
+    fn plain_and_correlated_frames_share_a_connection() {
+        let server = TcpServer::spawn(Doubler, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let rank = |id: u32| Message::RankRequest {
+            query_id: id,
+            k: 1,
+            terms: vec![],
+        };
+        // A correlated request, then a plain one, without waiting.
+        write_frame(&mut stream, &mux_envelope(99, &rank(7).encode())).unwrap();
+        write_frame(&mut stream, &rank(8).encode()).unwrap();
+        let mut plain = None;
+        let mut correlated = None;
+        for _ in 0..2 {
+            let frame = read_frame(&mut stream).unwrap().unwrap();
+            match split_mux_envelope(&frame).unwrap() {
+                Some((corr, payload)) => {
+                    assert_eq!(corr, 99);
+                    correlated = Some(Message::decode(payload).unwrap());
+                }
+                None => plain = Some(Message::decode(&frame).unwrap()),
+            }
+        }
+        assert!(
+            matches!(correlated, Some(Message::RankResponse { query_id: 14, .. })),
+            "{correlated:?}"
+        );
+        assert!(
+            matches!(plain, Some(Message::RankResponse { query_id: 16, .. })),
+            "{plain:?}"
+        );
+        server.shutdown();
+    }
+
+    /// A corrupt mux envelope answers a plain protocol error instead of
+    /// killing the connection.
+    #[test]
+    fn corrupt_envelope_answers_an_error_frame() {
+        let server = TcpServer::spawn(Doubler, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut stream, &[crate::wire::MUX_TAG]).unwrap();
+        let frame = read_frame(&mut stream).unwrap().unwrap();
         assert!(matches!(
-            read_frame(&mut cursor),
-            Err(NetError::Corrupt("frame too large"))
+            Message::decode(&frame).unwrap(),
+            Message::Error { .. }
         ));
+        server.shutdown();
     }
 }

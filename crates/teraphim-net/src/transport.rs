@@ -94,6 +94,26 @@ impl AtomicTrafficStats {
     }
 }
 
+/// An in-flight pipelined request issued with [`Transport::begin`],
+/// completed by passing it back to [`Transport::finish`] **on the same
+/// transport**.
+#[derive(Debug)]
+pub struct Ticket(pub(crate) TicketState);
+
+#[derive(Debug)]
+pub(crate) enum TicketState {
+    /// Nothing has gone out yet: `finish` runs the full blocking
+    /// exchange. Every transport gets this fallback for free, so
+    /// pipelined dispatch degrades gracefully (to sequential issue
+    /// order) over transports without true pipelining.
+    Deferred(Message),
+    /// `begin` itself failed; `finish` surfaces the error.
+    Failed(NetError),
+    /// Sent over a multiplexed connection; the connection's reactor
+    /// thread completes it ([`crate::mux`]).
+    Mux(crate::mux::MuxTicket),
+}
+
 /// A synchronous request/response channel to one librarian.
 ///
 /// `Send` is a supertrait so that the fan-out path
@@ -114,6 +134,33 @@ pub trait Transport: Send {
     /// The byte counts of the most recent request/response pair
     /// `(sent, received)`; (0, 0) before any request.
     fn last_exchange(&self) -> (u64, u64);
+
+    /// Issues `request` without waiting for the reply. Pipelining
+    /// transports (the multiplexed TCP path) put the request on the
+    /// wire here; the default implementation defers the whole exchange
+    /// to [`Transport::finish`], preserving `request`'s exact semantics
+    /// for every existing transport and decorator.
+    fn begin(&mut self, request: &Message) -> Ticket {
+        Ticket(TicketState::Deferred(request.clone()))
+    }
+
+    /// Completes an exchange started by [`Transport::begin`] on this
+    /// transport, blocking until the reply arrives (or the transport's
+    /// deadline expires). Statistics and trace events are recorded
+    /// here, exactly as a blocking `request` would have.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`NetError`]s as [`Transport::request`], plus
+    /// [`NetError::Corrupt`] if `ticket` came from a different
+    /// transport.
+    fn finish(&mut self, ticket: Ticket) -> Result<Message, NetError> {
+        match ticket.0 {
+            TicketState::Deferred(request) => self.request(&request),
+            TicketState::Failed(e) => Err(e),
+            TicketState::Mux(_) => Err(NetError::Corrupt("ticket finished on a foreign transport")),
+        }
+    }
 }
 
 /// An in-process transport: requests are encoded, decoded by the service,
@@ -404,6 +451,28 @@ mod tests {
         shared.absorb(&extra);
         assert_eq!(shared.snapshot().round_trips, 8_001);
         assert_eq!(shared.snapshot().total_bytes(), 80_005);
+    }
+
+    #[test]
+    fn default_begin_finish_matches_blocking_request() {
+        let mut t = InProcTransport::new(Echo);
+        let req = Message::StatsRequest;
+        let ticket = t.begin(&req);
+        // Nothing went out at begin time on a non-pipelining transport.
+        assert_eq!(t.stats().round_trips, 0);
+        let resp = t.finish(ticket).unwrap();
+        assert!(matches!(resp, Message::StatsResponse { num_docs: 42, .. }));
+        assert_eq!(t.stats().round_trips, 1);
+    }
+
+    #[test]
+    fn deferred_tickets_preserve_error_semantics() {
+        let mut t = InProcTransport::new(Echo);
+        let ticket = t.begin(&Message::IndexRequest);
+        assert_eq!(
+            t.finish(ticket).unwrap_err(),
+            NetError::Remote("unsupported".into())
+        );
     }
 
     #[test]

@@ -1,12 +1,30 @@
 //! Primitive wire encodings: little-endian integers, v-byte lengths,
-//! length-prefixed byte strings.
+//! length-prefixed byte strings — and the stream framing built on them.
 //!
 //! Variable-length integers use the v-byte code from
 //! `teraphim-compress`, so small values (doc ids, list lengths, k) cost
 //! one byte — the protocol's sizes faithfully reflect "document
 //! identifiers are only a few bytes each".
+//!
+//! # Framing
+//!
+//! Streams carry length-prefixed frames: a `u32` little-endian payload
+//! length followed by the payload ([`write_frame`] / [`read_frame`]).
+//! Two payload shapes share every stream:
+//!
+//! * a *plain* payload — one encoded [`crate::message::Message`],
+//!   answered in order on the same connection;
+//! * a *multiplexed* payload — the [`MUX_TAG`] marker byte, a v-byte
+//!   correlation id, then the encoded message. Correlated replies may
+//!   return in any order; the id routes each reply back to the exchange
+//!   that issued it, which is what lets hundreds of in-flight queries
+//!   pipeline over one connection.
+//!
+//! The marker byte cannot collide with a plain payload because message
+//! tags are small constants (well below [`MUX_TAG`]).
 
 use crate::NetError;
+use std::io::{Read, Write};
 use teraphim_compress::codes::{read_vbyte, write_vbyte};
 
 /// Appends a variable-length unsigned integer.
@@ -78,6 +96,97 @@ pub fn get_str(buf: &[u8], pos: &mut usize) -> Result<String, NetError> {
     String::from_utf8(bytes.to_vec()).map_err(|_| NetError::Corrupt("string not UTF-8"))
 }
 
+/// Maximum accepted frame, guarding against corrupt length prefixes.
+pub const MAX_FRAME: u32 = 256 * 1024 * 1024;
+
+/// Marks a frame payload as multiplexed: [`MUX_TAG`], a v-byte
+/// correlation id, then the encoded message. Plain payloads start with
+/// a message tag, all of which are far smaller than this value.
+pub const MUX_TAG: u8 = 0x80;
+
+/// Writes one length-prefixed frame. The prefix and payload go out in a
+/// single `write_all` so that, with `TCP_NODELAY` set, a small exchange
+/// costs one packet rather than two.
+///
+/// # Errors
+///
+/// Returns [`NetError::Io`] on write failure.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), NetError> {
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame; `Ok(None)` on clean EOF at a frame
+/// boundary. Short reads mid-frame are retried by `read_exact`, so a
+/// frame split across arbitrarily many TCP segments reassembles
+/// correctly.
+///
+/// # Errors
+///
+/// Returns [`NetError::Io`] on read failure or EOF mid-frame, and
+/// [`NetError::Corrupt`] when the length prefix exceeds [`MAX_FRAME`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, NetError> {
+    // Read the prefix byte-wise: `read_exact` reports the same
+    // `UnexpectedEof` for zero bytes (clean close) and a torn prefix
+    // (peer died mid-write), but only the former is a frame boundary.
+    let mut len_buf = [0u8; 4];
+    let mut got = 0;
+    while got < len_buf.len() {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid frame header",
+                )
+                .into())
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(NetError::Corrupt("frame too large"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Builds a multiplexed frame payload: [`MUX_TAG`], the correlation id,
+/// the encoded message.
+pub fn mux_envelope(corr: u64, message: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 9 + message.len());
+    out.push(MUX_TAG);
+    put_uint(&mut out, corr);
+    out.extend_from_slice(message);
+    out
+}
+
+/// Splits a frame payload into its correlation id and message bytes, or
+/// `Ok(None)` when the payload is a plain (uncorrelated) message.
+///
+/// # Errors
+///
+/// Returns [`NetError::Corrupt`] when the payload carries the
+/// [`MUX_TAG`] marker but the envelope is truncated.
+pub fn split_mux_envelope(payload: &[u8]) -> Result<Option<(u64, &[u8])>, NetError> {
+    match payload.first() {
+        Some(&MUX_TAG) => {
+            let mut pos = 1;
+            let corr = get_uint(payload, &mut pos)?;
+            Ok(Some((corr, &payload[pos..])))
+        }
+        _ => Ok(None),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +255,135 @@ mod tests {
             get_str(&out, &mut pos),
             Err(NetError::Corrupt("string not UTF-8"))
         );
+    }
+
+    /// A reader that hands back at most `chunk` bytes per call — the
+    /// worst-case TCP segmentation a blocking reader can observe.
+    struct ChunkedReader {
+        data: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl ChunkedReader {
+        fn new(data: Vec<u8>, chunk: usize) -> Self {
+            ChunkedReader {
+                data,
+                pos: 0,
+                chunk: chunk.max(1),
+            }
+        }
+    }
+
+    impl Read for ChunkedReader {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let n = self.chunk.min(buf.len()).min(self.data.len() - self.pos);
+            buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(NetError::Corrupt("frame too large"))
+        ));
+    }
+
+    #[test]
+    fn split_frames_reassemble_at_every_chunk_size() {
+        let payloads: [&[u8]; 4] = [b"first", b"", b"a much longer third frame payload", b"x"];
+        let mut stream = Vec::new();
+        for p in payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+        // Every chunk size from one byte up must reassemble identically —
+        // the length prefix itself may arrive split across reads.
+        for chunk in 1..=stream.len() {
+            let mut r = ChunkedReader::new(stream.clone(), chunk);
+            for p in payloads {
+                assert_eq!(
+                    read_frame(&mut r).unwrap().as_deref(),
+                    Some(p),
+                    "chunk size {chunk}"
+                );
+            }
+            assert_eq!(read_frame(&mut r).unwrap(), None, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error_not_a_clean_close() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"whole frame").unwrap();
+        // Truncate anywhere after the first byte: the reader must
+        // distinguish a torn frame from EOF at a boundary.
+        for cut in 1..stream.len() {
+            let mut r = ChunkedReader::new(stream[..cut].to_vec(), 3);
+            assert!(
+                matches!(read_frame(&mut r), Err(NetError::Io(_))),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn back_to_back_pipelined_messages_parse_in_order() {
+        use crate::message::Message;
+        // Three pipelined requests written back-to-back, as a
+        // multiplexing client does without waiting for replies.
+        let messages: Vec<Message> = (0..3)
+            .map(|i| Message::RankRequest {
+                query_id: i,
+                k: 5,
+                terms: vec![(format!("term{i}"), i + 1)],
+            })
+            .collect();
+        let mut stream = Vec::new();
+        for (i, m) in messages.iter().enumerate() {
+            write_frame(&mut stream, &mux_envelope(i as u64 + 7, &m.encode())).unwrap();
+        }
+        // Deliver one byte at a time: framing must still find every
+        // message boundary.
+        let mut r = ChunkedReader::new(stream, 1);
+        for (i, m) in messages.iter().enumerate() {
+            let frame = read_frame(&mut r).unwrap().unwrap();
+            let (corr, payload) = split_mux_envelope(&frame).unwrap().unwrap();
+            assert_eq!(corr, i as u64 + 7);
+            assert_eq!(&Message::decode(payload).unwrap(), m);
+        }
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn mux_envelope_roundtrip_and_plain_passthrough() {
+        let env = mux_envelope(300, b"payload");
+        assert_eq!(env[0], MUX_TAG);
+        let (corr, rest) = split_mux_envelope(&env).unwrap().unwrap();
+        assert_eq!(corr, 300);
+        assert_eq!(rest, b"payload");
+
+        // A plain message payload (tag byte is small) is not mux.
+        assert_eq!(split_mux_envelope(&[1, 2, 3]).unwrap(), None);
+        // Empty payloads are not mux either.
+        assert_eq!(split_mux_envelope(&[]).unwrap(), None);
+        // A truncated envelope is corrupt, not silently plain.
+        assert!(split_mux_envelope(&[MUX_TAG]).is_err());
     }
 }
