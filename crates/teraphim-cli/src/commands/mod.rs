@@ -9,6 +9,7 @@ pub mod index;
 pub mod query;
 pub mod search;
 pub mod serve;
+pub mod sim;
 pub mod stats;
 
 use std::io::Write;

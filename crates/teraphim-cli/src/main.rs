@@ -9,6 +9,8 @@
 //! teraphim serve --index ap.tcol --addr 127.0.0.1:7070
 //! teraphim search --servers 127.0.0.1:7070,127.0.0.1:7071 \
 //!                 --methodology cv --query "..." [-k 10]
+//! teraphim sim --generate --seed 42 [--check differential]
+//! teraphim sim --plan tests/fixtures/plans/fault_differential.json
 //! ```
 //!
 //! `index` builds a self-contained `.tcol` collection file (compressed
@@ -35,6 +37,7 @@ commands:
   serve        serve a collection as a librarian over TCP
   search       distributed search across librarian servers
   stats        poll librarian servers for live fleet health
+  sim          replay or generate scenario plans with differential checks
 
 run `teraphim <command> --help` for per-command options";
 
@@ -55,6 +58,7 @@ fn main() -> ExitCode {
         "serve" => commands::serve::run(rest),
         "search" => commands::search::run(rest),
         "stats" => commands::stats::run(rest),
+        "sim" => commands::sim::run(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())

@@ -137,6 +137,9 @@ pub struct SimDriver {
     /// numbers the fault plans are evaluated at. Persists across
     /// queries, like a real transport's request counter.
     fault_requests: Vec<u64>,
+    /// Master scenario seed ([`SimDriver::set_seed`]); every stochastic
+    /// consumer derives its stream from this via [`derive_seed`].
+    seed: u64,
     /// Structured trace sink (disabled by default). Simulated queries
     /// emit the same event schema as the real receptionist, stamped
     /// with *virtual* microseconds instead of wall-clock ones.
@@ -146,6 +149,20 @@ pub struct SimDriver {
 /// Virtual seconds → whole trace microseconds.
 fn micros(t: SimTime) -> u64 {
     (t * 1e6).round() as u64
+}
+
+/// Derives a decorrelated sub-seed from one master seed: the splitmix64
+/// finalizer over `master + stream`, so a scenario stamps *one* seed
+/// and every consumer — plan generation, per-librarian fault schedules,
+/// churn document synthesis — draws an independent stream from it
+/// instead of hand-rolling its own constants.
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(stream.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Per-exchange observability data captured while jobs are built,
@@ -272,8 +289,42 @@ impl SimDriver {
             dispatch: SimDispatch::default(),
             fault_plans: vec![None; num_parts],
             fault_requests: vec![0; num_parts],
+            seed: 0,
             trace: TraceSink::disabled(),
         })
+    }
+
+    /// Stamps the master seed all derived randomness flows from. The
+    /// driver itself is deterministic; the seed exists so that plan
+    /// generators and seeded fault schedules built *around* the driver
+    /// share one root instead of each hand-rolling constants.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    /// The master seed last stamped with [`SimDriver::set_seed`]
+    /// (0 until then).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A decorrelated sub-seed for `stream`, derived from the master
+    /// seed — the handle plan generation and fault schedules draw from.
+    pub fn stream_seed(&self, stream: u64) -> u64 {
+        derive_seed(self.seed, stream)
+    }
+
+    /// Installs a seeded random-failure plan for `lib` whose seed is
+    /// derived from the master seed (stream = librarian index), so
+    /// "librarian `lib` fails ~`permille`/1000 of its subqueries" needs
+    /// no per-call seed bookkeeping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lib` is out of range.
+    pub fn seeded_fault_plan(&mut self, lib: usize, permille: u16) {
+        let seed = self.stream_seed(lib as u64);
+        self.set_fault_plan(lib, FaultPlan::new().seeded_failures(seed, permille));
     }
 
     /// Attaches a trace sink; pass [`TraceSink::disabled`] to stop
@@ -331,6 +382,39 @@ impl SimDriver {
             .as_ref()
             .and_then(|plan| plan.action_for(n))
             .copied()
+    }
+
+    /// Appends documents to one simulated librarian and rebuilds every
+    /// derived product the same way a real deployment's reindexing
+    /// cycle would: the librarian's own index (incremental merge, as
+    /// `Librarian::collection_mut().append_documents` does), the
+    /// mono-server baseline, the CV global vocabulary/statistics, and
+    /// the CI grouped index. This is the plan-execution hook that lets
+    /// a scenario's index-churn steps replay identically in virtual
+    /// time and against live librarians.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lib` is out of range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates index merge/rebuild failures.
+    pub fn append_documents(&mut self, lib: usize, docs: &[TrecDoc]) -> Result<(), TeraphimError> {
+        self.parts[lib].append_documents(docs)?;
+        self.mono.append_documents(docs)?;
+        let stat_parts: Vec<(&Vocabulary, &CollectionStats)> = self
+            .parts
+            .iter()
+            .map(|c| (c.index().vocab(), c.index().stats()))
+            .collect();
+        let (global_vocab, global_stats, _) = merge_stats(&stat_parts);
+        self.global_vocab = global_vocab;
+        self.global_stats = global_stats;
+        let indexes: Vec<&teraphim_index::InvertedIndex> =
+            self.parts.iter().map(Collection::index).collect();
+        self.grouped = GroupedIndex::build(&indexes, self.ci_params.group_size)?;
+        Ok(())
     }
 
     /// The grouped central index (for size reports).
@@ -1540,17 +1624,21 @@ mod tests {
         let topo = Topology::multi_disk(4);
         let q = "cats dogs compression";
         let mode = SimMode::Distributed(Methodology::CentralNothing);
+        // One master seed; the per-librarian schedule derives from it,
+        // so the same seed reproduces the same virtual history.
         let run = || {
             let mut d = driver();
+            d.set_seed(9);
             d.set_fault_plan(0, FaultPlan::new().drop_nth(0));
-            d.set_fault_plan(3, FaultPlan::new().seeded_failures(9, 500));
+            d.seeded_fault_plan(3, 500);
             let first = d.time_query(&topo, &cost, mode, q, 8).unwrap();
             let second = d.time_query(&topo, &cost, mode, q, 8).unwrap();
-            (first, second)
+            let lib3_seed = d.stream_seed(3);
+            (first, second, lib3_seed)
         };
-        let (a1, a2) = run();
-        let (b1, b2) = run();
-        assert_eq!(a1, b1, "same plans, same virtual history");
+        let (a1, a2, lib3_seed) = run();
+        let (b1, b2, _) = run();
+        assert_eq!(a1, b1, "same seed, same virtual history");
         assert_eq!(a2, b2);
         assert_eq!(
             a1.failed,
@@ -1558,7 +1646,7 @@ mod tests {
                 .chain(
                     // librarian 3 fails query 0 iff the seeded rule matches n=0
                     FaultPlan::new()
-                        .seeded_failures(9, 500)
+                        .seeded_failures(lib3_seed, 500)
                         .action_for(0)
                         .map(|_| &3usize)
                 )
@@ -1568,6 +1656,53 @@ mod tests {
         // The drop plan only covers request 0: librarian 0 answers the
         // second query.
         assert!(!a2.failed.contains(&0));
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_decorrelated() {
+        let mut d = driver();
+        d.set_seed(42);
+        assert_eq!(d.seed(), 42);
+        assert_eq!(d.stream_seed(0), derive_seed(42, 0));
+        assert_ne!(d.stream_seed(0), d.stream_seed(1));
+        // A different master seed moves every stream.
+        assert_ne!(derive_seed(42, 0), derive_seed(43, 0));
+    }
+
+    #[test]
+    fn appended_documents_reach_every_derived_product() {
+        let cost = CostModel::default();
+        let topo = Topology::multi_disk(4);
+        let q = "walrus tusks";
+        let mut d = driver();
+        let before_docs = d.mono().num_docs();
+        for mode in [
+            SimMode::MonoServer,
+            SimMode::Distributed(Methodology::CentralNothing),
+            SimMode::Distributed(Methodology::CentralVocabulary),
+            SimMode::Distributed(Methodology::CentralIndex),
+        ] {
+            let c = d.time_query(&topo, &cost, mode, q, 5).unwrap();
+            assert!(c.hits.is_empty(), "{mode}: no walrus before churn");
+        }
+        let doc = TrecDoc {
+            docno: "NEW-1".into(),
+            text: "walrus tusks and walrus whiskers".into(),
+        };
+        d.append_documents(2, std::slice::from_ref(&doc)).unwrap();
+        assert_eq!(d.mono().num_docs(), before_docs + 1);
+        for mode in [
+            SimMode::MonoServer,
+            SimMode::Distributed(Methodology::CentralNothing),
+            SimMode::Distributed(Methodology::CentralVocabulary),
+            SimMode::Distributed(Methodology::CentralIndex),
+        ] {
+            let c = d.time_query(&topo, &cost, mode, q, 5).unwrap();
+            assert_eq!(c.hits.len(), 1, "{mode}: churned doc must rank");
+            if let SimMode::Distributed(_) = mode {
+                assert_eq!(c.hits[0].0, 2, "{mode}: owned by librarian 2");
+            }
+        }
     }
 
     #[test]

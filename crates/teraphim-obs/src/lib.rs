@@ -47,4 +47,6 @@ pub use metrics::{
     MethodologyMetrics, MetricsRegistry, MetricsSnapshot, TrafficTotals, CACHE_KINDS,
 };
 pub use sink::TraceSink;
-pub use trace::{LibTraffic, QueryTrace, TraceMetrics, NORMALIZED_DRIVER};
+pub use trace::{
+    trace_traffic_sums, LibTraffic, QueryTrace, TraceMetrics, TraceTrafficSums, NORMALIZED_DRIVER,
+};

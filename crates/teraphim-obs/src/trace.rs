@@ -237,6 +237,37 @@ impl TraceMetrics {
     }
 }
 
+/// Wire traffic summed over a batch of traces, from
+/// [`trace_traffic_sums`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceTrafficSums {
+    /// Requests sent across all traces.
+    pub messages_sent: u64,
+    /// Replies received across all traces.
+    pub messages_received: u64,
+    /// Request bytes sent.
+    pub bytes_sent: u64,
+    /// Reply bytes received.
+    pub bytes_received: u64,
+}
+
+/// Sums the wire traffic of a whole trace batch — the trace-side ledger
+/// an accounting check compares against transport counters and the
+/// metrics registry. One number per direction, independent of how the
+/// traffic was split across operations.
+#[must_use]
+pub fn trace_traffic_sums(traces: &[QueryTrace]) -> TraceTrafficSums {
+    let mut sums = TraceTrafficSums::default();
+    for trace in traces {
+        let m = trace.metrics();
+        sums.messages_sent += m.messages_sent;
+        sums.messages_received += m.messages_received;
+        sums.bytes_sent += m.bytes_sent;
+        sums.bytes_received += m.bytes_received;
+    }
+    sums
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,5 +419,17 @@ mod tests {
         assert_eq!(rows[1].messages, 3);
         assert_eq!(rows[1].bytes_sent, 22);
         assert_eq!(rows[1].bytes_received, 101);
+    }
+
+    #[test]
+    fn trace_traffic_sums_totals_a_batch() {
+        let a = trace(vec![ev(0, sent(0)), ev(1, reply(0))]);
+        let b = trace(vec![ev(0, sent(1)), ev(1, reply(1)), ev(2, sent(0))]);
+        let sums = trace_traffic_sums(&[a, b]);
+        assert_eq!(sums.messages_sent, 3);
+        assert_eq!(sums.messages_received, 2);
+        assert_eq!(sums.bytes_sent, 10 + 11 + 10);
+        assert_eq!(sums.bytes_received, 100 + 101);
+        assert_eq!(trace_traffic_sums(&[]), TraceTrafficSums::default());
     }
 }

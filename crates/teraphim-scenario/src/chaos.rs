@@ -1,0 +1,167 @@
+//! Clearable fault injection for real transports.
+//!
+//! The sim backend injects faults through `SimDriver::set_fault_plan`;
+//! the in-process and TCP backends need an equivalent that (a) can be
+//! flipped on and off *between* plan steps from outside the
+//! receptionist, and (b) is counter-independent — a fault window fails
+//! *every* exchange, so rankings stay byte-identical across backends
+//! regardless of how many setup or retry exchanges each backend makes.
+//! `teraphim_net::FaultyTransport` schedules by request index, which is
+//! exactly what differential checking must avoid; [`ChaosTransport`]
+//! schedules by wall-clock plan state instead.
+
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use teraphim_net::{Message, NetError, Ticket, TrafficStats, Transport};
+
+/// The currently injected condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosState {
+    /// Forward everything untouched.
+    Healthy,
+    /// Refuse every exchange with [`NetError::Unavailable`] without
+    /// touching the inner transport.
+    Down,
+    /// Sleep before forwarding; results are unaffected.
+    Delay(Duration),
+}
+
+/// Shared switch for one librarian's chaos wrapper. The plan runner
+/// holds one cell per librarian and flips it between steps; the
+/// transport (possibly checked out by a session) observes the change on
+/// its next exchange.
+#[derive(Clone)]
+pub struct ChaosCell {
+    state: Arc<Mutex<ChaosState>>,
+}
+
+impl ChaosCell {
+    /// A healthy cell.
+    pub fn healthy() -> ChaosCell {
+        ChaosCell {
+            state: Arc::new(Mutex::new(ChaosState::Healthy)),
+        }
+    }
+
+    /// Replaces the injected condition.
+    pub fn set(&self, state: ChaosState) {
+        *self.state.lock().unwrap() = state;
+    }
+
+    /// The current condition.
+    pub fn get(&self) -> ChaosState {
+        *self.state.lock().unwrap()
+    }
+}
+
+impl Default for ChaosCell {
+    fn default() -> Self {
+        ChaosCell::healthy()
+    }
+}
+
+/// A transport decorator driven by a [`ChaosCell`].
+///
+/// `Down` short-circuits at `begin` time with [`Ticket::failed`], so
+/// pipelined dispatch over a downed librarian never blocks on the wire;
+/// healthy exchanges forward `begin`/`finish` to the inner transport,
+/// preserving true pipelining.
+pub struct ChaosTransport<T: Transport> {
+    inner: T,
+    cell: ChaosCell,
+}
+
+impl<T: Transport> ChaosTransport<T> {
+    /// Wraps `inner` under `cell`'s control.
+    pub fn new(inner: T, cell: ChaosCell) -> ChaosTransport<T> {
+        ChaosTransport { inner, cell }
+    }
+
+    fn refusal() -> NetError {
+        NetError::Unavailable("chaos: librarian down".to_string())
+    }
+}
+
+impl<T: Transport> Transport for ChaosTransport<T> {
+    fn request(&mut self, request: &Message) -> Result<Message, NetError> {
+        match self.cell.get() {
+            ChaosState::Healthy => self.inner.request(request),
+            ChaosState::Down => Err(Self::refusal()),
+            ChaosState::Delay(d) => {
+                thread::sleep(d);
+                self.inner.request(request)
+            }
+        }
+    }
+
+    fn stats(&self) -> TrafficStats {
+        self.inner.stats()
+    }
+
+    fn last_exchange(&self) -> (u64, u64) {
+        self.inner.last_exchange()
+    }
+
+    fn begin(&mut self, request: &Message) -> Ticket {
+        match self.cell.get() {
+            ChaosState::Healthy => self.inner.begin(request),
+            ChaosState::Down => Ticket::failed(Self::refusal()),
+            ChaosState::Delay(d) => {
+                thread::sleep(d);
+                self.inner.begin(request)
+            }
+        }
+    }
+
+    fn finish(&mut self, ticket: Ticket) -> Result<Message, NetError> {
+        self.inner.finish(ticket)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teraphim_net::{InProcTransport, Service};
+
+    struct Echo;
+    impl Service for Echo {
+        fn handle(&mut self, request: Message) -> Message {
+            request
+        }
+    }
+
+    #[test]
+    fn chaos_cell_gates_the_inner_transport() {
+        let cell = ChaosCell::healthy();
+        let mut t = ChaosTransport::new(InProcTransport::new(Echo), cell.clone());
+        let req = Message::StatsRequest;
+        assert!(t.request(&req).is_ok());
+
+        cell.set(ChaosState::Down);
+        let before = t.stats();
+        assert!(matches!(t.request(&req), Err(NetError::Unavailable(_))));
+        let ticket = t.begin(&req);
+        assert!(matches!(t.finish(ticket), Err(NetError::Unavailable(_))));
+        assert_eq!(
+            t.stats(),
+            before,
+            "a downed wrapper must not touch the wire"
+        );
+
+        cell.set(ChaosState::Healthy);
+        assert!(t.request(&req).is_ok());
+        let ticket = t.begin(&req);
+        assert!(t.finish(ticket).is_ok(), "healthy begin/finish forwards");
+    }
+
+    #[test]
+    fn delay_preserves_results() {
+        let cell = ChaosCell::healthy();
+        cell.set(ChaosState::Delay(Duration::from_millis(1)));
+        let mut t = ChaosTransport::new(InProcTransport::new(Echo), cell);
+        let resp = t.request(&Message::StatsRequest).unwrap();
+        assert!(matches!(resp, Message::StatsRequest));
+    }
+}

@@ -1,0 +1,249 @@
+//! The checking modes: doublecheck (determinism), differential
+//! (backend equivalence) and accounting (resource-ledger consistency).
+//!
+//! Every violated property becomes a [`Failure`] carrying a stable
+//! `property` key. The shrinker minimizes against that key — a shrunken
+//! plan must fail the *same* property, not merely fail somehow — so
+//! keys must not embed run-specific detail like step indices or byte
+//! counts (those go in `message`).
+
+use crate::backend::{Accounting, Backend, RunReport, SimBackend};
+use crate::plan::Plan;
+use crate::real::{InProcBackend, TcpBackend};
+
+/// One violated property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Failure {
+    /// Stable property key, e.g. `"diff:sim~inproc:ranking"` — the
+    /// shrinker's equivalence class.
+    pub property: String,
+    /// Plan step the violation was observed at, when attributable.
+    pub step: Option<usize>,
+    /// Human-readable detail (free-form, run-specific).
+    pub message: String,
+}
+
+impl Failure {
+    fn new(
+        property: impl Into<String>,
+        step: Option<usize>,
+        message: impl Into<String>,
+    ) -> Failure {
+        Failure {
+            property: property.into(),
+            step,
+            message: message.into(),
+        }
+    }
+
+    /// True when `other` violates the same property (ignoring where and
+    /// how it manifested) — the shrinker's acceptance test.
+    pub fn same_property(&self, other: &Failure) -> bool {
+        self.property == other.property
+    }
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.step {
+            Some(step) => write!(f, "{} at step {}: {}", self.property, step, self.message),
+            None => write!(f, "{}: {}", self.property, self.message),
+        }
+    }
+}
+
+/// Compares two runs of (nominally) the same system.
+///
+/// `exact_scores` additionally requires bit-identical merged scores —
+/// used between the two real backends and between repeat runs, where
+/// the arithmetic is the same code on the same data; the simulator
+/// exposes no merged scores, so cross-checks against it compare
+/// `(librarian, doc)` rankings and coverage only.
+pub fn compare_reports(
+    a_name: &str,
+    a: &RunReport,
+    b_name: &str,
+    b: &RunReport,
+    exact_scores: bool,
+) -> Result<(), Failure> {
+    let key = |what: &str| format!("diff:{a_name}~{b_name}:{what}");
+    if a.outcomes.len() != b.outcomes.len() {
+        return Err(Failure::new(
+            key("count"),
+            None,
+            format!(
+                "{} query outcomes vs {}",
+                a.outcomes.len(),
+                b.outcomes.len()
+            ),
+        ));
+    }
+    for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+        let step = Some(oa.step);
+        let err_a = oa.error.as_deref();
+        let err_b = ob.error.as_deref();
+        if err_a != err_b {
+            return Err(Failure::new(
+                key("error"),
+                step,
+                format!("{a_name}={err_a:?} vs {b_name}={err_b:?}"),
+            ));
+        }
+        if oa.failed != ob.failed {
+            return Err(Failure::new(
+                key("coverage"),
+                step,
+                format!("failed librarians {:?} vs {:?}", oa.failed, ob.failed),
+            ));
+        }
+        let ranks_a: Vec<(u64, u32)> = oa.hits.iter().map(|h| (h.lib, h.doc)).collect();
+        let ranks_b: Vec<(u64, u32)> = ob.hits.iter().map(|h| (h.lib, h.doc)).collect();
+        if ranks_a != ranks_b {
+            return Err(Failure::new(
+                key("ranking"),
+                step,
+                format!("{ranks_a:?} vs {ranks_b:?}"),
+            ));
+        }
+        if exact_scores {
+            let bits_a: Vec<Option<u64>> = oa.hits.iter().map(|h| h.score_bits).collect();
+            let bits_b: Vec<Option<u64>> = ob.hits.iter().map(|h| h.score_bits).collect();
+            if bits_a != bits_b {
+                return Err(Failure::new(
+                    key("scores"),
+                    step,
+                    "merged scores diverged at the bit level".to_string(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks one backend's three resource ledgers against each other:
+/// trace-event sums, transport counters and the metrics registry must
+/// tell one consistent story.
+///
+/// Two documented inequalities are tolerated (and asserted in the
+/// stated direction):
+///
+/// - under blocked sends the fan-out records a send *before* the
+///   transport refuses it, so trace-side sends may exceed wire-side
+///   sends but never the reverse;
+/// - health polls are deliberately untraced, so wire-side counters may
+///   exceed trace-side ones but never the reverse.
+pub fn verify_accounting(name: &str, acc: &Accounting) -> Result<(), Failure> {
+    let key = |what: &str| format!("accounting:{name}:{what}");
+    if let Some(registry) = acc.registry {
+        if registry.1 != acc.trace.1 || registry.2 != acc.trace.2 {
+            return Err(Failure::new(
+                key("registry"),
+                None,
+                format!("registry {registry:?} vs trace {:?}", acc.trace),
+            ));
+        }
+    }
+    if let Some(transport) = acc.transport {
+        let (_, wire_sent, wire_recv) = transport;
+        let (_, trace_sent, trace_recv) = acc.trace;
+        let polls = acc.health_polls > 0;
+        let blocked = acc.sends_blocked;
+        let sent_ok = match (blocked, polls) {
+            (false, false) => wire_sent == trace_sent,
+            (true, false) => trace_sent >= wire_sent,
+            (false, true) => wire_sent >= trace_sent,
+            (true, true) => true,
+        };
+        if !sent_ok {
+            return Err(Failure::new(
+                key("sent"),
+                None,
+                format!(
+                    "wire sent {wire_sent} vs trace sent {trace_sent} \
+                     (blocked={blocked}, polls={polls})"
+                ),
+            ));
+        }
+        let recv_ok = if polls {
+            wire_recv >= trace_recv
+        } else {
+            wire_recv == trace_recv
+        };
+        if !recv_ok {
+            return Err(Failure::new(
+                key("received"),
+                None,
+                format!("wire received {wire_recv} vs trace received {trace_recv}"),
+            ));
+        }
+    }
+    if let (Some(cap), false) = (acc.wire_cap, acc.sends_blocked) {
+        let traced = acc.trace.1 + acc.trace.2;
+        if traced > cap {
+            return Err(Failure::new(
+                key("wirecap"),
+                None,
+                format!("traced {traced} bytes exceed the {cap}-byte wire total"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Doublecheck mode: run the plan twice on fresh instances of one
+/// backend; rankings, coverage, errors, score bits and trace sums must
+/// all repeat exactly. Returns the first run's report.
+pub fn doublecheck<B, F>(plan: &Plan, mut make: F) -> Result<RunReport, Failure>
+where
+    B: Backend,
+    F: FnMut(&Plan) -> B,
+{
+    let mut initial = make(plan);
+    let name = initial.name();
+    let first = crate::backend::run_plan(plan, &mut initial);
+    drop(initial);
+    let second = crate::backend::run_plan(plan, &mut make(plan));
+    let key = |what: &str| format!("doublecheck:{name}:{what}");
+    compare_reports(name, &first, name, &second, true).map_err(|f| Failure {
+        property: key(f.property.rsplit(':').next().unwrap_or("diff")),
+        ..f
+    })?;
+    if first.accounting.trace != second.accounting.trace {
+        return Err(Failure::new(
+            key("trace"),
+            None,
+            format!(
+                "trace sums {:?} vs {:?}",
+                first.accounting.trace, second.accounting.trace
+            ),
+        ));
+    }
+    Ok(first)
+}
+
+/// The three backends' reports for one plan.
+#[derive(Debug)]
+pub struct DifferentialReport {
+    /// Virtual-time run.
+    pub sim: RunReport,
+    /// In-process run.
+    pub inproc: RunReport,
+    /// TCP serving-pool run.
+    pub tcp: RunReport,
+}
+
+/// Differential mode: run the plan on all three backends; rankings and
+/// coverage must agree everywhere, the two real backends must agree to
+/// the score bit, and each backend's accounting must be internally
+/// consistent.
+pub fn differential(plan: &Plan) -> Result<DifferentialReport, Failure> {
+    let sim = crate::backend::run_plan(plan, &mut SimBackend::new(plan));
+    let inproc = crate::backend::run_plan(plan, &mut InProcBackend::new(plan));
+    let tcp = crate::backend::run_plan(plan, &mut TcpBackend::new(plan));
+    verify_accounting("sim", &sim.accounting)?;
+    verify_accounting("inproc", &inproc.accounting)?;
+    verify_accounting("tcp", &tcp.accounting)?;
+    compare_reports("sim", &sim, "inproc", &inproc, false)?;
+    compare_reports("inproc", &inproc, "tcp", &tcp, true)?;
+    Ok(DifferentialReport { sim, inproc, tcp })
+}

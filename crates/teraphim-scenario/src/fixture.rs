@@ -1,0 +1,105 @@
+//! The shared corpus fixture every backend builds from.
+//!
+//! All three execution backends (virtual-time sim, in-process
+//! receptionist, TCP serving pool) must index the *same* documents in
+//! the same order, or differential checking would be vacuous. This
+//! module derives everything — the initial fleet and every churn batch —
+//! from the plan's two seeds alone.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use teraphim_core::sim::derive_seed;
+use teraphim_corpus::words::word_for;
+use teraphim_corpus::{CorpusSpec, Subcollection, SyntheticCorpus};
+use teraphim_text::sgml::TrecDoc;
+
+use crate::plan::Plan;
+
+/// The seed-determined starting state shared by every backend.
+pub struct Fixture {
+    corpus: SyntheticCorpus,
+}
+
+/// Churn batches hash `(plan seed, CHURN_STREAM + batch * libs + lib)`
+/// so each `(lib, batch)` pair owns an independent document stream.
+const CHURN_STREAM: u64 = 0x5343_4e52; // "SCNR"
+
+impl Fixture {
+    /// Builds the fixture for a plan (generates the synthetic corpus).
+    pub fn for_plan(plan: &Plan) -> Fixture {
+        Fixture {
+            corpus: SyntheticCorpus::generate(&CorpusSpec::small(plan.corpus_seed)),
+        }
+    }
+
+    /// The generated corpus (query pools, qrels, metadata).
+    pub fn corpus(&self) -> &SyntheticCorpus {
+        &self.corpus
+    }
+
+    /// The initial subcollections, one per librarian.
+    pub fn parts(&self) -> &[Subcollection] {
+        self.corpus.subcollections()
+    }
+
+    /// Number of librarians in the fixture fleet.
+    pub fn num_libs(&self) -> usize {
+        self.parts().len()
+    }
+}
+
+/// The documents for churn batch `batch` aimed at librarian `lib`.
+///
+/// Purely a function of `(plan_seed, lib, batch, count)`: shrinking
+/// other steps out of a plan never changes the documents a surviving
+/// `add_docs` step appends, and every backend appends byte-identical
+/// text. Documents reuse the synthetic-corpus vocabulary (so churn is
+/// searchable by generated queries) plus a `churn` marker term.
+pub fn churn_docs(plan_seed: u64, lib: u64, batch: u64, count: u64, num_libs: u64) -> Vec<TrecDoc> {
+    let stream = CHURN_STREAM
+        .wrapping_add(batch.wrapping_mul(num_libs.max(1)))
+        .wrapping_add(lib);
+    let mut rng = StdRng::seed_from_u64(derive_seed(plan_seed, stream));
+    (0..count)
+        .map(|i| {
+            let len = rng.gen_range(8..24);
+            let mut text = String::from("churn");
+            for _ in 0..len {
+                text.push(' ');
+                text.push_str(&word_for(rng.gen_range(0..600)));
+            }
+            TrecDoc {
+                docno: format!("CHURN-{lib}-{batch}-{i}"),
+                text,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_docs_are_deterministic_and_decorrelated() {
+        let a = churn_docs(42, 1, 0, 3, 4);
+        let b = churn_docs(42, 1, 0, 3, 4);
+        assert_eq!(a, b, "same inputs must yield identical documents");
+        let other_lib = churn_docs(42, 2, 0, 3, 4);
+        assert_ne!(
+            a[0].text, other_lib[0].text,
+            "different librarians get different streams"
+        );
+        let other_batch = churn_docs(42, 1, 1, 3, 4);
+        assert_ne!(a[0].text, other_batch[0].text);
+        assert_eq!(a[0].docno, "CHURN-1-0-0");
+    }
+
+    #[test]
+    fn fixture_fleet_matches_corpus_split() {
+        let plan = Plan::named("f", 1);
+        let fixture = Fixture::for_plan(&plan);
+        assert_eq!(fixture.num_libs(), fixture.corpus().subcollections().len());
+        assert!(fixture.num_libs() >= 2, "plans need a fleet to fan out to");
+    }
+}

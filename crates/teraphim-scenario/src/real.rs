@@ -1,0 +1,471 @@
+//! Real execution backends: the in-process receptionist and the
+//! multiplexed TCP serving pool.
+//!
+//! Both wrap every librarian transport in a [`ChaosTransport`] so the
+//! plan's fault windows inject at the same architectural point the
+//! simulator injects its fault plans — between the receptionist's
+//! fan-out and the librarian — and both keep a private mono-server
+//! collection so `MS` query steps have a baseline to run against.
+
+use std::sync::{Arc, Mutex};
+
+use teraphim_core::{CacheConfig, Librarian, QuerySession, Receptionist, ServePool};
+use teraphim_engine::Collection;
+use teraphim_net::mux::{MuxPool, MuxTransport};
+use teraphim_net::tcp::{TcpServer, TcpTransport};
+use teraphim_net::{DispatchMode, InProcTransport, Message, ServerOptions, Service, Transport};
+use teraphim_obs::{trace_traffic_sums, MetricsRegistry, TraceSink};
+use teraphim_text::sgml::TrecDoc;
+use teraphim_text::Analyzer;
+
+use crate::backend::{Accounting, Backend, Hit, QueryOutcome, TrafficTriple, CI};
+use crate::chaos::{ChaosCell, ChaosState, ChaosTransport};
+use crate::fixture::Fixture;
+use crate::plan::{CacheSpec, DispatchChoice, FaultSpec, Plan, RunMode};
+
+fn to_chaos(fault: Option<FaultSpec>) -> ChaosState {
+    match fault {
+        None => ChaosState::Healthy,
+        Some(FaultSpec::Down) => ChaosState::Down,
+        Some(FaultSpec::Delay { ms }) => ChaosState::Delay(std::time::Duration::from_millis(ms)),
+    }
+}
+
+fn to_dispatch(mode: DispatchChoice) -> DispatchMode {
+    match mode {
+        DispatchChoice::Sequential => DispatchMode::Sequential,
+        DispatchChoice::Concurrent => DispatchMode::Concurrent,
+        DispatchChoice::Pipelined => DispatchMode::Pipelined,
+    }
+}
+
+fn to_cache_config(spec: CacheSpec) -> CacheConfig {
+    CacheConfig {
+        result_entries: spec.results as usize,
+        result_shards: (spec.shards as usize).max(1),
+        term_entries: spec.terms as usize,
+        doc_bytes: spec.doc_bytes as usize,
+    }
+}
+
+fn mono_collection(fixture: &Fixture) -> Collection {
+    let all_docs: Vec<TrecDoc> = fixture
+        .parts()
+        .iter()
+        .flat_map(|s| s.docs.iter().cloned())
+        .collect();
+    Collection::build("MS", Analyzer::default(), &all_docs)
+}
+
+fn mono_outcome(mono: &Collection, query: &str, k: usize) -> QueryOutcome {
+    QueryOutcome {
+        step: 0,
+        hits: mono
+            .ranked_query(query, k)
+            .iter()
+            .map(|s| Hit {
+                lib: 0,
+                doc: s.doc,
+                score_bits: Some(s.score.to_bits()),
+            })
+            .collect(),
+        failed: Vec::new(),
+        error: None,
+    }
+}
+
+fn coverage_outcome<T: Transport>(
+    receptionist: &mut Receptionist<T>,
+    mode: RunMode,
+    query: &str,
+    k: usize,
+) -> QueryOutcome {
+    let methodology = mode
+        .methodology()
+        .expect("MS is handled by the mono baseline");
+    match receptionist.query_with_coverage(methodology, query, k) {
+        Ok(answer) => QueryOutcome {
+            step: 0,
+            hits: answer
+                .hits
+                .iter()
+                .map(|h| Hit {
+                    lib: h.librarian as u64,
+                    doc: h.doc,
+                    score_bits: Some(h.score.to_bits()),
+                })
+                .collect(),
+            failed: answer.coverage.failed.iter().map(|&l| l as u64).collect(),
+            error: None,
+        },
+        Err(e) => QueryOutcome {
+            step: 0,
+            hits: Vec::new(),
+            failed: Vec::new(),
+            error: Some(crate::backend::normalize_error(&e)),
+        },
+    }
+}
+
+fn triple(stats: teraphim_net::TrafficStats) -> TrafficTriple {
+    (stats.round_trips, stats.bytes_sent, stats.bytes_received)
+}
+
+/// A librarian service that can be shared between a server (or
+/// transport) and the harness, so churn steps can append documents to
+/// the live fleet.
+#[derive(Clone)]
+pub struct SharedLibrarian {
+    lib: Arc<Mutex<Librarian>>,
+}
+
+impl SharedLibrarian {
+    fn new(lib: Librarian) -> SharedLibrarian {
+        SharedLibrarian {
+            lib: Arc::new(Mutex::new(lib)),
+        }
+    }
+
+    fn append(&self, docs: &[TrecDoc]) -> Result<(), String> {
+        let mut guard = self.lib.lock().unwrap();
+        guard
+            .collection_mut()
+            .append_documents(docs)
+            .map_err(|e| format!("{e}"))?;
+        guard.bump_epoch();
+        Ok(())
+    }
+}
+
+impl Service for SharedLibrarian {
+    fn handle(&mut self, request: Message) -> Message {
+        self.lib.lock().unwrap().handle(request)
+    }
+}
+
+/// The in-process backend: one receptionist over chaos-wrapped
+/// in-process transports, same process, same thread.
+pub struct InProcBackend {
+    receptionist: Receptionist<ChaosTransport<InProcTransport<SharedLibrarian>>>,
+    libs: Vec<SharedLibrarian>,
+    cells: Vec<ChaosCell>,
+    mono: Collection,
+    sink: TraceSink,
+    registry: Arc<MetricsRegistry>,
+    cache_spec: Option<CacheSpec>,
+}
+
+impl InProcBackend {
+    /// Builds the fleet and preprocesses CV and CI state.
+    pub fn new(plan: &Plan) -> InProcBackend {
+        let fixture = Fixture::for_plan(plan);
+        let libs: Vec<SharedLibrarian> = fixture
+            .parts()
+            .iter()
+            .map(|s| SharedLibrarian::new(Librarian::build(&s.name, Analyzer::default(), &s.docs)))
+            .collect();
+        let cells: Vec<ChaosCell> = libs.iter().map(|_| ChaosCell::healthy()).collect();
+        let transports = libs
+            .iter()
+            .zip(&cells)
+            .map(|(lib, cell)| ChaosTransport::new(InProcTransport::new(lib.clone()), cell.clone()))
+            .collect();
+        let mut receptionist = Receptionist::new(transports, Analyzer::default());
+        let sink = receptionist.enable_tracing();
+        let registry = receptionist.enable_metrics();
+        receptionist
+            .enable_cv()
+            .expect("healthy fleet preprocesses");
+        receptionist
+            .enable_ci(CI)
+            .expect("healthy fleet preprocesses");
+        InProcBackend {
+            receptionist,
+            mono: mono_collection(&fixture),
+            libs,
+            cells,
+            sink,
+            registry,
+            cache_spec: None,
+        }
+    }
+
+    /// Drops cached results (coverage changed) without changing whether
+    /// caching is on.
+    fn flush_cache(&mut self) {
+        if let Some(spec) = self.cache_spec {
+            self.receptionist.disable_cache();
+            self.receptionist.enable_cache(to_cache_config(spec));
+        }
+    }
+}
+
+impl Backend for InProcBackend {
+    fn name(&self) -> &'static str {
+        "inproc"
+    }
+
+    fn num_libs(&self) -> usize {
+        self.libs.len()
+    }
+
+    fn query(&mut self, _client: u64, mode: RunMode, query: &str, k: usize) -> QueryOutcome {
+        match mode {
+            RunMode::Ms => mono_outcome(&self.mono, query, k),
+            _ => coverage_outcome(&mut self.receptionist, mode, query, k),
+        }
+    }
+
+    fn add_docs(&mut self, lib: usize, docs: &[TrecDoc]) -> Result<(), String> {
+        self.libs[lib].append(docs)?;
+        self.mono
+            .append_documents(docs)
+            .map_err(|e| format!("{e}"))?;
+        self.receptionist.enable_cv().map_err(|e| format!("{e}"))?;
+        self.receptionist
+            .enable_ci(CI)
+            .map_err(|e| format!("{e}"))?;
+        Ok(())
+    }
+
+    fn apply_fault(&mut self, lib: usize, fault: Option<FaultSpec>) {
+        self.cells[lib].set(to_chaos(fault));
+        self.flush_cache();
+    }
+
+    fn kill(&mut self, lib: usize) {
+        self.cells[lib].set(ChaosState::Down);
+        self.flush_cache();
+    }
+
+    fn set_cache(&mut self, spec: Option<CacheSpec>) {
+        self.cache_spec = spec;
+        match spec {
+            Some(s) => self.receptionist.enable_cache(to_cache_config(s)),
+            None => self.receptionist.disable_cache(),
+        }
+    }
+
+    fn set_dispatch(&mut self, mode: DispatchChoice) {
+        self.receptionist.set_dispatch_mode(to_dispatch(mode));
+    }
+
+    fn health_poll(&mut self) {
+        let _ = self.receptionist.fleet_health();
+    }
+
+    fn accounting(&mut self) -> Accounting {
+        let sums = trace_traffic_sums(&self.sink.take_traces());
+        let totals = self.registry.snapshot().traffic_totals();
+        Accounting {
+            transport: Some(triple(self.receptionist.traffic())),
+            trace: (sums.messages_sent, sums.bytes_sent, sums.bytes_received),
+            registry: Some((totals.round_trips, totals.bytes_sent, totals.bytes_received)),
+            wire_cap: None,
+            sends_blocked: false,
+            health_polls: 0,
+        }
+    }
+}
+
+/// The full-stack backend: one TCP server per librarian, multiplexed
+/// connections, and a [`ServePool`] of forked sessions — one checked
+/// out per plan client for the duration of the run (PR 6's serving
+/// architecture under scripted load).
+pub struct TcpBackend {
+    servers: Vec<TcpServer>,
+    sessions: Vec<QuerySession<ChaosTransport<MuxTransport>>>,
+    libs: Vec<SharedLibrarian>,
+    cells: Vec<ChaosCell>,
+    mono: Collection,
+    sink: TraceSink,
+    registry: Arc<MetricsRegistry>,
+    cache_spec: Option<CacheSpec>,
+}
+
+impl TcpBackend {
+    /// Spawns the fleet, preprocesses once on a prototype, and checks
+    /// one pipelined session out of the pool per plan client.
+    pub fn new(plan: &Plan) -> TcpBackend {
+        let fixture = Fixture::for_plan(plan);
+        let libs: Vec<SharedLibrarian> = fixture
+            .parts()
+            .iter()
+            .map(|s| SharedLibrarian::new(Librarian::build(&s.name, Analyzer::default(), &s.docs)))
+            .collect();
+        let servers: Vec<TcpServer> = libs
+            .iter()
+            .map(|lib| {
+                TcpServer::spawn_with(
+                    vec![lib.clone(), lib.clone()],
+                    "127.0.0.1:0",
+                    ServerOptions {
+                        workers: 2,
+                        queue_depth: 64,
+                    },
+                )
+                .expect("loopback server spawns")
+            })
+            .collect();
+        let cells: Vec<ChaosCell> = libs.iter().map(|_| ChaosCell::healthy()).collect();
+
+        let mut prototype = Receptionist::new(
+            servers
+                .iter()
+                .map(|s| TcpTransport::connect(s.addr()).expect("loopback connects"))
+                .collect::<Vec<_>>(),
+            Analyzer::default(),
+        );
+        prototype.enable_cv().expect("healthy fleet preprocesses");
+        prototype.enable_ci(CI).expect("healthy fleet preprocesses");
+
+        let pools: Vec<Arc<MuxPool>> = servers
+            .iter()
+            .map(|s| {
+                MuxPool::connect(s.addr(), 2, teraphim_net::TcpOptions::default())
+                    .expect("loopback connects")
+            })
+            .collect();
+
+        let sink = TraceSink::new();
+        let registry = Arc::new(MetricsRegistry::new());
+        sink.tee_metrics(Arc::clone(&registry));
+
+        let clients = plan.clients.max(1) as usize;
+        let pool = ServePool::new(
+            (0..clients)
+                .map(|_| {
+                    let mut session = prototype.fork(
+                        pools
+                            .iter()
+                            .zip(&cells)
+                            .map(|(p, cell)| {
+                                ChaosTransport::new(MuxTransport::new(Arc::clone(p)), cell.clone())
+                            })
+                            .collect::<Vec<_>>(),
+                    );
+                    session.set_dispatch_mode(DispatchMode::Pipelined);
+                    session.set_trace_sink(sink.clone());
+                    session
+                })
+                .collect(),
+        );
+        let sessions: Vec<QuerySession<ChaosTransport<MuxTransport>>> =
+            (0..clients).map(|_| pool.session()).collect();
+
+        TcpBackend {
+            servers,
+            sessions,
+            mono: mono_collection(&fixture),
+            libs,
+            cells,
+            sink,
+            registry,
+            cache_spec: None,
+        }
+    }
+
+    fn flush_cache(&mut self) {
+        if let Some(spec) = self.cache_spec {
+            for session in &mut self.sessions {
+                session.disable_cache();
+                session.enable_cache(to_cache_config(spec));
+            }
+        }
+    }
+
+    /// Server-side traffic counters, summed over the fleet (includes
+    /// prototype preprocessing; useful for inspecting runs in tests).
+    pub fn server_traffic(&self) -> teraphim_net::TrafficStats {
+        let mut total = teraphim_net::TrafficStats::default();
+        for server in &self.servers {
+            total.absorb(&server.traffic());
+        }
+        total
+    }
+}
+
+impl Backend for TcpBackend {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn num_libs(&self) -> usize {
+        self.libs.len()
+    }
+
+    fn query(&mut self, client: u64, mode: RunMode, query: &str, k: usize) -> QueryOutcome {
+        match mode {
+            RunMode::Ms => mono_outcome(&self.mono, query, k),
+            _ => {
+                let session = (client as usize) % self.sessions.len();
+                coverage_outcome(&mut self.sessions[session], mode, query, k)
+            }
+        }
+    }
+
+    fn add_docs(&mut self, lib: usize, docs: &[TrecDoc]) -> Result<(), String> {
+        self.libs[lib].append(docs)?;
+        self.mono
+            .append_documents(docs)
+            .map_err(|e| format!("{e}"))?;
+        // Forked sessions keep their own Arc'd CV/CI state: each one
+        // must re-run preprocessing to observe the new epoch.
+        for session in &mut self.sessions {
+            session.enable_cv().map_err(|e| format!("{e}"))?;
+            session.enable_ci(CI).map_err(|e| format!("{e}"))?;
+        }
+        Ok(())
+    }
+
+    fn apply_fault(&mut self, lib: usize, fault: Option<FaultSpec>) {
+        self.cells[lib].set(to_chaos(fault));
+        self.flush_cache();
+    }
+
+    fn kill(&mut self, lib: usize) {
+        // The chaos cell is the kill switch: every session's transport
+        // to this librarian refuses from now on and the runner never
+        // clears it. The server object stays alive so in-flight reader
+        // threads shut down cleanly with the backend.
+        self.cells[lib].set(ChaosState::Down);
+        self.flush_cache();
+    }
+
+    fn set_cache(&mut self, spec: Option<CacheSpec>) {
+        self.cache_spec = spec;
+        for session in &mut self.sessions {
+            match spec {
+                Some(s) => session.enable_cache(to_cache_config(s)),
+                None => session.disable_cache(),
+            }
+        }
+    }
+
+    fn set_dispatch(&mut self, mode: DispatchChoice) {
+        for session in &mut self.sessions {
+            session.set_dispatch_mode(to_dispatch(mode));
+        }
+    }
+
+    fn health_poll(&mut self) {
+        let _ = self.sessions[0].fleet_health();
+    }
+
+    fn accounting(&mut self) -> Accounting {
+        let sums = trace_traffic_sums(&self.sink.take_traces());
+        let totals = self.registry.snapshot().traffic_totals();
+        let mut transport = teraphim_net::TrafficStats::default();
+        for session in &self.sessions {
+            transport.absorb(&session.traffic());
+        }
+        Accounting {
+            transport: Some(triple(transport)),
+            trace: (sums.messages_sent, sums.bytes_sent, sums.bytes_received),
+            registry: Some((totals.round_trips, totals.bytes_sent, totals.bytes_received)),
+            wire_cap: None,
+            sends_blocked: false,
+            health_polls: 0,
+        }
+    }
+}

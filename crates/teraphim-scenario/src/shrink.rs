@@ -1,0 +1,227 @@
+//! Automatic plan shrinking: ddmin over plan steps.
+//!
+//! Given a failing plan and the [`Failure`] it produced, the shrinker
+//! searches for a minimal step subset that still violates the *same
+//! property* (matching [`Failure::same_property`], so a plan that
+//! merely fails differently is not accepted). Shrinking only ever
+//! removes steps — it never reorders or edits them — so every candidate
+//! is a subsequence of the original plan, and plan semantics that
+//! depend on step *content* (seeded churn batches, literal query text)
+//! are untouched.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::check::Failure;
+use crate::plan::Plan;
+
+/// The outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized plan (possibly the input, if nothing was
+    /// removable).
+    pub plan: Plan,
+    /// The failure the minimized plan produces.
+    pub failure: Failure,
+    /// Candidate plans checked.
+    pub checks: usize,
+}
+
+/// Minimizes `plan` against `check`, keeping only candidates whose
+/// failure matches `target` by property.
+///
+/// `check` returns `None` when a candidate passes. `max_checks` bounds
+/// the total number of candidate executions, so shrinking always
+/// terminates even when every subset fails (each accepted candidate is
+/// strictly smaller, and each rejected candidate costs one bounded
+/// check).
+pub fn shrink_plan<F>(
+    plan: &Plan,
+    target: &Failure,
+    mut check: F,
+    max_checks: usize,
+) -> ShrinkResult
+where
+    F: FnMut(&Plan) -> Option<Failure>,
+{
+    let mut current = plan.clone();
+    let mut failure = target.clone();
+    let mut checks = 0usize;
+    let mut granularity = 2usize;
+
+    while current.steps.len() >= 2 && checks < max_checks {
+        let len = current.steps.len();
+        let chunk = len.div_ceil(granularity.min(len));
+        let mut shrunk = false;
+        let mut start = 0;
+        while start < current.steps.len() && checks < max_checks {
+            let end = (start + chunk).min(current.steps.len());
+            let mut steps = current.steps[..start].to_vec();
+            steps.extend_from_slice(&current.steps[end..]);
+            if steps.is_empty() {
+                start = end;
+                continue;
+            }
+            let mut candidate = current.clone();
+            candidate.steps = steps;
+            checks += 1;
+            match check(&candidate) {
+                Some(f) if f.same_property(target) => {
+                    current = candidate;
+                    failure = f;
+                    shrunk = true;
+                    // Keep scanning from the same offset: the steps
+                    // that moved into this window are untried.
+                }
+                _ => start = end,
+            }
+        }
+        if !shrunk {
+            if chunk == 1 {
+                break; // single-step granularity and nothing removable
+            }
+            granularity = (granularity * 2).min(current.steps.len());
+        } else {
+            granularity = granularity.max(2).min(current.steps.len().max(2));
+        }
+    }
+
+    ShrinkResult {
+        plan: current,
+        failure,
+        checks,
+    }
+}
+
+/// Writes `plan` into the bugbase directory as `<name>.json`, creating
+/// the directory if needed. Returns the written path. The file is a
+/// complete, self-contained plan replayable with
+/// `teraphim sim --plan <file>`.
+pub fn write_bugbase(dir: &Path, plan: &Plan) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", sanitize(&plan.name)));
+    std::fs::write(&path, plan.to_json())?;
+    Ok(path)
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "plan".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{RunMode, Step};
+
+    fn plan_with(marks: &[bool]) -> Plan {
+        // `true` steps are "relevant": a query for "bug"; `false` steps
+        // are noise the shrinker should strip.
+        let mut plan = Plan::named("shrinky", 3);
+        plan.steps = marks
+            .iter()
+            .map(|&relevant| Step::Query {
+                client: 0,
+                mode: RunMode::Cn,
+                query: if relevant { "bug" } else { "noise" }.to_string(),
+                k: 10,
+            })
+            .collect();
+        plan
+    }
+
+    fn bug_count(plan: &Plan) -> usize {
+        plan.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Query { query, .. } if query == "bug"))
+            .count()
+    }
+
+    /// Fails whenever at least `need` "bug" queries are present.
+    fn checker(need: usize) -> impl FnMut(&Plan) -> Option<Failure> {
+        move |plan: &Plan| {
+            if bug_count(plan) >= need {
+                Some(Failure {
+                    property: "test:bug".to_string(),
+                    step: None,
+                    message: format!("{} bug steps", bug_count(plan)),
+                })
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_relevant_step() {
+        let plan = plan_with(&[
+            false, false, true, false, false, false, false, false, false, false,
+        ]);
+        let target = checker(1)(&plan).unwrap();
+        let result = shrink_plan(&plan, &target, checker(1), 10_000);
+        assert_eq!(result.plan.steps.len(), 1);
+        assert_eq!(bug_count(&result.plan), 1);
+        assert!(result.failure.same_property(&target));
+    }
+
+    #[test]
+    fn keeps_interacting_steps_together() {
+        // Two bug steps are both required: the minimum is exactly 2.
+        let plan = plan_with(&[
+            true, false, false, false, true, false, false, false, false, false, false, false,
+        ]);
+        let target = checker(2)(&plan).unwrap();
+        let result = shrink_plan(&plan, &target, checker(2), 10_000);
+        assert_eq!(result.plan.steps.len(), 2);
+        assert_eq!(bug_count(&result.plan), 2);
+    }
+
+    #[test]
+    fn rejects_different_property_failures() {
+        // The checker switches property once the plan gets small: the
+        // shrinker must not accept those candidates.
+        let plan = plan_with(&[true, false, true, false, true, false]);
+        let target = Failure {
+            property: "test:big".to_string(),
+            step: None,
+            message: String::new(),
+        };
+        let check = |p: &Plan| {
+            Some(Failure {
+                property: if p.steps.len() >= 4 {
+                    "test:big".to_string()
+                } else {
+                    "test:small".to_string()
+                },
+                step: None,
+                message: String::new(),
+            })
+        };
+        let result = shrink_plan(&plan, &target, check, 10_000);
+        assert!(result.plan.steps.len() >= 4, "small plans fail differently");
+        assert_eq!(result.failure.property, "test:big");
+    }
+
+    #[test]
+    fn bugbase_round_trips() {
+        let dir = std::env::temp_dir().join(format!("scenario-bugbase-{}", std::process::id()));
+        let plan = plan_with(&[true]);
+        let path = write_bugbase(&dir, &plan).unwrap();
+        let back = Plan::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(back, plan);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

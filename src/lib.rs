@@ -52,5 +52,6 @@ pub use teraphim_eval as eval;
 pub use teraphim_index as index;
 pub use teraphim_net as net;
 pub use teraphim_obs as obs;
+pub use teraphim_scenario as scenario;
 pub use teraphim_simnet as simnet;
 pub use teraphim_text as text;
