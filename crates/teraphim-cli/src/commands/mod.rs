@@ -4,6 +4,7 @@ pub mod add;
 pub mod boolean;
 pub mod eval;
 pub mod fetch;
+pub mod fleet;
 pub mod gen_corpus;
 pub mod index;
 pub mod query;

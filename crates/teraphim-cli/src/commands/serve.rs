@@ -8,6 +8,7 @@ use teraphim_net::tcp::{ServerOptions, TcpServer};
 const HELP: &str = "\
 usage: teraphim serve --index FILE.tcol [--addr 127.0.0.1:7070]
                       [--workers N] [--replicas R]
+                      [--fleet ADDR[,ADDR...]]
 
 serves the collection as a TERAPHIM librarian; receptionists connect
 with `teraphim search --servers ...`. Runs until interrupted.
@@ -16,7 +17,11 @@ with `teraphim search --servers ...`. Runs until interrupted.
               concurrently (default 2)
 --replicas R  independent copies of the engine; worker i serves
               replica i mod R, trading memory for parallel evaluation
-              (default 1)";
+              (default 1)
+--fleet A,B   serve a shard replica set: one independent server (with
+              its own engine copies) per listed address, preferred
+              replica first. Point `teraphim fleet --shards` at the
+              same list for health-routed status. Overrides --addr";
 
 /// Runs the subcommand (blocks until the process is interrupted).
 ///
@@ -36,27 +41,41 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if workers == 0 || replicas == 0 {
         return Err("--workers and --replicas must be at least 1".into());
     }
-    // The engine is not clonable (it owns index file state), so each
-    // replica is an independent load of the same collection file.
-    let mut librarians = Vec::with_capacity(replicas);
-    let (mut name, mut num_docs) = (String::new(), 0);
-    for _ in 0..replicas {
-        let collection = Collection::load(std::path::Path::new(path))
-            .map_err(|e| format!("cannot load collection {path}: {e}"))?;
-        name = collection.name().to_owned();
-        num_docs = collection.num_docs();
-        librarians.push(Librarian::from_collection(collection));
+    let fleet: Vec<&str> = match args.get("fleet") {
+        Some(list) => list.split(',').map(str::trim).collect(),
+        None => vec![addr],
+    };
+    if fleet.iter().any(|a| a.is_empty()) {
+        return Err("--fleet has an empty address".into());
     }
+
     let options = ServerOptions {
         workers,
         ..ServerOptions::default()
     };
-    let server = TcpServer::spawn_with(librarians, addr, options)
-        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
-    println!(
-        "librarian {name} ({num_docs} documents, {replicas} replica(s), {workers} worker(s)) listening on {}",
-        server.addr()
-    );
+    // Keep every server alive for the life of the process.
+    let mut servers = Vec::with_capacity(fleet.len());
+    for bind in &fleet {
+        // The engine is not clonable (it owns index file state), so
+        // each engine replica is an independent load of the same
+        // collection file — and each fleet member loads its own set.
+        let mut librarians = Vec::with_capacity(replicas);
+        let (mut name, mut num_docs) = (String::new(), 0);
+        for _ in 0..replicas {
+            let collection = Collection::load(std::path::Path::new(path))
+                .map_err(|e| format!("cannot load collection {path}: {e}"))?;
+            name = collection.name().to_owned();
+            num_docs = collection.num_docs();
+            librarians.push(Librarian::from_collection(collection));
+        }
+        let server = TcpServer::spawn_with(librarians, *bind, options)
+            .map_err(|e| format!("cannot bind {bind}: {e}"))?;
+        println!(
+            "librarian {name} ({num_docs} documents, {replicas} replica(s), {workers} worker(s)) listening on {}",
+            server.addr()
+        );
+        servers.push(server);
+    }
     println!("press Ctrl-C to stop");
     // Block forever; the accept loop runs in its own thread.
     loop {

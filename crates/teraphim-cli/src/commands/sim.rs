@@ -13,7 +13,8 @@ use teraphim_scenario::{
 
 const HELP: &str = "\
 usage: teraphim sim (--plan FILE | --generate [--seed N] [--steps N]
-                                  [--clients N] [--allow-kills] [--name NAME])
+                                  [--clients N] [--replicas N]
+                                  [--allow-kills] [--name NAME])
                     [--check run|doublecheck|differential]
                     [--backend sim|inproc|tcp]
                     [--out FILE] [--bugbase DIR] [--max-checks N]
@@ -36,6 +37,9 @@ dispatch toggles — and checks the system against itself:
 --plan FILE replays a committed plan (for example a minimized
 reproducer from tests/fixtures/plans/); --generate synthesizes one
 from --seed (default 42) with --steps steps (default 60).
+--replicas N (default 1, max 4) starts every shard with N replicas
+and mixes membership churn — add_lib, remove_lib, promote_replica —
+into the generated workload.
 --out FILE writes the plan JSON before running, so a generated plan
 can be committed or replayed later.
 
@@ -137,6 +141,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 steps: args.get_parsed("steps", 60usize)?,
                 clients: args.get_parsed("clients", 2u64)?,
                 allow_kills: args.flag("allow-kills"),
+                replicas: args.get_parsed("replicas", 1u64)?,
             },
         )
     } else {
@@ -148,12 +153,13 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         outln!("plan written:   {out}");
     }
     outln!(
-        "plan {:?}: seed {}, {} steps ({} queries), {} clients",
+        "plan {:?}: seed {}, {} steps ({} queries), {} clients, {} replicas/shard",
         plan.name,
         plan.seed,
         plan.steps.len(),
         plan.query_steps(),
-        plan.clients
+        plan.clients,
+        plan.replicas
     );
 
     let backend = args.get("backend").unwrap_or("sim");

@@ -37,6 +37,7 @@ commands:
   serve        serve a collection as a librarian over TCP
   search       distributed search across librarian servers
   stats        poll librarian servers for live fleet health
+  fleet        replica-group status and health-based routing
   sim          replay or generate scenario plans with differential checks
 
 run `teraphim <command> --help` for per-command options";
@@ -58,6 +59,7 @@ fn main() -> ExitCode {
         "serve" => commands::serve::run(rest),
         "search" => commands::search::run(rest),
         "stats" => commands::stats::run(rest),
+        "fleet" => commands::fleet::run(rest),
         "sim" => commands::sim::run(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

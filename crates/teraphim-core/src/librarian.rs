@@ -40,6 +40,9 @@ pub struct Librarian {
     /// Serialized index size, computed lazily on the first `Stats`
     /// request (serialization is too expensive for the constructor).
     index_bytes_cache: Option<u64>,
+    /// Fleet routing table, when this librarian serves as a routing
+    /// info point (answers [`Message::RoutingRequest`]).
+    routing: Option<teraphim_net::RoutingTable>,
 }
 
 impl Librarian {
@@ -65,6 +68,7 @@ impl Librarian {
             latency: Histogram::new(),
             epoch: 0,
             index_bytes_cache: None,
+            routing: None,
         }
     }
 
@@ -77,6 +81,15 @@ impl Librarian {
     /// epoch, telling receptionists their cached results are stale.
     pub fn bump_epoch(&mut self) {
         self.epoch += 1;
+    }
+
+    /// Adopts a shard's epoch wholesale — the migration handoff path: a
+    /// replica joining a shard's group indexes the same documents and
+    /// then takes the shard's current epoch, so its replies are
+    /// cache-indistinguishable from the replicas that were already
+    /// serving.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
     }
 
     /// The underlying collection.
@@ -92,6 +105,13 @@ impl Librarian {
     /// Collection name.
     pub fn name(&self) -> &str {
         self.collection.name()
+    }
+
+    /// Attaches the fleet's shared routing table so this librarian can
+    /// answer [`Message::RoutingRequest`] admin queries (any node can
+    /// serve the table; it is shared and versioned).
+    pub fn set_routing_table(&mut self, table: teraphim_net::RoutingTable) {
+        self.routing = Some(table);
     }
 
     /// Number of documents managed.
@@ -251,6 +271,12 @@ impl Librarian {
             }
             // Handled in `Service::handle` before the ledger is updated.
             Message::Stats => self.stats_reply(),
+            Message::RoutingRequest => match &self.routing {
+                Some(table) => table.to_message(),
+                None => Message::Error {
+                    message: "no routing table at this librarian".into(),
+                },
+            },
             // Requests only a receptionist should ever receive.
             Message::StatsResponse { .. }
             | Message::IndexResponse { .. }
@@ -261,7 +287,8 @@ impl Librarian {
             | Message::BooleanResponse { .. }
             | Message::Error { .. }
             | Message::Unavailable { .. }
-            | Message::StatsReply { .. } => Message::Error {
+            | Message::StatsReply { .. }
+            | Message::RoutingReply { .. } => Message::Error {
                 message: "librarian received a response message".into(),
             },
         }
@@ -275,6 +302,11 @@ impl Service for Librarian {
         // health never perturbs the ledger it reads.
         if matches!(request, Message::Stats) {
             return self.stats_reply();
+        }
+        // Routing-table polls are admin traffic too: answered out of
+        // band so fleet status checks never perturb the service ledger.
+        if matches!(request, Message::RoutingRequest) {
+            return self.handle_inner(request);
         }
         let started = Instant::now();
         let is_rank = matches!(

@@ -23,7 +23,7 @@ use teraphim_index::similarity;
 use teraphim_index::{CollectionStats, DocId, GroupedIndex, InvertedIndex, Vocabulary};
 use teraphim_net::{
     dispatch_collect_traced, dispatch_partial_traced, dispatch_traced, DispatchMode, Message,
-    NetError, TrafficStats, Transport,
+    NetError, RoutingTable, TrafficStats, Transport,
 };
 use teraphim_obs::{EventKind, LibCandidates, Phase, TraceSink};
 use teraphim_text::Analyzer;
@@ -134,6 +134,14 @@ struct CiState {
     params: CiParams,
 }
 
+/// A shared routing table plus the last version this receptionist acted
+/// on; the delta between the two is what a query observes.
+#[derive(Debug, Clone)]
+struct RoutingWatch {
+    table: RoutingTable,
+    last_seen: u64,
+}
+
 /// The receptionist over a set of librarian transports.
 ///
 /// # Examples
@@ -168,6 +176,7 @@ pub struct Receptionist<T: Transport> {
     degrade: DegradePolicy,
     trace: TraceSink,
     cache: Option<CacheState>,
+    routing: Option<RoutingWatch>,
 }
 
 impl<T: Transport> Receptionist<T> {
@@ -186,6 +195,7 @@ impl<T: Transport> Receptionist<T> {
             degrade: DegradePolicy::default(),
             trace: TraceSink::disabled(),
             cache: None,
+            routing: None,
         }
     }
 
@@ -220,6 +230,7 @@ impl<T: Transport> Receptionist<T> {
             degrade: self.degrade,
             trace: TraceSink::disabled(),
             cache: self.cache.as_ref().map(|c| CacheState::new(c.config())),
+            routing: self.routing.clone(),
         }
     }
 
@@ -233,6 +244,37 @@ impl<T: Transport> Receptionist<T> {
     /// the `cache` module docs for the invalidation rules.
     pub fn enable_cache(&mut self, config: CacheConfig) {
         self.cache = Some(CacheState::new(config));
+    }
+
+    /// Watches a fleet [`RoutingTable`]: every query operation first
+    /// compares the table's version against the last one it acted on,
+    /// and any movement — a replica joined, left, or was promoted
+    /// anywhere in the fleet — bumps the cache generation before the
+    /// cache is consulted. Membership changes therefore can never
+    /// serve a result or term-statistics entry cached under the old
+    /// routing, by the same generation mechanism epoch bumps use.
+    pub fn set_routing_table(&mut self, table: RoutingTable) {
+        let last_seen = table.version();
+        self.routing = Some(RoutingWatch { table, last_seen });
+    }
+
+    /// The watched routing table's current version, if one is attached.
+    pub fn routing_version(&self) -> Option<u64> {
+        self.routing.as_ref().map(|w| w.table.version())
+    }
+
+    /// Folds any routing-table movement into the cache generation.
+    fn observe_routing(&mut self) {
+        let Some(watch) = self.routing.as_mut() else {
+            return;
+        };
+        let version = watch.table.version();
+        if version != watch.last_seen {
+            watch.last_seen = version;
+            if let Some(cache) = self.cache.as_mut() {
+                cache.bump_generation();
+            }
+        }
     }
 
     /// Drops all cached state and disables caching.
@@ -555,6 +597,7 @@ impl<T: Transport> Receptionist<T> {
         query: &str,
         k: usize,
     ) -> Result<Vec<GlobalHit>, TeraphimError> {
+        self.observe_routing();
         let query_id = self.next_query_id;
         self.next_query_id += 1;
         let terms = self.analyze_query(query);
@@ -766,6 +809,7 @@ impl<T: Transport> Receptionist<T> {
         query: &str,
         k: usize,
     ) -> Result<RankedAnswer, TeraphimError> {
+        self.observe_routing();
         let query_id = self.next_query_id;
         self.next_query_id += 1;
         let terms = self.analyze_query(query);
@@ -843,7 +887,14 @@ impl<T: Transport> Receptionist<T> {
                 docs_permille: docs_fraction.map(|f| (f * 1000.0).round() as u32),
             });
         }
-        if answered.len() < self.degrade.min_answered {
+        // The policy counts surviving librarians, not merely contacted
+        // ones. A CI expansion only contacts librarians holding
+        // candidates; the central index answers *authoritatively* for
+        // the rest ("no candidates here"), so an uncontacted librarian
+        // is covered, not missing. `answered` in the coverage report
+        // still lists only librarians that replied — this is purely the
+        // degradation threshold.
+        if self.transports.len() - failed.len() < self.degrade.min_answered {
             return Err(TeraphimError::InsufficientCoverage {
                 answered: answered.len(),
                 failed: failed.len(),
@@ -1215,6 +1266,7 @@ impl<T: Transport> Receptionist<T> {
         hits: &[GlobalHit],
         plain: bool,
     ) -> Result<Vec<FetchedDoc>, TeraphimError> {
+        self.observe_routing();
         let query_id = self.next_query_id;
         self.next_query_id += 1;
         self.trace.record(EventKind::Begin {

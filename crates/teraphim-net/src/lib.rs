@@ -42,6 +42,7 @@ pub mod fanout;
 pub mod faults;
 pub mod message;
 pub mod mux;
+pub mod replica;
 pub mod retry;
 pub mod tcp;
 pub mod transport;
@@ -54,6 +55,7 @@ pub use fanout::{
 pub use faults::{FaultAction, FaultPlan, FaultyService, FaultyTransport};
 pub use message::Message;
 pub use mux::{MuxConnection, MuxPool, MuxTransport};
+pub use replica::{ReplicaGroup, RoutingTable};
 pub use retry::{RetryPolicy, RetryTransport};
 pub use tcp::{ServerOptions, TcpOptions};
 pub use transport::{

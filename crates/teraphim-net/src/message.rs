@@ -189,6 +189,24 @@ pub enum Message {
         /// `teraphim-obs` histogram bucketing).
         latency: Vec<(u32, u64)>,
     },
+    /// Admin request: ask a fleet node for its current shard→replica
+    /// routing table. Any node holding a
+    /// [`crate::replica::RoutingTable`] answers; nodes without one
+    /// answer [`Message::Error`].
+    RoutingRequest,
+    /// Admin response: a versioned snapshot of the routing table. The
+    /// version is bumped on every membership change (join, leave,
+    /// promote), so receptionists can detect movement with one integer
+    /// compare and re-key caches.
+    RoutingReply {
+        /// Monotonic routing-table version (fleet generation input).
+        version: u64,
+        /// One entry per shard: `(shard, live replica ids, preferred
+        /// replica id)`. Replica ids are stable for the life of the
+        /// fleet; the preferred id is always a member of the live list
+        /// unless the shard has no replicas (empty list, preferred 0).
+        shards: Vec<(u32, Vec<u32>, u32)>,
+    },
 }
 
 const TAG_STATS_REQ: u8 = 1;
@@ -210,6 +228,8 @@ const TAG_BOOL_RESP: u8 = 16;
 const TAG_UNAVAILABLE: u8 = 17;
 const TAG_ADMIN_STATS: u8 = 18;
 const TAG_ADMIN_STATS_REPLY: u8 = 19;
+const TAG_ROUTING_REQ: u8 = 20;
+const TAG_ROUTING_REPLY: u8 = 21;
 
 impl Message {
     /// Encodes to the compact wire form.
@@ -398,6 +418,20 @@ impl Message {
                 for (bucket, count) in latency {
                     put_uint(&mut out, u64::from(*bucket));
                     put_uint(&mut out, *count);
+                }
+            }
+            Message::RoutingRequest => out.push(TAG_ROUTING_REQ),
+            Message::RoutingReply { version, shards } => {
+                out.push(TAG_ROUTING_REPLY);
+                put_uint(&mut out, *version);
+                put_uint(&mut out, shards.len() as u64);
+                for (shard, replicas, preferred) in shards {
+                    put_uint(&mut out, u64::from(*shard));
+                    put_uint(&mut out, replicas.len() as u64);
+                    for r in replicas {
+                        put_uint(&mut out, u64::from(*r));
+                    }
+                    put_uint(&mut out, u64::from(*preferred));
                 }
             }
         }
@@ -633,6 +667,23 @@ impl Message {
                     latency,
                 }
             }
+            TAG_ROUTING_REQ => Message::RoutingRequest,
+            TAG_ROUTING_REPLY => {
+                let version = get_uint(rest, &mut pos)?;
+                let n = get_uint(rest, &mut pos)? as usize;
+                let mut shards = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let shard = get_uint(rest, &mut pos)? as u32;
+                    let nr = get_uint(rest, &mut pos)? as usize;
+                    let mut replicas = Vec::with_capacity(nr.min(1 << 20));
+                    for _ in 0..nr {
+                        replicas.push(get_uint(rest, &mut pos)? as u32);
+                    }
+                    let preferred = get_uint(rest, &mut pos)? as u32;
+                    shards.push((shard, replicas, preferred));
+                }
+                Message::RoutingReply { version, shards }
+            }
             _ => return Err(NetError::Corrupt("unknown message tag")),
         };
         if pos != rest.len() {
@@ -669,6 +720,8 @@ impl Message {
             Message::Unavailable { .. } => "Unavailable",
             Message::Stats => "Stats",
             Message::StatsReply { .. } => "StatsReply",
+            Message::RoutingRequest => "RoutingRequest",
+            Message::RoutingReply { .. } => "RoutingReply",
         }
     }
 }
@@ -782,6 +835,15 @@ mod tests {
             epoch: 0,
             latency: vec![],
         });
+        roundtrip(Message::RoutingRequest);
+        roundtrip(Message::RoutingReply {
+            version: 7,
+            shards: vec![(0, vec![0, 43], 43), (1, vec![1], 1), (2, vec![], 0)],
+        });
+        roundtrip(Message::RoutingReply {
+            version: 0,
+            shards: vec![],
+        });
     }
 
     #[test]
@@ -847,6 +909,10 @@ mod tests {
                 errors: 1,
                 epoch: 2,
                 latency: vec![(4, 2), (11, 6)],
+            },
+            Message::RoutingReply {
+                version: 9,
+                shards: vec![(0, vec![0, 300], 300), (5, vec![5], 5)],
             },
         ];
         for msg in msgs {

@@ -195,6 +195,47 @@ pub enum EventKind {
         /// Number of entries evicted by this insert.
         entries: u32,
     },
+    /// A replica group failed over a request to another replica after a
+    /// transient error on the one it preferred.
+    Failover {
+        /// Shard (subcollection / librarian slot) index.
+        librarian: u32,
+        /// Replica id the request failed on.
+        from: u32,
+        /// Replica id the request was rerouted to.
+        to: u32,
+        /// Error kind that triggered the failover (see `NetError::kind`).
+        error: &'static str,
+    },
+    /// A replica joined a shard's replica group (membership change).
+    Join {
+        /// Shard (subcollection / librarian slot) index.
+        librarian: u32,
+        /// The joining replica's id.
+        replica: u32,
+        /// Routing-table version after the join.
+        version: u64,
+    },
+    /// A replica left a shard's replica group (membership change).
+    Leave {
+        /// Shard (subcollection / librarian slot) index.
+        librarian: u32,
+        /// The departing replica's id.
+        replica: u32,
+        /// Routing-table version after the leave.
+        version: u64,
+    },
+    /// A subcollection's index was handed to a joining replica
+    /// (migration over the split machinery's shard space).
+    Migrate {
+        /// Shard (subcollection / librarian slot) index.
+        librarian: u32,
+        /// Documents carried by the migrated subcollection.
+        docs: u64,
+        /// The shard's index epoch at handoff; the joining replica
+        /// adopts it so epoch-keyed caches stay coherent.
+        epoch: u64,
+    },
 }
 
 impl EventKind {
@@ -211,7 +252,11 @@ impl EventKind {
             | EventKind::Retry { librarian, .. }
             | EventKind::Fault { librarian, .. }
             | EventKind::LibFailed { librarian, .. }
-            | EventKind::Scored { librarian, .. } => Some(librarian),
+            | EventKind::Scored { librarian, .. }
+            | EventKind::Failover { librarian, .. }
+            | EventKind::Join { librarian, .. }
+            | EventKind::Leave { librarian, .. }
+            | EventKind::Migrate { librarian, .. } => Some(librarian),
             _ => None,
         }
     }
@@ -237,6 +282,10 @@ impl EventKind {
             EventKind::CacheHit { .. } => "cache_hit",
             EventKind::CacheMiss { .. } => "cache_miss",
             EventKind::CacheEvict { .. } => "cache_evict",
+            EventKind::Failover { .. } => "failover",
+            EventKind::Join { .. } => "join",
+            EventKind::Leave { .. } => "leave",
+            EventKind::Migrate { .. } => "migrate",
         }
     }
 }

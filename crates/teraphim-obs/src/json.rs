@@ -169,6 +169,48 @@ fn event_json(event: &TraceEvent) -> String {
             push_escaped(&mut out, cache);
             let _ = write!(out, ",\"entries\":{entries}");
         }
+        EventKind::Failover {
+            librarian,
+            from,
+            to,
+            error,
+        } => {
+            let _ = write!(
+                out,
+                ",\"librarian\":{librarian},\"from\":{from},\"to\":{to},\"error\":"
+            );
+            push_escaped(&mut out, error);
+        }
+        EventKind::Join {
+            librarian,
+            replica,
+            version,
+        } => {
+            let _ = write!(
+                out,
+                ",\"librarian\":{librarian},\"replica\":{replica},\"version\":{version}"
+            );
+        }
+        EventKind::Leave {
+            librarian,
+            replica,
+            version,
+        } => {
+            let _ = write!(
+                out,
+                ",\"librarian\":{librarian},\"replica\":{replica},\"version\":{version}"
+            );
+        }
+        EventKind::Migrate {
+            librarian,
+            docs,
+            epoch,
+        } => {
+            let _ = write!(
+                out,
+                ",\"librarian\":{librarian},\"docs\":{docs},\"epoch\":{epoch}"
+            );
+        }
     }
     out.push('}');
     out

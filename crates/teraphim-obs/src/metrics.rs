@@ -364,6 +364,8 @@ pub struct MetricsRegistry {
     postings_decoded: AtomicU64,
     queries: AtomicU64,
     degraded_queries: AtomicU64,
+    failovers: AtomicU64,
+    membership_changes: AtomicU64,
     methodologies: [MethodSlot; 4],
     caches: [CacheSlot; 3],
     phases: [Histogram; 7],
@@ -390,6 +392,8 @@ impl MetricsRegistry {
             postings_decoded: AtomicU64::new(0),
             queries: AtomicU64::new(0),
             degraded_queries: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            membership_changes: AtomicU64::new(0),
             methodologies: Default::default(),
             caches: Default::default(),
             phases: Default::default(),
@@ -558,6 +562,12 @@ impl MetricsRegistry {
                         .fetch_add(u64::from(*entries), Ordering::Relaxed);
                 }
             }
+            EventKind::Failover { .. } => {
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            EventKind::Join { .. } | EventKind::Leave { .. } | EventKind::Migrate { .. } => {
+                self.membership_changes.fetch_add(1, Ordering::Relaxed);
+            }
             EventKind::Expansion { .. } => {}
         }
     }
@@ -625,6 +635,8 @@ impl MetricsRegistry {
             postings_decoded: load(&self.postings_decoded),
             queries: load(&self.queries),
             degraded_queries: load(&self.degraded_queries),
+            failovers: load(&self.failovers),
+            membership_changes: load(&self.membership_changes),
             per_methodology,
             per_cache,
             per_librarian,
@@ -747,6 +759,10 @@ pub struct MetricsSnapshot {
     pub queries: u64,
     /// Queries whose coverage was degraded.
     pub degraded_queries: u64,
+    /// Requests rerouted to another replica after a transient error.
+    pub failovers: u64,
+    /// Fleet membership changes observed (joins, leaves, migrations).
+    pub membership_changes: u64,
     /// Per-methodology slots, in [`METHODOLOGIES`] order.
     pub per_methodology: Vec<MethodologyMetrics>,
     /// Per-cache slots, in [`CACHE_KINDS`] order.
@@ -854,6 +870,18 @@ impl MetricsSnapshot {
             "teraphim_degraded_queries_total",
             "Queries answered with degraded coverage.",
             &[(String::new(), self.degraded_queries)],
+        );
+        counter(
+            &mut out,
+            "teraphim_failovers_total",
+            "Requests rerouted to another replica after a transient error.",
+            &[(String::new(), self.failovers)],
+        );
+        counter(
+            &mut out,
+            "teraphim_membership_changes_total",
+            "Fleet membership changes (joins, leaves, migrations).",
+            &[(String::new(), self.membership_changes)],
         );
         let cache_samples: Vec<(String, u64)> = self
             .per_cache

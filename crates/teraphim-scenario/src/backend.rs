@@ -11,13 +11,13 @@
 use teraphim_core::sim::{derive_seed, SimDispatch, SimDriver, SimMode};
 use teraphim_core::{CiParams, TeraphimError};
 use teraphim_net::FaultPlan;
-use teraphim_obs::{trace_traffic_sums, TraceSink};
+use teraphim_obs::{trace_traffic_sums, EventKind, TraceSink};
 use teraphim_simnet::{CostModel, Topology};
 use teraphim_text::sgml::TrecDoc;
 use teraphim_text::Analyzer;
 
 use crate::fixture::{churn_docs, Fixture};
-use crate::plan::{CacheSpec, DispatchChoice, FaultSpec, Plan, RunMode, Step};
+use crate::plan::{CacheSpec, DispatchChoice, FaultSpec, Plan, RunMode, Step, MAX_REPLICAS};
 
 /// CI preprocessing parameters every backend shares (the values the
 /// repo's sim-vs-real differential suite is proven under).
@@ -128,6 +128,23 @@ pub trait Backend {
     /// Permanently removes `lib` from service.
     fn kill(&mut self, lib: usize);
 
+    /// Joins a fresh replica to shard `lib`'s group, migrating the
+    /// subcollection index (and its epoch) onto it. Heals a shard whose
+    /// last replica left. The runner guarantees the group is below
+    /// [`MAX_REPLICAS`] and the shard is not killed.
+    fn add_lib(&mut self, lib: usize);
+
+    /// Removes shard `lib`'s preferred replica from its group. When the
+    /// last replica leaves, the shard answers nothing until a later
+    /// `add_lib` heals it. The runner guarantees at least one replica is
+    /// live and the shard is not killed.
+    fn remove_lib(&mut self, lib: usize);
+
+    /// Rotates shard `lib`'s preferred replica to the next live one —
+    /// ranking-transparent, since replicas are content-identical. The
+    /// runner guarantees at least two replicas are live.
+    fn promote_replica(&mut self, lib: usize);
+
     /// Enables (`Some`) or disables (`None`) result caching.
     fn set_cache(&mut self, spec: Option<CacheSpec>);
 
@@ -147,30 +164,35 @@ pub trait Backend {
 /// shrunken subset of steps too):
 ///
 /// - librarian indices are taken modulo the fleet size;
-/// - a `Down`/`kill` that would leave no live librarian is skipped — a
-///   fleet with zero answerable librarians fails every query, which
-///   hides real divergences behind a wall of identical errors;
+/// - a `Down`/`kill`/`remove_lib` that would leave no answerable
+///   librarian is skipped — a fleet with zero answerable librarians
+///   fails every query, which hides real divergences behind a wall of
+///   identical errors; a shard whose replica group emptied counts as
+///   unanswerable here;
 /// - `add_docs` runs with fault windows closed (CV/CI resync fans out
 ///   to every librarian and must see a healthy fleet) and re-opens them
-///   afterwards; it is skipped entirely once any librarian is killed,
-///   because a dead librarian can never resync;
-/// - fault transitions drop cached results on caching backends (the
-///   runner's stand-in for coverage-aware invalidation), keeping cached
-///   and cache-less backends answer-identical.
+///   afterwards; it is skipped entirely once any librarian is killed or
+///   any shard has zero live replicas, because neither can resync;
+/// - membership steps keep shards within `1..=MAX_REPLICAS` live
+///   replicas: `add_lib` at the cap, `remove_lib` on an empty shard and
+///   `promote_replica` with fewer than two replicas are all skipped, as
+///   is any membership step on a killed shard;
+/// - fault and membership transitions drop cached results on caching
+///   backends (the runner's stand-in for coverage-aware invalidation),
+///   keeping cached and cache-less backends answer-identical.
 pub fn run_plan(plan: &Plan, backend: &mut dyn Backend) -> RunReport {
     let n = backend.num_libs();
     assert!(n > 0, "backend has no librarians");
     let mut active: Vec<Option<FaultSpec>> = vec![None; n];
     let mut killed = vec![false; n];
+    let mut live: Vec<u64> = vec![plan.replicas.clamp(1, MAX_REPLICAS); n];
     let mut sends_blocked = false;
     let mut health_polls = 0u64;
     let mut outcomes = Vec::new();
 
-    let down_count = |active: &[Option<FaultSpec>], killed: &[bool]| {
-        active
-            .iter()
-            .zip(killed)
-            .filter(|(a, &k)| k || matches!(a, Some(FaultSpec::Down)))
+    let down_count = |active: &[Option<FaultSpec>], killed: &[bool], live: &[u64]| {
+        (0..active.len())
+            .filter(|&l| killed[l] || live[l] == 0 || matches!(active[l], Some(FaultSpec::Down)))
             .count()
     };
 
@@ -188,7 +210,7 @@ pub fn run_plan(plan: &Plan, backend: &mut dyn Backend) -> RunReport {
                 outcomes.push(outcome);
             }
             Step::AddDocs { lib, count, batch } => {
-                if killed.iter().any(|&k| k) {
+                if killed.iter().any(|&k| k) || live.contains(&0) {
                     continue;
                 }
                 let lib = (*lib as usize) % n;
@@ -221,7 +243,7 @@ pub fn run_plan(plan: &Plan, backend: &mut dyn Backend) -> RunReport {
                 if matches!(fault, FaultSpec::Down) {
                     let mut would = active.clone();
                     would[lib] = Some(FaultSpec::Down);
-                    if down_count(&would, &killed) >= n {
+                    if down_count(&would, &killed, &live) >= n {
                         continue;
                     }
                     sends_blocked = true;
@@ -244,13 +266,46 @@ pub fn run_plan(plan: &Plan, backend: &mut dyn Backend) -> RunReport {
                 }
                 let mut would_killed = killed.clone();
                 would_killed[lib] = true;
-                if down_count(&active, &would_killed) >= n {
+                if down_count(&active, &would_killed, &live) >= n {
                     continue;
                 }
                 killed[lib] = true;
                 active[lib] = None;
                 sends_blocked = true;
                 backend.kill(lib);
+            }
+            Step::AddLib { lib } => {
+                let lib = (*lib as usize) % n;
+                if killed[lib] || live[lib] >= MAX_REPLICAS {
+                    continue;
+                }
+                live[lib] += 1;
+                backend.add_lib(lib);
+            }
+            Step::RemoveLib { lib } => {
+                let lib = (*lib as usize) % n;
+                if killed[lib] || live[lib] == 0 {
+                    continue;
+                }
+                if live[lib] == 1 {
+                    let mut would = live.clone();
+                    would[lib] = 0;
+                    if down_count(&active, &killed, &would) >= n {
+                        continue;
+                    }
+                    // An emptied shard refuses after the fan-out already
+                    // recorded the send, exactly like a Down window.
+                    sends_blocked = true;
+                }
+                live[lib] -= 1;
+                backend.remove_lib(lib);
+            }
+            Step::PromoteReplica { lib } => {
+                let lib = (*lib as usize) % n;
+                if killed[lib] || live[lib] < 2 {
+                    continue;
+                }
+                backend.promote_replica(lib);
             }
             Step::CacheOn { spec } => backend.set_cache(Some(*spec)),
             Step::CacheOff => backend.set_cache(None),
@@ -279,6 +334,26 @@ pub struct SimBackend {
     cost: CostModel,
     sink: TraceSink,
     wire_bytes: u64,
+    /// Live replica count per shard. The simulator has no physical
+    /// replicas — replicas are content-identical, so which one serves
+    /// is unobservable in rankings — but an *empty* group is: a 0-live
+    /// shard answers nothing, modeled as a permanent fault window that
+    /// shadows whatever fault the plan has open.
+    live: Vec<u64>,
+    /// The plan-level fault window per shard, kept so membership
+    /// transitions can recompute the effective fault plan.
+    faults: Vec<Option<FaultSpec>>,
+    /// Per-shard document counts and reindex epochs, mirroring the real
+    /// backends' shard ledgers so `migrate` traces carry identical
+    /// values.
+    docs: Vec<u64>,
+    epochs: Vec<u64>,
+    /// Mirror of the real backends' replica-id counter (first replica
+    /// of shard `s` is id `s`; joins take ids from here).
+    next_id: u32,
+    /// Mirror of the real backends' routing-table version: one bump per
+    /// group published at startup, one per membership change.
+    version: u64,
 }
 
 impl SimBackend {
@@ -294,18 +369,59 @@ impl SimBackend {
             .expect("fixture corpus must build a sim driver");
         driver.set_seed(derive_seed(plan.seed, 0x53494d)); // "SIM"
         let sink = driver.enable_tracing();
+        let n = driver.num_parts();
+        let docs = fixture
+            .parts()
+            .iter()
+            .map(|s| s.docs.len() as u64)
+            .collect();
         SimBackend {
             driver,
             topo: Topology::multi_disk(4),
             cost: CostModel::default(),
             sink,
             wire_bytes: 0,
+            live: vec![plan.replicas.clamp(1, MAX_REPLICAS); n],
+            faults: vec![None; n],
+            docs,
+            epochs: vec![0; n],
+            // The real backends hand the first replica of shard `s` the
+            // id `s` and draw every extra startup replica from a counter
+            // starting at `n` — so after construction the counter sits
+            // at one id per startup replica.
+            next_id: (n as u64 * plan.replicas.clamp(1, MAX_REPLICAS)) as u32,
+            version: n as u64,
         }
+    }
+
+    /// Drains the backend's buffered traces — for golden-trace tests.
+    /// Calling this mid-run steals traffic from the accounting summary;
+    /// use on dedicated instances.
+    pub fn take_traces(&self) -> Vec<teraphim_obs::QueryTrace> {
+        self.sink.take_traces()
     }
 
     /// The driver, for post-run inspection in tests.
     pub fn driver(&self) -> &SimDriver {
         &self.driver
+    }
+
+    /// Reinstalls shard `lib`'s effective fault plan: a 0-live shard is
+    /// down no matter what the plan's fault window says, so membership
+    /// and fault transitions compose instead of clobbering each other.
+    fn reapply(&mut self, lib: usize) {
+        let plan = if self.live[lib] == 0 {
+            FaultPlan::new().fail_from(0)
+        } else {
+            match self.faults[lib] {
+                None => FaultPlan::new(),
+                Some(FaultSpec::Down) => FaultPlan::new().fail_from(0),
+                Some(FaultSpec::Delay { ms }) => {
+                    FaultPlan::new().delay_all(std::time::Duration::from_millis(ms))
+                }
+            }
+        };
+        self.driver.set_fault_plan(lib, plan);
     }
 }
 
@@ -354,25 +470,68 @@ impl Backend for SimBackend {
     }
 
     fn add_docs(&mut self, lib: usize, docs: &[TrecDoc]) -> Result<(), String> {
+        self.docs[lib] += docs.len() as u64;
+        self.epochs[lib] += 1;
         self.driver
             .append_documents(lib, docs)
             .map_err(|e| format!("{e}"))
     }
 
     fn apply_fault(&mut self, lib: usize, fault: Option<FaultSpec>) {
-        let plan = match fault {
-            None => FaultPlan::new(),
-            Some(FaultSpec::Down) => FaultPlan::new().fail_from(0),
-            Some(FaultSpec::Delay { ms }) => {
-                FaultPlan::new().delay_all(std::time::Duration::from_millis(ms))
-            }
-        };
-        self.driver.set_fault_plan(lib, plan);
+        self.faults[lib] = fault;
+        self.reapply(lib);
     }
 
     fn kill(&mut self, lib: usize) {
+        // Permanent: the runner never clears faults on a killed shard,
+        // so this plan is final regardless of `faults`/`live`.
         self.driver
             .set_fault_plan(lib, FaultPlan::new().fail_from(0));
+    }
+
+    fn add_lib(&mut self, lib: usize) {
+        self.live[lib] += 1;
+        // Emit the same `migrate` trace the real backends record for an
+        // index handoff, with mirrored replica id / routing version /
+        // shard-ledger values — sim and real traces stay byte-identical
+        // after normalization.
+        let id = self.next_id;
+        self.next_id += 1;
+        self.version += 1;
+        self.sink.record(EventKind::Begin {
+            op: "migrate",
+            methodology: None,
+            query_id: 0,
+            k: 0,
+        });
+        self.sink.record(EventKind::Migrate {
+            librarian: lib as u32,
+            docs: self.docs[lib],
+            epoch: self.epochs[lib],
+        });
+        self.sink.record(EventKind::Join {
+            librarian: lib as u32,
+            replica: id,
+            version: self.version,
+        });
+        self.sink.record(EventKind::End);
+        self.reapply(lib);
+    }
+
+    fn remove_lib(&mut self, lib: usize) {
+        self.live[lib] = self.live[lib].saturating_sub(1);
+        // A leave publishes a new routing version on the real backends.
+        self.version += 1;
+        self.reapply(lib);
+    }
+
+    fn promote_replica(&mut self, lib: usize) {
+        // Replicas are content-identical; which one is preferred is
+        // unobservable in the simulator's ranking model — but the
+        // preference change publishes a routing version, so the mirror
+        // counter moves.
+        let _ = lib;
+        self.version += 1;
     }
 
     fn set_cache(&mut self, _spec: Option<CacheSpec>) {

@@ -15,7 +15,7 @@ use teraphim_core::sim::derive_seed;
 use teraphim_corpus::zipf::Zipf;
 
 use crate::fixture::Fixture;
-use crate::plan::{CacheSpec, DispatchChoice, FaultSpec, Plan, RunMode, Step};
+use crate::plan::{CacheSpec, DispatchChoice, FaultSpec, Plan, RunMode, Step, MAX_REPLICAS};
 
 /// Generator knobs.
 #[derive(Debug, Clone, Copy)]
@@ -27,6 +27,11 @@ pub struct GenOptions {
     /// Allow permanent `kill_lib` steps (off by default: kills make
     /// every later query degraded, which hides more interesting bugs).
     pub allow_kills: bool,
+    /// Replicas per shard the fleet starts with (clamped to
+    /// `1..=MAX_REPLICAS`). Above 1 the generator also mixes membership
+    /// churn — `add_lib`, `remove_lib`, `promote_replica` — into the
+    /// workload.
+    pub replicas: u64,
 }
 
 impl Default for GenOptions {
@@ -35,6 +40,7 @@ impl Default for GenOptions {
             steps: 60,
             clients: 2,
             allow_kills: false,
+            replicas: 1,
         }
     }
 }
@@ -43,6 +49,7 @@ impl Default for GenOptions {
 pub fn generate_plan(name: &str, seed: u64, options: GenOptions) -> Plan {
     let mut plan = Plan::named(name, seed);
     plan.clients = options.clients.max(1);
+    plan.replicas = options.replicas.clamp(1, MAX_REPLICAS);
     let fixture = Fixture::for_plan(&plan);
     let num_libs = fixture.num_libs() as u64;
 
@@ -138,6 +145,18 @@ pub fn generate_plan(name: &str, seed: u64, options: GenOptions) -> Plan {
                     lib: rng.gen_range(0..num_libs),
                 });
             }
+            // Membership churn: elastic plans move replicas in and out
+            // while queries are in flight. Removes slightly outnumber
+            // joins so shards actually dip to zero replicas sometimes,
+            // exercising the degrade-then-heal path.
+            96..=98 if plan.replicas > 1 => {
+                let lib = rng.gen_range(0..num_libs);
+                steps.push(match rng.gen_range(0u32..8) {
+                    0..=2 => Step::AddLib { lib },
+                    3..=6 => Step::RemoveLib { lib },
+                    _ => Step::PromoteReplica { lib },
+                });
+            }
             _ => steps.push(Step::HealthPoll),
         }
     }
@@ -168,6 +187,7 @@ mod tests {
                 steps: 120,
                 clients: 3,
                 allow_kills: false,
+                replicas: 1,
             },
         );
         assert_eq!(plan.steps.len(), 120);
@@ -197,6 +217,40 @@ mod tests {
             );
         }
         // Round-trips like any other plan.
+        let back = Plan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+        assert!(
+            !plan.steps.iter().any(|s| matches!(
+                s,
+                Step::AddLib { .. } | Step::RemoveLib { .. } | Step::PromoteReplica { .. }
+            )),
+            "membership churn stays off for single-replica fleets"
+        );
+    }
+
+    #[test]
+    fn elastic_plans_mix_membership_churn() {
+        let plan = generate_plan(
+            "elastic-shape",
+            7,
+            GenOptions {
+                steps: 300,
+                clients: 2,
+                allow_kills: false,
+                replicas: 2,
+            },
+        );
+        assert_eq!(plan.replicas, 2);
+        assert!(
+            plan.steps
+                .iter()
+                .any(|s| matches!(s, Step::RemoveLib { .. })),
+            "leaves present"
+        );
+        assert!(
+            plan.steps.iter().any(|s| matches!(s, Step::AddLib { .. })),
+            "joins present"
+        );
         let back = Plan::from_json(&plan.to_json()).unwrap();
         assert_eq!(back, plan);
     }

@@ -189,6 +189,29 @@ pub enum Step {
     },
     /// Poll fleet health (feeds the cache-invalidation generation).
     HealthPoll,
+    /// A replica joins one shard's replica group: the shard's current
+    /// subcollection (initial fixture docs plus surviving churn
+    /// batches) is migrated to a fresh librarian that adopts the
+    /// shard's epoch, and the routing-table version bumps.
+    AddLib {
+        /// Target shard (librarian slot).
+        lib: u64,
+    },
+    /// A replica leaves one shard's replica group (the current
+    /// preferred one goes first). A shard at zero replicas answers
+    /// nothing until an `add_lib` heals it; the runner never removes
+    /// the last answerable librarian of the whole fleet.
+    RemoveLib {
+        /// Target shard (librarian slot).
+        lib: u64,
+    },
+    /// Rotates the shard's preferred replica to the next live one —
+    /// ranking-transparent by construction (replicas are
+    /// content-identical), which the differential check enforces.
+    PromoteReplica {
+        /// Target shard (librarian slot).
+        lib: u64,
+    },
 }
 
 impl Step {
@@ -204,6 +227,9 @@ impl Step {
             Step::CacheOff => "cache_off",
             Step::Dispatch { .. } => "dispatch",
             Step::HealthPoll => "health_poll",
+            Step::AddLib { .. } => "add_lib",
+            Step::RemoveLib { .. } => "remove_lib",
+            Step::PromoteReplica { .. } => "promote_replica",
         }
     }
 
@@ -237,7 +263,10 @@ impl Step {
                 }
             }
             Step::ClearFaults | Step::HealthPoll | Step::CacheOff => {}
-            Step::KillLib { lib } => fields.push(("lib".into(), Json::UInt(*lib))),
+            Step::KillLib { lib }
+            | Step::AddLib { lib }
+            | Step::RemoveLib { lib }
+            | Step::PromoteReplica { lib } => fields.push(("lib".into(), Json::UInt(*lib))),
             Step::CacheOn { spec } => {
                 fields.push(("results".into(), Json::UInt(spec.results)));
                 fields.push(("shards".into(), Json::UInt(spec.shards)));
@@ -309,10 +338,24 @@ impl Step {
                     .ok_or_else(|| format!("unknown dispatch {:?}", str_field("mode").unwrap()))?,
             },
             "health_poll" => Step::HealthPoll,
+            "add_lib" => Step::AddLib {
+                lib: u64_field("lib")?,
+            },
+            "remove_lib" => Step::RemoveLib {
+                lib: u64_field("lib")?,
+            },
+            "promote_replica" => Step::PromoteReplica {
+                lib: u64_field("lib")?,
+            },
             other => return Err(format!("unknown step op {other:?}")),
         })
     }
 }
+
+/// The largest replica group a shard may grow to: generated plans and
+/// the runner keep live counts in `0..=MAX_REPLICAS` (0 only
+/// transiently, between a last `remove_lib` and a healing `add_lib`).
+pub const MAX_REPLICAS: u64 = 4;
 
 /// A complete scenario: name, seeds and the step script.
 #[derive(Debug, Clone, PartialEq)]
@@ -326,6 +369,10 @@ pub struct Plan {
     pub corpus_seed: u64,
     /// Number of client sessions the TCP backend forks.
     pub clients: u64,
+    /// Replicas per shard the fleet starts with (1..=4; 1 reproduces
+    /// the pre-elastic fixed fleet). Membership steps move counts
+    /// within that band at run time.
+    pub replicas: u64,
     /// The script.
     pub steps: Vec<Step>,
 }
@@ -338,6 +385,7 @@ impl Plan {
             seed,
             corpus_seed: 33,
             clients: 2,
+            replicas: 1,
             steps: Vec::new(),
         }
     }
@@ -354,6 +402,7 @@ impl Plan {
         out.push_str(&format!("  \"seed\": {},\n", self.seed));
         out.push_str(&format!("  \"corpus_seed\": {},\n", self.corpus_seed));
         out.push_str(&format!("  \"clients\": {},\n", self.clients));
+        out.push_str(&format!("  \"replicas\": {},\n", self.replicas));
         out.push_str("  \"steps\": [\n");
         for (i, step) in self.steps.iter().enumerate() {
             out.push_str("    ");
@@ -397,6 +446,12 @@ impl Plan {
             seed: u64_field("seed")?,
             corpus_seed: u64_field("corpus_seed")?,
             clients: u64_field("clients")?.max(1),
+            // Optional for pre-elastic fixture compatibility.
+            replicas: value
+                .get("replicas")
+                .and_then(Json::as_u64)
+                .unwrap_or(1)
+                .clamp(1, MAX_REPLICAS),
             steps,
         })
     }
@@ -446,6 +501,9 @@ mod tests {
                 mode: DispatchChoice::Pipelined,
             },
             Step::HealthPoll,
+            Step::AddLib { lib: 1 },
+            Step::PromoteReplica { lib: 1 },
+            Step::RemoveLib { lib: 1 },
         ];
         plan
     }
@@ -466,6 +524,13 @@ mod tests {
             let back = Step::from_json(&step.to_json()).unwrap();
             assert_eq!(back, step);
         }
+    }
+
+    #[test]
+    fn plans_without_replicas_field_default_to_one() {
+        let text = "{\"name\":\"old\",\"seed\":1,\"corpus_seed\":1,\"clients\":1,\"steps\":[]}";
+        let plan = Plan::from_json(text).unwrap();
+        assert_eq!(plan.replicas, 1, "pre-elastic fixtures stay parseable");
     }
 
     #[test]

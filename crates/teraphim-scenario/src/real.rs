@@ -1,11 +1,18 @@
 //! Real execution backends: the in-process receptionist and the
 //! multiplexed TCP serving pool.
 //!
-//! Both wrap every librarian transport in a [`ChaosTransport`] so the
-//! plan's fault windows inject at the same architectural point the
-//! simulator injects its fault plans — between the receptionist's
-//! fan-out and the librarian — and both keep a private mono-server
-//! collection so `MS` query steps have a baseline to run against.
+//! Both embody the elastic fleet the same way: every librarian slot
+//! (shard) is a [`ReplicaGroup`] of 1..R content-identical replicas,
+//! wrapped in a [`ChaosTransport`] so the plan's fault windows inject at
+//! the same architectural point the simulator injects its fault plans —
+//! between the receptionist's fan-out and the shard. Membership steps
+//! mutate the groups at run time: joins rebuild the subcollection from
+//! the backend's per-shard document ledger (the migration handoff,
+//! adopting the shard's index epoch so epoch-keyed caches cannot tell
+//! replicas apart), leaves retire the preferred replica first. Every
+//! change is published to a shared [`RoutingTable`] whose version feeds
+//! the receptionists' cache-generation path. Both backends also keep a
+//! private mono-server collection so `MS` query steps have a baseline.
 
 use std::sync::{Arc, Mutex};
 
@@ -13,15 +20,18 @@ use teraphim_core::{CacheConfig, Librarian, QuerySession, Receptionist, ServePoo
 use teraphim_engine::Collection;
 use teraphim_net::mux::{MuxPool, MuxTransport};
 use teraphim_net::tcp::{TcpServer, TcpTransport};
-use teraphim_net::{DispatchMode, InProcTransport, Message, ServerOptions, Service, Transport};
-use teraphim_obs::{trace_traffic_sums, MetricsRegistry, TraceSink};
+use teraphim_net::{
+    DispatchMode, InProcTransport, Message, ReplicaGroup, RoutingTable, ServerOptions, Service,
+    Transport,
+};
+use teraphim_obs::{trace_traffic_sums, EventKind, MetricsRegistry, TraceSink};
 use teraphim_text::sgml::TrecDoc;
 use teraphim_text::Analyzer;
 
 use crate::backend::{Accounting, Backend, Hit, QueryOutcome, TrafficTriple, CI};
 use crate::chaos::{ChaosCell, ChaosState, ChaosTransport};
 use crate::fixture::Fixture;
-use crate::plan::{CacheSpec, DispatchChoice, FaultSpec, Plan, RunMode};
+use crate::plan::{CacheSpec, DispatchChoice, FaultSpec, Plan, RunMode, MAX_REPLICAS};
 
 fn to_chaos(fault: Option<FaultSpec>) -> ChaosState {
     match fault {
@@ -143,12 +153,59 @@ impl Service for SharedLibrarian {
     }
 }
 
-/// The in-process backend: one receptionist over chaos-wrapped
-/// in-process transports, same process, same thread.
+/// One shard's authoritative document ledger: the subcollection's full
+/// document set and the index epoch that set corresponds to. Joining
+/// replicas are rebuilt from it — the same bytes, the same build, the
+/// same epoch, so a rebuilt replica is indistinguishable on the wire
+/// from one that lived through every churn batch.
+struct ShardState {
+    name: String,
+    docs: Vec<TrecDoc>,
+    epoch: u64,
+}
+
+impl ShardState {
+    fn from_fixture(fixture: &Fixture) -> Vec<ShardState> {
+        fixture
+            .parts()
+            .iter()
+            .map(|s| ShardState {
+                name: s.name.clone(),
+                docs: s.docs.clone(),
+                epoch: 0,
+            })
+            .collect()
+    }
+
+    /// The migration handoff: build a fresh librarian over the ledger
+    /// and stamp it with the shard's epoch and the fleet routing table.
+    fn build_replica(&self, routing: &RoutingTable) -> SharedLibrarian {
+        let mut lib = Librarian::build(&self.name, Analyzer::default(), &self.docs);
+        lib.set_epoch(self.epoch);
+        lib.set_routing_table(routing.clone());
+        SharedLibrarian::new(lib)
+    }
+}
+
+/// Rotates `group`'s preference to the next live replica after the
+/// current preferred one, in membership order. Returns the promoted id.
+fn next_preferred<T: Transport>(group: &ReplicaGroup<T>) -> Option<u32> {
+    let ids = group.replica_ids();
+    let current = group.preferred_id()?;
+    let pos = ids.iter().position(|&id| id == current)?;
+    Some(ids[(pos + 1) % ids.len()])
+}
+
+/// The in-process backend: one receptionist over chaos-wrapped replica
+/// groups of in-process transports, same process, same thread.
 pub struct InProcBackend {
-    receptionist: Receptionist<ChaosTransport<InProcTransport<SharedLibrarian>>>,
-    libs: Vec<SharedLibrarian>,
+    receptionist: Receptionist<ChaosTransport<ReplicaGroup<InProcTransport<SharedLibrarian>>>>,
+    shards: Vec<ShardState>,
+    members: Vec<Vec<(u32, SharedLibrarian)>>,
+    groups: Vec<ReplicaGroup<InProcTransport<SharedLibrarian>>>,
     cells: Vec<ChaosCell>,
+    routing: RoutingTable,
+    next_id: u32,
     mono: Collection,
     sink: TraceSink,
     registry: Arc<MetricsRegistry>,
@@ -156,23 +213,62 @@ pub struct InProcBackend {
 }
 
 impl InProcBackend {
-    /// Builds the fleet and preprocesses CV and CI state.
+    /// Builds the fleet (with `plan.replicas` replicas per shard) and
+    /// preprocesses CV and CI state.
     pub fn new(plan: &Plan) -> InProcBackend {
         let fixture = Fixture::for_plan(plan);
-        let libs: Vec<SharedLibrarian> = fixture
-            .parts()
+        let shards = ShardState::from_fixture(&fixture);
+        let routing = RoutingTable::new();
+        let n = shards.len();
+        let per_shard = plan.replicas.clamp(1, MAX_REPLICAS) as usize;
+        let mut next_id = n as u32;
+        let members: Vec<Vec<(u32, SharedLibrarian)>> = shards
             .iter()
-            .map(|s| SharedLibrarian::new(Librarian::build(&s.name, Analyzer::default(), &s.docs)))
+            .enumerate()
+            .map(|(s, shard)| {
+                (0..per_shard)
+                    .map(|r| {
+                        // The first replica keeps the shard's own index
+                        // as its id, so a one-replica fleet reads like
+                        // the pre-elastic fixed fleet.
+                        let id = if r == 0 {
+                            s as u32
+                        } else {
+                            next_id += 1;
+                            next_id - 1
+                        };
+                        (id, shard.build_replica(&routing))
+                    })
+                    .collect()
+            })
             .collect();
-        let cells: Vec<ChaosCell> = libs.iter().map(|_| ChaosCell::healthy()).collect();
-        let transports = libs
+        let cells: Vec<ChaosCell> = (0..n).map(|_| ChaosCell::healthy()).collect();
+        let groups: Vec<ReplicaGroup<InProcTransport<SharedLibrarian>>> = members
+            .iter()
+            .enumerate()
+            .map(|(s, replicas)| {
+                ReplicaGroup::new(
+                    s as u32,
+                    replicas
+                        .iter()
+                        .map(|(id, lib)| (*id, InProcTransport::new(lib.clone())))
+                        .collect(),
+                )
+                .with_table(routing.clone())
+            })
+            .collect();
+        let transports = groups
             .iter()
             .zip(&cells)
-            .map(|(lib, cell)| ChaosTransport::new(InProcTransport::new(lib.clone()), cell.clone()))
+            .map(|(group, cell)| ChaosTransport::new(group.clone(), cell.clone()))
             .collect();
         let mut receptionist = Receptionist::new(transports, Analyzer::default());
         let sink = receptionist.enable_tracing();
         let registry = receptionist.enable_metrics();
+        for group in &groups {
+            let _ = group.clone().with_trace(sink.clone());
+        }
+        receptionist.set_routing_table(routing.clone());
         receptionist
             .enable_cv()
             .expect("healthy fleet preprocesses");
@@ -182,12 +278,28 @@ impl InProcBackend {
         InProcBackend {
             receptionist,
             mono: mono_collection(&fixture),
-            libs,
+            shards,
+            members,
+            groups,
             cells,
+            routing,
+            next_id,
             sink,
             registry,
             cache_spec: None,
         }
+    }
+
+    /// The fleet's routing table (for post-run inspection in tests).
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// Drains the backend's buffered traces (queries, preprocessing,
+    /// migrations) — for golden-trace tests. Calling this mid-run steals
+    /// traffic from the accounting summary; use on dedicated instances.
+    pub fn take_traces(&self) -> Vec<teraphim_obs::QueryTrace> {
+        self.sink.take_traces()
     }
 
     /// Drops cached results (coverage changed) without changing whether
@@ -206,7 +318,7 @@ impl Backend for InProcBackend {
     }
 
     fn num_libs(&self) -> usize {
-        self.libs.len()
+        self.groups.len()
     }
 
     fn query(&mut self, _client: u64, mode: RunMode, query: &str, k: usize) -> QueryOutcome {
@@ -217,7 +329,11 @@ impl Backend for InProcBackend {
     }
 
     fn add_docs(&mut self, lib: usize, docs: &[TrecDoc]) -> Result<(), String> {
-        self.libs[lib].append(docs)?;
+        self.shards[lib].docs.extend_from_slice(docs);
+        self.shards[lib].epoch += 1;
+        for (_, replica) in &self.members[lib] {
+            replica.append(docs)?;
+        }
         self.mono
             .append_documents(docs)
             .map_err(|e| format!("{e}"))?;
@@ -235,6 +351,45 @@ impl Backend for InProcBackend {
 
     fn kill(&mut self, lib: usize) {
         self.cells[lib].set(ChaosState::Down);
+        self.flush_cache();
+    }
+
+    fn add_lib(&mut self, lib: usize) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let replica = self.shards[lib].build_replica(&self.routing);
+        // The handoff is a traced operation of its own: a `migrate`
+        // trace carrying the index transfer (`Migrate`) and the
+        // membership change (`Join`, recorded by the group).
+        self.sink.record(EventKind::Begin {
+            op: "migrate",
+            methodology: None,
+            query_id: 0,
+            k: 0,
+        });
+        self.sink.record(EventKind::Migrate {
+            librarian: lib as u32,
+            docs: self.shards[lib].docs.len() as u64,
+            epoch: self.shards[lib].epoch,
+        });
+        self.groups[lib].add_replica(id, InProcTransport::new(replica.clone()));
+        self.sink.record(EventKind::End);
+        self.members[lib].push((id, replica));
+        self.flush_cache();
+    }
+
+    fn remove_lib(&mut self, lib: usize) {
+        if let Some(id) = self.groups[lib].preferred_id() {
+            self.groups[lib].remove_replica(id);
+            self.members[lib].retain(|(rid, _)| *rid != id);
+        }
+        self.flush_cache();
+    }
+
+    fn promote_replica(&mut self, lib: usize) {
+        if let Some(next) = next_preferred(&self.groups[lib]) {
+            self.groups[lib].promote(next);
+        }
         self.flush_cache();
     }
 
@@ -268,15 +423,51 @@ impl Backend for InProcBackend {
     }
 }
 
-/// The full-stack backend: one TCP server per librarian, multiplexed
-/// connections, and a [`ServePool`] of forked sessions — one checked
-/// out per plan client for the duration of the run (PR 6's serving
-/// architecture under scripted load).
+/// One live TCP replica: its shared service, its server, and the
+/// multiplexed connection pool every session's transport rides on.
+struct TcpReplica {
+    id: u32,
+    lib: SharedLibrarian,
+    server: TcpServer,
+    pool: Arc<MuxPool>,
+}
+
+fn spawn_replica(id: u32, shard: &ShardState, routing: &RoutingTable) -> TcpReplica {
+    let lib = shard.build_replica(routing);
+    let server = TcpServer::spawn_with(
+        vec![lib.clone(), lib.clone()],
+        "127.0.0.1:0",
+        ServerOptions {
+            workers: 2,
+            queue_depth: 64,
+        },
+    )
+    .expect("loopback server spawns");
+    let pool = MuxPool::connect(server.addr(), 2, teraphim_net::TcpOptions::default())
+        .expect("loopback connects");
+    TcpReplica {
+        id,
+        lib,
+        server,
+        pool,
+    }
+}
+
+/// The full-stack backend: one TCP server per replica, multiplexed
+/// connections bundled into per-shard replica groups, and a
+/// [`ServePool`] of forked sessions — one checked out per plan client
+/// for the duration of the run (PR 6's serving architecture under
+/// scripted load).
 pub struct TcpBackend {
-    servers: Vec<TcpServer>,
-    sessions: Vec<QuerySession<ChaosTransport<MuxTransport>>>,
-    libs: Vec<SharedLibrarian>,
+    replicas: Vec<Vec<TcpReplica>>,
+    sessions: Vec<QuerySession<ChaosTransport<ReplicaGroup<MuxTransport>>>>,
+    /// Each session owns its transports, so membership changes are
+    /// applied to every session's group for the same shard in lockstep.
+    session_groups: Vec<Vec<ReplicaGroup<MuxTransport>>>,
+    shards: Vec<ShardState>,
     cells: Vec<ChaosCell>,
+    routing: RoutingTable,
+    next_id: u32,
     mono: Collection,
     sink: TraceSink,
     registry: Arc<MetricsRegistry>,
@@ -284,81 +475,105 @@ pub struct TcpBackend {
 }
 
 impl TcpBackend {
-    /// Spawns the fleet, preprocesses once on a prototype, and checks
-    /// one pipelined session out of the pool per plan client.
+    /// Spawns the fleet (with `plan.replicas` servers per shard),
+    /// preprocesses once on a prototype, and checks one pipelined
+    /// session out of the pool per plan client.
     pub fn new(plan: &Plan) -> TcpBackend {
         let fixture = Fixture::for_plan(plan);
-        let libs: Vec<SharedLibrarian> = fixture
-            .parts()
+        let shards = ShardState::from_fixture(&fixture);
+        let routing = RoutingTable::new();
+        let n = shards.len();
+        let per_shard = plan.replicas.clamp(1, MAX_REPLICAS) as usize;
+        let mut next_id = n as u32;
+        let replicas: Vec<Vec<TcpReplica>> = shards
             .iter()
-            .map(|s| SharedLibrarian::new(Librarian::build(&s.name, Analyzer::default(), &s.docs)))
-            .collect();
-        let servers: Vec<TcpServer> = libs
-            .iter()
-            .map(|lib| {
-                TcpServer::spawn_with(
-                    vec![lib.clone(), lib.clone()],
-                    "127.0.0.1:0",
-                    ServerOptions {
-                        workers: 2,
-                        queue_depth: 64,
-                    },
-                )
-                .expect("loopback server spawns")
+            .enumerate()
+            .map(|(s, shard)| {
+                (0..per_shard)
+                    .map(|r| {
+                        let id = if r == 0 {
+                            s as u32
+                        } else {
+                            next_id += 1;
+                            next_id - 1
+                        };
+                        spawn_replica(id, shard, &routing)
+                    })
+                    .collect()
             })
             .collect();
-        let cells: Vec<ChaosCell> = libs.iter().map(|_| ChaosCell::healthy()).collect();
+        let cells: Vec<ChaosCell> = (0..n).map(|_| ChaosCell::healthy()).collect();
 
         let mut prototype = Receptionist::new(
-            servers
+            replicas
                 .iter()
-                .map(|s| TcpTransport::connect(s.addr()).expect("loopback connects"))
+                .map(|group| {
+                    TcpTransport::connect(group[0].server.addr()).expect("loopback connects")
+                })
                 .collect::<Vec<_>>(),
             Analyzer::default(),
         );
         prototype.enable_cv().expect("healthy fleet preprocesses");
         prototype.enable_ci(CI).expect("healthy fleet preprocesses");
 
-        let pools: Vec<Arc<MuxPool>> = servers
-            .iter()
-            .map(|s| {
-                MuxPool::connect(s.addr(), 2, teraphim_net::TcpOptions::default())
-                    .expect("loopback connects")
-            })
-            .collect();
-
         let sink = TraceSink::new();
         let registry = Arc::new(MetricsRegistry::new());
         sink.tee_metrics(Arc::clone(&registry));
 
         let clients = plan.clients.max(1) as usize;
+        let mut session_groups: Vec<Vec<ReplicaGroup<MuxTransport>>> = Vec::new();
         let pool = ServePool::new(
             (0..clients)
-                .map(|_| {
+                .map(|client| {
+                    let groups: Vec<ReplicaGroup<MuxTransport>> = replicas
+                        .iter()
+                        .enumerate()
+                        .map(|(s, shard_replicas)| {
+                            let group = ReplicaGroup::new(
+                                s as u32,
+                                shard_replicas
+                                    .iter()
+                                    .map(|r| (r.id, MuxTransport::new(Arc::clone(&r.pool))))
+                                    .collect(),
+                            )
+                            .with_trace(sink.clone());
+                            if client == 0 {
+                                // One session publishes membership; the
+                                // others mirror it, so the table version
+                                // moves once per fleet-wide change.
+                                group.with_table(routing.clone())
+                            } else {
+                                group
+                            }
+                        })
+                        .collect();
                     let mut session = prototype.fork(
-                        pools
+                        groups
                             .iter()
                             .zip(&cells)
-                            .map(|(p, cell)| {
-                                ChaosTransport::new(MuxTransport::new(Arc::clone(p)), cell.clone())
-                            })
+                            .map(|(group, cell)| ChaosTransport::new(group.clone(), cell.clone()))
                             .collect::<Vec<_>>(),
                     );
                     session.set_dispatch_mode(DispatchMode::Pipelined);
                     session.set_trace_sink(sink.clone());
+                    session.set_routing_table(routing.clone());
+                    session_groups.push(groups);
                     session
                 })
                 .collect(),
         );
-        let sessions: Vec<QuerySession<ChaosTransport<MuxTransport>>> =
+        let sessions: Vec<QuerySession<ChaosTransport<ReplicaGroup<MuxTransport>>>> =
             (0..clients).map(|_| pool.session()).collect();
 
         TcpBackend {
-            servers,
+            replicas,
             sessions,
+            session_groups,
             mono: mono_collection(&fixture),
-            libs,
+            shards,
             cells,
+            routing,
+            next_id,
             sink,
             registry,
             cache_spec: None,
@@ -374,12 +589,26 @@ impl TcpBackend {
         }
     }
 
+    /// The fleet's routing table (for post-run inspection in tests).
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// Drains the backend's buffered traces (queries, preprocessing,
+    /// migrations) — for golden-trace tests. Calling this mid-run steals
+    /// traffic from the accounting summary; use on dedicated instances.
+    pub fn take_traces(&self) -> Vec<teraphim_obs::QueryTrace> {
+        self.sink.take_traces()
+    }
+
     /// Server-side traffic counters, summed over the fleet (includes
     /// prototype preprocessing; useful for inspecting runs in tests).
     pub fn server_traffic(&self) -> teraphim_net::TrafficStats {
         let mut total = teraphim_net::TrafficStats::default();
-        for server in &self.servers {
-            total.absorb(&server.traffic());
+        for shard in &self.replicas {
+            for replica in shard {
+                total.absorb(&replica.server.traffic());
+            }
         }
         total
     }
@@ -391,7 +620,7 @@ impl Backend for TcpBackend {
     }
 
     fn num_libs(&self) -> usize {
-        self.libs.len()
+        self.replicas.len()
     }
 
     fn query(&mut self, client: u64, mode: RunMode, query: &str, k: usize) -> QueryOutcome {
@@ -405,7 +634,11 @@ impl Backend for TcpBackend {
     }
 
     fn add_docs(&mut self, lib: usize, docs: &[TrecDoc]) -> Result<(), String> {
-        self.libs[lib].append(docs)?;
+        self.shards[lib].docs.extend_from_slice(docs);
+        self.shards[lib].epoch += 1;
+        for replica in &self.replicas[lib] {
+            replica.lib.append(docs)?;
+        }
         self.mono
             .append_documents(docs)
             .map_err(|e| format!("{e}"))?;
@@ -426,9 +659,56 @@ impl Backend for TcpBackend {
     fn kill(&mut self, lib: usize) {
         // The chaos cell is the kill switch: every session's transport
         // to this librarian refuses from now on and the runner never
-        // clears it. The server object stays alive so in-flight reader
+        // clears it. The server objects stay alive so in-flight reader
         // threads shut down cleanly with the backend.
         self.cells[lib].set(ChaosState::Down);
+        self.flush_cache();
+    }
+
+    fn add_lib(&mut self, lib: usize) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let replica = spawn_replica(id, &self.shards[lib], &self.routing);
+        // Same `migrate` trace schema as the in-process backend; one
+        // `Join` per session group (each session's membership moves).
+        self.sink.record(EventKind::Begin {
+            op: "migrate",
+            methodology: None,
+            query_id: 0,
+            k: 0,
+        });
+        self.sink.record(EventKind::Migrate {
+            librarian: lib as u32,
+            docs: self.shards[lib].docs.len() as u64,
+            epoch: self.shards[lib].epoch,
+        });
+        for groups in &self.session_groups {
+            groups[lib].add_replica(id, MuxTransport::new(Arc::clone(&replica.pool)));
+        }
+        self.sink.record(EventKind::End);
+        self.replicas[lib].push(replica);
+        self.flush_cache();
+    }
+
+    fn remove_lib(&mut self, lib: usize) {
+        if let Some(id) = self.session_groups[0][lib].preferred_id() {
+            for groups in &self.session_groups {
+                groups[lib].remove_replica(id);
+            }
+            // Dropping the TcpReplica closes its mux pool (the groups
+            // just dropped the last transports riding it) and shuts the
+            // server down.
+            self.replicas[lib].retain(|r| r.id != id);
+        }
+        self.flush_cache();
+    }
+
+    fn promote_replica(&mut self, lib: usize) {
+        if let Some(next) = next_preferred(&self.session_groups[0][lib]) {
+            for groups in &self.session_groups {
+                groups[lib].promote(next);
+            }
+        }
         self.flush_cache();
     }
 

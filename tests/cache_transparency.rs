@@ -22,7 +22,9 @@ use proptest::prelude::*;
 use teraphim::core::{
     CacheConfig, CiParams, Coverage, GlobalHit, Librarian, Methodology, Receptionist,
 };
-use teraphim::net::{FaultPlan, FaultyService, InProcTransport, Message, Service};
+use teraphim::net::{
+    FaultPlan, FaultyService, InProcTransport, Message, ReplicaGroup, RoutingTable, Service,
+};
 use teraphim::text::Analyzer;
 
 const POOL: &[&str] = &[
@@ -395,4 +397,92 @@ fn hits_suppress_fan_out_traffic() {
         assert_eq!(fingerprint(&first), fingerprint(&again));
     }
     assert_eq!(r.cache_stats().unwrap().results.hits, 5);
+}
+
+/// A membership move mid-query-stream — a replica joining, being
+/// promoted, and the old primary leaving, published through the fleet
+/// [`RoutingTable`] — must bump the cache generation on the next query,
+/// so no result or CV term-statistics entry cached under the old
+/// routing is ever served again: the pre-move entries read as stale
+/// misses, and rankings stay byte-identical to a cache-free twin
+/// before, across, and after the move.
+#[test]
+fn membership_move_mid_stream_invalidates_result_and_term_caches() {
+    let shard_docs: [&[(&str, &str)]; 2] = [
+        &[("A-1", "cats and dogs"), ("A-2", "just cats")],
+        &[("B-1", "dogs fetch sticks"), ("B-2", "cats nap")],
+    ];
+    let librarian =
+        |shard: usize| Librarian::from_texts(if shard == 0 { "A" } else { "B" }, shard_docs[shard]);
+    let table = RoutingTable::new();
+    let groups: Vec<ReplicaGroup<InProcTransport<Librarian>>> = (0..2)
+        .map(|s| {
+            ReplicaGroup::new(
+                s as u32,
+                vec![(s as u32, InProcTransport::new(librarian(s)))],
+            )
+            .with_table(table.clone())
+        })
+        .collect();
+    let mut cached = Receptionist::new(groups.clone(), Analyzer::default());
+    cached.set_routing_table(table.clone());
+    cached.enable_cv().unwrap();
+    cached.enable_cache(CacheConfig::default());
+    let mut plain = Receptionist::new(groups.clone(), Analyzer::default());
+    plain.enable_cv().unwrap();
+
+    let battery = |cached: &mut Receptionist<_>, plain: &mut Receptionist<_>| {
+        for query in ["cats", "cats dogs"] {
+            let a = cached
+                .query(Methodology::CentralVocabulary, query, 4)
+                .unwrap();
+            let b = plain
+                .query(Methodology::CentralVocabulary, query, 4)
+                .unwrap();
+            assert_eq!(fingerprint(&a), fingerprint(&b), "query {query:?}");
+        }
+    };
+    battery(&mut cached, &mut plain);
+    battery(&mut cached, &mut plain); // repeats: hits on both caches
+    let before = cached.cache_stats().unwrap();
+    assert_eq!(before.results.hits, 2, "both repeats hit the result cache");
+    assert!(
+        before.terms.hits > 0,
+        "the shared term \"cats\" hit the term cache: {before:?}"
+    );
+    assert_eq!((before.results.stale, before.terms.stale), (0, 0));
+
+    // The move: shard 1 gains a content-identical replica, promotes it,
+    // and retires the old primary. Replicas hold the same index by
+    // contract, so the caller-visible results must not move — but every
+    // cached entry predates the routing change and may no longer be
+    // addressed to the replica that produced it, so none may be served.
+    let version = table.version();
+    groups[1].add_replica(2, InProcTransport::new(librarian(1)));
+    assert!(groups[1].promote(2));
+    assert!(groups[1].remove_replica(1));
+    assert_eq!(table.version(), version + 3, "every move published");
+
+    battery(&mut cached, &mut plain);
+    let after = cached.cache_stats().unwrap();
+    assert!(
+        after.generation > before.generation,
+        "the routing-version delta must advance the cache generation"
+    );
+    assert_eq!(
+        after.results.hits, before.results.hits,
+        "no pre-move result entry may be served after the move"
+    );
+    assert!(
+        after.results.stale >= 2,
+        "pre-move result entries read as stale: {after:?}"
+    );
+    assert!(
+        after.terms.stale > 0,
+        "pre-move term-statistics entries read as stale: {after:?}"
+    );
+
+    // Steady state resumes at the new generation and stays transparent.
+    battery(&mut cached, &mut plain);
+    assert!(cached.cache_stats().unwrap().results.hits > after.results.hits);
 }

@@ -41,6 +41,7 @@ fn doublecheck_sim_and_inproc_backends() {
             steps: 40,
             clients: 2,
             allow_kills: false,
+            replicas: 1,
         },
     );
     doublecheck(&plan, SimBackend::new).expect("sim must repeat itself");
@@ -56,6 +57,7 @@ fn doublecheck_tcp_backend() {
             steps: 24,
             clients: 2,
             allow_kills: false,
+            replicas: 1,
         },
     );
     doublecheck(&plan, TcpBackend::new).expect("tcp must repeat itself");
@@ -70,6 +72,7 @@ fn differential_generated_plan() {
             steps: 60,
             clients: 2,
             allow_kills: false,
+            replicas: 1,
         },
     );
     assert!(plan.query_steps() > 20, "workload is query-dominated");
@@ -77,8 +80,10 @@ fn differential_generated_plan() {
     assert_eq!(report.sim.outcomes.len(), report.tcp.outcomes.len());
 }
 
-/// The acceptance-gate run: a seeded 500-step plan must survive
-/// doublecheck and the three-way differential.
+/// The acceptance-gate run: a seeded 500-step *elastic* plan — two
+/// replicas per shard, membership churn mixed into the workload, with
+/// a `remove_lib` of a primary and a later healing `add_lib` — must
+/// survive doublecheck and the three-way differential.
 #[test]
 fn five_hundred_step_plan_doublechecks_and_differentials() {
     let plan = generate_plan(
@@ -88,12 +93,14 @@ fn five_hundred_step_plan_doublechecks_and_differentials() {
             steps: 500,
             clients: 3,
             allow_kills: false,
+            replicas: 2,
         },
     );
     assert_eq!(plan.steps.len(), 500);
     doublecheck(&plan, SimBackend::new).expect("sim doublecheck");
     let report = differential(&plan).unwrap_or_else(|f| panic!("differential failed: {f}"));
-    // The plan actually exercised faults and churn, not just queries.
+    // The plan actually exercised faults, churn and membership — not
+    // just queries.
     assert!(
         plan.steps
             .iter()
@@ -103,6 +110,17 @@ fn five_hundred_step_plan_doublechecks_and_differentials() {
     assert!(
         plan.steps.iter().any(|s| matches!(s, Step::AddDocs { .. })),
         "churn present"
+    );
+    let first_remove = plan
+        .steps
+        .iter()
+        .position(|s| matches!(s, Step::RemoveLib { .. }))
+        .expect("a primary leaves mid-plan");
+    assert!(
+        plan.steps[first_remove..]
+            .iter()
+            .any(|s| matches!(s, Step::AddLib { .. })),
+        "a later add_lib joins a replica back"
     );
     assert!(
         report
@@ -127,6 +145,7 @@ fn long_seed_sweep() {
                 steps: 300,
                 clients: 3,
                 allow_kills: false,
+                replicas: 1,
             },
         );
         doublecheck(&plan, SimBackend::new)
@@ -177,6 +196,15 @@ impl Backend for MutantBackend {
     fn kill(&mut self, lib: usize) {
         self.inner.kill(lib);
     }
+    fn add_lib(&mut self, lib: usize) {
+        self.inner.add_lib(lib);
+    }
+    fn remove_lib(&mut self, lib: usize) {
+        self.inner.remove_lib(lib);
+    }
+    fn promote_replica(&mut self, lib: usize) {
+        self.inner.promote_replica(lib);
+    }
     fn set_cache(&mut self, spec: Option<teraphim::scenario::CacheSpec>) {
         self.inner.set_cache(spec);
     }
@@ -206,6 +234,7 @@ fn mutation_check_catches_and_shrinks_the_injected_bug() {
             steps: 60,
             clients: 2,
             allow_kills: false,
+            replicas: 1,
         },
     );
     let failure = check_mutant(&plan).expect("the injected CV bug must be caught");
@@ -333,6 +362,7 @@ fn regenerate_fixture_plans() {
             steps: 60,
             clients: 2,
             allow_kills: false,
+            replicas: 1,
         },
     );
     let failure = check_mutant(&generated).expect("mutant must fail the generated plan");

@@ -24,7 +24,7 @@ impl Strategy for ArbStep {
     type Value = Step;
 
     fn generate(&self, rng: &mut TestRng) -> Step {
-        match rng.index(9) {
+        match rng.index(12) {
             0 => Step::Query {
                 client: (0u64..4).generate(rng),
                 mode: RunMode::ALL[rng.index(RunMode::ALL.len())],
@@ -66,6 +66,15 @@ impl Strategy for ArbStep {
                     DispatchChoice::Pipelined,
                 ][rng.index(3)],
             },
+            8 => Step::AddLib {
+                lib: (0u64..4).generate(rng),
+            },
+            9 => Step::RemoveLib {
+                lib: (0u64..4).generate(rng),
+            },
+            10 => Step::PromoteReplica {
+                lib: (0u64..4).generate(rng),
+            },
             _ => Step::HealthPoll,
         }
     }
@@ -76,12 +85,14 @@ fn arb_plan() -> impl Strategy<Value = Plan> {
         "[a-z][a-z0-9_-]{0,11}",
         0u64..u64::MAX,
         1u64..5,
+        1u64..5,
         vec(ArbStep, 0..=24),
     )
-        .prop_map(|(name, seed, clients, steps)| {
+        .prop_map(|(name, seed, clients, replicas, steps)| {
             let mut plan = Plan::named(&name, seed);
             plan.corpus_seed = seed.rotate_left(17) ^ 0x9e37_79b9;
             plan.clients = clients;
+            plan.replicas = replicas;
             plan.steps = steps;
             plan
         })
