@@ -5,6 +5,7 @@ pub mod boolean;
 pub mod eval;
 pub mod fetch;
 pub mod fleet;
+pub mod flightrec;
 pub mod gen_corpus;
 pub mod index;
 pub mod query;
@@ -12,6 +13,7 @@ pub mod search;
 pub mod serve;
 pub mod sim;
 pub mod stats;
+pub mod top;
 
 use std::io::Write;
 use teraphim_engine::Collection;

@@ -8,10 +8,13 @@ use teraphim_text::Analyzer;
 const HELP: &str = "\
 usage: teraphim search --servers ADDR[,ADDR...] --query TEXT
                        [--methodology cn|cv|ci] [--k N]
-                       [--group-size G] [--k-prime N] [--fetch]
+                       [--group-size G] [--k-prime N] [--fetch] [--trace]
 
 connects to the given librarian servers and evaluates TEXT under the
-chosen methodology (default cv). --fetch also retrieves the documents";
+chosen methodology (default cv). --fetch also retrieves the documents;
+--trace propagates span contexts over the wire (feeding the servers'
+phase ledgers and flight recorders — see `teraphim top`) and prints
+the query's stitched span tree";
 
 /// Runs the subcommand.
 ///
@@ -19,7 +22,7 @@ chosen methodology (default cv). --fetch also retrieves the documents";
 ///
 /// Returns a user-facing message on bad arguments or connection failure.
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["fetch", "help"])?;
+    let args = Args::parse(argv, &["fetch", "trace", "help"])?;
     if args.flag("help") {
         println!("{HELP}");
         return Ok(());
@@ -55,6 +58,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             .map_err(|e| format!("CI preprocessing failed: {e}"))?,
     }
 
+    // Enabled after preprocessing so the printed trees are the query
+    // itself, not the CV/CI setup exchanges. The sink pushes span
+    // contexts down to every transport, so the servers time phases and
+    // record flight exemplars for exactly these requests.
+    let sink = args.flag("trace").then(|| receptionist.enable_tracing());
+
     let start = std::time::Instant::now();
     let hits = receptionist
         .query(methodology, query, k)
@@ -89,5 +98,12 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         traffic.round_trips,
         traffic.total_bytes()
     );
+    if let Some(sink) = sink {
+        for trace in sink.take_traces() {
+            let tree = teraphim_obs::SpanTree::from_trace(&trace);
+            println!("\nspan tree ({}, {} spans):", tree.op, tree.root.len());
+            print!("{}", tree.to_json());
+        }
+    }
     Ok(())
 }

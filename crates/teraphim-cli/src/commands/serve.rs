@@ -8,7 +8,7 @@ use teraphim_net::tcp::{ServerOptions, TcpServer};
 const HELP: &str = "\
 usage: teraphim serve --index FILE.tcol [--addr 127.0.0.1:7070]
                       [--workers N] [--replicas R]
-                      [--fleet ADDR[,ADDR...]]
+                      [--fleet ADDR[,ADDR...]] [--flightrec N]
 
 serves the collection as a TERAPHIM librarian; receptionists connect
 with `teraphim search --servers ...`. Runs until interrupted.
@@ -21,7 +21,11 @@ with `teraphim search --servers ...`. Runs until interrupted.
 --fleet A,B   serve a shard replica set: one independent server (with
               its own engine copies) per listed address, preferred
               replica first. Point `teraphim fleet --shards` at the
-              same list for health-routed status. Overrides --addr";
+              same list for health-routed status. Overrides --addr
+--flightrec N capacity of each engine's tail-latency flight recorder
+              (span-tree exemplars of the slowest and every faulted
+              traced request; default 256, 0 disables). Dump with
+              `teraphim flightrec --servers ...`";
 
 /// Runs the subcommand (blocks until the process is interrupted).
 ///
@@ -38,6 +42,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let addr = args.get("addr").unwrap_or("127.0.0.1:7070");
     let workers: usize = args.get_parsed("workers", 2)?;
     let replicas: usize = args.get_parsed("replicas", 1)?;
+    let flightrec: usize = args.get_parsed("flightrec", 256)?;
     if workers == 0 || replicas == 0 {
         return Err("--workers and --replicas must be at least 1".into());
     }
@@ -66,7 +71,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("cannot load collection {path}: {e}"))?;
             name = collection.name().to_owned();
             num_docs = collection.num_docs();
-            librarians.push(Librarian::from_collection(collection));
+            let mut librarian = Librarian::from_collection(collection);
+            if flightrec > 0 {
+                let _ = librarian.enable_flight_recorder(flightrec);
+            }
+            librarians.push(librarian);
         }
         let server = TcpServer::spawn_with(librarians, *bind, options)
             .map_err(|e| format!("cannot bind {bind}: {e}"))?;

@@ -37,6 +37,8 @@ commands:
   serve        serve a collection as a librarian over TCP
   search       distributed search across librarian servers
   stats        poll librarian servers for live fleet health
+  top          live per-librarian, per-phase latency attribution
+  flightrec    dump a live fleet's tail-latency flight recorders
   fleet        replica-group status and health-based routing
   sim          replay or generate scenario plans with differential checks
 
@@ -59,6 +61,8 @@ fn main() -> ExitCode {
         "serve" => commands::serve::run(rest),
         "search" => commands::search::run(rest),
         "stats" => commands::stats::run(rest),
+        "top" => commands::top::run(rest),
+        "flightrec" => commands::flightrec::run(rest),
         "fleet" => commands::fleet::run(rest),
         "sim" => commands::sim::run(rest),
         "--help" | "-h" | "help" => {

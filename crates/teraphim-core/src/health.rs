@@ -79,6 +79,11 @@ pub struct LibrarianHealth {
     pub epoch: u64,
     /// Self-reported service latency, microseconds.
     pub latency: HistogramSnapshot,
+    /// Self-reported lifetime server-phase totals, microseconds,
+    /// indexed like `teraphim_obs::SERVER_PHASES` (queue wait, scan,
+    /// rank, serialize). All zero for librarians that never saw a
+    /// span-carrying request (or predate phase timing).
+    pub server_phases: [u64; 4],
 }
 
 impl LibrarianHealth {
@@ -97,6 +102,7 @@ impl LibrarianHealth {
             errors: 0,
             epoch: 0,
             latency: HistogramSnapshot::empty(),
+            server_phases: [0; 4],
         }
     }
 
@@ -226,7 +232,14 @@ pub fn poll_one<T: Transport>(
             errors,
             epoch,
             latency,
+            server_phases,
         }) => {
+            let mut phases = [0u64; 4];
+            for (i, micros) in server_phases {
+                if let Some(slot) = phases.get_mut(i as usize) {
+                    *slot = micros;
+                }
+            }
             let mut row = LibrarianHealth {
                 librarian,
                 name,
@@ -239,6 +252,7 @@ pub fn poll_one<T: Transport>(
                 errors,
                 epoch,
                 latency: HistogramSnapshot::from_bucket_pairs(&latency),
+                server_phases: phases,
             };
             if row.requests_served > 0 && row.error_rate() >= policy.degraded_error_rate {
                 row.state = HealthState::Degraded;
@@ -276,6 +290,7 @@ mod tests {
             errors,
             epoch: 0,
             latency: HistogramSnapshot::from_bucket_pairs(&[(8, requests)]),
+            server_phases: [0; 4],
         }
     }
 

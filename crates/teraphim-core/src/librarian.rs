@@ -11,9 +11,16 @@
 use std::time::Instant;
 use teraphim_engine::{ranking, Collection, RankScratch};
 use teraphim_net::{Message, Service};
-use teraphim_obs::Histogram;
+use teraphim_obs::{
+    FlightEntry, FlightRecorder, Histogram, ServerTimings, Span, SpanContext, SpanTree,
+};
 use teraphim_text::sgml::TrecDoc;
 use teraphim_text::Analyzer;
+
+/// Saturating microseconds for phase timing.
+fn elapsed_micros(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
 
 /// A librarian serving one subcollection.
 ///
@@ -43,6 +50,18 @@ pub struct Librarian {
     /// Fleet routing table, when this librarian serves as a routing
     /// info point (answers [`Message::RoutingRequest`]).
     routing: Option<teraphim_net::RoutingTable>,
+    /// Scan (term lookup / weighting) micros of the last handled
+    /// request; harvested by [`Service::take_phase_timings`].
+    last_scan: u64,
+    /// Rank (accumulator/heap) micros of the last handled request.
+    last_rank: u64,
+    /// Lifetime server-phase totals, indexed like
+    /// [`SERVER_PHASES`] — the server side of the phase ledger,
+    /// published in [`Message::StatsReply`].
+    phase_totals: [u64; 4],
+    /// Server-side flight recorder: exemplar spans for requests that
+    /// arrived with a span context. Detached (free) by default.
+    flight: FlightRecorder,
 }
 
 impl Librarian {
@@ -69,7 +88,25 @@ impl Librarian {
             epoch: 0,
             index_bytes_cache: None,
             routing: None,
+            last_scan: 0,
+            last_rank: 0,
+            phase_totals: [0; 4],
+            flight: FlightRecorder::disabled(),
         }
+    }
+
+    /// Attaches a flight recorder retaining at most `capacity`
+    /// exemplars; span-carrying requests leave a server-side span tree
+    /// in it. Returns a handle sharing the buffer.
+    pub fn enable_flight_recorder(&mut self, capacity: usize) -> FlightRecorder {
+        self.flight = FlightRecorder::new(capacity);
+        self.flight.clone()
+    }
+
+    /// The librarian's flight recorder handle (detached unless
+    /// [`Librarian::enable_flight_recorder`] was called).
+    pub fn flight(&self) -> FlightRecorder {
+        self.flight.clone()
     }
 
     /// Current index epoch.
@@ -135,6 +172,13 @@ impl Librarian {
             errors: self.errors_returned,
             epoch: self.epoch,
             latency: self.latency.snapshot().to_bucket_pairs(),
+            server_phases: self
+                .phase_totals
+                .iter()
+                .enumerate()
+                .filter(|(_, &micros)| micros > 0)
+                .map(|(i, &micros)| (i as u32, micros))
+                .collect(),
         }
     }
 
@@ -158,15 +202,20 @@ impl Librarian {
             Message::RankRequest { query_id, k, terms } => {
                 // Central Nothing: local statistics. Query terms arrive as
                 // strings with their f_qt; unknown terms contribute
-                // nothing.
+                // nothing. Scan = lookup + local weighting; rank = the
+                // accumulator/heap pass.
+                let scan_started = Instant::now();
                 let index = self.collection.index();
                 let pairs: Vec<(teraphim_index::TermId, u32)> = terms
                     .iter()
                     .filter_map(|(t, f)| index.vocab().term_id(t).map(|id| (id, *f)))
                     .collect();
                 let weighted = ranking::local_weights(index, &pairs);
+                self.last_scan = elapsed_micros(scan_started);
+                let rank_started = Instant::now();
                 let hits =
                     ranking::rank_with_scratch(index, &weighted, k as usize, &mut self.scratch);
+                self.last_rank = elapsed_micros(rank_started);
                 Message::RankResponse {
                     query_id,
                     epoch: self.epoch,
@@ -176,11 +225,15 @@ impl Librarian {
             Message::RankWeightedRequest { query_id, k, terms } => {
                 // Central Vocabulary: the receptionist supplies global
                 // weights, so scores are identical to a mono-server run.
+                // No local scan phase — the weighting already happened
+                // client-side.
+                let rank_started = Instant::now();
                 let hits = self.collection.ranked_query_weighted_scratch(
                     &terms,
                     k as usize,
                     &mut self.scratch,
                 );
+                self.last_rank = elapsed_micros(rank_started);
                 Message::RankResponse {
                     query_id,
                     epoch: self.epoch,
@@ -191,21 +244,26 @@ impl Librarian {
                 query_id,
                 terms,
                 candidates,
-            } => match self.collection.score_candidates_scratch(
-                &terms,
-                &candidates,
-                &mut self.scratch,
-            ) {
-                Ok((scores, postings_decoded)) => Message::ScoreResponse {
-                    query_id,
-                    epoch: self.epoch,
-                    entries: scores.into_iter().map(|s| (s.doc, s.score)).collect(),
-                    postings_decoded,
-                },
-                Err(e) => Message::Error {
-                    message: format!("candidate scoring failed: {e}"),
-                },
-            },
+            } => {
+                let rank_started = Instant::now();
+                let result = self.collection.score_candidates_scratch(
+                    &terms,
+                    &candidates,
+                    &mut self.scratch,
+                );
+                self.last_rank = elapsed_micros(rank_started);
+                match result {
+                    Ok((scores, postings_decoded)) => Message::ScoreResponse {
+                        query_id,
+                        epoch: self.epoch,
+                        entries: scores.into_iter().map(|s| (s.doc, s.score)).collect(),
+                        postings_decoded,
+                    },
+                    Err(e) => Message::Error {
+                        message: format!("candidate scoring failed: {e}"),
+                    },
+                }
+            }
             Message::FetchDocsRequest {
                 query_id,
                 docs,
@@ -277,6 +335,11 @@ impl Librarian {
                     message: "no routing table at this librarian".into(),
                 },
             },
+            Message::FlightRecRequest => Message::FlightRecReply {
+                // A detached recorder dumps an empty (but well-formed)
+                // summary — asking is never an error.
+                json: self.flight.dump_json(),
+            },
             // Requests only a receptionist should ever receive.
             Message::StatsResponse { .. }
             | Message::IndexResponse { .. }
@@ -288,7 +351,8 @@ impl Librarian {
             | Message::Error { .. }
             | Message::Unavailable { .. }
             | Message::StatsReply { .. }
-            | Message::RoutingReply { .. } => Message::Error {
+            | Message::RoutingReply { .. }
+            | Message::FlightRecReply { .. } => Message::Error {
                 message: "librarian received a response message".into(),
             },
         }
@@ -303,9 +367,10 @@ impl Service for Librarian {
         if matches!(request, Message::Stats) {
             return self.stats_reply();
         }
-        // Routing-table polls are admin traffic too: answered out of
-        // band so fleet status checks never perturb the service ledger.
-        if matches!(request, Message::RoutingRequest) {
+        // Routing-table polls and flight-recorder dumps are admin
+        // traffic too: answered out of band so fleet status checks
+        // never perturb the service ledger.
+        if matches!(request, Message::RoutingRequest | Message::FlightRecRequest) {
             return self.handle_inner(request);
         }
         let started = Instant::now();
@@ -315,6 +380,10 @@ impl Service for Librarian {
                 | Message::RankWeightedRequest { .. }
                 | Message::ScoreCandidatesRequest { .. }
         );
+        // Phase clocks restart per request; non-rank requests report
+        // zero scan/rank.
+        self.last_scan = 0;
+        self.last_rank = 0;
         let response = self.handle_inner(request);
         self.requests_served += 1;
         if is_rank {
@@ -326,9 +395,76 @@ impl Service for Librarian {
         ) {
             self.errors_returned += 1;
         }
-        self.latency
-            .record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        self.latency.record(elapsed_micros(started));
         response
+    }
+
+    fn take_phase_timings(&mut self) -> Option<(u64, u64)> {
+        Some((
+            std::mem::take(&mut self.last_scan),
+            std::mem::take(&mut self.last_rank),
+        ))
+    }
+
+    fn note_server_timings(&mut self, timings: &ServerTimings, span: Option<&SpanContext>) {
+        for (i, (_, micros)) in timings.as_pairs().iter().enumerate() {
+            self.phase_totals[i] = self.phase_totals[i].saturating_add(*micros);
+        }
+        // A span-carrying request leaves a server-side exemplar: a
+        // one-level span tree of the four phases, stamped with the
+        // client's trace id, so `teraphim flightrec` can surface what a
+        // slow request spent its time on without the client's trace.
+        if !self.flight.is_enabled() {
+            return;
+        }
+        let Some(span) = span else { return };
+        let trace_id = span.trace_id;
+        let librarian = span.parent_span;
+        let timings = *timings;
+        let name = self.collection.name().to_owned();
+        self.flight.record_entry(move || {
+            let total = timings.total_micros();
+            let mut root = Span {
+                name: "serve".to_owned(),
+                librarian: Some(librarian),
+                start_micros: 0,
+                duration_micros: total,
+                faulted: false,
+                children: Vec::new(),
+            };
+            let mut at = 0u64;
+            for (phase, micros) in timings.as_pairs() {
+                root.children.push(Span {
+                    name: phase.to_owned(),
+                    librarian: Some(librarian),
+                    start_micros: at,
+                    duration_micros: micros,
+                    faulted: false,
+                    children: Vec::new(),
+                });
+                at = at.saturating_add(micros);
+            }
+            let tree = SpanTree {
+                trace_id,
+                op: name,
+                methodology: None,
+                query_id: 0,
+                k: 0,
+                faulted: false,
+                degraded: false,
+                root,
+            };
+            FlightEntry {
+                trace_id,
+                op: tree.op.clone(),
+                methodology: None,
+                query_id: 0,
+                duration_micros: total,
+                faulted: false,
+                degraded: false,
+                json: tree.to_json(),
+            }
+        });
     }
 }
 
@@ -521,6 +657,7 @@ mod tests {
             errors,
             epoch,
             latency,
+            server_phases,
         } = reply
         else {
             panic!("expected StatsReply");
@@ -535,6 +672,10 @@ mod tests {
         assert_eq!(epoch, 0, "fresh librarian starts at epoch 0");
         let total: u64 = latency.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, 3, "every served request is timed");
+        assert!(
+            server_phases.is_empty(),
+            "no phase totals before any span-carrying request: {server_phases:?}"
+        );
         // Polling stats again does not count the poll itself.
         let again = lib.handle(Message::Stats);
         if let Message::StatsReply {

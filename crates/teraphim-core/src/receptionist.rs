@@ -295,13 +295,16 @@ impl<T: Transport> Receptionist<T> {
 
     /// Attaches a trace sink: subsequent operations record structured
     /// [`EventKind`] events into it, one [`teraphim_obs::QueryTrace`] per
-    /// operation. Clone the same sink into transport decorators
-    /// (`RetryTransport::with_trace`, `FaultyTransport::with_trace`,
-    /// deadline-bearing transports) so their retry/fault/timeout events
-    /// land in the same traces. Pass [`TraceSink::disabled`] to stop
-    /// tracing.
+    /// operation. The sink is also pushed down into every transport via
+    /// [`Transport::set_trace`] (librarian = shard index), so wire
+    /// transports start sending span contexts and decorator stacks
+    /// (retry, faults, replica groups) record into the same traces.
+    /// Pass [`TraceSink::disabled`] to stop tracing.
     pub fn set_trace_sink(&mut self, sink: TraceSink) {
         self.trace = sink;
+        for (lib, transport) in self.transports.iter_mut().enumerate() {
+            transport.set_trace(self.trace.clone(), lib as u32);
+        }
     }
 
     /// The sink operations currently record into (disabled by default).
@@ -314,8 +317,26 @@ impl<T: Transport> Receptionist<T> {
     /// queries.
     pub fn enable_tracing(&mut self) -> TraceSink {
         let sink = TraceSink::new();
-        self.trace = sink.clone();
+        self.set_trace_sink(sink.clone());
         sink
+    }
+
+    /// Attaches a tail-retaining [`FlightRecorder`] of `capacity`
+    /// exemplars to the current sink (enabling a metrics-only sink first
+    /// when none is attached, so recording works without trace
+    /// buffering) and returns a handle for dumping. Completed query
+    /// traces are offered as span-tree exemplars; the recorder keeps the
+    /// slowest plus every faulted or degraded one.
+    ///
+    /// [`FlightRecorder`]: teraphim_obs::FlightRecorder
+    pub fn enable_flight_recorder(&mut self, capacity: usize) -> teraphim_obs::FlightRecorder {
+        if !self.trace.is_enabled() {
+            let registry = Arc::new(teraphim_obs::MetricsRegistry::new());
+            self.set_trace_sink(TraceSink::metrics_only(registry));
+        }
+        let recorder = teraphim_obs::FlightRecorder::new(capacity);
+        self.trace.attach_flight(recorder.clone());
+        recorder
     }
 
     /// Tees the attached sink into a fresh [`MetricsRegistry`] and

@@ -223,6 +223,20 @@ fn record_fanout(
                     message,
                 },
             );
+            // Rule A: every reply is followed by the four server-phase
+            // events. The simulator has no server-side clock, so the
+            // durations are zero — the structure still matches the real
+            // transports byte-for-byte after normalization.
+            for (phase, _) in teraphim_obs::ServerTimings::default().as_pairs() {
+                trace.record_at(
+                    back,
+                    EventKind::ServerPhase {
+                        librarian: ex.lib,
+                        phase,
+                        micros: 0,
+                    },
+                );
+            }
         }
         if let Some((candidates, postings)) = ex.scored {
             trace.record_at(

@@ -30,15 +30,33 @@ fn record_sent(trace: &TraceSink, lib: usize, request: &Message) {
     }
 }
 
-/// Records a reply's arrival; `bytes` comes from the transport's
-/// `last_exchange` so it matches the traffic counters exactly.
-fn record_reply(trace: &TraceSink, lib: usize, bytes: u64, response: &Message) {
+/// Records a reply's arrival — the byte count comes from the
+/// transport's `last_exchange` so it matches the traffic counters
+/// exactly — followed by one `server_phase` event per server-side phase
+/// (queue wait, scan, rank, serialize), from the timings the server
+/// piggybacked on the reply. Backends without a server clock yield
+/// zeros; the event *structure* is identical either way, which is what
+/// keeps normalized traces byte-identical across sim, in-proc and TCP.
+fn record_reply<T: Transport + ?Sized>(
+    trace: &TraceSink,
+    lib: usize,
+    transport: &T,
+    response: &Message,
+) {
     if trace.is_enabled() {
         trace.record(EventKind::Reply {
             librarian: lib as u32,
-            bytes,
+            bytes: transport.last_exchange().1,
             message: response.variant_name(),
         });
+        let timings = transport.last_server_timings().unwrap_or_default();
+        for (phase, micros) in timings.as_pairs() {
+            trace.record(EventKind::ServerPhase {
+                librarian: lib as u32,
+                phase,
+                micros,
+            });
+        }
     }
 }
 
@@ -143,7 +161,7 @@ where
                 record_sent(trace, lib, &request);
                 match transport.request(&request) {
                     Ok(response) => {
-                        record_reply(trace, lib, transport.last_exchange().1, &response);
+                        record_reply(trace, lib, transport, &response);
                         on_reply(lib, response)?;
                     }
                     Err(e) => {
@@ -164,7 +182,7 @@ where
             for (lib, ticket) in tickets {
                 match transports[lib].finish(ticket) {
                     Ok(response) => {
-                        record_reply(trace, lib, transports[lib].last_exchange().1, &response);
+                        record_reply(trace, lib, &transports[lib], &response);
                         on_reply(lib, response)?;
                     }
                     Err(e) => {
@@ -186,7 +204,7 @@ where
                     record_sent(trace, lib, &request);
                     let result = transport.request(&request);
                     if let Ok(response) = &result {
-                        record_reply(trace, lib, transport.last_exchange().1, response);
+                        record_reply(trace, lib, transport, response);
                     }
                     // A dropped receiver only means the result goes
                     // unread; the exchange itself always completes.
@@ -274,7 +292,7 @@ where
                 let Some(request) = request else { continue };
                 record_sent(trace, lib, &request);
                 let result = transport.request(&request).inspect(|response| {
-                    record_reply(trace, lib, transport.last_exchange().1, response);
+                    record_reply(trace, lib, transport, response);
                 });
                 match result.and_then(|r| on_reply(lib, r)) {
                     Ok(()) => {}
@@ -295,7 +313,7 @@ where
             for (lib, ticket) in tickets {
                 let result = transports[lib].finish(ticket);
                 if let Ok(response) = &result {
-                    record_reply(trace, lib, transports[lib].last_exchange().1, response);
+                    record_reply(trace, lib, &transports[lib], response);
                 }
                 match result.and_then(|r| on_reply(lib, r)) {
                     Ok(()) => {}
@@ -315,7 +333,7 @@ where
                     record_sent(trace, lib, &request);
                     let result = transport.request(&request);
                     if let Ok(response) = &result {
-                        record_reply(trace, lib, transport.last_exchange().1, response);
+                        record_reply(trace, lib, transport, response);
                     }
                     let _ = tx.send((lib, result));
                 });

@@ -377,6 +377,21 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     fn last_exchange(&self) -> (u64, u64) {
         self.inner.last_exchange()
     }
+
+    fn set_trace(&mut self, trace: TraceSink, librarian: u32) {
+        // Forward-only: injected-fault events stay opt-in via
+        // [`FaultyTransport::with_trace`]. A receptionist pushing its
+        // sink down the stack is wiring *wire-level* tracing, and a
+        // client-side fault plan has no server-side counterpart — if
+        // `set_trace` also enabled fault events here, the same fleet
+        // served over TCP (faults injected in the service) would emit a
+        // structurally different trace than in-process.
+        self.inner.set_trace(trace, librarian);
+    }
+
+    fn last_server_timings(&self) -> Option<teraphim_obs::ServerTimings> {
+        self.inner.last_server_timings()
+    }
 }
 
 #[cfg(test)]

@@ -188,6 +188,12 @@ pub enum Message {
         /// in ascending bucket order, microseconds (see
         /// `teraphim-obs` histogram bucketing).
         latency: Vec<(u32, u64)>,
+        /// Sparse server-side phase totals: `(phase index, total
+        /// microseconds)` pairs in ascending index order, indexing
+        /// `teraphim_obs::SERVER_PHASES` (queue wait, scan, rank,
+        /// serialize). Empty when the librarian has never measured a
+        /// phase — which is also what pre-tracing peers decode to.
+        server_phases: Vec<(u32, u64)>,
     },
     /// Admin request: ask a fleet node for its current shard→replica
     /// routing table. Any node holding a
@@ -206,6 +212,17 @@ pub enum Message {
         /// fleet; the preferred id is always a member of the live list
         /// unless the shard has no replicas (empty list, preferred 0).
         shards: Vec<(u32, Vec<u32>, u32)>,
+    },
+    /// Admin request: dump the librarian's flight recorder — the
+    /// retained tail-latency span-tree exemplars. Librarians without an
+    /// attached recorder answer an empty dump, not an error.
+    FlightRecRequest,
+    /// Admin response: the flight recorder's line-oriented JSON dump
+    /// (see `teraphim_obs::FlightRecorder::dump_json`).
+    FlightRecReply {
+        /// Line-oriented JSON: a summary header, then per exemplar a
+        /// summary line followed by its span tree.
+        json: String,
     },
 }
 
@@ -230,8 +247,23 @@ const TAG_ADMIN_STATS: u8 = 18;
 const TAG_ADMIN_STATS_REPLY: u8 = 19;
 const TAG_ROUTING_REQ: u8 = 20;
 const TAG_ROUTING_REPLY: u8 = 21;
+const TAG_FLIGHTREC_REQ: u8 = 22;
+const TAG_FLIGHTREC_REPLY: u8 = 23;
 
 impl Message {
+    /// Admin traffic: health polls, routing-table fetches and
+    /// flight-recorder dumps. Services answer these out of band (not
+    /// counted, not timed), and transports never attach a span context
+    /// to them — so polling a fleet perturbs neither the server-side
+    /// phase ledger nor the flight recorder it reads.
+    #[must_use]
+    pub fn is_admin(&self) -> bool {
+        matches!(
+            self,
+            Message::Stats | Message::RoutingRequest | Message::FlightRecRequest
+        )
+    }
+
     /// Encodes to the compact wire form.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -404,6 +436,7 @@ impl Message {
                 errors,
                 epoch,
                 latency,
+                server_phases,
             } => {
                 out.push(TAG_ADMIN_STATS_REPLY);
                 put_str(&mut out, name);
@@ -419,6 +452,11 @@ impl Message {
                     put_uint(&mut out, u64::from(*bucket));
                     put_uint(&mut out, *count);
                 }
+                put_uint(&mut out, server_phases.len() as u64);
+                for (phase, micros) in server_phases {
+                    put_uint(&mut out, u64::from(*phase));
+                    put_uint(&mut out, *micros);
+                }
             }
             Message::RoutingRequest => out.push(TAG_ROUTING_REQ),
             Message::RoutingReply { version, shards } => {
@@ -433,6 +471,11 @@ impl Message {
                     }
                     put_uint(&mut out, u64::from(*preferred));
                 }
+            }
+            Message::FlightRecRequest => out.push(TAG_FLIGHTREC_REQ),
+            Message::FlightRecReply { json } => {
+                out.push(TAG_FLIGHTREC_REPLY);
+                put_str(&mut out, json);
             }
         }
         out
@@ -655,6 +698,13 @@ impl Message {
                     let count = get_uint(rest, &mut pos)?;
                     latency.push((bucket, count));
                 }
+                let np = get_uint(rest, &mut pos)? as usize;
+                let mut server_phases = Vec::with_capacity(np.min(1 << 20));
+                for _ in 0..np {
+                    let phase = get_uint(rest, &mut pos)? as u32;
+                    let micros = get_uint(rest, &mut pos)?;
+                    server_phases.push((phase, micros));
+                }
                 Message::StatsReply {
                     name,
                     num_docs,
@@ -665,6 +715,7 @@ impl Message {
                     errors,
                     epoch,
                     latency,
+                    server_phases,
                 }
             }
             TAG_ROUTING_REQ => Message::RoutingRequest,
@@ -684,6 +735,10 @@ impl Message {
                 }
                 Message::RoutingReply { version, shards }
             }
+            TAG_FLIGHTREC_REQ => Message::FlightRecRequest,
+            TAG_FLIGHTREC_REPLY => Message::FlightRecReply {
+                json: get_str(rest, &mut pos)?,
+            },
             _ => return Err(NetError::Corrupt("unknown message tag")),
         };
         if pos != rest.len() {
@@ -722,6 +777,8 @@ impl Message {
             Message::StatsReply { .. } => "StatsReply",
             Message::RoutingRequest => "RoutingRequest",
             Message::RoutingReply { .. } => "RoutingReply",
+            Message::FlightRecRequest => "FlightRecRequest",
+            Message::FlightRecReply { .. } => "FlightRecReply",
         }
     }
 }
@@ -823,6 +880,7 @@ mod tests {
             errors: 2,
             epoch: 5,
             latency: vec![(0, 1), (9, 30), (64, 1)],
+            server_phases: vec![(0, 1500), (1, 900), (3, 12)],
         });
         roundtrip(Message::StatsReply {
             name: String::new(),
@@ -834,6 +892,7 @@ mod tests {
             errors: 0,
             epoch: 0,
             latency: vec![],
+            server_phases: vec![],
         });
         roundtrip(Message::RoutingRequest);
         roundtrip(Message::RoutingReply {
@@ -843,6 +902,10 @@ mod tests {
         roundtrip(Message::RoutingReply {
             version: 0,
             shards: vec![],
+        });
+        roundtrip(Message::FlightRecRequest);
+        roundtrip(Message::FlightRecReply {
+            json: "{\"flightrec\":true,\"retained\":0,\"recorded\":0,\"dropped\":0}\n".into(),
         });
     }
 
@@ -909,6 +972,7 @@ mod tests {
                 errors: 1,
                 epoch: 2,
                 latency: vec![(4, 2), (11, 6)],
+                server_phases: vec![(1, 800)],
             },
             Message::RoutingReply {
                 version: 9,

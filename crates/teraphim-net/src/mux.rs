@@ -26,7 +26,7 @@
 use crate::message::Message;
 use crate::tcp::{connect_stream, map_timeout_frame_error, TcpOptions};
 use crate::transport::{AtomicTrafficStats, Ticket, TicketState, TrafficStats, Transport};
-use crate::wire::{mux_envelope, read_frame, split_mux_envelope, write_frame};
+use crate::wire::{envelope_v1, mux_envelope, read_frame, split_envelope, write_frame};
 use crate::NetError;
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
@@ -34,9 +34,17 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use teraphim_obs::{EventKind, TraceSink};
+use teraphim_obs::{EventKind, ServerTimings, SpanContext, TraceSink};
 
-type ReplyResult = Result<Vec<u8>, NetError>;
+/// A demultiplexed reply: the inner message payload plus any
+/// server-side phase timings piggybacked on a v1 envelope.
+#[derive(Debug)]
+pub(crate) struct MuxReply {
+    pub(crate) payload: Vec<u8>,
+    pub(crate) timings: Option<ServerTimings>,
+}
+
+type ReplyResult = Result<MuxReply, NetError>;
 
 /// State shared between a connection's users and its reactor thread.
 #[derive(Debug)]
@@ -117,8 +125,15 @@ impl MuxConnection {
     }
 
     /// Sends one encoded message as a correlated frame, returning the
-    /// ticket that will receive the reply.
-    fn send(self: &Arc<Self>, encoded: &[u8]) -> Result<MuxTicket, NetError> {
+    /// ticket that will receive the reply. When a span context is
+    /// given the frame is a v1 envelope carrying it (and requesting
+    /// server-side phase timings on the reply); otherwise the PR 6
+    /// v0 envelope is used, byte-for-byte.
+    fn send(
+        self: &Arc<Self>,
+        encoded: &[u8],
+        span: Option<&SpanContext>,
+    ) -> Result<MuxTicket, NetError> {
         if self.shared.dead.load(Ordering::SeqCst) {
             return Err(NetError::Disconnected);
         }
@@ -129,7 +144,10 @@ impl MuxConnection {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(corr, tx);
-        let framed = mux_envelope(corr, encoded);
+        let framed = match span {
+            Some(span) => envelope_v1(Some(corr), Some(span), None, encoded),
+            None => mux_envelope(corr, encoded),
+        };
         let write_result = {
             let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
             write_frame(&mut *w, &framed)
@@ -188,15 +206,19 @@ impl Drop for MuxConnection {
 /// or a protocol breach (an uncorrelated frame on a mux stream).
 fn reactor_loop(mut reader: TcpStream, shared: &MuxShared) {
     while let Ok(Some(frame)) = read_frame(&mut reader) {
-        match split_mux_envelope(&frame) {
-            Ok(Some((corr, payload))) => {
+        match split_envelope(&frame) {
+            Ok(env) if env.corr.is_some() => {
+                let corr = env.corr.expect("guarded");
                 let tx = shared
                     .pending
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .remove(&corr);
                 if let Some(tx) = tx {
-                    let _ = tx.send(Ok(payload.to_vec()));
+                    let _ = tx.send(Ok(MuxReply {
+                        payload: env.message.to_vec(),
+                        timings: env.timings,
+                    }));
                 }
                 // An unknown id is a late reply whose waiter timed
                 // out and deregistered: discard it.
@@ -246,8 +268,10 @@ impl MuxTicket {
                 Err(_) => Err(NetError::Disconnected),
             },
         };
-        if let Ok(payload) = &outcome {
-            self.conn.traffic.record(self.sent, payload.len() as u64);
+        if let Ok(reply) = &outcome {
+            self.conn
+                .traffic
+                .record(self.sent, reply.payload.len() as u64);
         }
         outcome
     }
@@ -334,6 +358,7 @@ pub struct MuxTransport {
     last: (u64, u64),
     trace: TraceSink,
     librarian: u32,
+    last_timings: Option<ServerTimings>,
 }
 
 impl MuxTransport {
@@ -346,6 +371,7 @@ impl MuxTransport {
             last: (0, 0),
             trace: TraceSink::disabled(),
             librarian: 0,
+            last_timings: None,
         }
     }
 
@@ -420,7 +446,19 @@ impl Transport for MuxTransport {
 
     fn begin(&mut self, request: &Message) -> Ticket {
         let encoded = request.encode();
-        match self.pool.pick().send(&encoded) {
+        // A tracing handle upgrades the exchange to a v1 envelope
+        // carrying the span context, which also asks the server to
+        // piggyback its phase timings on the reply. Admin polls stay
+        // span-free so they never perturb the ledgers they read.
+        let span = if self.trace.is_enabled() && !request.is_admin() {
+            Some(SpanContext::sampled(
+                self.trace.current_trace_id(),
+                self.librarian,
+            ))
+        } else {
+            None
+        };
+        match self.pool.pick().send(&encoded, span.as_ref()) {
             Ok(ticket) => Ticket(TicketState::Mux(ticket)),
             Err(e) => Ticket(TicketState::Failed(e)),
         }
@@ -431,22 +469,24 @@ impl Transport for MuxTransport {
             TicketState::Mux(ticket) => {
                 let sent = ticket.sent_bytes();
                 match ticket.wait(self.deadline) {
-                    Ok(payload) => {
+                    Ok(reply) => {
                         // Like the per-call TCP path, only completed
                         // exchanges count, and only payload bytes (the
                         // envelope is framing overhead) — so mux and
                         // per-call accounting stay byte-identical.
                         self.stats.round_trips += 1;
                         self.stats.bytes_sent += sent;
-                        self.stats.bytes_received += payload.len() as u64;
-                        self.last = (sent, payload.len() as u64);
-                        match Message::decode(&payload)? {
+                        self.stats.bytes_received += reply.payload.len() as u64;
+                        self.last = (sent, reply.payload.len() as u64);
+                        self.last_timings = reply.timings;
+                        match Message::decode(&reply.payload)? {
                             Message::Error { message } => Err(NetError::Remote(message)),
                             Message::Unavailable { message } => Err(NetError::Unavailable(message)),
                             response => Ok(response),
                         }
                     }
                     Err(e) => {
+                        self.last_timings = None;
                         if matches!(e, NetError::Timeout) && self.trace.is_enabled() {
                             self.trace.record(EventKind::Timeout {
                                 librarian: self.librarian,
@@ -459,6 +499,15 @@ impl Transport for MuxTransport {
             TicketState::Deferred(request) => self.request(&request),
             TicketState::Failed(e) => Err(e),
         }
+    }
+
+    fn set_trace(&mut self, trace: TraceSink, librarian: u32) {
+        self.trace = trace;
+        self.librarian = librarian;
+    }
+
+    fn last_server_timings(&self) -> Option<ServerTimings> {
+        self.last_timings
     }
 }
 

@@ -159,6 +159,9 @@ struct GroupInner<T: Transport> {
     /// Traffic of replicas that have left the group.
     retired: TrafficStats,
     last: (u64, u64),
+    /// Server timings echoed by whichever replica served the last
+    /// successful request.
+    last_timings: Option<teraphim_obs::ServerTimings>,
     trace: TraceSink,
     table: Option<RoutingTable>,
 }
@@ -188,6 +191,7 @@ impl<T: Transport> ReplicaGroup<T> {
                 preferred: 0,
                 retired: TrafficStats::default(),
                 last: (0, 0),
+                last_timings: None,
                 trace: TraceSink::disabled(),
                 table: None,
             })),
@@ -253,8 +257,14 @@ impl<T: Transport> ReplicaGroup<T> {
 
     /// A replica joins the group (and the routing table version bumps).
     /// Returns the routing version after the join (0 without a table).
-    pub fn add_replica(&self, id: u32, transport: T) -> u64 {
+    pub fn add_replica(&self, id: u32, mut transport: T) -> u64 {
         let mut g = self.lock();
+        if g.trace.is_enabled() {
+            // Late joiners inherit the group's sink so span propagation
+            // keeps working after a failover onto them.
+            let (trace, shard) = (g.trace.clone(), g.shard);
+            transport.set_trace(trace, shard);
+        }
         g.replicas.push((id, transport));
         let version = g.publish();
         if g.trace.is_enabled() {
@@ -355,6 +365,7 @@ impl<T: Transport> Transport for ReplicaGroup<T> {
             match g.replicas[pos].1.request(request) {
                 Ok(response) => {
                     g.last = g.replicas[pos].1.last_exchange();
+                    g.last_timings = g.replicas[pos].1.last_server_timings();
                     return Ok(response);
                 }
                 Err(e) => {
@@ -377,11 +388,13 @@ impl<T: Transport> Transport for ReplicaGroup<T> {
                     // holds the same index, so rerouting would repeat
                     // the identical failure.
                     g.last = g.replicas[pos].1.last_exchange();
+                    g.last_timings = None;
                     return Err(e);
                 }
             }
         }
         g.last = (0, 0);
+        g.last_timings = None;
         Err(last_err.unwrap_or(NetError::Disconnected))
     }
 
@@ -396,6 +409,21 @@ impl<T: Transport> Transport for ReplicaGroup<T> {
 
     fn last_exchange(&self) -> (u64, u64) {
         self.lock().last
+    }
+
+    fn set_trace(&mut self, trace: TraceSink, librarian: u32) {
+        // The group keeps a sink for its own failover/membership
+        // events, and every replica transport gets one too so span
+        // propagation reaches whichever replica actually serves.
+        let mut g = self.lock();
+        g.trace = trace.clone();
+        for (_, t) in &mut g.replicas {
+            t.set_trace(trace.clone(), librarian);
+        }
+    }
+
+    fn last_server_timings(&self) -> Option<teraphim_obs::ServerTimings> {
+        self.lock().last_timings
     }
     // `begin`/`finish` use the deferred default: a pipelined dispatch
     // over a replica group degrades to issue-order exchanges, each with
@@ -425,6 +453,7 @@ mod tests {
                     errors: 0,
                     epoch: 0,
                     latency: vec![],
+                    server_phases: vec![],
                 },
                 _ => Message::Error {
                     message: "unsupported".into(),

@@ -177,6 +177,19 @@ impl<T: Transport> Transport for RetryTransport<T> {
     fn last_exchange(&self) -> (u64, u64) {
         self.inner.last_exchange()
     }
+
+    fn set_trace(&mut self, trace: TraceSink, librarian: u32) {
+        // Both this decorator's own retry events and the wrapped
+        // transport observe the sink: span propagation must reach the
+        // wire transport at the bottom of the stack.
+        self.trace = trace.clone();
+        self.librarian = librarian;
+        self.inner.set_trace(trace, librarian);
+    }
+
+    fn last_server_timings(&self) -> Option<teraphim_obs::ServerTimings> {
+        self.inner.last_server_timings()
+    }
 }
 
 #[cfg(test)]

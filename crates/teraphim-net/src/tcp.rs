@@ -22,15 +22,20 @@
 
 use crate::message::Message;
 use crate::transport::{AtomicTrafficStats, Service, TrafficStats, Transport};
-use crate::wire::{mux_envelope, read_frame, split_mux_envelope, write_frame};
+use crate::wire::{envelope_v1, mux_envelope, read_frame, split_envelope, write_frame, MUX_V1_TAG};
 use crate::NetError;
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Duration;
-use teraphim_obs::{EventKind, TraceSink};
+use std::time::{Duration, Instant};
+use teraphim_obs::{EventKind, ServerTimings, SpanContext, TraceSink};
+
+/// Saturating microseconds for span timing.
+fn elapsed_micros(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
 
 /// Socket configuration applied uniformly to every client connection:
 /// one knob each for connect, read and write, all optional. `Nagle` is
@@ -79,6 +84,7 @@ pub struct TcpTransport {
     last: (u64, u64),
     trace: TraceSink,
     librarian: u32,
+    last_timings: Option<ServerTimings>,
 }
 
 impl TcpTransport {
@@ -127,6 +133,7 @@ impl TcpTransport {
             last: (0, 0),
             trace: TraceSink::disabled(),
             librarian: 0,
+            last_timings: None,
         }
     }
 
@@ -176,21 +183,53 @@ impl Transport for TcpTransport {
     fn last_exchange(&self) -> (u64, u64) {
         self.last
     }
+
+    fn set_trace(&mut self, trace: TraceSink, librarian: u32) {
+        self.trace = trace;
+        self.librarian = librarian;
+    }
+
+    fn last_server_timings(&self) -> Option<ServerTimings> {
+        self.last_timings
+    }
 }
 
 impl TcpTransport {
     /// One length-prefixed request/response exchange over the socket.
+    /// A tracing transport wraps the request in a v1 envelope carrying
+    /// the span context, which asks the server to echo its phase
+    /// timings; an untraced one sends the bare message, byte-for-byte
+    /// the PR-wire of earlier releases. Either way only the inner
+    /// message payload is counted — envelopes are framing overhead.
     fn exchange(&mut self, request: &Message) -> Result<Message, NetError> {
+        self.last_timings = None;
         let encoded = request.encode();
-        write_frame(&mut self.stream, &encoded).map_err(map_timeout_frame_error)?;
+        let span = if self.trace.is_enabled() && !request.is_admin() {
+            Some(SpanContext::sampled(
+                self.trace.current_trace_id(),
+                self.librarian,
+            ))
+        } else {
+            None
+        };
+        match &span {
+            Some(span) => {
+                let framed = envelope_v1(None, Some(span), None, &encoded);
+                write_frame(&mut self.stream, &framed).map_err(map_timeout_frame_error)?;
+            }
+            None => write_frame(&mut self.stream, &encoded).map_err(map_timeout_frame_error)?,
+        }
         let response_bytes = read_frame(&mut self.stream)
             .map_err(map_timeout_frame_error)?
             .ok_or(NetError::Disconnected)?;
+        let env = split_envelope(&response_bytes)?;
+        self.last_timings = env.timings;
+        let payload = env.message;
         self.stats.round_trips += 1;
         self.stats.bytes_sent += encoded.len() as u64;
-        self.stats.bytes_received += response_bytes.len() as u64;
-        self.last = (encoded.len() as u64, response_bytes.len() as u64);
-        let response = Message::decode(&response_bytes)?;
+        self.stats.bytes_received += payload.len() as u64;
+        self.last = (encoded.len() as u64, payload.len() as u64);
+        let response = Message::decode(payload)?;
         match response {
             Message::Error { message } => Err(NetError::Remote(message)),
             Message::Unavailable { message } => Err(NetError::Unavailable(message)),
@@ -225,11 +264,20 @@ impl Default for ServerOptions {
 }
 
 /// A correlated request waiting for a worker: the decoded-frame bytes,
-/// the id to echo, and the connection to answer on.
+/// the id to echo, the connection to answer on, and — for v1
+/// envelopes — the span context it carried plus the enqueue instant,
+/// so the worker can attribute queue wait.
 struct Job {
     corr: u64,
     request: Vec<u8>,
     writer: Arc<Mutex<TcpStream>>,
+    /// Span context carried by a v1 envelope, if any.
+    span: Option<SpanContext>,
+    /// Reply with a v1 envelope echoing server phase timings.
+    reply_v1: bool,
+    /// When the reader enqueued the job; queue wait is measured from
+    /// here to the worker's pop.
+    created: Instant,
 }
 
 /// A bounded MPMC queue: readers push (blocking when full), workers pop
@@ -480,32 +528,84 @@ impl Drop for TcpServer {
     }
 }
 
+/// Runs the service over one decoded request payload under a single
+/// service lock, harvesting the service's scan/rank phase measurement
+/// when `timed`. Returns the response and `(scan, rank)` microseconds.
+fn handle_timed<S: Service>(
+    payload: &[u8],
+    service: &Arc<Mutex<S>>,
+    timed: bool,
+) -> (Message, Option<(u64, u64)>) {
+    let mut svc = service.lock().unwrap_or_else(PoisonError::into_inner);
+    match Message::decode(payload) {
+        Ok(request) => {
+            let response = svc.handle(request);
+            let phases = if timed {
+                svc.take_phase_timings()
+            } else {
+                None
+            };
+            (response, phases)
+        }
+        Err(e) => (
+            Message::Error {
+                message: format!("bad request: {e}"),
+            },
+            None,
+        ),
+    }
+}
+
 /// Runs the service over one decoded request payload.
 fn handle_payload<S: Service>(payload: &[u8], service: &Arc<Mutex<S>>) -> Message {
-    match Message::decode(payload) {
-        Ok(request) => service
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .handle(request),
-        Err(e) => Message::Error {
-            message: format!("bad request: {e}"),
-        },
-    }
+    handle_timed(payload, service, false).0
 }
 
 /// Drains the job queue until closed-and-empty: decode, serve, reply
 /// under the connection's writer lock. Write failures mean the client
 /// is gone; the job is simply dropped.
+///
+/// For v1 jobs the worker is the server-side clock: queue wait is the
+/// enqueue-to-pop gap, scan/rank come from the service's own phase
+/// measurement, and serialize is the encode time; the reply echoes all
+/// four in its envelope. Span-carrying jobs additionally hand the
+/// timings back to the service (a second, brief lock) so it can keep
+/// server-side totals and flight exemplars — requests without a span
+/// never pay that re-lock.
 fn worker_loop<S: Service>(
     queue: &JobQueue,
     service: &Arc<Mutex<S>>,
     traffic: &AtomicTrafficStats,
 ) {
     while let Some(job) = queue.pop() {
-        let response = handle_payload(&job.request, service);
+        let timed = job.reply_v1 || job.span.is_some();
+        let queue_micros = if timed {
+            elapsed_micros(job.created)
+        } else {
+            0
+        };
+        let (response, phases) = handle_timed(&job.request, service, timed);
+        let encode_started = Instant::now();
         let encoded = response.encode();
         traffic.record(encoded.len() as u64, job.request.len() as u64);
-        let framed = mux_envelope(job.corr, &encoded);
+        let framed = if timed {
+            let (scan, rank) = phases.unwrap_or((0, 0));
+            let timings = ServerTimings {
+                queue_micros,
+                scan_micros: scan,
+                rank_micros: rank,
+                serialize_micros: elapsed_micros(encode_started),
+            };
+            if let Some(span) = &job.span {
+                service
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .note_server_timings(&timings, Some(span));
+            }
+            envelope_v1(Some(job.corr), None, Some(&timings), &encoded)
+        } else {
+            mux_envelope(job.corr, &encoded)
+        };
         let mut w = job.writer.lock().unwrap_or_else(PoisonError::into_inner);
         let _ = write_frame(&mut *w, &framed);
     }
@@ -530,18 +630,49 @@ fn serve_connection<S: Service>(
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
-        match split_mux_envelope(&frame) {
-            Ok(Some((corr, payload))) => {
+        match split_envelope(&frame) {
+            Ok(env) if env.corr.is_some() => {
                 let job = Job {
-                    corr,
-                    request: payload.to_vec(),
+                    corr: env.corr.expect("guarded"),
+                    request: env.message.to_vec(),
                     writer: Arc::clone(&writer),
+                    span: env.span,
+                    reply_v1: frame.first() == Some(&MUX_V1_TAG),
+                    created: Instant::now(),
                 };
                 if !queue.push(job) {
                     break; // queue closed: shutting down
                 }
             }
-            Ok(None) => {
+            Ok(env) if frame.first() == Some(&MUX_V1_TAG) => {
+                // A v1 envelope without a correlation id: an in-order
+                // exchange that still wants span timing. Served inline
+                // like a plain frame (queue wait is zero by
+                // construction), replying with a v1 timings echo.
+                let message = env.message.to_vec();
+                let span = env.span;
+                let (response, phases) = handle_timed(&message, service, true);
+                let encode_started = Instant::now();
+                let encoded = response.encode();
+                traffic.record(encoded.len() as u64, message.len() as u64);
+                let (scan, rank) = phases.unwrap_or((0, 0));
+                let timings = ServerTimings {
+                    queue_micros: 0,
+                    scan_micros: scan,
+                    rank_micros: rank,
+                    serialize_micros: elapsed_micros(encode_started),
+                };
+                if let Some(span) = &span {
+                    service
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .note_server_timings(&timings, Some(span));
+                }
+                let framed = envelope_v1(None, None, Some(&timings), &encoded);
+                let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+                write_frame(&mut *w, &framed)?;
+            }
+            Ok(_) => {
                 let response = handle_payload(&frame, service);
                 let encoded = response.encode();
                 traffic.record(encoded.len() as u64, frame.len() as u64);
@@ -565,6 +696,7 @@ fn serve_connection<S: Service>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::split_mux_envelope;
 
     struct Doubler;
 

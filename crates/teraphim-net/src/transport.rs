@@ -11,13 +11,32 @@ use crate::message::Message;
 use crate::NetError;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
-use teraphim_obs::{EventKind, TraceSink};
+use teraphim_obs::{EventKind, ServerTimings, SpanContext, TraceSink};
 
 /// The server side of the protocol: anything that can answer a request.
 pub trait Service: Send {
     /// Handles one request, producing a response ([`Message::Error`] for
     /// failures).
     fn handle(&mut self, request: Message) -> Message;
+
+    /// Takes the scan/rank phase timings (microseconds) the service
+    /// measured while handling its most recent request, resetting them.
+    /// Services without internal phase clocks (test closures, echo
+    /// stubs) return `None`; the transport then reports zeros, keeping
+    /// span *structure* identical whether or not the engine measures.
+    fn take_phase_timings(&mut self) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// Informs the service of the complete server-side timings of a
+    /// handled request (queue wait and serialization are measured by
+    /// the serving layer, outside [`Service::handle`]). Called only for
+    /// sampled requests — ones carrying a [`SpanContext`] — so an
+    /// implementation may ledger them or record a server-side flight
+    /// exemplar without being on every hot path.
+    fn note_server_timings(&mut self, timings: &ServerTimings, span: Option<&SpanContext>) {
+        let _ = (timings, span);
+    }
 }
 
 impl<F: FnMut(Message) -> Message + Send> Service for F {
@@ -172,6 +191,26 @@ pub trait Transport: Send {
             TicketState::Mux(_) => Err(NetError::Corrupt("ticket finished on a foreign transport")),
         }
     }
+
+    /// Attaches a trace sink and the librarian index this transport
+    /// serves. Tracing transports record timeout events, propagate a
+    /// [`SpanContext`] on sampled requests, and surface the server
+    /// timings that come back; the default is a no-op so transports
+    /// and decorators without tracing state remain valid. Decorators
+    /// MUST forward this to their inner transport(s).
+    fn set_trace(&mut self, trace: TraceSink, librarian: u32) {
+        let _ = (trace, librarian);
+    }
+
+    /// The [`ServerTimings`] piggybacked on the most recent reply, if
+    /// the peer sent any. `None` from transports that have not seen a
+    /// timed reply — the fan-out then records zeroed server-phase
+    /// events, keeping span structure identical across backends.
+    /// Decorators MUST forward this to the inner transport that carried
+    /// the last exchange.
+    fn last_server_timings(&self) -> Option<ServerTimings> {
+        None
+    }
 }
 
 /// An in-process transport: requests are encoded, decoded by the service,
@@ -184,6 +223,7 @@ pub struct InProcTransport<S: Service> {
     service: Arc<Mutex<S>>,
     stats: TrafficStats,
     last: (u64, u64),
+    last_timings: Option<ServerTimings>,
     deadline: Option<std::time::Duration>,
     trace: TraceSink,
     librarian: u32,
@@ -196,6 +236,7 @@ impl<S: Service> InProcTransport<S> {
             service: Arc::new(Mutex::new(service)),
             stats: TrafficStats::default(),
             last: (0, 0),
+            last_timings: None,
             deadline: None,
             trace: TraceSink::disabled(),
             librarian: 0,
@@ -209,6 +250,7 @@ impl<S: Service> InProcTransport<S> {
             service,
             stats: TrafficStats::default(),
             last: (0, 0),
+            last_timings: None,
             deadline: None,
             trace: TraceSink::disabled(),
             librarian: 0,
@@ -258,12 +300,23 @@ impl<S: Service> Transport for InProcTransport<S> {
         // Decode on the "server side" to prove the codec carries
         // everything the service needs.
         let decoded = Message::decode(&encoded)?;
+        let traced = self.trace.is_enabled();
+        // Admin polls stay span-free (as on the wire transports): no
+        // phase takeout, no server-side note, no timings echo. Timeout
+        // events still record for any traced request.
+        let sampling = traced && !request.is_admin();
         let started = std::time::Instant::now();
-        let response = self
-            .service
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .handle(decoded);
+        let (response, phase_timings) = {
+            let mut service = self.service.lock().unwrap_or_else(PoisonError::into_inner);
+            let response = service.handle(decoded);
+            // Only sampled requests pay for the timing takeout.
+            let timings = if sampling {
+                service.take_phase_timings()
+            } else {
+                None
+            };
+            (response, timings)
+        };
         if let Some(deadline) = self.deadline {
             if started.elapsed() > deadline {
                 // The request went out but the caller stopped waiting:
@@ -271,7 +324,8 @@ impl<S: Service> Transport for InProcTransport<S> {
                 self.stats.round_trips += 1;
                 self.stats.bytes_sent += encoded.len() as u64;
                 self.last = (encoded.len() as u64, 0);
-                if self.trace.is_enabled() {
+                self.last_timings = None;
+                if traced {
                     self.trace.record(EventKind::Timeout {
                         librarian: self.librarian,
                     });
@@ -279,7 +333,30 @@ impl<S: Service> Transport for InProcTransport<S> {
                 return Err(NetError::Timeout);
             }
         }
+        let encode_started = std::time::Instant::now();
         let response_bytes = response.encode();
+        if sampling {
+            let (scan, rank) = phase_timings.unwrap_or((0, 0));
+            let timings = ServerTimings {
+                // In-process: no worker queue, so queue wait is truly 0.
+                queue_micros: 0,
+                scan_micros: scan,
+                rank_micros: rank,
+                serialize_micros: u64::try_from(encode_started.elapsed().as_micros())
+                    .unwrap_or(u64::MAX),
+            };
+            self.service
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .note_server_timings(
+                    &timings,
+                    Some(&SpanContext::sampled(
+                        self.trace.current_trace_id(),
+                        self.librarian,
+                    )),
+                );
+            self.last_timings = Some(timings);
+        }
         self.stats.round_trips += 1;
         self.stats.bytes_sent += encoded.len() as u64;
         self.stats.bytes_received += response_bytes.len() as u64;
@@ -298,6 +375,15 @@ impl<S: Service> Transport for InProcTransport<S> {
 
     fn last_exchange(&self) -> (u64, u64) {
         self.last
+    }
+
+    fn set_trace(&mut self, trace: TraceSink, librarian: u32) {
+        self.trace = trace;
+        self.librarian = librarian;
+    }
+
+    fn last_server_timings(&self) -> Option<ServerTimings> {
+        self.last_timings
     }
 }
 
@@ -484,6 +570,60 @@ mod tests {
             t.finish(ticket).unwrap_err(),
             NetError::Remote("unsupported".into())
         );
+    }
+
+    #[test]
+    fn traced_inproc_requests_surface_server_timings() {
+        let sink = TraceSink::new();
+        let mut t = InProcTransport::new(Echo);
+        t.set_trace(sink.clone(), 3);
+        assert_eq!(t.last_server_timings(), None);
+        t.request(&Message::StatsRequest).unwrap();
+        let timings = t.last_server_timings().unwrap();
+        // In-process: no worker queue; Echo has no phase clocks either.
+        assert_eq!(timings.queue_micros, 0);
+        assert_eq!(timings.scan_micros, 0);
+        assert_eq!(timings.rank_micros, 0);
+        // An untraced transport skips the measurement entirely.
+        let mut plain = InProcTransport::new(Echo);
+        plain.request(&Message::StatsRequest).unwrap();
+        assert_eq!(plain.last_server_timings(), None);
+    }
+
+    #[test]
+    fn services_note_timings_for_sampled_requests_only() {
+        struct Noting {
+            noted: u64,
+        }
+        impl Service for Noting {
+            fn handle(&mut self, _request: Message) -> Message {
+                Message::StatsResponse {
+                    num_docs: 1,
+                    term_freqs: vec![],
+                }
+            }
+            fn take_phase_timings(&mut self) -> Option<(u64, u64)> {
+                Some((11, 22))
+            }
+            fn note_server_timings(&mut self, timings: &ServerTimings, span: Option<&SpanContext>) {
+                assert_eq!(timings.scan_micros, 11);
+                assert_eq!(timings.rank_micros, 22);
+                assert!(span.is_some_and(|s| s.is_sampled()));
+                self.noted += 1;
+            }
+        }
+        let mut t = InProcTransport::new(Noting { noted: 0 });
+        t.request(&Message::StatsRequest).unwrap();
+        {
+            let service = t.service();
+            assert_eq!(service.lock().unwrap().noted, 0, "untraced: never noted");
+        }
+        t.set_trace(TraceSink::new(), 0);
+        t.request(&Message::StatsRequest).unwrap();
+        let timings = t.last_server_timings().unwrap();
+        assert_eq!((timings.scan_micros, timings.rank_micros), (11, 22));
+        let service = t.service();
+        assert_eq!(service.lock().unwrap().noted, 1);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 use crate::NetError;
 use std::io::{Read, Write};
 use teraphim_compress::codes::{read_vbyte, write_vbyte};
+use teraphim_obs::{ServerTimings, SpanContext};
 
 /// Appends a variable-length unsigned integer.
 pub fn put_uint(out: &mut Vec<u8>, v: u64) {
@@ -159,6 +160,58 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, NetError> {
     Ok(Some(payload))
 }
 
+/// Marks a frame payload as a *versioned* envelope: [`MUX_V1_TAG`], a
+/// version/flags byte, then the optional sections the flags announce
+/// (correlation id, [`SpanContext`], [`ServerTimings`]) and the encoded
+/// message. Like [`MUX_TAG`], the marker cannot collide with a plain
+/// payload — message tags are far smaller.
+///
+/// The fixed v0 layout (PR 6) had no room to grow: any new field would
+/// have silently broken old peers. The v1 envelope carries an explicit
+/// version nibble (readers reject versions they do not know, instead of
+/// misparsing) and a flags nibble (each optional section is announced,
+/// so a request without trace context costs zero extra bytes).
+pub const MUX_V1_TAG: u8 = 0x81;
+
+/// v1 envelope version nibble (shifted into the high half of the
+/// version/flags byte).
+pub const ENVELOPE_VERSION: u8 = 1;
+
+/// v1 flag: the envelope carries a v-byte correlation id.
+pub const ENV_CORR: u8 = 1;
+/// v1 flag: the envelope carries a [`SpanContext`].
+pub const ENV_SPAN: u8 = 1 << 1;
+/// v1 flag: the envelope carries [`ServerTimings`] (replies only).
+pub const ENV_TIMINGS: u8 = 1 << 2;
+
+/// A parsed frame payload: the envelope's optional sections plus the
+/// inner message bytes. Plain payloads parse with every option `None`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope<'a> {
+    /// Correlation id, for multiplexed exchanges.
+    pub corr: Option<u64>,
+    /// Trace context propagated by the client (requests).
+    pub span: Option<SpanContext>,
+    /// Server-side phase timings piggybacked by the server (replies).
+    pub timings: Option<ServerTimings>,
+    /// The encoded inner message.
+    pub message: &'a [u8],
+}
+
+impl<'a> Envelope<'a> {
+    /// A plain payload: no envelope sections, the whole payload is the
+    /// message.
+    #[must_use]
+    pub fn plain(message: &'a [u8]) -> Self {
+        Envelope {
+            corr: None,
+            span: None,
+            timings: None,
+            message,
+        }
+    }
+}
+
 /// Builds a multiplexed frame payload: [`MUX_TAG`], the correlation id,
 /// the encoded message.
 pub fn mux_envelope(corr: u64, message: &[u8]) -> Vec<u8> {
@@ -167,6 +220,149 @@ pub fn mux_envelope(corr: u64, message: &[u8]) -> Vec<u8> {
     put_uint(&mut out, corr);
     out.extend_from_slice(message);
     out
+}
+
+/// Appends a [`SpanContext`] in its wire form (defined here rather than
+/// in `teraphim-obs`, which knows nothing about wire formats).
+pub fn put_span_context(out: &mut Vec<u8>, span: &SpanContext) {
+    put_uint(out, span.trace_id);
+    put_uint(out, u64::from(span.parent_span));
+    out.push(span.flags);
+}
+
+/// Reads a [`SpanContext`].
+///
+/// # Errors
+///
+/// Returns [`NetError::Corrupt`] on truncation or overflow.
+pub fn get_span_context(buf: &[u8], pos: &mut usize) -> Result<SpanContext, NetError> {
+    let trace_id = get_uint(buf, pos)?;
+    let parent_span = u32::try_from(get_uint(buf, pos)?)
+        .map_err(|_| NetError::Corrupt("span parent overflow"))?;
+    let flags = *buf.get(*pos).ok_or(NetError::Corrupt("span truncated"))?;
+    *pos += 1;
+    Ok(SpanContext {
+        trace_id,
+        parent_span,
+        flags,
+    })
+}
+
+/// Appends [`ServerTimings`] in their wire form ([`SERVER_PHASES`]
+/// order, v-byte each — all-zero timings cost four bytes).
+///
+/// [`SERVER_PHASES`]: teraphim_obs::SERVER_PHASES
+pub fn put_server_timings(out: &mut Vec<u8>, timings: &ServerTimings) {
+    put_uint(out, timings.queue_micros);
+    put_uint(out, timings.scan_micros);
+    put_uint(out, timings.rank_micros);
+    put_uint(out, timings.serialize_micros);
+}
+
+/// Reads [`ServerTimings`].
+///
+/// # Errors
+///
+/// Returns [`NetError::Corrupt`] on truncation.
+pub fn get_server_timings(buf: &[u8], pos: &mut usize) -> Result<ServerTimings, NetError> {
+    Ok(ServerTimings {
+        queue_micros: get_uint(buf, pos)?,
+        scan_micros: get_uint(buf, pos)?,
+        rank_micros: get_uint(buf, pos)?,
+        serialize_micros: get_uint(buf, pos)?,
+    })
+}
+
+/// Builds a v1 frame payload carrying any combination of correlation
+/// id, trace context and server timings. With only a correlation id the
+/// layout costs one byte more than [`mux_envelope`]; with nothing at
+/// all it still parses (a plain message in v1 clothing), which the
+/// per-call TCP path uses to request timings without a correlation id.
+pub fn envelope_v1(
+    corr: Option<u64>,
+    span: Option<&SpanContext>,
+    timings: Option<&ServerTimings>,
+    message: &[u8],
+) -> Vec<u8> {
+    let mut flags = 0u8;
+    if corr.is_some() {
+        flags |= ENV_CORR;
+    }
+    if span.is_some() {
+        flags |= ENV_SPAN;
+    }
+    if timings.is_some() {
+        flags |= ENV_TIMINGS;
+    }
+    let mut out = Vec::with_capacity(2 + 9 + 16 + message.len());
+    out.push(MUX_V1_TAG);
+    out.push((ENVELOPE_VERSION << 4) | flags);
+    if let Some(corr) = corr {
+        put_uint(&mut out, corr);
+    }
+    if let Some(span) = span {
+        put_span_context(&mut out, span);
+    }
+    if let Some(timings) = timings {
+        put_server_timings(&mut out, timings);
+    }
+    out.extend_from_slice(message);
+    out
+}
+
+/// Parses any frame payload — plain, v0 mux, or v1 — into an
+/// [`Envelope`].
+///
+/// # Errors
+///
+/// Returns [`NetError::Corrupt`] when an envelope marker is present but
+/// the envelope is truncated, or when a v1 envelope announces a version
+/// newer than this peer understands.
+pub fn split_envelope(payload: &[u8]) -> Result<Envelope<'_>, NetError> {
+    match payload.first() {
+        Some(&MUX_TAG) => {
+            let mut pos = 1;
+            let corr = get_uint(payload, &mut pos)?;
+            Ok(Envelope {
+                corr: Some(corr),
+                span: None,
+                timings: None,
+                message: &payload[pos..],
+            })
+        }
+        Some(&MUX_V1_TAG) => {
+            let vf = *payload
+                .get(1)
+                .ok_or(NetError::Corrupt("envelope truncated"))?;
+            if vf >> 4 != ENVELOPE_VERSION {
+                return Err(NetError::Corrupt("unknown envelope version"));
+            }
+            let flags = vf & 0x0F;
+            let mut pos = 2;
+            let corr = if flags & ENV_CORR != 0 {
+                Some(get_uint(payload, &mut pos)?)
+            } else {
+                None
+            };
+            let span = if flags & ENV_SPAN != 0 {
+                Some(get_span_context(payload, &mut pos)?)
+            } else {
+                None
+            };
+            let timings = if flags & ENV_TIMINGS != 0 {
+                Some(get_server_timings(payload, &mut pos)?)
+            } else {
+                None
+            };
+            Ok(Envelope {
+                corr,
+                span,
+                timings,
+                message: &payload[pos..],
+            })
+        }
+        _ => Ok(Envelope::plain(payload)),
+    }
 }
 
 /// Splits a frame payload into its correlation id and message bytes, or
@@ -385,5 +581,95 @@ mod tests {
         assert_eq!(split_mux_envelope(&[]).unwrap(), None);
         // A truncated envelope is corrupt, not silently plain.
         assert!(split_mux_envelope(&[MUX_TAG]).is_err());
+    }
+
+    #[test]
+    fn v1_envelope_roundtrips_every_flag_combination() {
+        let span = SpanContext::sampled(u64::MAX, 7);
+        let timings = ServerTimings {
+            queue_micros: 1_000_000,
+            scan_micros: 0,
+            rank_micros: 42,
+            serialize_micros: 3,
+        };
+        for corr in [None, Some(0u64), Some(u64::MAX)] {
+            for s in [None, Some(span)] {
+                for t in [None, Some(timings)] {
+                    let payload = envelope_v1(corr, s.as_ref(), t.as_ref(), b"inner message");
+                    assert_eq!(payload[0], MUX_V1_TAG);
+                    let env = split_envelope(&payload).unwrap();
+                    assert_eq!(env.corr, corr);
+                    assert_eq!(env.span, s);
+                    assert_eq!(env.timings, t);
+                    assert_eq!(env.message, b"inner message");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn old_format_frames_still_decode_through_split_envelope() {
+        // Satellite: the version/flags byte must not break v0 peers in
+        // either direction. Frames produced by the PR 6 layout parse
+        // unchanged through the new parser...
+        let old = mux_envelope(300, b"payload");
+        let env = split_envelope(&old).unwrap();
+        assert_eq!(env.corr, Some(300));
+        assert_eq!(env.span, None);
+        assert_eq!(env.timings, None);
+        assert_eq!(env.message, b"payload");
+        // ...and so do plain payloads.
+        let env = split_envelope(&[1, 2, 3]).unwrap();
+        assert_eq!(env, Envelope::plain(&[1, 2, 3][..]));
+        assert_eq!(split_envelope(&[]).unwrap().message, b"");
+        // A v1 envelope downgraded to corr-only still satisfies the old
+        // v0 parser's contract via its own tag... it must NOT, however,
+        // be mistaken for v0 by the old parser (different marker), so an
+        // old peer sees an unknown tag rather than garbage.
+        let v1 = envelope_v1(Some(5), None, None, b"m");
+        assert_eq!(split_mux_envelope(&v1).unwrap(), None, "not v0 mux");
+    }
+
+    #[test]
+    fn v1_corruption_is_detected_not_misparsed() {
+        // Truncations anywhere inside the envelope error out.
+        let span = SpanContext::sampled(99, 2);
+        let timings = ServerTimings {
+            queue_micros: 5,
+            scan_micros: 6,
+            rank_micros: 7,
+            serialize_micros: 300,
+        };
+        let payload = envelope_v1(Some(1000), Some(&span), Some(&timings), b"");
+        for cut in 1..payload.len() {
+            assert!(split_envelope(&payload[..cut]).is_err(), "cut {cut}");
+        }
+        // An unknown (future) version is rejected, never misparsed.
+        let future = [MUX_V1_TAG, 2 << 4, 0, 0];
+        assert!(matches!(
+            split_envelope(&future),
+            Err(NetError::Corrupt("unknown envelope version"))
+        ));
+    }
+
+    #[test]
+    fn span_and_timings_sections_roundtrip_standalone() {
+        let mut out = Vec::new();
+        let span = SpanContext {
+            trace_id: 1 << 40,
+            parent_span: u32::MAX,
+            flags: 0,
+        };
+        put_span_context(&mut out, &span);
+        let timings = ServerTimings::default();
+        put_server_timings(&mut out, &timings);
+        let mut pos = 0;
+        assert_eq!(get_span_context(&out, &mut pos).unwrap(), span);
+        assert_eq!(get_server_timings(&out, &mut pos).unwrap(), timings);
+        assert_eq!(pos, out.len());
+        // All-zero timings cost four bytes on the wire.
+        let mut zeros = Vec::new();
+        put_server_timings(&mut zeros, &ServerTimings::default());
+        assert_eq!(zeros.len(), 4);
     }
 }

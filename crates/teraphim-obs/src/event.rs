@@ -236,6 +236,24 @@ pub enum EventKind {
         /// adopts it so epoch-keyed caches stay coherent.
         epoch: u64,
     },
+    /// Server-side time attributed to one phase of handling a request
+    /// at a librarian (see [`crate::span::SERVER_PHASES`]): queue wait
+    /// in the worker pool, index scan, ranking, reply serialization.
+    /// Recorded client-side after the matching `reply`, from timings the
+    /// server piggybacks on the wire (or zeros when the backend has no
+    /// server-side clock — the simulator, or an untimed service), so the
+    /// event *structure* is identical across sim, in-proc and TCP.
+    ServerPhase {
+        /// Librarian index.
+        librarian: u32,
+        /// Server phase label (`"queue_wait"`, `"scan"`, `"rank"`,
+        /// `"serialize"`).
+        phase: &'static str,
+        /// Time spent in the phase, in microseconds. Zeroed by trace
+        /// normalization (durations differ run to run, structure does
+        /// not).
+        micros: u64,
+    },
 }
 
 impl EventKind {
@@ -256,7 +274,8 @@ impl EventKind {
             | EventKind::Failover { librarian, .. }
             | EventKind::Join { librarian, .. }
             | EventKind::Leave { librarian, .. }
-            | EventKind::Migrate { librarian, .. } => Some(librarian),
+            | EventKind::Migrate { librarian, .. }
+            | EventKind::ServerPhase { librarian, .. } => Some(librarian),
             _ => None,
         }
     }
@@ -286,6 +305,7 @@ impl EventKind {
             EventKind::Join { .. } => "join",
             EventKind::Leave { .. } => "leave",
             EventKind::Migrate { .. } => "migrate",
+            EventKind::ServerPhase { .. } => "server_phase",
         }
     }
 }

@@ -211,6 +211,15 @@ fn event_json(event: &TraceEvent) -> String {
                 ",\"librarian\":{librarian},\"docs\":{docs},\"epoch\":{epoch}"
             );
         }
+        EventKind::ServerPhase {
+            librarian,
+            phase,
+            micros,
+        } => {
+            let _ = write!(out, ",\"librarian\":{librarian},\"phase\":");
+            push_escaped(&mut out, phase);
+            let _ = write!(out, ",\"micros\":{micros}");
+        }
     }
     out.push('}');
     out

@@ -31,22 +31,35 @@
 //!   [`TraceSink::tee_metrics`], so everything that traces also meters;
 //!   [`MetricsSnapshot::render_prometheus`] exposes a snapshot in the
 //!   Prometheus text format.
+//! * [`SpanContext`] / [`ServerTimings`] / [`SpanTree`] — distributed
+//!   spans: the compact context a request carries across the wire, the
+//!   per-phase server-side timings piggybacked on replies, and the
+//!   client-side stitching of a trace into one span tree per query.
+//! * [`FlightRecorder`] — a fixed-size exemplar buffer with tail-based
+//!   retention (slowest + all faulted/degraded queries), attached to a
+//!   sink via [`TraceSink::attach_flight`].
 //!
 //! [`SimDriver`]: https://docs.rs/teraphim-core
 
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod sink;
+pub mod span;
 pub mod trace;
 
 pub use event::{EventKind, LibCandidates, Phase, TraceEvent};
+pub use flight::{FlightEntry, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use json::{diff_json, traces_to_json};
 pub use metrics::{
     lint_prometheus, CacheMetrics, Histogram, HistogramSnapshot, LibrarianMetrics,
     MethodologyMetrics, MetricsRegistry, MetricsSnapshot, TrafficTotals, CACHE_KINDS,
 };
 pub use sink::TraceSink;
+pub use span::{
+    server_phase_index, ServerTimings, Span, SpanContext, SpanTree, SERVER_PHASES, SPAN_SAMPLED,
+};
 pub use trace::{
     trace_traffic_sums, LibTraffic, QueryTrace, TraceMetrics, TraceTrafficSums, NORMALIZED_DRIVER,
 };

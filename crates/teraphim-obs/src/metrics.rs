@@ -26,6 +26,7 @@
 //! [`TraceSink`]: crate::TraceSink
 
 use crate::event::{EventKind, Phase};
+use crate::span::{server_phase_index, SERVER_PHASES};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
 
@@ -369,6 +370,8 @@ pub struct MetricsRegistry {
     methodologies: [MethodSlot; 4],
     caches: [CacheSlot; 3],
     phases: [Histogram; 7],
+    /// Server-side phase latency, in [`SERVER_PHASES`] slot order.
+    server_phases: [Histogram; 4],
     librarians: RwLock<Vec<LibSlot>>,
     open: Mutex<OpenState>,
 }
@@ -397,6 +400,7 @@ impl MetricsRegistry {
             methodologies: Default::default(),
             caches: Default::default(),
             phases: Default::default(),
+            server_phases: Default::default(),
             librarians: RwLock::new(Vec::new()),
             open: Mutex::new(OpenState::default()),
         }
@@ -568,6 +572,11 @@ impl MetricsRegistry {
             EventKind::Join { .. } | EventKind::Leave { .. } | EventKind::Migrate { .. } => {
                 self.membership_changes.fetch_add(1, Ordering::Relaxed);
             }
+            EventKind::ServerPhase { phase, micros, .. } => {
+                if let Some(i) = server_phase_index(phase) {
+                    self.server_phases[i].record(*micros);
+                }
+            }
             EventKind::Expansion { .. } => {}
         }
     }
@@ -620,6 +629,11 @@ impl MetricsRegistry {
             .zip(&self.phases)
             .map(|(&phase, h)| (phase, h.snapshot()))
             .collect();
+        let per_server_phase = SERVER_PHASES
+            .iter()
+            .zip(&self.server_phases)
+            .map(|(&phase, h)| (phase, h.snapshot()))
+            .collect();
         MetricsSnapshot {
             messages_sent: load(&self.messages_sent),
             messages_received: load(&self.messages_received),
@@ -641,6 +655,7 @@ impl MetricsRegistry {
             per_cache,
             per_librarian,
             per_phase,
+            per_server_phase,
         }
     }
 }
@@ -771,6 +786,12 @@ pub struct MetricsSnapshot {
     pub per_librarian: Vec<LibrarianMetrics>,
     /// Per-phase latency histograms, in [`PHASES`] order.
     pub per_phase: Vec<(Phase, HistogramSnapshot)>,
+    /// Server-side phase latency histograms (queue wait, scan, rank,
+    /// serialize), in [`SERVER_PHASES`] order. Fed from `server_phase`
+    /// trace events — zero-duration in drivers without a server clock,
+    /// so counts stay comparable across backends while sums attribute
+    /// real server time.
+    pub per_server_phase: Vec<(&'static str, HistogramSnapshot)>,
 }
 
 impl MetricsSnapshot {
@@ -992,6 +1013,17 @@ impl MetricsSnapshot {
                 .map(|(p, h)| (format!("phase=\"{}\"", p.as_str()), h))
                 .collect::<Vec<_>>(),
         );
+        render_histogram_family(
+            &mut out,
+            "teraphim_server_phase_latency_micros",
+            "Server-side phase latency in microseconds (queue wait, scan, rank, serialize).",
+            &self
+                .per_server_phase
+                .iter()
+                .filter(|(_, h)| !h.is_empty())
+                .map(|(p, h)| (format!("phase=\"{p}\""), h))
+                .collect::<Vec<_>>(),
+        );
         out
     }
 }
@@ -1042,12 +1074,26 @@ pub fn lint_prometheus(text: &str) -> Result<(), String> {
             })
     }
     let mut typed: Vec<String> = Vec::new();
+    let mut helped: Vec<String> = Vec::new();
     for (lineno, line) in text.lines().enumerate() {
         let err = |msg: &str| Err(format!("line {}: {msg}: {line:?}", lineno + 1));
         if line.is_empty() {
             continue;
         }
         if let Some(rest) = line.strip_prefix("# ") {
+            if let Some(decl) = rest.strip_prefix("HELP ") {
+                let Some(name) = decl.split_whitespace().next() else {
+                    return err("malformed HELP line");
+                };
+                if !valid_name(name) {
+                    return err("invalid metric name in HELP line");
+                }
+                if helped.contains(&name.to_owned()) {
+                    return err("duplicate HELP declaration");
+                }
+                helped.push(name.to_owned());
+                continue;
+            }
             if let Some(decl) = rest.strip_prefix("TYPE ") {
                 let mut parts = decl.split_whitespace();
                 let (Some(name), Some(kind)) = (parts.next(), parts.next()) else {
@@ -1387,7 +1433,41 @@ mod tests {
             lint_prometheus("# TYPE m counter\n# TYPE m counter\n").is_err(),
             "duplicate TYPE"
         );
+        assert!(
+            lint_prometheus("# HELP m a\n# HELP m b\n# TYPE m counter\nm 1\n").is_err(),
+            "duplicate HELP"
+        );
         assert!(lint_prometheus("# TYPE m counter\nm{a=\"b\"} 1\nm 2.5\n").is_ok());
+    }
+
+    #[test]
+    fn server_phase_events_feed_their_own_family() {
+        let r = MetricsRegistry::new();
+        r.observe(
+            0,
+            &EventKind::ServerPhase {
+                librarian: 1,
+                phase: "queue_wait",
+                micros: 500,
+            },
+        );
+        r.observe(
+            0,
+            &EventKind::ServerPhase {
+                librarian: 1,
+                phase: "rank",
+                micros: 20,
+            },
+        );
+        let snap = r.snapshot();
+        assert_eq!(snap.per_server_phase.len(), SERVER_PHASES.len());
+        assert_eq!(snap.per_server_phase[0].0, "queue_wait");
+        assert_eq!(snap.per_server_phase[0].1.sum, 500);
+        assert_eq!(snap.per_server_phase[2].1.count, 1);
+        assert_eq!(snap.per_server_phase[1].1.count, 0, "scan untouched");
+        let text = snap.render_prometheus();
+        lint_prometheus(&text).unwrap();
+        assert!(text.contains("teraphim_server_phase_latency_micros_sum{phase=\"queue_wait\"} 500"));
     }
 }
 

@@ -8,11 +8,33 @@
 //! [`QueryTrace`] values.
 
 use crate::event::{EventKind, TraceEvent};
+use crate::flight::{FlightEntry, FlightRecorder};
 use crate::metrics::MetricsRegistry;
+use crate::span::SpanTree;
 use crate::trace::QueryTrace;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// An operation in flight for the attached flight recorder: its own
+/// event side-buffer, so exemplar capture works even on a
+/// [`TraceSink::metrics_only`] sink that never buffers traces.
+#[derive(Debug)]
+struct PendingOp {
+    trace_id: u64,
+    began_at: u64,
+    op: &'static str,
+    methodology: Option<&'static str>,
+    query_id: u32,
+    k: u32,
+    events: Vec<TraceEvent>,
+}
+
+#[derive(Debug)]
+struct FlightState {
+    recorder: FlightRecorder,
+    current: Option<PendingOp>,
+}
 
 #[derive(Debug)]
 struct SinkInner {
@@ -26,6 +48,14 @@ struct SinkInner {
     events: Mutex<Vec<TraceEvent>>,
     /// Registry every recorded event is also applied to, when teed.
     metrics: Mutex<Option<Arc<MetricsRegistry>>>,
+    /// Trace id of the most recently begun operation; bumped on every
+    /// [`EventKind::Begin`]. Ids are per-sink and start at 1.
+    trace_id: AtomicU64,
+    /// Fast-path guard for `flight`: checked with one atomic load so an
+    /// unattached recorder costs nothing per event.
+    flight_on: AtomicBool,
+    /// Attached flight recorder plus the operation it is following.
+    flight: Mutex<Option<FlightState>>,
 }
 
 /// A shared, thread-safe collector of [`TraceEvent`]s.
@@ -60,6 +90,9 @@ impl TraceSink {
                 epoch: Instant::now(),
                 events: Mutex::new(Vec::new()),
                 metrics: Mutex::new(None),
+                trace_id: AtomicU64::new(0),
+                flight_on: AtomicBool::new(false),
+                flight: Mutex::new(None),
             })),
         }
     }
@@ -81,6 +114,9 @@ impl TraceSink {
                 epoch: Instant::now(),
                 events: Mutex::new(Vec::new()),
                 metrics: Mutex::new(Some(registry)),
+                trace_id: AtomicU64::new(0),
+                flight_on: AtomicBool::new(false),
+                flight: Mutex::new(None),
             })),
         }
     }
@@ -156,11 +192,18 @@ impl TraceSink {
         }
     }
 
-    /// Tees an event into the attached registry (if any) and buffers it.
+    /// Tees an event into the attached registry (if any), feeds the
+    /// flight recorder's side-buffer, and buffers it.
     fn deliver(inner: &SinkInner, at_micros: u64, kind: EventKind) {
+        if let EventKind::Begin { .. } = kind {
+            inner.trace_id.fetch_add(1, Ordering::Relaxed);
+        }
         let registry = inner.metrics.lock().unwrap().clone();
         if let Some(registry) = registry {
             registry.observe(at_micros, &kind);
+        }
+        if inner.flight_on.load(Ordering::Relaxed) {
+            Self::deliver_flight(inner, at_micros, &kind);
         }
         if inner.buffer_events {
             inner
@@ -169,6 +212,115 @@ impl TraceSink {
                 .unwrap()
                 .push(TraceEvent { at_micros, kind });
         }
+    }
+
+    /// Routes one event into the attached flight recorder's pending
+    /// operation; on `End`, stitches the side-buffer into a span tree
+    /// and offers it for retention.
+    fn deliver_flight(inner: &SinkInner, at_micros: u64, kind: &EventKind) {
+        let mut guard = inner.flight.lock().unwrap();
+        let Some(state) = guard.as_mut() else { return };
+        match kind {
+            EventKind::Begin {
+                op,
+                methodology,
+                query_id,
+                k,
+            } => {
+                state.current = Some(PendingOp {
+                    trace_id: inner.trace_id.load(Ordering::Relaxed),
+                    began_at: at_micros,
+                    op,
+                    methodology: *methodology,
+                    query_id: *query_id,
+                    k: *k,
+                    events: Vec::new(),
+                });
+            }
+            EventKind::End => {
+                if let Some(pending) = state.current.take() {
+                    let duration = at_micros.saturating_sub(pending.began_at);
+                    let recorder = state.recorder.clone();
+                    drop(guard);
+                    recorder.record_entry(|| {
+                        let mut trace = QueryTrace {
+                            driver: inner.driver.to_owned(),
+                            op: pending.op.to_owned(),
+                            methodology: pending.methodology.map(str::to_owned),
+                            query_id: pending.query_id,
+                            k: pending.k,
+                            complete: true,
+                            events: pending.events,
+                        };
+                        trace.events.sort_by_key(|e| e.at_micros);
+                        let mut tree = SpanTree::from_trace(&trace);
+                        tree.trace_id = pending.trace_id;
+                        FlightEntry {
+                            trace_id: pending.trace_id,
+                            op: trace.op.clone(),
+                            methodology: trace.methodology.clone(),
+                            query_id: trace.query_id,
+                            duration_micros: duration,
+                            faulted: tree.faulted,
+                            degraded: tree.degraded,
+                            json: tree.to_json(),
+                        }
+                    });
+                }
+            }
+            _ => {
+                if let Some(pending) = state.current.as_mut() {
+                    pending.events.push(TraceEvent {
+                        at_micros,
+                        kind: kind.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Attaches a flight recorder: from now on every completed traced
+    /// operation is stitched into a span tree and offered to `recorder`
+    /// for tail-based retention. Works on buffering and metrics-only
+    /// sinks alike (the recorder keeps its own per-operation
+    /// side-buffer). Attaching a disabled recorder detaches. No-op on a
+    /// disabled sink; all clones observe the attachment.
+    pub fn attach_flight(&self, recorder: FlightRecorder) {
+        if let Some(inner) = &self.inner {
+            let on = recorder.is_enabled();
+            *inner.flight.lock().unwrap() = on.then_some(FlightState {
+                recorder,
+                current: None,
+            });
+            inner.flight_on.store(on, Ordering::Relaxed);
+        }
+    }
+
+    /// The attached flight recorder, or a disabled one.
+    #[must_use]
+    pub fn flight(&self) -> FlightRecorder {
+        self.inner
+            .as_ref()
+            .and_then(|inner| {
+                inner
+                    .flight
+                    .lock()
+                    .unwrap()
+                    .as_ref()
+                    .map(|s| s.recorder.clone())
+            })
+            .unwrap_or_default()
+    }
+
+    /// The trace id of the most recently begun operation (ids are
+    /// per-sink, starting at 1), or 0 when nothing has begun or the
+    /// sink is disabled. The fan-out layer stamps this into the
+    /// [`SpanContext`](crate::SpanContext) it sends with each request.
+    #[must_use]
+    pub fn current_trace_id(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.trace_id.load(Ordering::Relaxed))
     }
 
     /// Discards all buffered events.
@@ -354,6 +506,65 @@ mod tests {
         sink.record(EventKind::End);
         assert!(sink.take_traces().is_empty());
         assert_eq!(registry.snapshot().queries, 1);
+    }
+
+    #[test]
+    fn trace_ids_increment_per_begin() {
+        let sink = TraceSink::new();
+        assert_eq!(sink.current_trace_id(), 0);
+        sink.record(begin("query"));
+        assert_eq!(sink.current_trace_id(), 1);
+        sink.record(EventKind::End);
+        sink.record(begin("headers"));
+        assert_eq!(sink.current_trace_id(), 2);
+        assert_eq!(TraceSink::disabled().current_trace_id(), 0);
+    }
+
+    #[test]
+    fn attached_flight_recorder_captures_completed_operations() {
+        let registry = Arc::new(MetricsRegistry::new());
+        // Metrics-only sink: no trace buffering, flight still works.
+        let sink = TraceSink::metrics_only(Arc::clone(&registry));
+        let rec = crate::FlightRecorder::new(8);
+        sink.attach_flight(rec.clone());
+        sink.record(begin("query"));
+        sink.record(EventKind::Sent {
+            librarian: 0,
+            bytes: 4,
+            message: "RankRequest",
+        });
+        sink.record(EventKind::Reply {
+            librarian: 0,
+            bytes: 8,
+            message: "RankResponse",
+        });
+        sink.record(EventKind::End);
+        assert!(sink.take_traces().is_empty(), "still metrics-only");
+        assert_eq!(rec.len(), 1);
+        let entry = &rec.entries()[0];
+        assert_eq!(entry.op, "query");
+        assert_eq!(entry.trace_id, 1);
+        assert!(!entry.faulted);
+        assert!(entry.json.contains("\"span\":\"librarian\""));
+        // Detach: later operations are no longer captured.
+        sink.attach_flight(crate::FlightRecorder::disabled());
+        sink.record(begin("query"));
+        sink.record(EventKind::End);
+        assert_eq!(rec.len(), 1);
+    }
+
+    #[test]
+    fn flight_marks_faulted_operations() {
+        let sink = TraceSink::new();
+        let rec = crate::FlightRecorder::new(4);
+        sink.attach_flight(rec.clone());
+        sink.record(begin("query"));
+        sink.record(EventKind::LibFailed {
+            librarian: 2,
+            error: "unavailable",
+        });
+        sink.record(EventKind::End);
+        assert!(rec.entries()[0].faulted);
     }
 
     #[test]

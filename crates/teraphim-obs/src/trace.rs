@@ -52,6 +52,12 @@ impl QueryTrace {
         trace.driver = NORMALIZED_DRIVER.to_owned();
         for event in &mut trace.events {
             event.at_micros = 0;
+            // Server-side phase durations are timings, not structure:
+            // zero them like timestamps so sim (virtual clock), in-proc
+            // and TCP backends normalize byte-identically.
+            if let EventKind::ServerPhase { micros, .. } = &mut event.kind {
+                *micros = 0;
+            }
         }
         let events = &mut trace.events;
         let mut i = 0;
@@ -164,6 +170,26 @@ impl QueryTrace {
         }
         rows.sort_by_key(|r| r.librarian);
         rows
+    }
+
+    /// Sums the server-side phase durations (`server_phase` events) in
+    /// this trace, keyed by phase label. Labels appear in first-seen
+    /// order — [`crate::span::SERVER_PHASES`] order for traces recorded
+    /// by the fan-out path. The totals are what the span sum-check
+    /// compares against the registry's server-phase histograms.
+    #[must_use]
+    pub fn server_phase_sums(&self) -> Vec<(&'static str, u64)> {
+        let mut sums: Vec<(&'static str, u64)> = Vec::new();
+        for event in &self.events {
+            if let EventKind::ServerPhase { phase, micros, .. } = event.kind {
+                if let Some(slot) = sums.iter_mut().find(|(p, _)| *p == phase) {
+                    slot.1 += micros;
+                } else {
+                    sums.push((phase, micros));
+                }
+            }
+        }
+        sums
     }
 }
 

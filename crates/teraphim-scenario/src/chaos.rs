@@ -118,6 +118,14 @@ impl<T: Transport> Transport for ChaosTransport<T> {
     fn finish(&mut self, ticket: Ticket) -> Result<Message, NetError> {
         self.inner.finish(ticket)
     }
+
+    fn set_trace(&mut self, trace: teraphim_obs::TraceSink, librarian: u32) {
+        self.inner.set_trace(trace, librarian);
+    }
+
+    fn last_server_timings(&self) -> Option<teraphim_obs::ServerTimings> {
+        self.inner.last_server_timings()
+    }
 }
 
 #[cfg(test)]

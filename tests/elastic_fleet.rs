@@ -21,7 +21,7 @@ use teraphim::net::{
     DispatchMode, FaultPlan, FaultyService, FaultyTransport, InProcTransport, ReplicaGroup,
     RoutingTable,
 };
-use teraphim::obs::{diff_json, EventKind, QueryTrace, TraceSink};
+use teraphim::obs::{diff_json, EventKind, QueryTrace, SpanTree, TraceSink};
 use teraphim::scenario::{
     differential, doublecheck, generate_plan, Backend, GenOptions, InProcBackend, Plan, RunMode,
     SimBackend, Step, TcpBackend,
@@ -343,6 +343,33 @@ fn assert_matches_golden(name: &str, trace: &QueryTrace) {
     }
 }
 
+/// The span-tree variant of the golden assertion, same protocol.
+fn assert_span_golden(name: &str, tree: &SpanTree) {
+    let actual = tree.to_json();
+    let path = trace_fixture_path(name);
+    if std::env::var("UPDATE_TRACE_GOLDENS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_TRACE_GOLDENS=1 cargo test --test elastic_fleet",
+            path.display()
+        )
+    });
+    if let Some(diff) = diff_json(&expected, &actual) {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/trace-diffs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join(format!("{name}.actual.json"));
+        std::fs::write(&out, &actual).unwrap();
+        panic!(
+            "golden span tree `{name}` diverged (actual written to {}):\n{diff}",
+            out.display()
+        );
+    }
+}
+
 fn trace_corpus() -> SyntheticCorpus {
     SyntheticCorpus::generate(&CorpusSpec::small(33))
 }
@@ -471,6 +498,18 @@ fn golden_failover_trace_shared_by_inproc_and_tcp() {
         "TCP and in-process failover traces must be byte-identical after \
          normalization"
     );
+
+    // And the stitched form: the failover surfaces as a zero-duration
+    // annotation inside shard 1's librarian span, identically on both
+    // stacks, pinned as a span-tree golden next to the methodology ones.
+    let inproc_tree = SpanTree::from_trace(&inproc.normalized());
+    let tcp_tree = SpanTree::from_trace(&tcp.normalized());
+    assert_eq!(
+        inproc_tree.to_json(),
+        tcp_tree.to_json(),
+        "TCP and in-process failover span trees must be byte-identical"
+    );
+    assert_span_golden("span_failover", &inproc_tree);
 }
 
 /// The migration golden: an `add_lib` index handoff produces a

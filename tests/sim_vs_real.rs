@@ -248,6 +248,24 @@ fn three_accounting_paths_agree_on_the_real_driver() {
     assert_eq!(messages, traffic.round_trips);
     assert_eq!(bytes_sent, traffic.bytes_sent);
     assert_eq!(bytes_received, traffic.bytes_received);
+
+    // Path 4: stitched span trees preserve the server-phase ledger.
+    // The registry accumulated `server_phase` events into per-phase
+    // histograms; stitching the same traces into span trees and summing
+    // the server-side leaves must reproduce those sums exactly.
+    let mut span_sums = [0u64; 4];
+    for trace in &traces {
+        let tree = teraphim::obs::SpanTree::from_trace(trace);
+        for (slot, s) in span_sums.iter_mut().zip(tree.server_phase_sums()) {
+            *slot += s;
+        }
+    }
+    for ((phase, hist), sum) in snapshot.per_server_phase.iter().zip(span_sums) {
+        assert_eq!(
+            hist.sum, sum,
+            "phase {phase}: registry histogram vs span-tree leaves"
+        );
+    }
 }
 
 /// The cache extends the accounting guard: cache activity is now

@@ -201,7 +201,18 @@ fn silent_librarian_degrades_within_the_deadline() {
         .collect();
     assert_eq!(retries, [(1, "timeout"), (2, "timeout")]);
     for lib in [0u32, 1, 3] {
-        assert_eq!(tags_for(lib), ["sent", "reply"], "healthy librarian {lib}");
+        assert_eq!(
+            tags_for(lib),
+            [
+                "sent",
+                "reply",
+                "server_phase",
+                "server_phase",
+                "server_phase",
+                "server_phase"
+            ],
+            "healthy librarian {lib}: each reply carries its four server phases"
+        );
     }
     let coverage = trace
         .events
@@ -279,6 +290,144 @@ fn tcp_and_inproc_emit_identical_normalized_traces() {
         if let Some(diff) = diff_json(&a, &b) {
             panic!("{methodology}: in-process and TCP traces diverged:\n{diff}");
         }
+    }
+
+    for server in servers {
+        server.shutdown();
+    }
+}
+
+/// The tentpole, end to end over real sockets: one traced TCP query
+/// yields one stitched span tree whose librarian spans carry the four
+/// server-measured phase leaves; the client-side sum of those leaves
+/// equals the phase ledger each server reports over `Stats`; and every
+/// span-carrying request lands in the server's flight recorder,
+/// dumpable over the admin `FlightRec` message.
+#[test]
+fn tcp_spans_phase_ledger_and_flight_recorder_agree() {
+    use std::collections::HashMap;
+    use teraphim::net::Transport;
+    use teraphim::obs::{SpanTree, SERVER_PHASES};
+
+    let corpus = SyntheticCorpus::generate(&CorpusSpec::small(33));
+    let servers: Vec<TcpServer> = corpus
+        .subcollections()
+        .iter()
+        .map(|s| {
+            let mut librarian = Librarian::build(&s.name, Analyzer::default(), &s.docs);
+            librarian.enable_flight_recorder(8);
+            TcpServer::spawn(librarian, "127.0.0.1:0").unwrap()
+        })
+        .collect();
+    let n = servers.len();
+
+    let mut r = Receptionist::new(
+        servers
+            .iter()
+            .map(|s| TcpTransport::connect(s.addr()).unwrap())
+            .collect::<Vec<TcpTransport>>(),
+        Analyzer::default(),
+    );
+    let sink = r.enable_tracing();
+    let queries = 3;
+    for q in corpus.short_queries().iter().take(queries) {
+        r.query(Methodology::CentralNothing, &q.text, 10).unwrap();
+    }
+
+    // Fetch every server's flight-recorder dump over the admin message
+    // and persist it under target/flightrec/ up front, before any
+    // assertion can fail — CI uploads the directory as an artifact so a
+    // red run still shows what each librarian spent its time on.
+    let dumps: Vec<String> = servers
+        .iter()
+        .enumerate()
+        .map(|(i, server)| {
+            let mut t = TcpTransport::connect(server.addr()).unwrap();
+            let reply = t
+                .request(&teraphim::net::Message::FlightRecRequest)
+                .unwrap();
+            let teraphim::net::Message::FlightRecReply { json } = reply else {
+                panic!("librarian {i}: expected FlightRecReply, got {reply:?}");
+            };
+            json
+        })
+        .collect();
+    let dump_dir = std::path::Path::new("target").join("flightrec");
+    std::fs::create_dir_all(&dump_dir).unwrap();
+    for (i, json) in dumps.iter().enumerate() {
+        std::fs::write(dump_dir.join(format!("librarian-{i}.json")), json).unwrap();
+    }
+
+    let traces = sink.take_traces();
+    assert_eq!(traces.len(), queries, "one trace per traced query");
+    let mut client_sums: HashMap<u32, u64> = HashMap::new();
+    for trace in &traces {
+        // One stitched tree per query: the root covers the whole
+        // receptionist dispatch, each librarian child carries the four
+        // server-side phase leaves in order.
+        let tree = SpanTree::from_trace(trace);
+        assert_eq!(tree.root.name, "query");
+        assert!(!tree.faulted && !tree.degraded);
+        let fanout = tree
+            .root
+            .children
+            .iter()
+            .find(|c| c.name == "rank_fanout")
+            .expect("the rank fan-out phase is a child of the root");
+        let lib_spans: Vec<_> = fanout
+            .children
+            .iter()
+            .filter(|c| c.name == "librarian")
+            .collect();
+        assert_eq!(lib_spans.len(), n, "one librarian span per shard");
+        for lib_span in lib_spans {
+            let phases: Vec<&str> = lib_span.children.iter().map(|c| c.name.as_str()).collect();
+            assert_eq!(phases, SERVER_PHASES, "server-side phase leaves");
+            assert!(
+                lib_span.start_micros >= tree.root.start_micros
+                    && lib_span.start_micros + lib_span.duration_micros
+                        <= tree.root.start_micros + tree.root.duration_micros,
+                "the root span covers every librarian exchange"
+            );
+        }
+        for event in &trace.events {
+            if let teraphim::obs::EventKind::ServerPhase {
+                librarian, micros, ..
+            } = event.kind
+            {
+                *client_sums.entry(librarian).or_default() += micros;
+            }
+        }
+    }
+
+    // Ledger agreement: what the client stitched equals what each
+    // server accumulated (the `Stats` poll is admin traffic and adds
+    // nothing to the ledger itself).
+    let report = r.fleet_health();
+    assert!(report.all_up());
+    for row in &report.librarians {
+        let server_total: u64 = row.server_phases.iter().sum();
+        assert_eq!(
+            server_total,
+            client_sums.get(&row.librarian).copied().unwrap_or(0),
+            "librarian {}: server phase ledger vs client-side span sums",
+            row.librarian
+        );
+    }
+
+    // Every span-carrying request became a flight exemplar; the dump is
+    // self-describing. Admin traffic (the dump fetch itself, the stats
+    // polls above) never records exemplars, so counts are exact.
+    for (i, json) in dumps.iter().enumerate() {
+        assert!(
+            json.starts_with("{\"flightrec\":true"),
+            "librarian {i}: dump header: {json}"
+        );
+        assert!(
+            json.contains(&format!("\"recorded\":{queries}")),
+            "librarian {i}: {queries} traced requests recorded: {json}"
+        );
+        assert!(json.contains("\"span\":\"serve\""), "librarian {i}: {json}");
     }
 
     for server in servers {

@@ -16,10 +16,11 @@ use std::time::Duration;
 use teraphim::core::sim::{SimDriver, SimMode};
 use teraphim::core::{CiParams, Librarian, Methodology, Receptionist};
 use teraphim::corpus::{CorpusSpec, SyntheticCorpus};
+use teraphim::net::tcp::{TcpServer, TcpTransport};
 use teraphim::net::{
     DispatchMode, FaultPlan, FaultyTransport, InProcTransport, RetryPolicy, RetryTransport,
 };
-use teraphim::obs::{diff_json, EventKind, Phase, QueryTrace, TraceSink};
+use teraphim::obs::{diff_json, EventKind, Phase, QueryTrace, SpanTree, TraceSink};
 use teraphim::simnet::{CostModel, Topology};
 use teraphim::text::sgml::TrecDoc;
 use teraphim::text::Analyzer;
@@ -123,6 +124,35 @@ fn assert_matches_golden(name: &str, trace: &QueryTrace) {
     }
 }
 
+/// Asserts a stitched span tree (from a normalized trace) matches its
+/// committed golden fixture, with the same regeneration/diff protocol
+/// as the event-stream goldens.
+fn assert_span_golden(name: &str, tree: &SpanTree) {
+    let actual = tree.to_json();
+    let path = fixture_path(name);
+    if std::env::var("UPDATE_TRACE_GOLDENS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); run UPDATE_TRACE_GOLDENS=1 cargo test --test traces",
+            path.display()
+        )
+    });
+    if let Some(diff) = diff_json(&expected, &actual) {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/trace-diffs");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join(format!("{name}.actual.json"));
+        std::fs::write(&out, &actual).unwrap();
+        panic!(
+            "golden span tree `{name}` diverged (actual written to {}):\n{diff}",
+            out.display()
+        );
+    }
+}
+
 #[test]
 fn golden_traces_for_all_methodologies() {
     let corpus = corpus();
@@ -145,6 +175,95 @@ fn golden_traces_for_all_methodologies() {
         "ci",
         &real_trace(&corpus, Methodology::CentralIndex, &query),
     );
+}
+
+/// Runs one traced query against real TCP servers (one per
+/// subcollection), sequential dispatch — the wire path: span contexts
+/// travel in v1 envelopes and the servers echo measured phase timings,
+/// which normalization then zeroes.
+fn tcp_trace(corpus: &SyntheticCorpus, methodology: Methodology, query: &str) -> QueryTrace {
+    let servers: Vec<TcpServer> = corpus
+        .subcollections()
+        .iter()
+        .map(|s| {
+            TcpServer::spawn(
+                Librarian::build(&s.name, Analyzer::default(), &s.docs),
+                "127.0.0.1:0",
+            )
+            .expect("loopback server spawns")
+        })
+        .collect();
+    let transports: Vec<TcpTransport> = servers
+        .iter()
+        .map(|s| TcpTransport::connect(s.addr()).expect("loopback connects"))
+        .collect();
+    let mut r = Receptionist::new(transports, Analyzer::default());
+    r.set_dispatch_mode(DispatchMode::Sequential);
+    match methodology {
+        Methodology::CentralNothing => {}
+        Methodology::CentralVocabulary => r.enable_cv().unwrap(),
+        Methodology::CentralIndex => r.enable_ci(CI_PARAMS).unwrap(),
+    }
+    let sink = r.enable_tracing();
+    r.query(methodology, query, K).unwrap();
+    let mut traces = sink.take_traces();
+    assert_eq!(traces.len(), 1, "one traced op, one trace");
+    traces.remove(0)
+}
+
+/// The tentpole invariant, pinned as span-tree goldens: stitching the
+/// normalized trace of one query yields the byte-identical span tree on
+/// the simulator (virtual time, zero server clocks), the in-process
+/// driver, and real TCP (measured phases, zeroed by normalization).
+/// MS is pinned from the simulator alone — the real driver has no
+/// mono-server fan-out to stitch.
+#[test]
+fn golden_span_trees_shared_by_sim_inproc_and_tcp() {
+    let corpus = corpus();
+    let query = corpus.short_queries()[0].text.clone();
+    let mut driver = sim_driver(&corpus);
+    driver.skipping = true;
+    driver.dispatch = teraphim::core::sim::SimDispatch::Sequential;
+
+    let ms = sim_trace(&mut driver, SimMode::MonoServer, &query).normalized();
+    assert_span_golden("span_ms", &SpanTree::from_trace(&ms));
+
+    for (name, methodology) in [
+        ("span_cn", Methodology::CentralNothing),
+        ("span_cv", Methodology::CentralVocabulary),
+        ("span_ci", Methodology::CentralIndex),
+    ] {
+        let real = real_trace(&corpus, methodology, &query).normalized();
+        let tcp = tcp_trace(&corpus, methodology, &query).normalized();
+        let mut sim =
+            sim_trace(&mut driver, SimMode::Distributed(methodology), &query).normalized();
+        // The simulator additionally times step 4 (document fetch); the
+        // real `query` path stops after the merge. Strip that tail so
+        // the three trees cover the same lifecycle.
+        let n = sim.events.len();
+        assert_eq!(
+            sim.events[n - 2].kind,
+            EventKind::PhaseStart {
+                phase: Phase::DocFetch
+            }
+        );
+        sim.events.truncate(n - 2);
+
+        let real_tree = SpanTree::from_trace(&real);
+        let tcp_tree = SpanTree::from_trace(&tcp);
+        let sim_tree = SpanTree::from_trace(&sim);
+        assert_eq!(
+            real_tree.to_json(),
+            tcp_tree.to_json(),
+            "{name}: in-process and TCP span trees must be byte-identical"
+        );
+        assert_eq!(
+            real_tree.to_json(),
+            sim_tree.to_json(),
+            "{name}: in-process and simulated span trees must be byte-identical"
+        );
+        assert_span_golden(name, &real_tree);
+    }
 }
 
 /// The cache's trace vocabulary, pinned as goldens: a warmed CV query
