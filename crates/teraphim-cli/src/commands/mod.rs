@@ -13,6 +13,7 @@ pub mod search;
 pub mod serve;
 pub mod sim;
 pub mod stats;
+pub mod store;
 pub mod top;
 
 use std::io::Write;

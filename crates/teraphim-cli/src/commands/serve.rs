@@ -4,14 +4,21 @@ use crate::args::Args;
 use teraphim_core::Librarian;
 use teraphim_engine::Collection;
 use teraphim_net::tcp::{ServerOptions, TcpServer};
+use teraphim_store::IndexStore;
 
 const HELP: &str = "\
-usage: teraphim serve --index FILE.tcol [--addr 127.0.0.1:7070]
+usage: teraphim serve (--index FILE.tcol | --store DIR)
+                      [--addr 127.0.0.1:7070]
                       [--workers N] [--replicas R]
                       [--fleet ADDR[,ADDR...]] [--flightrec N]
 
 serves the collection as a TERAPHIM librarian; receptionists connect
 with `teraphim search --servers ...`. Runs until interrupted.
+
+--store DIR   serve from a persistent versioned store instead of a
+              collection file: the store is recovered (WAL replayed
+              into the last durable manifest) and every engine replica
+              reports the store's durable epoch in its stats replies
 
 --workers N   threads evaluating multiplexed (pipelined) requests
               concurrently (default 2)
@@ -38,7 +45,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         println!("{HELP}");
         return Ok(());
     }
-    let path = args.require("index")?;
+    let path = args.get("index");
+    let store_dir = args.get("store");
+    if path.is_some() == store_dir.is_some() {
+        return Err(format!("need exactly one of --index or --store\n\n{HELP}"));
+    }
     let addr = args.get("addr").unwrap_or("127.0.0.1:7070");
     let workers: usize = args.get_parsed("workers", 2)?;
     let replicas: usize = args.get_parsed("replicas", 1)?;
@@ -54,6 +65,24 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         return Err("--fleet has an empty address".into());
     }
 
+    // A store is recovered once; its collection is then cloned into
+    // engine replicas through the serialized form (the same bytes a
+    // crash-recovered librarian would deserialize).
+    let recovered: Option<(Vec<u8>, u64)> = match store_dir {
+        Some(dir) => {
+            let (store, collection) = IndexStore::open(std::path::Path::new(dir))
+                .map_err(|e| format!("cannot open store {dir}: {e}"))?;
+            println!(
+                "store {dir}: recovered to epoch {}, {} segment(s), {} pending batch(es)",
+                store.epoch(),
+                store.num_segments(),
+                store.pending_batches()
+            );
+            Some((collection.to_bytes(), store.epoch()))
+        }
+        None => None,
+    };
+
     let options = ServerOptions {
         workers,
         ..ServerOptions::default()
@@ -67,11 +96,21 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         let mut librarians = Vec::with_capacity(replicas);
         let (mut name, mut num_docs) = (String::new(), 0);
         for _ in 0..replicas {
-            let collection = Collection::load(std::path::Path::new(path))
-                .map_err(|e| format!("cannot load collection {path}: {e}"))?;
+            let collection = match &recovered {
+                Some((bytes, _)) => Collection::from_bytes(bytes)
+                    .map_err(|e| format!("recovered collection does not deserialize: {e}"))?,
+                None => {
+                    let path = path.unwrap();
+                    Collection::load(std::path::Path::new(path))
+                        .map_err(|e| format!("cannot load collection {path}: {e}"))?
+                }
+            };
             name = collection.name().to_owned();
             num_docs = collection.num_docs();
             let mut librarian = Librarian::from_collection(collection);
+            if let Some((_, epoch)) = &recovered {
+                librarian.set_epoch(*epoch);
+            }
             if flightrec > 0 {
                 let _ = librarian.enable_flight_recorder(flightrec);
             }

@@ -14,7 +14,8 @@ use teraphim_scenario::{
 const HELP: &str = "\
 usage: teraphim sim (--plan FILE | --generate [--seed N] [--steps N]
                                   [--clients N] [--replicas N]
-                                  [--allow-kills] [--name NAME])
+                                  [--allow-kills] [--crashes]
+                                  [--name NAME])
                     [--check run|doublecheck|differential]
                     [--backend sim|inproc|tcp]
                     [--out FILE] [--bugbase DIR] [--max-checks N]
@@ -40,6 +41,11 @@ from --seed (default 42) with --steps steps (default 60).
 --replicas N (default 1, max 4) starts every shard with N replicas
 and mixes membership churn — add_lib, remove_lib, promote_replica —
 into the generated workload.
+--crashes mixes crash_lib/reopen_lib churn into the generated
+workload: shards lose their in-memory state mid-plan and the real
+backends must recover them from their persistent stores (WAL replay
+into the last durable manifest), while the simulator — which never
+loses state — supplies the oracle rankings.
 --out FILE writes the plan JSON before running, so a generated plan
 can be committed or replayed later.
 
@@ -121,7 +127,7 @@ where
 /// Returns a user-facing message on bad arguments, I/O failure, or a
 /// failed check (after writing the shrunken reproducer).
 pub fn run(argv: &[String]) -> Result<(), String> {
-    let args = Args::parse(argv, &["help", "generate", "allow-kills"])?;
+    let args = Args::parse(argv, &["help", "generate", "allow-kills", "crashes"])?;
     if args.flag("help") {
         outln!("{HELP}");
         return Ok(());
@@ -142,6 +148,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 clients: args.get_parsed("clients", 2u64)?,
                 allow_kills: args.flag("allow-kills"),
                 replicas: args.get_parsed("replicas", 1u64)?,
+                crashes: args.flag("crashes"),
             },
         )
     } else {

@@ -11,6 +11,10 @@
 //!                 --methodology cv --query "..." [-k 10]
 //! teraphim sim --generate --seed 42 [--check differential]
 //! teraphim sim --plan tests/fixtures/plans/fault_differential.json
+//! teraphim index --name AP --input corpus/AP.sgml --store ap.store/
+//! teraphim add --store ap.store/ --input corpus/DELTA.sgml
+//! teraphim serve --store ap.store/ --addr 127.0.0.1:7070
+//! teraphim store --dir ap.store/ --as-of 1 --query "..."
 //! ```
 //!
 //! `index` builds a self-contained `.tcol` collection file (compressed
@@ -41,6 +45,7 @@ commands:
   flightrec    dump a live fleet's tail-latency flight recorders
   fleet        replica-group status and health-based routing
   sim          replay or generate scenario plans with differential checks
+  store        inspect, verify, compact or time-travel a persistent store
 
 run `teraphim <command> --help` for per-command options";
 
@@ -65,6 +70,7 @@ fn main() -> ExitCode {
         "flightrec" => commands::flightrec::run(rest),
         "fleet" => commands::fleet::run(rest),
         "sim" => commands::sim::run(rest),
+        "store" => commands::store::run(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())

@@ -1,0 +1,132 @@
+//! CRC-32 checksums for sealing on-disk blobs.
+//!
+//! The persistent store (teraphim-store) frames every durable artefact —
+//! segment payloads, WAL records, the manifest — with a CRC-32 so that a
+//! torn write or bit rot is detected at open time instead of surfacing as
+//! a garbled posting list deep inside a query. The polynomial is the
+//! reflected IEEE 802.3 one (`0xEDB88320`), i.e. the same checksum as
+//! zlib/gzip, so values can be cross-checked with standard tools.
+//!
+//! # Examples
+//!
+//! ```
+//! use teraphim_compress::checksum::{crc32, Crc32};
+//!
+//! let whole = crc32(b"hello world");
+//! let mut incremental = Crc32::new();
+//! incremental.update(b"hello ");
+//! incremental.update(b"world");
+//! assert_eq!(incremental.finish(), whole);
+//! ```
+
+/// Reflected IEEE 802.3 polynomial used by zlib, gzip and PNG.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry lookup table, one step of the shift register per input byte.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Incremental CRC-32 hasher.
+///
+/// Feed bytes with [`Crc32::update`] and read the digest with
+/// [`Crc32::finish`]; `finish` does not consume the hasher, so a running
+/// checksum can be sampled mid-stream (the WAL writer does this to seal
+/// each record while streaming it out).
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Creates a hasher in the initial (all-ones) state.
+    #[must_use]
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Returns the digest of everything fed so far.
+    #[must_use]
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Reference values from the zlib crc32() implementation.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello world"), 0x0D4A_1185);
+        assert_eq!(crc32(&[0u8; 32]), 0x190A_55AD);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data: Vec<u8> = (0u16..700).map(|i| (i % 251) as u8).collect();
+        for split in [0, 1, 7, 350, 699, 700] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), crc32(&data));
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_digest() {
+        let data = vec![0xA5u8; 64];
+        let base = crc32(&data);
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                let mut garbled = data.clone();
+                garbled[i] ^= 1 << bit;
+                assert_ne!(crc32(&garbled), base, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

@@ -9,6 +9,9 @@
 //!   parameterised codes (Golomb, Rice) and byte-aligned v-byte coding.
 //!   These are used to store inverted-list d-gaps and in-document
 //!   frequencies compressed.
+//! * [`checksum`] — CRC-32 (IEEE/zlib polynomial) for sealing on-disk
+//!   blobs; the persistent store frames segments, WAL records and the
+//!   manifest with it so torn writes are detected at open time.
 //! * [`huffman`] — canonical Huffman coding over arbitrary symbol
 //!   alphabets, with length-limited code construction.
 //! * [`textcomp`] — a word-based zero-order text model (alternating
@@ -41,6 +44,7 @@
 //! ```
 
 pub mod bitio;
+pub mod checksum;
 pub mod codes;
 pub mod huffman;
 pub mod textcomp;

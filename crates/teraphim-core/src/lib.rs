@@ -73,6 +73,8 @@ pub enum TeraphimError {
     Engine(teraphim_engine::EngineError),
     /// An index failure (e.g. while building the central index).
     Index(teraphim_index::IndexError),
+    /// A persistent-store failure (durable append, open, recovery).
+    Store(teraphim_store::StoreError),
     /// The receptionist lacks the global state the methodology needs.
     MissingGlobalState(&'static str),
     /// Invalid parameters (e.g. `k' < k / G`).
@@ -93,6 +95,7 @@ impl fmt::Display for TeraphimError {
             TeraphimError::Net(e) => write!(f, "network: {e}"),
             TeraphimError::Engine(e) => write!(f, "engine: {e}"),
             TeraphimError::Index(e) => write!(f, "index: {e}"),
+            TeraphimError::Store(e) => write!(f, "store: {e}"),
             TeraphimError::MissingGlobalState(what) => {
                 write!(f, "receptionist lacks global state: {what}")
             }
@@ -111,6 +114,7 @@ impl Error for TeraphimError {
             TeraphimError::Net(e) => Some(e),
             TeraphimError::Engine(e) => Some(e),
             TeraphimError::Index(e) => Some(e),
+            TeraphimError::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -125,6 +129,12 @@ impl From<teraphim_net::NetError> for TeraphimError {
 impl From<teraphim_engine::EngineError> for TeraphimError {
     fn from(e: teraphim_engine::EngineError) -> Self {
         TeraphimError::Engine(e)
+    }
+}
+
+impl From<teraphim_store::StoreError> for TeraphimError {
+    fn from(e: teraphim_store::StoreError) -> Self {
+        TeraphimError::Store(e)
     }
 }
 

@@ -8,6 +8,7 @@
 //! local statistics (CN). This is the transparency property the paper
 //! requires — any subcollection can serve several receptionists at once.
 
+use std::path::Path;
 use std::time::Instant;
 use teraphim_engine::{ranking, Collection, RankScratch};
 use teraphim_net::{Message, Service};
@@ -62,6 +63,11 @@ pub struct Librarian {
     /// Server-side flight recorder: exemplar spans for requests that
     /// arrived with a span context. Detached (free) by default.
     flight: FlightRecorder,
+    /// Durable backing store, when the librarian was opened from (or
+    /// attached to) a store directory. With a store attached, the epoch
+    /// is the store's durable epoch and
+    /// [`Librarian::add_documents`] follows the write-ahead discipline.
+    store: Option<teraphim_store::IndexStore>,
 }
 
 impl Librarian {
@@ -92,7 +98,84 @@ impl Librarian {
             last_rank: 0,
             phase_totals: [0; 4],
             flight: FlightRecorder::disabled(),
+            store: None,
         }
+    }
+
+    /// Opens a librarian from a persistent store directory instead of
+    /// rebuilding its index: segments are deserialized and merged, the
+    /// WAL's valid prefix replayed, and the librarian's epoch set to the
+    /// store's durable epoch — so reopening after a crash serves replies
+    /// that are cache-indistinguishable from the pre-crash librarian at
+    /// that epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TeraphimError::Store`] if the store is missing
+    /// or corrupt.
+    pub fn open(dir: &Path) -> Result<Librarian, crate::TeraphimError> {
+        let (store, collection) = teraphim_store::IndexStore::open(dir)?;
+        let mut librarian = Self::from_collection(collection);
+        librarian.epoch = store.epoch();
+        librarian.store = Some(store);
+        Ok(librarian)
+    }
+
+    /// Builds a librarian over parsed documents *and* creates a
+    /// persistent store for it in `dir` (epoch 0 = this base build).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TeraphimError::Store`] if `dir` already holds a
+    /// store or cannot be written.
+    pub fn create_store(
+        dir: &Path,
+        name: &str,
+        analyzer: &Analyzer,
+        docs: &[TrecDoc],
+    ) -> Result<Librarian, crate::TeraphimError> {
+        let (store, collection) = teraphim_store::IndexStore::create(dir, name, analyzer, docs)?;
+        let mut librarian = Self::from_collection(collection);
+        librarian.store = Some(store);
+        Ok(librarian)
+    }
+
+    /// Appends a document batch, durably when a store is attached: the
+    /// batch is WAL-logged and synced *first*, and only then merged into
+    /// the in-memory index, so the advertised epoch never gets ahead of
+    /// what a crash would recover. Without a store this is a plain
+    /// in-memory append plus an epoch bump. Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TeraphimError::Store`] if the WAL append fails
+    /// (the in-memory index is then left untouched) or
+    /// [`crate::TeraphimError::Engine`] if the merge fails.
+    pub fn add_documents(&mut self, docs: &[TrecDoc]) -> Result<u64, crate::TeraphimError> {
+        match &mut self.store {
+            Some(store) => {
+                let epoch = store.log_batch(docs)?;
+                self.collection.append_documents(docs)?;
+                self.epoch = epoch;
+            }
+            None => {
+                self.collection.append_documents(docs)?;
+                self.epoch += 1;
+            }
+        }
+        self.index_bytes_cache = None;
+        Ok(self.epoch)
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&teraphim_store::IndexStore> {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to the attached store (checkpoint, compact,
+    /// crash-point injection in tests).
+    pub fn store_mut(&mut self) -> Option<&mut teraphim_store::IndexStore> {
+        self.store.as_mut()
     }
 
     /// Attaches a flight recorder retaining at most `capacity`
@@ -698,6 +781,75 @@ mod tests {
             .unwrap();
         assert!(matches!(resp, Message::RankResponse { .. }));
         assert!(t.stats().total_bytes() > 0);
+    }
+
+    #[test]
+    fn store_backed_librarian_recovers_epoch_and_rankings() {
+        let dir = teraphim_store::TempDir::new("librarian").unwrap();
+        let docs: Vec<TrecDoc> = [
+            ("T-1", "the cat sat on the mat"),
+            ("T-2", "dogs and cats and birds"),
+        ]
+        .iter()
+        .map(|(docno, text)| TrecDoc {
+            docno: (*docno).to_owned(),
+            text: (*text).to_owned(),
+        })
+        .collect();
+        let mut lib =
+            Librarian::create_store(dir.path(), "TEST", &Analyzer::default(), &docs).unwrap();
+        assert_eq!(lib.epoch(), 0);
+        let batch = vec![TrecDoc {
+            docno: "T-3".into(),
+            text: "compression of inverted files".into(),
+        }];
+        assert_eq!(lib.add_documents(&batch).unwrap(), 1);
+        let expected: Vec<(u32, u64)> = lib
+            .collection()
+            .ranked_query("cat compression", 10)
+            .into_iter()
+            .map(|h| (h.doc, h.score.to_bits()))
+            .collect();
+        drop(lib);
+
+        let mut reopened = Librarian::open(dir.path()).unwrap();
+        assert_eq!(reopened.epoch(), 1, "epoch is durable across reopen");
+        let got: Vec<(u32, u64)> = reopened
+            .collection()
+            .ranked_query("cat compression", 10)
+            .into_iter()
+            .map(|h| (h.doc, h.score.to_bits()))
+            .collect();
+        assert_eq!(got, expected, "recovered rankings are byte-identical");
+        // The recovered epoch flows through StatsReply unchanged.
+        let reply = reopened.handle(Message::Stats);
+        let Message::StatsReply { epoch, .. } = reply else {
+            panic!("expected StatsReply");
+        };
+        assert_eq!(epoch, 1);
+    }
+
+    #[test]
+    fn failed_wal_append_leaves_memory_untouched() {
+        let dir = teraphim_store::TempDir::new("librarian-crash").unwrap();
+        let mut lib =
+            Librarian::create_store(dir.path(), "TEST", &Analyzer::default(), &[]).unwrap();
+        lib.store_mut()
+            .unwrap()
+            .inject_crash(teraphim_store::CrashPoint {
+                offset: 3,
+                mode: teraphim_store::CrashMode::Truncate,
+            });
+        let batch = vec![TrecDoc {
+            docno: "X-1".into(),
+            text: "never committed".into(),
+        }];
+        assert!(matches!(
+            lib.add_documents(&batch),
+            Err(crate::TeraphimError::Store(_))
+        ));
+        assert_eq!(lib.epoch(), 0, "epoch must not advance past durability");
+        assert_eq!(lib.num_docs(), 0, "in-memory index must not run ahead");
     }
 
     #[test]

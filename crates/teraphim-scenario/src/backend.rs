@@ -95,6 +95,7 @@ pub fn normalize_error(error: &TeraphimError) -> String {
         TeraphimError::Net(_) => "net",
         TeraphimError::Engine(_) => "engine",
         TeraphimError::Index(_) => "index",
+        TeraphimError::Store(_) => "store",
         TeraphimError::MissingGlobalState(_) => "missing_global_state",
         TeraphimError::BadParameters(_) => "bad_parameters",
         TeraphimError::InsufficientCoverage { .. } => "insufficient_coverage",
@@ -145,6 +146,24 @@ pub trait Backend {
     /// runner guarantees at least two replicas are live.
     fn promote_replica(&mut self, lib: usize);
 
+    /// Crashes shard `lib`: the shard loses all volatile state and
+    /// refuses queries until [`Backend::reopen`] recovers it from
+    /// durable storage. Backends without real persistence model a crash
+    /// as a `Down` window — query-visibly identical, which is exactly
+    /// what the differential check exploits: the sim backend "recovers"
+    /// by never having lost anything, so a store-backed backend that
+    /// diverges after reopen has lost durable data.
+    fn crash(&mut self, lib: usize) {
+        self.apply_fault(lib, Some(FaultSpec::Down));
+    }
+
+    /// Recovers a crashed shard from its durable store (WAL replay into
+    /// the last committed manifest). The runner guarantees the shard is
+    /// crashed and not killed.
+    fn reopen(&mut self, lib: usize) {
+        self.apply_fault(lib, None);
+    }
+
     /// Enables (`Some`) or disables (`None`) result caching.
     fn set_cache(&mut self, spec: Option<CacheSpec>);
 
@@ -177,6 +196,14 @@ pub trait Backend {
 ///   replicas: `add_lib` at the cap, `remove_lib` on an empty shard and
 ///   `promote_replica` with fewer than two replicas are all skipped, as
 ///   is any membership step on a killed shard;
+/// - `crash_lib` behaves like a `Down` window that also loses volatile
+///   state: it clears the shard's fault window (the "process" holding
+///   it died), is skipped on killed/already-crashed shards or when it
+///   would down the whole fleet, and blocks every other mutation of the
+///   shard (faults, kills, membership) until `reopen_lib`; `add_docs`
+///   is skipped fleet-wide while any shard is crashed, since resync
+///   cannot reach it — so recovery must reproduce exactly the documents
+///   the fleet held at crash time;
 /// - fault and membership transitions drop cached results on caching
 ///   backends (the runner's stand-in for coverage-aware invalidation),
 ///   keeping cached and cache-less backends answer-identical.
@@ -185,16 +212,23 @@ pub fn run_plan(plan: &Plan, backend: &mut dyn Backend) -> RunReport {
     assert!(n > 0, "backend has no librarians");
     let mut active: Vec<Option<FaultSpec>> = vec![None; n];
     let mut killed = vec![false; n];
+    let mut crashed = vec![false; n];
     let mut live: Vec<u64> = vec![plan.replicas.clamp(1, MAX_REPLICAS); n];
     let mut sends_blocked = false;
     let mut health_polls = 0u64;
     let mut outcomes = Vec::new();
 
-    let down_count = |active: &[Option<FaultSpec>], killed: &[bool], live: &[u64]| {
-        (0..active.len())
-            .filter(|&l| killed[l] || live[l] == 0 || matches!(active[l], Some(FaultSpec::Down)))
-            .count()
-    };
+    let down_count =
+        |active: &[Option<FaultSpec>], killed: &[bool], crashed: &[bool], live: &[u64]| {
+            (0..active.len())
+                .filter(|&l| {
+                    killed[l]
+                        || crashed[l]
+                        || live[l] == 0
+                        || matches!(active[l], Some(FaultSpec::Down))
+                })
+                .count()
+        };
 
     for (index, step) in plan.steps.iter().enumerate() {
         match step {
@@ -210,7 +244,7 @@ pub fn run_plan(plan: &Plan, backend: &mut dyn Backend) -> RunReport {
                 outcomes.push(outcome);
             }
             Step::AddDocs { lib, count, batch } => {
-                if killed.iter().any(|&k| k) || live.contains(&0) {
+                if killed.iter().any(|&k| k) || crashed.iter().any(|&c| c) || live.contains(&0) {
                     continue;
                 }
                 let lib = (*lib as usize) % n;
@@ -237,13 +271,13 @@ pub fn run_plan(plan: &Plan, backend: &mut dyn Backend) -> RunReport {
             }
             Step::SetFault { lib, fault } => {
                 let lib = (*lib as usize) % n;
-                if killed[lib] {
+                if killed[lib] || crashed[lib] {
                     continue;
                 }
                 if matches!(fault, FaultSpec::Down) {
                     let mut would = active.clone();
                     would[lib] = Some(FaultSpec::Down);
-                    if down_count(&would, &killed, &live) >= n {
+                    if down_count(&would, &killed, &crashed, &live) >= n {
                         continue;
                     }
                     sends_blocked = true;
@@ -261,12 +295,12 @@ pub fn run_plan(plan: &Plan, backend: &mut dyn Backend) -> RunReport {
             }
             Step::KillLib { lib } => {
                 let lib = (*lib as usize) % n;
-                if killed[lib] {
+                if killed[lib] || crashed[lib] {
                     continue;
                 }
                 let mut would_killed = killed.clone();
                 would_killed[lib] = true;
-                if down_count(&active, &would_killed, &live) >= n {
+                if down_count(&active, &would_killed, &crashed, &live) >= n {
                     continue;
                 }
                 killed[lib] = true;
@@ -276,7 +310,7 @@ pub fn run_plan(plan: &Plan, backend: &mut dyn Backend) -> RunReport {
             }
             Step::AddLib { lib } => {
                 let lib = (*lib as usize) % n;
-                if killed[lib] || live[lib] >= MAX_REPLICAS {
+                if killed[lib] || crashed[lib] || live[lib] >= MAX_REPLICAS {
                     continue;
                 }
                 live[lib] += 1;
@@ -284,13 +318,13 @@ pub fn run_plan(plan: &Plan, backend: &mut dyn Backend) -> RunReport {
             }
             Step::RemoveLib { lib } => {
                 let lib = (*lib as usize) % n;
-                if killed[lib] || live[lib] == 0 {
+                if killed[lib] || crashed[lib] || live[lib] == 0 {
                     continue;
                 }
                 if live[lib] == 1 {
                     let mut would = live.clone();
                     would[lib] = 0;
-                    if down_count(&active, &killed, &would) >= n {
+                    if down_count(&active, &killed, &crashed, &would) >= n {
                         continue;
                     }
                     // An emptied shard refuses after the fan-out already
@@ -302,10 +336,34 @@ pub fn run_plan(plan: &Plan, backend: &mut dyn Backend) -> RunReport {
             }
             Step::PromoteReplica { lib } => {
                 let lib = (*lib as usize) % n;
-                if killed[lib] || live[lib] < 2 {
+                if killed[lib] || crashed[lib] || live[lib] < 2 {
                     continue;
                 }
                 backend.promote_replica(lib);
+            }
+            Step::CrashLib { lib } => {
+                let lib = (*lib as usize) % n;
+                if killed[lib] || crashed[lib] {
+                    continue;
+                }
+                let mut would = crashed.clone();
+                would[lib] = true;
+                if down_count(&active, &killed, &would, &live) >= n {
+                    continue;
+                }
+                // The process holding the fault window died with it.
+                active[lib] = None;
+                crashed[lib] = true;
+                sends_blocked = true;
+                backend.crash(lib);
+            }
+            Step::ReopenLib { lib } => {
+                let lib = (*lib as usize) % n;
+                if !crashed[lib] {
+                    continue;
+                }
+                crashed[lib] = false;
+                backend.reopen(lib);
             }
             Step::CacheOn { spec } => backend.set_cache(Some(*spec)),
             Step::CacheOff => backend.set_cache(None),

@@ -32,6 +32,11 @@ pub struct GenOptions {
     /// churn — `add_lib`, `remove_lib`, `promote_replica` — into the
     /// workload.
     pub replicas: u64,
+    /// Mix `crash_lib`/`reopen_lib` churn into the workload: shards
+    /// lose their volatile state mid-plan and must recover from their
+    /// persistent store. Off by default so pre-existing seeds keep
+    /// generating byte-identical plans.
+    pub crashes: bool,
 }
 
 impl Default for GenOptions {
@@ -41,6 +46,7 @@ impl Default for GenOptions {
             clients: 2,
             allow_kills: false,
             replicas: 1,
+            crashes: false,
         }
     }
 }
@@ -89,8 +95,29 @@ pub fn generate_plan(name: &str, seed: u64, options: GenOptions) -> Plan {
         });
     };
 
+    let mut crashed: Vec<bool> = vec![false; num_libs as usize];
     let mut steps = Vec::with_capacity(options.steps);
     while steps.len() < options.steps {
+        // Crash churn draws from its own pre-roll so the main step
+        // distribution (and thus every existing seed's plan) is
+        // untouched when crashes are off. A crashed shard is reopened
+        // with higher probability than a live one is crashed, so plans
+        // spend most steps with the fleet answerable but still cross
+        // plenty of crash/recover boundaries.
+        if options.crashes && rng.gen_range(0u32..100) < 8 {
+            let crashed_libs: Vec<u64> = (0..num_libs).filter(|&l| crashed[l as usize]).collect();
+            let live_libs: Vec<u64> = (0..num_libs).filter(|&l| !crashed[l as usize]).collect();
+            if !crashed_libs.is_empty() && (live_libs.is_empty() || rng.gen_bool(0.6)) {
+                let lib = crashed_libs[rng.gen_range(0..crashed_libs.len())];
+                crashed[lib as usize] = false;
+                steps.push(Step::ReopenLib { lib });
+            } else if !live_libs.is_empty() {
+                let lib = live_libs[rng.gen_range(0..live_libs.len())];
+                crashed[lib as usize] = true;
+                steps.push(Step::CrashLib { lib });
+            }
+            continue;
+        }
         match rng.gen_range(0u32..100) {
             // A burst: one client fires a run of queries back-to-back.
             0..=14 => {
@@ -188,6 +215,7 @@ mod tests {
                 clients: 3,
                 allow_kills: false,
                 replicas: 1,
+                crashes: false,
             },
         );
         assert_eq!(plan.steps.len(), 120);
@@ -229,6 +257,54 @@ mod tests {
     }
 
     #[test]
+    fn crash_churn_is_opt_in_and_balanced() {
+        let base = GenOptions::default();
+        let with_crashes = GenOptions {
+            steps: 300,
+            crashes: true,
+            ..base
+        };
+        let plan = generate_plan("crashy", 11, with_crashes);
+        let crashes = plan
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::CrashLib { .. }))
+            .count();
+        let reopens = plan
+            .steps
+            .iter()
+            .filter(|s| matches!(s, Step::ReopenLib { .. }))
+            .count();
+        assert!(crashes > 0, "crashes present in a 300-step crashy plan");
+        assert!(reopens > 0, "reopens present too");
+        assert!(
+            reopens <= crashes,
+            "a reopen only ever follows a crash: {reopens} vs {crashes}"
+        );
+        let back = Plan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(back, plan);
+
+        // With crashes off, the flag must not perturb generation at all.
+        let off_a = generate_plan("g", 42, GenOptions::default());
+        let off_b = generate_plan(
+            "g",
+            42,
+            GenOptions {
+                crashes: false,
+                ..GenOptions::default()
+            },
+        );
+        assert_eq!(off_a, off_b);
+        assert!(
+            !off_a
+                .steps
+                .iter()
+                .any(|s| matches!(s, Step::CrashLib { .. } | Step::ReopenLib { .. })),
+            "crash churn stays off unless asked for"
+        );
+    }
+
+    #[test]
     fn elastic_plans_mix_membership_churn() {
         let plan = generate_plan(
             "elastic-shape",
@@ -238,6 +314,7 @@ mod tests {
                 clients: 2,
                 allow_kills: false,
                 replicas: 2,
+                crashes: false,
             },
         );
         assert_eq!(plan.replicas, 2);

@@ -212,6 +212,21 @@ pub enum Step {
         /// Target shard (librarian slot).
         lib: u64,
     },
+    /// Crash one librarian shard: the process "dies", losing all
+    /// in-memory state; queries fail like a `down` fault until a
+    /// `reopen_lib` recovers the shard from its persistent store.
+    CrashLib {
+        /// Target shard (librarian slot).
+        lib: u64,
+    },
+    /// Recover a crashed shard by reopening its persistent store (WAL
+    /// replay into the last durable manifest); rankings and epochs must
+    /// come back exactly as they were, which the differential check
+    /// (against the sim backend, which never loses state) enforces.
+    ReopenLib {
+        /// Target shard (librarian slot).
+        lib: u64,
+    },
 }
 
 impl Step {
@@ -230,6 +245,8 @@ impl Step {
             Step::AddLib { .. } => "add_lib",
             Step::RemoveLib { .. } => "remove_lib",
             Step::PromoteReplica { .. } => "promote_replica",
+            Step::CrashLib { .. } => "crash_lib",
+            Step::ReopenLib { .. } => "reopen_lib",
         }
     }
 
@@ -266,7 +283,9 @@ impl Step {
             Step::KillLib { lib }
             | Step::AddLib { lib }
             | Step::RemoveLib { lib }
-            | Step::PromoteReplica { lib } => fields.push(("lib".into(), Json::UInt(*lib))),
+            | Step::PromoteReplica { lib }
+            | Step::CrashLib { lib }
+            | Step::ReopenLib { lib } => fields.push(("lib".into(), Json::UInt(*lib))),
             Step::CacheOn { spec } => {
                 fields.push(("results".into(), Json::UInt(spec.results)));
                 fields.push(("shards".into(), Json::UInt(spec.shards)));
@@ -345,6 +364,12 @@ impl Step {
                 lib: u64_field("lib")?,
             },
             "promote_replica" => Step::PromoteReplica {
+                lib: u64_field("lib")?,
+            },
+            "crash_lib" => Step::CrashLib {
+                lib: u64_field("lib")?,
+            },
+            "reopen_lib" => Step::ReopenLib {
                 lib: u64_field("lib")?,
             },
             other => return Err(format!("unknown step op {other:?}")),
@@ -504,6 +529,8 @@ mod tests {
             Step::AddLib { lib: 1 },
             Step::PromoteReplica { lib: 1 },
             Step::RemoveLib { lib: 1 },
+            Step::CrashLib { lib: 2 },
+            Step::ReopenLib { lib: 2 },
         ];
         plan
     }

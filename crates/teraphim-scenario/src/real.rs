@@ -25,6 +25,7 @@ use teraphim_net::{
     Transport,
 };
 use teraphim_obs::{trace_traffic_sums, EventKind, MetricsRegistry, TraceSink};
+use teraphim_store::{IndexStore, TempDir};
 use teraphim_text::sgml::TrecDoc;
 use teraphim_text::Analyzer;
 
@@ -145,6 +146,14 @@ impl SharedLibrarian {
         guard.bump_epoch();
         Ok(())
     }
+
+    /// Swaps the librarian behind every clone of this handle — the
+    /// crash/reopen steps' "process replacement": servers and transports
+    /// keep their connections, the service behind them is a new process
+    /// image.
+    fn replace(&self, lib: Librarian) {
+        *self.lib.lock().unwrap() = lib;
+    }
 }
 
 impl Service for SharedLibrarian {
@@ -187,6 +196,88 @@ impl ShardState {
     }
 }
 
+/// The durable side of one real backend: one [`IndexStore`] per shard
+/// under a run-scoped temporary directory. Every churn batch is logged
+/// to the shard's WAL *before* any replica sees it, so the store is
+/// always at least as new as memory. A `crash_lib` step drops the store
+/// handle (the "process" died holding it); `reopen_lib` recovers the
+/// shard from disk alone — WAL replay into the last durable manifest —
+/// and the differential check against the never-crashing sim backend
+/// proves the recovered rankings and epoch are exactly what was lost.
+struct FleetStores {
+    root: TempDir,
+    stores: Vec<Option<IndexStore>>,
+}
+
+impl FleetStores {
+    fn create(label: &str, shards: &[ShardState]) -> FleetStores {
+        let root = TempDir::new(label).expect("scenario store root");
+        let stores = shards
+            .iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                let dir = root.path().join(format!("shard-{s:03}"));
+                let (store, _) =
+                    IndexStore::create(&dir, &shard.name, &Analyzer::default(), &shard.docs)
+                        .expect("fresh shard store creates");
+                Some(store)
+            })
+            .collect();
+        FleetStores { root, stores }
+    }
+
+    /// Durably appends a churn batch to shard `lib`'s WAL. The runner
+    /// never churns while any shard is crashed, so the handle is live.
+    fn log_batch(&mut self, lib: usize, docs: &[TrecDoc]) -> Result<(), String> {
+        self.stores[lib]
+            .as_mut()
+            .expect("store alive during add_docs")
+            .log_batch(docs)
+            .map(|_| ())
+            .map_err(|e| format!("{e}"))
+    }
+
+    fn crash(&mut self, lib: usize) {
+        self.stores[lib] = None;
+    }
+
+    /// Reopens shard `lib` from disk, returning the recovered
+    /// collection's bytes and durable epoch. Serializing once and
+    /// deserializing per replica keeps every rebuilt replica
+    /// bit-identical to the recovery image.
+    fn reopen(&mut self, lib: usize) -> (Vec<u8>, u64) {
+        let dir = self.root.path().join(format!("shard-{lib:03}"));
+        let (store, collection) = IndexStore::open(&dir).expect("crashed shard store reopens");
+        let epoch = store.epoch();
+        let bytes = collection.to_bytes();
+        self.stores[lib] = Some(store);
+        (bytes, epoch)
+    }
+}
+
+/// The librarian a crashed shard answers with if recovery were ever
+/// skipped: a one-document placeholder whose rankings cannot match any
+/// real shard, so a missed reopen fails the differential loudly instead
+/// of silently serving stale memory.
+fn crashed_librarian(name: &str, routing: &RoutingTable) -> Librarian {
+    let docs = vec![TrecDoc {
+        docno: "CRASHED-0".to_string(),
+        text: "volatile state lost in crash".to_string(),
+    }];
+    let mut lib = Librarian::build(name, Analyzer::default(), &docs);
+    lib.set_routing_table(routing.clone());
+    lib
+}
+
+/// Rebuilds one replica's librarian from a recovered collection image.
+fn recovered_librarian(bytes: &[u8], epoch: u64, routing: &RoutingTable) -> Librarian {
+    let collection = Collection::from_bytes(bytes).expect("recovered collection deserializes");
+    let mut lib = Librarian::from_collection(collection);
+    lib.set_epoch(epoch);
+    lib.set_routing_table(routing.clone());
+    lib
+}
+
 /// Rotates `group`'s preference to the next live replica after the
 /// current preferred one, in membership order. Returns the promoted id.
 fn next_preferred<T: Transport>(group: &ReplicaGroup<T>) -> Option<u32> {
@@ -201,6 +292,7 @@ fn next_preferred<T: Transport>(group: &ReplicaGroup<T>) -> Option<u32> {
 pub struct InProcBackend {
     receptionist: Receptionist<ChaosTransport<ReplicaGroup<InProcTransport<SharedLibrarian>>>>,
     shards: Vec<ShardState>,
+    stores: FleetStores,
     members: Vec<Vec<(u32, SharedLibrarian)>>,
     groups: Vec<ReplicaGroup<InProcTransport<SharedLibrarian>>>,
     cells: Vec<ChaosCell>,
@@ -218,6 +310,7 @@ impl InProcBackend {
     pub fn new(plan: &Plan) -> InProcBackend {
         let fixture = Fixture::for_plan(plan);
         let shards = ShardState::from_fixture(&fixture);
+        let stores = FleetStores::create("scen-inproc", &shards);
         let routing = RoutingTable::new();
         let n = shards.len();
         let per_shard = plan.replicas.clamp(1, MAX_REPLICAS) as usize;
@@ -279,6 +372,7 @@ impl InProcBackend {
             receptionist,
             mono: mono_collection(&fixture),
             shards,
+            stores,
             members,
             groups,
             cells,
@@ -329,6 +423,10 @@ impl Backend for InProcBackend {
     }
 
     fn add_docs(&mut self, lib: usize, docs: &[TrecDoc]) -> Result<(), String> {
+        // Write-ahead: the WAL records the batch before any replica
+        // applies it, so a later crash can only lose what the fleet
+        // never acknowledged.
+        self.stores.log_batch(lib, docs)?;
         self.shards[lib].docs.extend_from_slice(docs);
         self.shards[lib].epoch += 1;
         for (_, replica) in &self.members[lib] {
@@ -391,6 +489,29 @@ impl Backend for InProcBackend {
             self.groups[lib].promote(next);
         }
         self.flush_cache();
+    }
+
+    fn crash(&mut self, lib: usize) {
+        // The "process" dies: the store handle goes with it and every
+        // replica's memory is genuinely lost, so a reopen that did not
+        // actually recover from disk cannot pass the differential.
+        self.stores.crash(lib);
+        for (_, replica) in &self.members[lib] {
+            replica.replace(crashed_librarian(&self.shards[lib].name, &self.routing));
+        }
+        self.apply_fault(lib, Some(FaultSpec::Down));
+    }
+
+    fn reopen(&mut self, lib: usize) {
+        let (bytes, epoch) = self.stores.reopen(lib);
+        assert_eq!(
+            epoch, self.shards[lib].epoch,
+            "recovered epoch must match the shard ledger"
+        );
+        for (_, replica) in &self.members[lib] {
+            replica.replace(recovered_librarian(&bytes, epoch, &self.routing));
+        }
+        self.apply_fault(lib, None);
     }
 
     fn set_cache(&mut self, spec: Option<CacheSpec>) {
@@ -465,6 +586,7 @@ pub struct TcpBackend {
     /// applied to every session's group for the same shard in lockstep.
     session_groups: Vec<Vec<ReplicaGroup<MuxTransport>>>,
     shards: Vec<ShardState>,
+    stores: FleetStores,
     cells: Vec<ChaosCell>,
     routing: RoutingTable,
     next_id: u32,
@@ -481,6 +603,7 @@ impl TcpBackend {
     pub fn new(plan: &Plan) -> TcpBackend {
         let fixture = Fixture::for_plan(plan);
         let shards = ShardState::from_fixture(&fixture);
+        let stores = FleetStores::create("scen-tcp", &shards);
         let routing = RoutingTable::new();
         let n = shards.len();
         let per_shard = plan.replicas.clamp(1, MAX_REPLICAS) as usize;
@@ -571,6 +694,7 @@ impl TcpBackend {
             session_groups,
             mono: mono_collection(&fixture),
             shards,
+            stores,
             cells,
             routing,
             next_id,
@@ -634,6 +758,8 @@ impl Backend for TcpBackend {
     }
 
     fn add_docs(&mut self, lib: usize, docs: &[TrecDoc]) -> Result<(), String> {
+        // Write-ahead, as in the in-process backend: durable first.
+        self.stores.log_batch(lib, docs)?;
         self.shards[lib].docs.extend_from_slice(docs);
         self.shards[lib].epoch += 1;
         for replica in &self.replicas[lib] {
@@ -710,6 +836,34 @@ impl Backend for TcpBackend {
             }
         }
         self.flush_cache();
+    }
+
+    fn crash(&mut self, lib: usize) {
+        // Servers and mux pools stay up (the harness is one OS
+        // process), but the service behind every connection is swapped
+        // for a placeholder: the shard's memory is gone and only the
+        // on-disk store can bring it back.
+        self.stores.crash(lib);
+        for replica in &self.replicas[lib] {
+            replica
+                .lib
+                .replace(crashed_librarian(&self.shards[lib].name, &self.routing));
+        }
+        self.apply_fault(lib, Some(FaultSpec::Down));
+    }
+
+    fn reopen(&mut self, lib: usize) {
+        let (bytes, epoch) = self.stores.reopen(lib);
+        assert_eq!(
+            epoch, self.shards[lib].epoch,
+            "recovered epoch must match the shard ledger"
+        );
+        for replica in &self.replicas[lib] {
+            replica
+                .lib
+                .replace(recovered_librarian(&bytes, epoch, &self.routing));
+        }
+        self.apply_fault(lib, None);
     }
 
     fn set_cache(&mut self, spec: Option<CacheSpec>) {

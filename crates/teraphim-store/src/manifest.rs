@@ -1,0 +1,312 @@
+//! The store's root pointer: which segments are live, at which epoch.
+//!
+//! The manifest is the only mutable file in a store besides the WAL. It
+//! is always replaced atomically — written to `MANIFEST.tmp`, synced,
+//! then renamed over `MANIFEST` — so a reader either sees the old
+//! manifest or the new one, never a torn mix. Layout:
+//!
+//! ```text
+//! magic "TMF1"
+//! format version (u32 LE)
+//! collection name (u32 length + bytes)
+//! analyzer flags: stopping (u8), stemming (u8)
+//! checkpointed epoch (u64 LE)
+//! next segment id (u64 LE)
+//! segment count (u32 LE), then per segment:
+//!     file name (u32 length + bytes)
+//!     batch count (u32 LE), then per batch: epoch u64 LE, docs u64 LE
+//! CRC-32 over everything above (u32 LE)
+//! ```
+
+use crate::segment::SegmentBatch;
+use crate::{Result, StoreError};
+use teraphim_compress::checksum::crc32;
+
+/// Magic bytes opening the manifest.
+pub const MAGIC: [u8; 4] = *b"TMF1";
+/// The current manifest format version.
+pub const VERSION: u32 = 1;
+
+/// One live segment file as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// File name relative to the store directory.
+    pub file: String,
+    /// The batches the segment covers (mirrors the segment's own meta;
+    /// the two are cross-checked when the segment is read).
+    pub batches: Vec<SegmentBatch>,
+}
+
+impl SegmentEntry {
+    /// Total documents across the segment's batches.
+    #[must_use]
+    pub fn num_docs(&self) -> u64 {
+        self.batches.iter().map(|b| b.docs).sum()
+    }
+}
+
+/// The decoded manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Collection name (e.g. "AP").
+    pub name: String,
+    /// Analyzer stop-word flag at indexing time.
+    pub stopping: bool,
+    /// Analyzer stemming flag at indexing time.
+    pub stemming: bool,
+    /// Highest epoch captured in segments (WAL records above this are
+    /// pending).
+    pub epoch: u64,
+    /// Counter for naming the next segment file.
+    pub next_segment_id: u64,
+    /// Live segments in epoch order.
+    pub segments: Vec<SegmentEntry>,
+}
+
+impl Manifest {
+    /// Serializes the manifest with its trailing CRC.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        let name = self.name.as_bytes();
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name);
+        out.push(u8::from(self.stopping));
+        out.push(u8::from(self.stemming));
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.next_segment_id.to_le_bytes());
+        out.extend_from_slice(&(self.segments.len() as u32).to_le_bytes());
+        for entry in &self.segments {
+            let file = entry.file.as_bytes();
+            out.extend_from_slice(&(file.len() as u32).to_le_bytes());
+            out.extend_from_slice(file);
+            out.extend_from_slice(&(entry.batches.len() as u32).to_le_bytes());
+            for batch in &entry.batches {
+                out.extend_from_slice(&batch.epoch.to_le_bytes());
+                out.extend_from_slice(&batch.docs.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&crc32(&out).to_le_bytes());
+        out
+    }
+
+    /// Decodes and validates a manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Corrupt`] on structural or checksum
+    /// problems and [`StoreError::BadVersion`] for unknown format
+    /// versions.
+    pub fn decode(bytes: &[u8]) -> Result<Manifest> {
+        if bytes.len() < 4 + 4 + 4 {
+            return Err(StoreError::Corrupt {
+                what: "manifest too short",
+            });
+        }
+        if bytes[0..4] != MAGIC {
+            return Err(StoreError::Corrupt {
+                what: "manifest magic",
+            });
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+        if crc32(body) != crc {
+            return Err(StoreError::Corrupt {
+                what: "manifest checksum",
+            });
+        }
+        let mut pos = 4usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            let slice = body.get(*pos..*pos + n).ok_or(StoreError::Corrupt {
+                what: "manifest truncated",
+            })?;
+            *pos += n;
+            Ok(slice)
+        };
+        let take_u32 = |pos: &mut usize| -> Result<u32> {
+            Ok(u32::from_le_bytes(
+                take(pos, 4)?.try_into().expect("4 bytes"),
+            ))
+        };
+        let take_u64 = |pos: &mut usize| -> Result<u64> {
+            Ok(u64::from_le_bytes(
+                take(pos, 8)?.try_into().expect("8 bytes"),
+            ))
+        };
+        let take_str = |pos: &mut usize| -> Result<String> {
+            let len = take_u32(pos)? as usize;
+            Ok(std::str::from_utf8(take(pos, len)?)
+                .map_err(|_| StoreError::Corrupt {
+                    what: "manifest string is not UTF-8",
+                })?
+                .to_owned())
+        };
+        let version = take_u32(&mut pos)?;
+        if version != VERSION {
+            return Err(StoreError::BadVersion { found: version });
+        }
+        let name = take_str(&mut pos)?;
+        let stopping = *take(&mut pos, 1)?.first().expect("one byte") != 0;
+        let stemming = *take(&mut pos, 1)?.first().expect("one byte") != 0;
+        let epoch = take_u64(&mut pos)?;
+        let next_segment_id = take_u64(&mut pos)?;
+        let seg_count = take_u32(&mut pos)? as usize;
+        let mut segments = Vec::with_capacity(seg_count.min(body.len()));
+        for _ in 0..seg_count {
+            let file = take_str(&mut pos)?;
+            let batch_count = take_u32(&mut pos)? as usize;
+            let mut batches = Vec::with_capacity(batch_count.min(body.len()));
+            for _ in 0..batch_count {
+                batches.push(SegmentBatch {
+                    epoch: take_u64(&mut pos)?,
+                    docs: take_u64(&mut pos)?,
+                });
+            }
+            segments.push(SegmentEntry { file, batches });
+        }
+        if pos != body.len() {
+            return Err(StoreError::Corrupt {
+                what: "trailing bytes in manifest",
+            });
+        }
+        let manifest = Manifest {
+            name,
+            stopping,
+            stemming,
+            epoch,
+            next_segment_id,
+            segments,
+        };
+        manifest.validate()?;
+        Ok(manifest)
+    }
+
+    /// Checks internal consistency: batches contiguous from epoch 0 up
+    /// to the manifest epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Corrupt`] describing the inconsistency.
+    pub fn validate(&self) -> Result<()> {
+        let mut expected = 0u64;
+        for entry in &self.segments {
+            if entry.batches.is_empty() {
+                return Err(StoreError::Corrupt {
+                    what: "manifest segment covers no batches",
+                });
+            }
+            for batch in &entry.batches {
+                if batch.epoch != expected {
+                    return Err(StoreError::Corrupt {
+                        what: "manifest batch epochs not contiguous",
+                    });
+                }
+                expected += 1;
+            }
+        }
+        if self.segments.is_empty() || expected - 1 != self.epoch {
+            return Err(StoreError::Corrupt {
+                what: "manifest epoch disagrees with segment batches",
+            });
+        }
+        Ok(())
+    }
+
+    /// All covered batches across segments, in epoch order.
+    #[must_use]
+    pub fn batches(&self) -> Vec<SegmentBatch> {
+        self.segments
+            .iter()
+            .flat_map(|s| s.batches.iter().copied())
+            .collect()
+    }
+
+    /// Total documents across all segments.
+    #[must_use]
+    pub fn num_docs(&self) -> u64 {
+        self.segments.iter().map(SegmentEntry::num_docs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            name: "AP".into(),
+            stopping: true,
+            stemming: false,
+            epoch: 3,
+            next_segment_id: 2,
+            segments: vec![
+                SegmentEntry {
+                    file: "seg-000000.seg".into(),
+                    batches: vec![
+                        SegmentBatch { epoch: 0, docs: 10 },
+                        SegmentBatch { epoch: 1, docs: 4 },
+                    ],
+                },
+                SegmentEntry {
+                    file: "seg-000001.seg".into(),
+                    batches: vec![
+                        SegmentBatch { epoch: 2, docs: 5 },
+                        SegmentBatch { epoch: 3, docs: 0 },
+                    ],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = sample();
+        let decoded = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.num_docs(), 19);
+        assert_eq!(decoded.batches().len(), 4);
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = sample().encode();
+        for i in 0..bytes.len() {
+            let mut garbled = bytes.clone();
+            garbled[i] ^= 0x04;
+            assert!(
+                Manifest::decode(&garbled).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_typed() {
+        let mut m = sample();
+        m.epoch = 3;
+        let mut bytes = m.encode();
+        // Rewrite the version field and re-seal the checksum so only the
+        // version check can fire.
+        bytes[4] = 9;
+        let body_len = bytes.len() - 4;
+        let crc = crc32(&bytes[..body_len]).to_le_bytes();
+        bytes[body_len..].copy_from_slice(&crc);
+        assert_eq!(
+            Manifest::decode(&bytes),
+            Err(StoreError::BadVersion { found: 9 })
+        );
+    }
+
+    #[test]
+    fn gap_in_epochs_rejected() {
+        let mut m = sample();
+        m.segments[1].batches[0].epoch = 5;
+        m.segments[1].batches[1].epoch = 6;
+        assert!(matches!(
+            Manifest::decode(&m.encode()),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+}

@@ -1,0 +1,903 @@
+//! The durable, versioned index store.
+//!
+//! See the crate docs for the durability contract. In short: a store
+//! directory holds immutable segments, an append-only WAL and an
+//! atomically replaced manifest. Epoch `0` is the base build; every
+//! synced WAL record commits exactly one further epoch. Checkpointing
+//! turns pending WAL batches into segments and truncates the WAL;
+//! compaction merges segments left-to-right (the same association order
+//! the in-memory oracle uses, which keeps rankings byte-identical).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use teraphim_engine::Collection;
+use teraphim_text::sgml::TrecDoc;
+use teraphim_text::Analyzer;
+
+use crate::fail::{CrashPoint, FailingFile};
+use crate::manifest::{Manifest, SegmentEntry};
+use crate::segment::{Segment, SegmentBatch};
+use crate::wal::{self, WalTail};
+use crate::{io_err, Result, StoreError};
+
+/// File name of the manifest.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+/// File name of the write-ahead log.
+pub const WAL_FILE: &str = "wal.log";
+
+/// Tuning knobs for an [`IndexStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Checkpoint automatically once this many batches are pending in
+    /// the WAL (`0` disables automatic checkpoints).
+    pub checkpoint_batches: usize,
+    /// Compact down to a single segment when a checkpoint leaves more
+    /// than this many segments (`0` disables automatic compaction).
+    pub merge_threshold: usize,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            checkpoint_batches: 8,
+            merge_threshold: 6,
+        }
+    }
+}
+
+/// Summary returned by [`IndexStore::verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStatus {
+    /// Newest durable epoch.
+    pub epoch: u64,
+    /// Number of live segment files.
+    pub segments: usize,
+    /// Batches sitting in the WAL, not yet checkpointed.
+    pub pending_batches: usize,
+    /// Total documents across all durable batches.
+    pub num_docs: u64,
+}
+
+/// A durable, versioned store for one collection.
+///
+/// The store does not own the live in-memory collection — callers (a
+/// `Librarian`, the CLI) keep it and follow the write-ahead discipline:
+/// call [`IndexStore::log_batch`] first, and only on success apply the
+/// same batch in memory with `Collection::append_documents`.
+#[derive(Debug)]
+pub struct IndexStore {
+    dir: PathBuf,
+    manifest: Manifest,
+    wal: File,
+    pending: Vec<(u64, Vec<TrecDoc>)>,
+    epoch: u64,
+    options: StoreOptions,
+    crash: Option<CrashPoint>,
+    poisoned: bool,
+}
+
+impl IndexStore {
+    /// Creates a new store in `dir` (made if absent), building epoch 0
+    /// from `docs`, and returns the store plus the live collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Exists`] if `dir` already holds a manifest,
+    /// or [`StoreError::Io`] on filesystem failure.
+    pub fn create(
+        dir: &Path,
+        name: &str,
+        analyzer: &Analyzer,
+        docs: &[TrecDoc],
+    ) -> Result<(IndexStore, Collection)> {
+        Self::create_with(dir, name, analyzer, docs, StoreOptions::default())
+    }
+
+    /// [`IndexStore::create`] with explicit [`StoreOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`IndexStore::create`].
+    pub fn create_with(
+        dir: &Path,
+        name: &str,
+        analyzer: &Analyzer,
+        docs: &[TrecDoc],
+        options: StoreOptions,
+    ) -> Result<(IndexStore, Collection)> {
+        std::fs::create_dir_all(dir).map_err(io_err("create store dir"))?;
+        if dir.join(MANIFEST_FILE).exists() {
+            return Err(StoreError::Exists);
+        }
+        let analyzer = Analyzer::new()
+            .with_stopping(analyzer.stopping())
+            .with_stemming(analyzer.stemming());
+        let stopping = analyzer.stopping();
+        let stemming = analyzer.stemming();
+        let collection = Collection::build(name, analyzer, docs);
+        let base = Segment {
+            collection: collection.to_bytes(),
+            batches: vec![SegmentBatch {
+                epoch: 0,
+                docs: docs.len() as u64,
+            }],
+        };
+        let file = segment_file_name(0);
+        write_file_synced(&dir.join(&file), &base.encode())?;
+        let manifest = Manifest {
+            name: name.to_owned(),
+            stopping,
+            stemming,
+            epoch: 0,
+            next_segment_id: 1,
+            segments: vec![SegmentEntry {
+                file,
+                batches: base.batches,
+            }],
+        };
+        write_manifest_atomic(dir, &manifest)?;
+        let wal = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(dir.join(WAL_FILE))
+            .map_err(io_err("create wal"))?;
+        Ok((
+            IndexStore {
+                dir: dir.to_path_buf(),
+                manifest,
+                wal,
+                pending: Vec::new(),
+                epoch: 0,
+                options,
+                crash: None,
+                poisoned: false,
+            },
+            collection,
+        ))
+    }
+
+    /// Opens an existing store, recovering to the last durable epoch:
+    /// segments are loaded in epoch order and the WAL's valid prefix is
+    /// replayed on top. A torn WAL tail (the only crash damage possible)
+    /// is truncated away; corruption anywhere else is a typed error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Missing`] if `dir` has no manifest, and
+    /// [`StoreError::Corrupt`]/[`StoreError::BadVersion`] for damaged
+    /// stores.
+    pub fn open(dir: &Path) -> Result<(IndexStore, Collection)> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// [`IndexStore::open`] with explicit [`StoreOptions`].
+    ///
+    /// # Errors
+    ///
+    /// As [`IndexStore::open`].
+    pub fn open_with(dir: &Path, options: StoreOptions) -> Result<(IndexStore, Collection)> {
+        let manifest_bytes = match std::fs::read(dir.join(MANIFEST_FILE)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(StoreError::Missing),
+            Err(e) => return Err(io_err("read manifest")(e)),
+        };
+        let manifest = Manifest::decode(&manifest_bytes)?;
+
+        // Cold-open: deserialize the first segment, merge the rest in.
+        let mut collection: Option<Collection> = None;
+        for entry in &manifest.segments {
+            let segment = read_segment(dir, entry)?;
+            let part = Collection::from_bytes(&segment.collection)?;
+            collection = Some(match collection {
+                None => part,
+                Some(mut acc) => {
+                    acc.absorb(&part)?;
+                    acc
+                }
+            });
+        }
+        let mut collection = collection.ok_or(StoreError::Corrupt {
+            what: "manifest lists no segments",
+        })?;
+
+        // Replay the WAL's valid prefix on top of the checkpointed state.
+        let wal_bytes = match std::fs::read(dir.join(WAL_FILE)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err("read wal")(e)),
+        };
+        let scanned = wal::scan(&wal_bytes)?;
+        let mut pending = Vec::new();
+        let mut epoch = manifest.epoch;
+        for record in scanned.records {
+            if record.epoch <= manifest.epoch {
+                // Stale record from a crash between manifest replacement
+                // and WAL truncation; the batch is already in a segment.
+                continue;
+            }
+            if record.epoch != epoch + 1 {
+                return Err(StoreError::Corrupt {
+                    what: "wal epoch out of order",
+                });
+            }
+            collection.append_documents(&record.docs)?;
+            pending.push((record.epoch, record.docs));
+            epoch = record.epoch;
+        }
+
+        let mut wal = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(dir.join(WAL_FILE))
+            .map_err(io_err("open wal"))?;
+        if !matches!(scanned.tail, WalTail::Clean) {
+            wal.set_len(scanned.valid_len)
+                .map_err(io_err("truncate torn wal tail"))?;
+            wal.sync_data().map_err(io_err("sync wal"))?;
+        }
+        wal.seek(SeekFrom::End(0)).map_err(io_err("seek wal"))?;
+
+        Ok((
+            IndexStore {
+                dir: dir.to_path_buf(),
+                manifest,
+                wal,
+                pending,
+                epoch,
+                options,
+                crash: None,
+                poisoned: false,
+            },
+            collection,
+        ))
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The collection name recorded in the manifest.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.manifest.name
+    }
+
+    /// The newest durable epoch. Epoch 0 is the base build; each synced
+    /// WAL record adds one.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of live segment files.
+    #[must_use]
+    pub fn num_segments(&self) -> usize {
+        self.manifest.segments.len()
+    }
+
+    /// Number of batches pending in the WAL (not yet checkpointed).
+    #[must_use]
+    pub fn pending_batches(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total documents across all durable batches.
+    #[must_use]
+    pub fn num_docs(&self) -> u64 {
+        self.manifest.num_docs()
+            + self
+                .pending
+                .iter()
+                .map(|(_, d)| d.len() as u64)
+                .sum::<u64>()
+    }
+
+    /// Reconstructs the analyzer recorded in the manifest.
+    #[must_use]
+    pub fn analyzer(&self) -> Analyzer {
+        Analyzer::new()
+            .with_stopping(self.manifest.stopping)
+            .with_stemming(self.manifest.stemming)
+    }
+
+    /// Arms a [`CrashPoint`] that will fire during the next
+    /// [`IndexStore::log_batch`] (test harness). The simulated process
+    /// dies: the call returns [`StoreError::Crashed`], the store is
+    /// poisoned, and only a fresh [`IndexStore::open`] can continue.
+    pub fn inject_crash(&mut self, point: CrashPoint) {
+        self.crash = Some(point);
+    }
+
+    /// Durably commits one document batch: the WAL record is appended
+    /// and synced, and only then does the epoch advance. The caller must
+    /// mirror the batch into its in-memory collection afterwards.
+    ///
+    /// Returns the new epoch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on write failure (the epoch does not
+    /// advance), [`StoreError::Crashed`] if an injected crash point
+    /// fired, or [`StoreError::Poisoned`] after one did.
+    pub fn log_batch(&mut self, docs: &[TrecDoc]) -> Result<u64> {
+        if self.poisoned {
+            return Err(StoreError::Poisoned);
+        }
+        let next = self.epoch + 1;
+        let record = wal::encode_record(next, docs);
+        if let Some(point) = self.crash.take() {
+            let mut failing = FailingFile::new(&mut self.wal, point);
+            let _ = failing.write_all(&record);
+            let _ = self.wal.sync_data();
+            self.poisoned = true;
+            return Err(StoreError::Crashed);
+        }
+        self.wal.write_all(&record).map_err(io_err("wal append"))?;
+        self.wal.sync_data().map_err(io_err("wal sync"))?;
+        self.epoch = next;
+        self.pending.push((next, docs.to_vec()));
+        if self.options.checkpoint_batches > 0
+            && self.pending.len() >= self.options.checkpoint_batches
+        {
+            self.checkpoint()?;
+        }
+        Ok(next)
+    }
+
+    /// Folds pending WAL batches into per-batch segments, replaces the
+    /// manifest atomically and truncates the WAL. Runs compaction if the
+    /// segment count then exceeds the merge threshold.
+    ///
+    /// Both crash windows are idempotent: a crash after segment writes
+    /// but before the manifest rename leaves orphan files the manifest
+    /// never references; a crash after the rename but before WAL
+    /// truncation leaves stale records that replay skips.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure.
+    pub fn checkpoint(&mut self) -> Result<()> {
+        if self.poisoned {
+            return Err(StoreError::Poisoned);
+        }
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let mut manifest = self.manifest.clone();
+        for (epoch, docs) in &self.pending {
+            // The delta collection is built exactly like the delta that
+            // `append_documents` builds in memory, so absorbing this
+            // segment later reproduces the oracle's merge bit-for-bit.
+            let delta = Collection::build(&manifest.name, self.analyzer(), docs);
+            let segment = Segment {
+                collection: delta.to_bytes(),
+                batches: vec![SegmentBatch {
+                    epoch: *epoch,
+                    docs: docs.len() as u64,
+                }],
+            };
+            let file = segment_file_name(manifest.next_segment_id);
+            manifest.next_segment_id += 1;
+            write_file_synced(&self.dir.join(&file), &segment.encode())?;
+            manifest.segments.push(SegmentEntry {
+                file,
+                batches: segment.batches,
+            });
+            manifest.epoch = *epoch;
+        }
+        write_manifest_atomic(&self.dir, &manifest)?;
+        self.manifest = manifest;
+        self.pending.clear();
+        self.wal.set_len(0).map_err(io_err("truncate wal"))?;
+        self.wal
+            .seek(SeekFrom::Start(0))
+            .map_err(io_err("seek wal"))?;
+        self.wal.sync_data().map_err(io_err("sync wal"))?;
+        if self.options.merge_threshold > 0
+            && self.manifest.segments.len() > self.options.merge_threshold
+        {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints any pending WAL batches, then merges all live
+    /// segments into one, left-to-right — the same association order
+    /// the in-memory oracle applies batches in, so the compacted index
+    /// stays byte-identical. Old segment files are deleted
+    /// (best-effort) after the manifest stops referencing them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] or [`StoreError::Corrupt`] if a
+    /// segment fails to load.
+    pub fn compact(&mut self) -> Result<()> {
+        if self.poisoned {
+            return Err(StoreError::Poisoned);
+        }
+        self.checkpoint()?;
+        if self.manifest.segments.len() <= 1 {
+            return Ok(());
+        }
+        let mut merged: Option<Collection> = None;
+        let mut batches = Vec::new();
+        for entry in &self.manifest.segments {
+            let segment = read_segment(&self.dir, entry)?;
+            let part = Collection::from_bytes(&segment.collection)?;
+            batches.extend(segment.batches);
+            merged = Some(match merged {
+                None => part,
+                Some(mut acc) => {
+                    acc.absorb(&part)?;
+                    acc
+                }
+            });
+        }
+        let merged = merged.expect("at least two segments");
+        let segment = Segment {
+            collection: merged.to_bytes(),
+            batches,
+        };
+        let file = segment_file_name(self.manifest.next_segment_id);
+        write_file_synced(&self.dir.join(&file), &segment.encode())?;
+        let old: Vec<String> = self
+            .manifest
+            .segments
+            .iter()
+            .map(|e| e.file.clone())
+            .collect();
+        let mut manifest = self.manifest.clone();
+        manifest.next_segment_id += 1;
+        manifest.segments = vec![SegmentEntry {
+            file,
+            batches: segment.batches,
+        }];
+        write_manifest_atomic(&self.dir, &manifest)?;
+        self.manifest = manifest;
+        for file in old {
+            let _ = std::fs::remove_file(self.dir.join(file));
+        }
+        Ok(())
+    }
+
+    /// Deterministically replays the store up to `epoch`, yielding a
+    /// collection byte-identical to an in-memory oracle that built the
+    /// base and appended every batch `1..=epoch` in order ("as-of"
+    /// search).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NoSuchEpoch`] if `epoch` is beyond the
+    /// durable one, or [`StoreError::Corrupt`]/[`StoreError::Io`] if the
+    /// store cannot be read.
+    pub fn collection_at(&self, epoch: u64) -> Result<Collection> {
+        if epoch > self.epoch {
+            return Err(StoreError::NoSuchEpoch {
+                requested: epoch,
+                durable: self.epoch,
+            });
+        }
+        let mut batches: Vec<(u64, Vec<TrecDoc>)> = Vec::new();
+        for entry in &self.manifest.segments {
+            if entry.batches.first().is_none_or(|b| b.epoch > epoch) {
+                break;
+            }
+            let segment = read_segment(&self.dir, entry)?;
+            let part = Collection::from_bytes(&segment.collection)?;
+            let docs = part.export_docs()?;
+            let mut offset = 0usize;
+            for batch in &segment.batches {
+                let end = offset + batch.docs as usize;
+                if batch.epoch <= epoch {
+                    batches.push((batch.epoch, docs[offset..end].to_vec()));
+                }
+                offset = end;
+            }
+        }
+        for (e, docs) in &self.pending {
+            if *e <= epoch {
+                batches.push((*e, docs.clone()));
+            }
+        }
+        let mut iter = batches.into_iter();
+        let (base_epoch, base) = iter.next().ok_or(StoreError::Corrupt {
+            what: "store has no base batch",
+        })?;
+        debug_assert_eq!(base_epoch, 0);
+        let mut collection = Collection::build(&self.manifest.name, self.analyzer(), &base);
+        for (_, docs) in iter {
+            collection.append_documents(&docs)?;
+        }
+        Ok(collection)
+    }
+
+    /// Full integrity scan: every segment decodes, matches the manifest
+    /// and the WAL parses cleanly up to its valid prefix.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`StoreError`] encountered.
+    pub fn verify(&self) -> Result<StoreStatus> {
+        self.manifest.validate()?;
+        for entry in &self.manifest.segments {
+            read_segment(&self.dir, entry)?;
+        }
+        let wal_bytes = match std::fs::read(self.dir.join(WAL_FILE)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err("read wal")(e)),
+        };
+        wal::scan(&wal_bytes)?;
+        Ok(StoreStatus {
+            epoch: self.epoch,
+            segments: self.manifest.segments.len(),
+            pending_batches: self.pending.len(),
+            num_docs: self.num_docs(),
+        })
+    }
+}
+
+fn segment_file_name(id: u64) -> String {
+    format!("seg-{id:06}.seg")
+}
+
+/// Reads and validates one segment, cross-checking the manifest entry's
+/// batch list against the segment's own meta.
+fn read_segment(dir: &Path, entry: &SegmentEntry) -> Result<Segment> {
+    let bytes = std::fs::read(dir.join(&entry.file)).map_err(io_err("read segment"))?;
+    let segment = Segment::decode(&bytes)?;
+    if segment.batches != entry.batches {
+        return Err(StoreError::Corrupt {
+            what: "segment batches disagree with manifest",
+        });
+    }
+    Ok(segment)
+}
+
+/// Writes `bytes` to `path` and syncs before returning.
+fn write_file_synced(path: &Path, bytes: &[u8]) -> Result<()> {
+    let mut file = File::create(path).map_err(io_err("create file"))?;
+    file.write_all(bytes).map_err(io_err("write file"))?;
+    file.sync_all().map_err(io_err("sync file"))?;
+    Ok(())
+}
+
+/// Atomically replaces the manifest: write `MANIFEST.tmp`, sync, rename.
+fn write_manifest_atomic(dir: &Path, manifest: &Manifest) -> Result<()> {
+    let tmp = dir.join("MANIFEST.tmp");
+    write_file_synced(&tmp, &manifest.encode())?;
+    std::fs::rename(&tmp, dir.join(MANIFEST_FILE)).map_err(io_err("rename manifest"))?;
+    // Durability of the rename itself needs a directory sync where the
+    // platform supports opening directories; best-effort elsewhere.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fail::CrashMode;
+    use crate::tempdir::TempDir;
+
+    fn doc(docno: &str, text: &str) -> TrecDoc {
+        TrecDoc {
+            docno: docno.into(),
+            text: text.into(),
+        }
+    }
+
+    fn base_docs() -> Vec<TrecDoc> {
+        vec![
+            doc("D1", "the cat sat on the mat"),
+            doc("D2", "the dog chased the cat across the yard"),
+            doc("D3", "penguins are aquatic flightless birds"),
+        ]
+    }
+
+    fn batch(n: u64) -> Vec<TrecDoc> {
+        vec![
+            doc(
+                &format!("B{n}-1"),
+                &format!("batch {n} speaks of cats and tides"),
+            ),
+            doc(&format!("B{n}-2"), &format!("volume {n} covers dogs")),
+        ]
+    }
+
+    /// Rankings for a spread of queries, as raw bits for exact compare.
+    fn fingerprint(c: &Collection) -> Vec<(u32, u64)> {
+        ["cat dog", "penguins", "tides", "batch volume", "mat yard"]
+            .iter()
+            .flat_map(|q| {
+                c.ranked_query(q, 10)
+                    .into_iter()
+                    .map(|h| (h.doc, h.score.to_bits()))
+            })
+            .collect()
+    }
+
+    fn manual() -> StoreOptions {
+        StoreOptions {
+            checkpoint_batches: 0,
+            merge_threshold: 0,
+        }
+    }
+
+    #[test]
+    fn create_open_roundtrip() {
+        let dir = TempDir::new("roundtrip").unwrap();
+        let (store, built) =
+            IndexStore::create(dir.path(), "demo", &Analyzer::default(), &base_docs()).unwrap();
+        assert_eq!(store.epoch(), 0);
+        drop(store);
+        let (store, opened) = IndexStore::open(dir.path()).unwrap();
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.name(), "demo");
+        assert_eq!(fingerprint(&opened), fingerprint(&built));
+    }
+
+    #[test]
+    fn create_refuses_existing_store() {
+        let dir = TempDir::new("exists").unwrap();
+        IndexStore::create(dir.path(), "demo", &Analyzer::default(), &[]).unwrap();
+        assert_eq!(
+            IndexStore::create(dir.path(), "demo", &Analyzer::default(), &[])
+                .err()
+                .unwrap(),
+            StoreError::Exists
+        );
+    }
+
+    #[test]
+    fn open_missing_directory_is_typed() {
+        let dir = TempDir::new("missing").unwrap();
+        assert!(matches!(
+            IndexStore::open(&dir.path().join("nope")),
+            Err(StoreError::Missing)
+        ));
+    }
+
+    #[test]
+    fn wal_replay_matches_oracle_exactly() {
+        let dir = TempDir::new("replay").unwrap();
+        let (mut store, mut oracle) = IndexStore::create_with(
+            dir.path(),
+            "demo",
+            &Analyzer::default(),
+            &base_docs(),
+            manual(),
+        )
+        .unwrap();
+        for n in 1..=4u64 {
+            let docs = batch(n);
+            assert_eq!(store.log_batch(&docs).unwrap(), n);
+            oracle.append_documents(&docs).unwrap();
+        }
+        assert_eq!(store.epoch(), 4);
+        drop(store);
+        let (store, recovered) = IndexStore::open(dir.path()).unwrap();
+        assert_eq!(store.epoch(), 4);
+        assert_eq!(store.pending_batches(), 4);
+        assert_eq!(fingerprint(&recovered), fingerprint(&oracle));
+    }
+
+    #[test]
+    fn checkpoint_and_compact_preserve_rankings() {
+        let dir = TempDir::new("checkpoint").unwrap();
+        let (mut store, mut oracle) = IndexStore::create_with(
+            dir.path(),
+            "demo",
+            &Analyzer::default(),
+            &base_docs(),
+            manual(),
+        )
+        .unwrap();
+        for n in 1..=3u64 {
+            store.log_batch(&batch(n)).unwrap();
+            oracle.append_documents(&batch(n)).unwrap();
+        }
+        store.checkpoint().unwrap();
+        assert_eq!(store.pending_batches(), 0);
+        assert_eq!(store.num_segments(), 4);
+        {
+            let (reopened, recovered) = IndexStore::open(dir.path()).unwrap();
+            assert_eq!(reopened.epoch(), 3);
+            assert_eq!(fingerprint(&recovered), fingerprint(&oracle));
+        }
+        let mut store = IndexStore::open(dir.path()).unwrap().0;
+        store.compact().unwrap();
+        assert_eq!(store.num_segments(), 1);
+        let (reopened, recovered) = IndexStore::open(dir.path()).unwrap();
+        assert_eq!(reopened.epoch(), 3);
+        assert_eq!(fingerprint(&recovered), fingerprint(&oracle));
+    }
+
+    #[test]
+    fn compact_folds_pending_wal_batches_in() {
+        // A single-segment store with batches still pending in the WAL:
+        // compact must checkpoint them first, not no-op on segment
+        // count alone.
+        let dir = TempDir::new("compact-pending").unwrap();
+        let (mut store, mut oracle) = IndexStore::create_with(
+            dir.path(),
+            "demo",
+            &Analyzer::default(),
+            &base_docs(),
+            manual(),
+        )
+        .unwrap();
+        for n in 1..=2u64 {
+            store.log_batch(&batch(n)).unwrap();
+            oracle.append_documents(&batch(n)).unwrap();
+        }
+        assert_eq!((store.num_segments(), store.pending_batches()), (1, 2));
+        store.compact().unwrap();
+        assert_eq!((store.num_segments(), store.pending_batches()), (1, 0));
+        let (reopened, recovered) = IndexStore::open(dir.path()).unwrap();
+        assert_eq!(reopened.epoch(), 2);
+        assert_eq!(reopened.pending_batches(), 0);
+        assert_eq!(fingerprint(&recovered), fingerprint(&oracle));
+    }
+
+    #[test]
+    fn auto_checkpoint_and_merge_fire() {
+        let dir = TempDir::new("auto").unwrap();
+        let options = StoreOptions {
+            checkpoint_batches: 2,
+            merge_threshold: 3,
+        };
+        let (mut store, _) = IndexStore::create_with(
+            dir.path(),
+            "demo",
+            &Analyzer::default(),
+            &base_docs(),
+            options,
+        )
+        .unwrap();
+        for n in 1..=6u64 {
+            store.log_batch(&batch(n)).unwrap();
+        }
+        // Auto-checkpoints at 2 pending; auto-compacts past 3 segments.
+        assert!(store.pending_batches() < 2);
+        assert!(store.num_segments() <= 3);
+        assert_eq!(store.epoch(), 6);
+        let (reopened, _) = IndexStore::open(dir.path()).unwrap();
+        assert_eq!(reopened.epoch(), 6);
+    }
+
+    #[test]
+    fn collection_at_replays_every_epoch() {
+        let dir = TempDir::new("asof").unwrap();
+        let analyzer = Analyzer::default();
+        let (mut store, _) =
+            IndexStore::create_with(dir.path(), "demo", &analyzer, &base_docs(), manual()).unwrap();
+        let mut oracles = vec![Collection::build("demo", Analyzer::default(), &base_docs())];
+        for n in 1..=3u64 {
+            store.log_batch(&batch(n)).unwrap();
+            let mut next = Collection::build("demo", Analyzer::default(), &base_docs());
+            for m in 1..=n {
+                next.append_documents(&batch(m)).unwrap();
+            }
+            oracles.push(next);
+        }
+        // Replays must be exact both before and after checkpointing.
+        for round in 0..2 {
+            for (e, oracle) in oracles.iter().enumerate() {
+                let as_of = store.collection_at(e as u64).unwrap();
+                assert_eq!(
+                    fingerprint(&as_of),
+                    fingerprint(oracle),
+                    "epoch {e} round {round}"
+                );
+            }
+            store.checkpoint().unwrap();
+        }
+        assert!(matches!(
+            store.collection_at(99),
+            Err(StoreError::NoSuchEpoch {
+                requested: 99,
+                durable: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn injected_crash_poisons_store_and_reopen_recovers() {
+        let dir = TempDir::new("poison").unwrap();
+        let (mut store, _) = IndexStore::create_with(
+            dir.path(),
+            "demo",
+            &Analyzer::default(),
+            &base_docs(),
+            manual(),
+        )
+        .unwrap();
+        store.log_batch(&batch(1)).unwrap();
+        store.inject_crash(CrashPoint {
+            offset: 7,
+            mode: CrashMode::Truncate,
+        });
+        assert_eq!(store.log_batch(&batch(2)), Err(StoreError::Crashed));
+        assert_eq!(store.log_batch(&batch(3)), Err(StoreError::Poisoned));
+        assert_eq!(store.checkpoint(), Err(StoreError::Poisoned));
+        drop(store);
+        let (store, _) = IndexStore::open(dir.path()).unwrap();
+        assert_eq!(store.epoch(), 1);
+        store.verify().unwrap();
+    }
+
+    #[test]
+    fn verify_reports_status() {
+        let dir = TempDir::new("verify").unwrap();
+        let (mut store, _) = IndexStore::create_with(
+            dir.path(),
+            "demo",
+            &Analyzer::default(),
+            &base_docs(),
+            manual(),
+        )
+        .unwrap();
+        store.log_batch(&batch(1)).unwrap();
+        let status = store.verify().unwrap();
+        assert_eq!(
+            status,
+            StoreStatus {
+                epoch: 1,
+                segments: 1,
+                pending_batches: 1,
+                num_docs: 5,
+            }
+        );
+    }
+
+    #[test]
+    fn corrupted_segment_fails_open_with_typed_error() {
+        let dir = TempDir::new("corrupt-seg").unwrap();
+        IndexStore::create(dir.path(), "demo", &Analyzer::default(), &base_docs()).unwrap();
+        let seg = dir.path().join(segment_file_name(0));
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&seg, &bytes).unwrap();
+        assert!(matches!(
+            IndexStore::open(dir.path()),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_manifest_fails_open_with_typed_error() {
+        let dir = TempDir::new("corrupt-man").unwrap();
+        IndexStore::create(dir.path(), "demo", &Analyzer::default(), &base_docs()).unwrap();
+        let path = dir.path().join(MANIFEST_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            IndexStore::open(dir.path()),
+            Err(StoreError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn analyzer_flags_survive_reopen() {
+        let dir = TempDir::new("flags").unwrap();
+        let analyzer = Analyzer::new().with_stopping(false).with_stemming(false);
+        let (store, _) = IndexStore::create(dir.path(), "raw", &analyzer, &base_docs()).unwrap();
+        drop(store);
+        let (store, _) = IndexStore::open(dir.path()).unwrap();
+        assert!(!store.analyzer().stopping());
+        assert!(!store.analyzer().stemming());
+    }
+}

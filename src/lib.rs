@@ -18,6 +18,7 @@
 //! * [`net`] — wire protocol and transports.
 //! * [`obs`] — structured query traces and per-phase metrics.
 //! * [`simnet`] — discrete-event disk/CPU/network simulator.
+//! * [`store`] — persistent versioned index: segments, WAL, epochs.
 //! * [`core`] — the TERAPHIM librarian/receptionist system itself.
 //!
 //! # Quick start
@@ -54,4 +55,5 @@ pub use teraphim_net as net;
 pub use teraphim_obs as obs;
 pub use teraphim_scenario as scenario;
 pub use teraphim_simnet as simnet;
+pub use teraphim_store as store;
 pub use teraphim_text as text;

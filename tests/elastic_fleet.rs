@@ -280,6 +280,7 @@ fn elastic_differential_over_seeds() {
                 clients: 2,
                 allow_kills: false,
                 replicas,
+                crashes: false,
             },
         );
         assert!(

@@ -42,6 +42,7 @@ fn doublecheck_sim_and_inproc_backends() {
             clients: 2,
             allow_kills: false,
             replicas: 1,
+            crashes: false,
         },
     );
     doublecheck(&plan, SimBackend::new).expect("sim must repeat itself");
@@ -58,6 +59,7 @@ fn doublecheck_tcp_backend() {
             clients: 2,
             allow_kills: false,
             replicas: 1,
+            crashes: false,
         },
     );
     doublecheck(&plan, TcpBackend::new).expect("tcp must repeat itself");
@@ -73,6 +75,7 @@ fn differential_generated_plan() {
             clients: 2,
             allow_kills: false,
             replicas: 1,
+            crashes: false,
         },
     );
     assert!(plan.query_steps() > 20, "workload is query-dominated");
@@ -94,6 +97,7 @@ fn five_hundred_step_plan_doublechecks_and_differentials() {
             clients: 3,
             allow_kills: false,
             replicas: 2,
+            crashes: false,
         },
     );
     assert_eq!(plan.steps.len(), 500);
@@ -132,6 +136,51 @@ fn five_hundred_step_plan_doublechecks_and_differentials() {
     );
 }
 
+/// Crash-churn gate: a generated plan that crashes shards mid-workload
+/// (volatile state genuinely lost on the real backends) and reopens
+/// them from their persistent stores must stay differential — the
+/// simulator, which never loses state, is the recovery oracle.
+#[test]
+fn crash_churn_plan_differentials_and_recovers() {
+    let plan = generate_plan(
+        "crash-120",
+        42,
+        GenOptions {
+            steps: 120,
+            clients: 2,
+            allow_kills: false,
+            replicas: 1,
+            crashes: true,
+        },
+    );
+    assert!(
+        plan.steps
+            .iter()
+            .any(|s| matches!(s, Step::CrashLib { .. })),
+        "crashes present in the generated workload"
+    );
+    assert!(
+        plan.steps
+            .iter()
+            .any(|s| matches!(s, Step::ReopenLib { .. })),
+        "reopens present too"
+    );
+    assert!(
+        plan.steps.iter().any(|s| matches!(s, Step::AddDocs { .. })),
+        "churn present, so recovery must replay WAL batches"
+    );
+    doublecheck(&plan, SimBackend::new).expect("sim doublecheck under crash churn");
+    let report = differential(&plan).unwrap_or_else(|f| panic!("crash differential failed: {f}"));
+    assert!(
+        report
+            .sim
+            .outcomes
+            .iter()
+            .any(|o: &QueryOutcome| !o.failed.is_empty()),
+        "some query observed a crashed shard"
+    );
+}
+
 /// Nightly-style deeper sweep: several seeds, longer plans. Run with
 /// `cargo test -- --ignored`.
 #[test]
@@ -146,6 +195,7 @@ fn long_seed_sweep() {
                 clients: 3,
                 allow_kills: false,
                 replicas: 1,
+                crashes: false,
             },
         );
         doublecheck(&plan, SimBackend::new)
@@ -205,6 +255,12 @@ impl Backend for MutantBackend {
     fn promote_replica(&mut self, lib: usize) {
         self.inner.promote_replica(lib);
     }
+    fn crash(&mut self, lib: usize) {
+        self.inner.crash(lib);
+    }
+    fn reopen(&mut self, lib: usize) {
+        self.inner.reopen(lib);
+    }
     fn set_cache(&mut self, spec: Option<teraphim::scenario::CacheSpec>) {
         self.inner.set_cache(spec);
     }
@@ -235,6 +291,7 @@ fn mutation_check_catches_and_shrinks_the_injected_bug() {
             clients: 2,
             allow_kills: false,
             replicas: 1,
+            crashes: false,
         },
     );
     let failure = check_mutant(&plan).expect("the injected CV bug must be caught");
@@ -303,6 +360,44 @@ fn committed_fault_differential_fixture_replays() {
     doublecheck(&plan, TcpBackend::new).expect("tcp doublecheck");
 }
 
+/// Satellite: the committed crash-recovery regression plan — churn a
+/// shard, crash it (memory lost), reopen from the persistent store,
+/// and prove by differential that the recovered shard answers exactly
+/// like the sim backend that never crashed.
+#[test]
+fn committed_persist_recover_fixture_replays() {
+    let plan = load_fixture("persist_recover_min.json");
+    assert!(
+        plan.steps
+            .iter()
+            .any(|s| matches!(s, Step::CrashLib { .. })),
+        "the fixture crashes a shard"
+    );
+    assert!(
+        plan.steps
+            .iter()
+            .any(|s| matches!(s, Step::ReopenLib { .. })),
+        "and recovers it"
+    );
+    assert!(
+        plan.steps.iter().any(|s| matches!(s, Step::AddDocs { .. })),
+        "with churn logged to the WAL before the crash"
+    );
+    let report = differential(&plan).unwrap_or_else(|f| panic!("recovery fixture diverged: {f}"));
+    // The crash window degraded at least one query...
+    assert!(
+        report.sim.outcomes.iter().any(|o| !o.failed.is_empty()),
+        "a query observed the crashed shard"
+    );
+    // ...and the post-reopen queries recovered full coverage.
+    assert!(
+        report.sim.outcomes.last().unwrap().failed.is_empty(),
+        "full coverage after recovery"
+    );
+    doublecheck(&plan, InProcBackend::new).expect("inproc doublecheck");
+    doublecheck(&plan, TcpBackend::new).expect("tcp doublecheck");
+}
+
 /// Regenerates the committed fixture plans. Run explicitly after
 /// changing the plan schema or generator:
 /// `cargo test --test scenario_engine -- --ignored regenerate`
@@ -363,6 +458,7 @@ fn regenerate_fixture_plans() {
             clients: 2,
             allow_kills: false,
             replicas: 1,
+            crashes: false,
         },
     );
     let failure = check_mutant(&generated).expect("mutant must fail the generated plan");
@@ -374,6 +470,44 @@ fn regenerate_fixture_plans() {
         path.display(),
         shrunk.plan.steps.len()
     );
+
+    // 3. The crash-recovery regression plan: baseline, churn into the
+    //    WAL, probe the churned docs, crash the shard (degraded
+    //    coverage), reopen from the store, re-probe — recovery must
+    //    reproduce the pre-crash answers exactly. Generated-then-shrunk
+    //    plans from the crash sweep found no real divergence, so this
+    //    hand-shaped minimal plan documents the contract instead.
+    let mut plan = Plan::named("persist_recover_min", 13);
+    let fixture = Fixture::for_plan(&plan);
+    let q: Vec<String> = fixture
+        .corpus()
+        .short_queries()
+        .iter()
+        .take(2)
+        .map(|s| s.text.clone())
+        .collect();
+    let cv_query = |client: u64, query: &str| Step::Query {
+        client,
+        mode: RunMode::Cv,
+        query: query.to_string(),
+        k: 10,
+    };
+    plan.steps = vec![
+        cv_query(0, &q[0]),
+        Step::AddDocs {
+            lib: 1,
+            count: 2,
+            batch: 0,
+        },
+        cv_query(0, "churn"),
+        Step::CrashLib { lib: 1 },
+        cv_query(1, &q[0]),
+        Step::ReopenLib { lib: 1 },
+        cv_query(0, "churn"),
+        cv_query(1, &q[1]),
+    ];
+    let path = write_bugbase(&fixtures_dir(), &plan).unwrap();
+    println!("wrote {}", path.display());
 }
 
 /// Satellite regression: a connection killed mid-pipelined-batch must

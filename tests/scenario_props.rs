@@ -24,7 +24,7 @@ impl Strategy for ArbStep {
     type Value = Step;
 
     fn generate(&self, rng: &mut TestRng) -> Step {
-        match rng.index(12) {
+        match rng.index(14) {
             0 => Step::Query {
                 client: (0u64..4).generate(rng),
                 mode: RunMode::ALL[rng.index(RunMode::ALL.len())],
@@ -73,6 +73,12 @@ impl Strategy for ArbStep {
                 lib: (0u64..4).generate(rng),
             },
             10 => Step::PromoteReplica {
+                lib: (0u64..4).generate(rng),
+            },
+            11 => Step::CrashLib {
+                lib: (0u64..4).generate(rng),
+            },
+            12 => Step::ReopenLib {
                 lib: (0u64..4).generate(rng),
             },
             _ => Step::HealthPoll,

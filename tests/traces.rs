@@ -559,6 +559,147 @@ fn trace_totals_match_transport_counters() {
     }
 }
 
+/// Builds one churn batch for shard `lib` at epoch `epoch` — the same
+/// literal docs on every driver, so the stores and the simulator replay
+/// an identical build+append history.
+fn asof_batch(lib: usize, epoch: usize) -> Vec<TrecDoc> {
+    (0..2)
+        .map(|i| TrecDoc {
+            docno: format!("ASOF-{lib}-{epoch}-{i}"),
+            text: format!("asof churn epoch {epoch} doc {i} shard {lib}"),
+        })
+        .collect()
+}
+
+/// A receptionist over librarians reopened from the serialized as-of
+/// collections, sequential dispatch (the golden event order).
+fn asof_receptionist(shards: &[Vec<u8>], epoch: u64) -> Receptionist<InProcTransport<Librarian>> {
+    let transports = shards
+        .iter()
+        .map(|bytes| {
+            let collection =
+                teraphim::engine::Collection::from_bytes(bytes).expect("as-of view deserializes");
+            let mut lib = Librarian::from_collection(collection);
+            lib.set_epoch(epoch);
+            InProcTransport::new(lib)
+        })
+        .collect();
+    let mut r = Receptionist::new(transports, Analyzer::default());
+    r.set_dispatch_mode(DispatchMode::Sequential);
+    r
+}
+
+/// Store-backed "as-of" querying, pinned as goldens: every shard's
+/// store commits two batches past creation, then the query is answered
+/// from the *earlier* durable epoch via `collection_at(1)`. The
+/// normalized CV trace is byte-identical between in-process and TCP
+/// librarians opened from the store, and stitches to the same span tree
+/// as a simulator replaying the identical build+append history —
+/// extending the span-tree contract to store-backed librarians.
+#[test]
+fn golden_asof_cv_trace_shared_by_sim_inproc_and_tcp() {
+    use teraphim::store::{IndexStore, TempDir};
+
+    const ASOF: u64 = 1;
+    let corpus = corpus();
+    let query = corpus.short_queries()[0].text.clone();
+
+    // One store per shard; epoch 2 is live, epoch 1 is the pinned view.
+    let root = TempDir::new("asof-trace").expect("tempdir");
+    let mut asof_shards: Vec<Vec<u8>> = Vec::new();
+    for (lib, s) in corpus.subcollections().iter().enumerate() {
+        let dir = root.path().join(format!("shard-{lib}"));
+        let (mut store, _) = IndexStore::create(&dir, &s.name, &Analyzer::default(), &s.docs)
+            .expect("fresh shard store creates");
+        store
+            .log_batch(&asof_batch(lib, 1))
+            .expect("epoch 1 commits");
+        store
+            .log_batch(&asof_batch(lib, 2))
+            .expect("epoch 2 commits");
+        assert_eq!(store.epoch(), 2);
+        let view = store.collection_at(ASOF).expect("as-of replay");
+        asof_shards.push(view.to_bytes());
+    }
+
+    // In-process: trace the CV query against the as-of librarians.
+    let mut r = asof_receptionist(&asof_shards, ASOF);
+    r.enable_cv().unwrap();
+    let sink = r.enable_tracing();
+    r.query(Methodology::CentralVocabulary, &query, K).unwrap();
+    let mut traces = sink.take_traces();
+    assert_eq!(traces.len(), 1);
+    let real = traces.remove(0).normalized();
+
+    // TCP: the same as-of librarians behind real loopback servers.
+    let servers: Vec<TcpServer> = asof_shards
+        .iter()
+        .map(|bytes| {
+            let collection =
+                teraphim::engine::Collection::from_bytes(bytes).expect("as-of view deserializes");
+            let mut lib = Librarian::from_collection(collection);
+            lib.set_epoch(ASOF);
+            TcpServer::spawn(lib, "127.0.0.1:0").expect("loopback server spawns")
+        })
+        .collect();
+    let transports: Vec<TcpTransport> = servers
+        .iter()
+        .map(|s| TcpTransport::connect(s.addr()).expect("loopback connects"))
+        .collect();
+    let mut rt = Receptionist::new(transports, Analyzer::default());
+    rt.set_dispatch_mode(DispatchMode::Sequential);
+    rt.enable_cv().unwrap();
+    let sink = rt.enable_tracing();
+    rt.query(Methodology::CentralVocabulary, &query, K).unwrap();
+    let mut traces = sink.take_traces();
+    assert_eq!(traces.len(), 1);
+    let tcp = traces.remove(0).normalized();
+
+    // Simulator: build the base shards, append the epoch-1 batches —
+    // the exact history `collection_at(1)` replays from the WAL.
+    let mut driver = sim_driver(&corpus);
+    driver.skipping = true;
+    driver.dispatch = teraphim::core::sim::SimDispatch::Sequential;
+    for lib in 0..corpus.subcollections().len() {
+        driver
+            .append_documents(lib, &asof_batch(lib, 1))
+            .expect("sim appends the as-of batch");
+    }
+    let mut sim = sim_trace(
+        &mut driver,
+        SimMode::Distributed(Methodology::CentralVocabulary),
+        &query,
+    )
+    .normalized();
+    // Strip the simulator's doc-fetch tail (the real `query` path stops
+    // after the merge), as in the live-epoch span-tree goldens.
+    let n = sim.events.len();
+    assert_eq!(
+        sim.events[n - 2].kind,
+        EventKind::PhaseStart {
+            phase: Phase::DocFetch
+        }
+    );
+    sim.events.truncate(n - 2);
+
+    let real_tree = SpanTree::from_trace(&real);
+    let tcp_tree = SpanTree::from_trace(&tcp);
+    let sim_tree = SpanTree::from_trace(&sim);
+    assert_eq!(
+        real_tree.to_json(),
+        tcp_tree.to_json(),
+        "as-of: in-process and TCP span trees must be byte-identical"
+    );
+    assert_eq!(
+        real_tree.to_json(),
+        sim_tree.to_json(),
+        "as-of: store-backed and simulated span trees must be byte-identical"
+    );
+
+    assert_matches_golden("asof_cv", &real);
+    assert_span_golden("span_asof_cv", &real_tree);
+}
+
 /// Tracing is pay-for-what-you-use: a disabled sink records nothing,
 /// and re-enabling the same sink picks events back up.
 #[test]
